@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures and helpers.
+
+The benchmarks reproduce every table and figure of the paper's evaluation at
+laptop scale (see DESIGN.md for the scale substitution).  Each benchmark
+
+* times one representative protocol operation with ``pytest-benchmark``, and
+* regenerates the corresponding figure/table as a text table, printed and
+  written under ``benchmarks/results/`` so the numbers can be inspected and
+  copied into EXPERIMENTS.md after a run.
+
+Scale knobs (rows per dataset, queries per point) are environment-variable
+overridable so the same harness can run closer to paper scale on a bigger
+machine: ``REPRO_BENCH_ADULT_ROWS``, ``REPRO_BENCH_AMAZON_ROWS``,
+``REPRO_BENCH_QUERIES_PER_POINT``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenarios import adult_scenario, amazon_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+ADULT_ROWS = int(os.environ.get("REPRO_BENCH_ADULT_ROWS", "200000"))
+AMAZON_ROWS = int(os.environ.get("REPRO_BENCH_AMAZON_ROWS", "400000"))
+QUERIES_PER_POINT = int(os.environ.get("REPRO_BENCH_QUERIES_PER_POINT", "6"))
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a figure/table rendition and persist it under ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def adult():
+    """Adult-like scenario (paper: sr = 20%, cluster size 1% of a partition)."""
+    return adult_scenario(num_rows=ADULT_ROWS, seed=0)
+
+
+@pytest.fixture(scope="session")
+def amazon():
+    """Amazon-like scenario (paper: sr = 5%, cluster size 0.5% of a partition)."""
+    return amazon_scenario(num_rows=AMAZON_ROWS, seed=0)

@@ -1,0 +1,31 @@
+"""Figure 1 — runtime cost of sharing rows vs sharing results under SMC.
+
+Paper shape: sharing only per-provider results costs a small constant
+(~0.04 s) while secret-sharing the matching rows is roughly 440x more
+expensive on average and grows with the data.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.smc_comparison import (
+    format_sharing_costs,
+    run_sharing_cost_experiment,
+)
+from .conftest import write_result
+
+
+def test_fig1_smc_row_vs_result_sharing(benchmark, adult):
+    points = run_sharing_cost_experiment(adult, num_queries=12, num_dimensions=2, seed=0)
+    write_result("fig1_smc_sharing", format_sharing_costs(points))
+
+    ratios = [point.cost_ratio for point in points if point.matching_rows > 0]
+    assert ratios, "every query matched zero rows — workload generation is broken"
+    # Row sharing must be at least an order of magnitude more expensive.
+    assert min(ratios) > 10
+    assert sum(ratios) / len(ratios) > 50
+
+    # Benchmark the cheap path the paper advocates: sharing only results.
+    from repro.federation.smc import SMCSimulator
+
+    simulator = SMCSimulator(num_parties=adult.system.num_providers, rng=0)
+    benchmark(lambda: simulator.result_sharing_cost(adult.system.num_providers))

@@ -1,0 +1,49 @@
+"""Figure 4 — relative error versus number of query dimensions.
+
+Paper shape: errors grow as the number of constrained dimensions grows
+(the independence approximation of R degrades), and the larger dataset
+(Amazon-like) shows lower relative errors than the Adult-like one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.dimension_analysis import (
+    format_dimension_analysis,
+    run_dimension_analysis,
+)
+from repro.query.model import RangeQuery
+from .conftest import QUERIES_PER_POINT, write_result
+
+
+def test_fig4_error_vs_dimensions_adult(benchmark, adult):
+    points = run_dimension_analysis(
+        adult,
+        dimension_counts=[2, 3, 4, 5, 6, 7],
+        queries_per_point=QUERIES_PER_POINT,
+        min_selectivity=0.002,
+        seed=0,
+    )
+    write_result("fig4_dimensions_adult", format_dimension_analysis(points))
+    by_dims = {
+        (p.aggregation, p.num_dimensions): p.mean_relative_error for p in points
+    }
+    # Low-dimensional queries must be clearly more accurate than the widest ones.
+    assert by_dims[("count", 2)] < by_dims[("count", 7)] * 3
+    assert all(p.mean_relative_error >= 0 for p in points)
+
+    query = RangeQuery.count({"age": (20, 60), "hours_per_week": (10, 70)})
+    benchmark(lambda: adult.system.execute(query, compute_exact=False).value)
+
+
+def test_fig4_error_vs_dimensions_amazon(benchmark, amazon):
+    points = run_dimension_analysis(
+        amazon,
+        dimension_counts=[2, 3, 4, 5],
+        queries_per_point=QUERIES_PER_POINT,
+        seed=0,
+    )
+    write_result("fig4_dimensions_amazon", format_dimension_analysis(points))
+    assert all(p.mean_relative_error >= 0 for p in points)
+
+    query = RangeQuery.count({"day": (50, 300), "helpful_votes": (0, 100)})
+    benchmark(lambda: amazon.system.execute(query, compute_exact=False).value)

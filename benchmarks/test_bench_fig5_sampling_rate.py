@@ -1,0 +1,62 @@
+"""Figure 5 — relative error and speed-up versus sampling rate.
+
+Paper shape: as the sampling rate grows from 5% to 20% the relative error
+falls and the speed-up falls (accuracy/speed trade-off); the larger dataset
+gains more speed-up than the smaller one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sampling_rate_analysis import (
+    format_sampling_rate_analysis,
+    run_sampling_rate_analysis,
+)
+from .conftest import QUERIES_PER_POINT, write_result
+
+
+def _check_tradeoff(points):
+    for aggregation in {point.aggregation for point in points}:
+        series = sorted(
+            (p for p in points if p.aggregation == aggregation),
+            key=lambda p: p.sampling_rate,
+        )
+        # Work speed-up must decrease as the sampling rate increases.
+        speedups = [p.mean_work_speedup for p in series]
+        assert speedups[0] > speedups[-1]
+
+
+def test_fig5_sampling_rate_adult(benchmark, adult):
+    points = run_sampling_rate_analysis(
+        adult,
+        sampling_rates=(0.05, 0.10, 0.15, 0.20),
+        queries_per_point=QUERIES_PER_POINT,
+        seed=1,
+    )
+    write_result("fig5_sampling_rate_adult", format_sampling_rate_analysis(points))
+    _check_tradeoff(points)
+
+    benchmark(
+        lambda: adult.system.execute(
+            "SELECT COUNT(*) FROM t WHERE 20 <= age AND age <= 60", compute_exact=False
+        ).value
+    )
+
+
+def test_fig5_sampling_rate_amazon(benchmark, amazon):
+    points = run_sampling_rate_analysis(
+        amazon,
+        sampling_rates=(0.05, 0.10, 0.15, 0.20),
+        queries_per_point=QUERIES_PER_POINT,
+        seed=1,
+    )
+    write_result("fig5_sampling_rate_amazon", format_sampling_rate_analysis(points))
+    _check_tradeoff(points)
+    # The larger (Amazon-like) dataset yields higher speed-ups at 5% than the
+    # Adult-like dataset does at 20% — the paper's "more speed for larger data".
+    assert max(p.mean_work_speedup for p in points) > 4
+
+    benchmark(
+        lambda: amazon.system.execute(
+            "SELECT COUNT(*) FROM t WHERE 50 <= day AND day <= 250", compute_exact=False
+        ).value
+    )

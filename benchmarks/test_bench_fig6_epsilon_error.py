@@ -1,0 +1,57 @@
+"""Figure 6 — relative error versus the per-query privacy budget epsilon.
+
+Paper shape: the classic DP utility curve — error falls steeply as epsilon
+grows from 0.1 to 1.3; SUM queries retain more utility than COUNT queries,
+and the larger dataset is less affected by the noise.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.epsilon_analysis import (
+    format_epsilon_analysis,
+    run_epsilon_analysis,
+)
+from .conftest import QUERIES_PER_POINT, write_result
+
+EPSILONS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3)
+
+
+def _check_epsilon_trend(points):
+    for aggregation in {point.aggregation for point in points}:
+        series = sorted(
+            (p for p in points if p.aggregation == aggregation), key=lambda p: p.epsilon
+        )
+        # The tightest budget must be clearly worse than the loosest one.
+        assert series[0].mean_relative_error > series[-1].mean_relative_error
+
+
+def test_fig6_epsilon_adult(benchmark, adult):
+    points = run_epsilon_analysis(
+        adult, epsilons=EPSILONS, queries_per_point=QUERIES_PER_POINT, seed=2
+    )
+    write_result("fig6_epsilon_adult", format_epsilon_analysis(points))
+    _check_epsilon_trend(points)
+
+    benchmark(
+        lambda: adult.system.execute(
+            "SELECT SUM(measure) FROM t WHERE 20 <= age AND age <= 60",
+            epsilon=0.5,
+            compute_exact=False,
+        ).value
+    )
+
+
+def test_fig6_epsilon_amazon(benchmark, amazon):
+    points = run_epsilon_analysis(
+        amazon, epsilons=EPSILONS, queries_per_point=QUERIES_PER_POINT, seed=2
+    )
+    write_result("fig6_epsilon_amazon", format_epsilon_analysis(points))
+    _check_epsilon_trend(points)
+
+    benchmark(
+        lambda: amazon.system.execute(
+            "SELECT SUM(measure) FROM t WHERE 50 <= day AND day <= 250",
+            epsilon=0.5,
+            compute_exact=False,
+        ).value
+    )

@@ -1,0 +1,60 @@
+"""Figure 7 — impact of query dimensionality and epsilon on the speed-up.
+
+Paper shape (Amazon dataset): speed-up decreases slightly as the number of
+dimensions grows (more metadata consulted per cluster) and is essentially
+flat in epsilon (the privacy budget does not change how much data is read).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.dimension_analysis import (
+    format_dimension_analysis,
+    run_dimension_analysis,
+)
+from repro.experiments.epsilon_analysis import (
+    format_epsilon_analysis,
+    run_epsilon_analysis,
+)
+from repro.query.model import Aggregation
+from .conftest import QUERIES_PER_POINT, write_result
+
+
+def test_fig7_speedup_vs_dimensions_amazon(benchmark, amazon):
+    points = run_dimension_analysis(
+        amazon,
+        dimension_counts=[2, 3, 4, 5],
+        queries_per_point=QUERIES_PER_POINT,
+        aggregations=(Aggregation.COUNT,),
+        seed=3,
+    )
+    write_result("fig7_speedup_dimensions_amazon", format_dimension_analysis(points))
+    assert all(point.mean_work_speedup > 1 for point in points)
+
+    benchmark(lambda: amazon.system.exact_baseline(
+        "SELECT COUNT(*) FROM t WHERE 1 <= rating AND rating <= 4"
+    ).value)
+
+
+def test_fig7_speedup_vs_epsilon_amazon(benchmark, amazon):
+    points = run_epsilon_analysis(
+        amazon,
+        epsilons=(0.1, 0.5, 0.9, 1.3),
+        queries_per_point=QUERIES_PER_POINT,
+        aggregations=(Aggregation.COUNT,),
+        seed=3,
+    )
+    write_result("fig7_speedup_epsilon_amazon", format_epsilon_analysis(points))
+    speedups = [point.mean_work_speedup for point in points]
+    # Epsilon must not change how much data is scanned: flat within 25%.
+    assert max(speedups) <= 1.25 * min(speedups)
+    assert all(speedup > 1 for speedup in speedups)
+
+    benchmark(
+        lambda: amazon.system.execute(
+            "SELECT COUNT(*) FROM t WHERE 1 <= rating AND rating <= 4",
+            epsilon=1.3,
+            compute_exact=False,
+        ).value
+    )

@@ -1,0 +1,37 @@
+"""Figure 8 — SMC result combination versus per-provider DP noise.
+
+Paper shape: using SMC to share only the local estimates and sensitivities
+adds negligible overhead, and injecting a single calibrated noise yields a
+tighter noise range than summing one independent noise per provider.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.smc_comparison import (
+    format_smc_comparison,
+    run_smc_vs_dp_experiment,
+)
+from .conftest import write_result
+
+
+def test_fig8_smc_vs_per_provider_dp(benchmark, adult):
+    points = run_smc_vs_dp_experiment(
+        adult, num_queries=5, repetitions=5, num_dimensions=2, seed=4
+    )
+    write_result("fig8_smc_vs_dp", format_smc_comparison(points))
+
+    noise_smc = np.abs([point.noise_with_smc for point in points])
+    noise_dp = np.abs([point.noise_without_smc for point in points])
+    # A single calibrated noise is tighter on average than the sum of one
+    # noise per provider (4 providers here).
+    assert noise_smc.mean() < noise_dp.mean() * 1.5
+
+    speedup_smc = np.array([point.speedup_with_smc for point in points])
+    speedup_dp = np.array([point.speedup_without_smc for point in points])
+    # SMC result sharing must not cost more than ~3x the plain DP path.
+    assert speedup_smc.mean() > speedup_dp.mean() / 3
+
+    query = "SELECT COUNT(*) FROM t WHERE 20 <= age AND age <= 60"
+    benchmark(lambda: adult.system.execute(query, use_smc=True, compute_exact=False).value)

@@ -1,0 +1,29 @@
+"""Section 6.1 — metadata space allocation.
+
+Paper numbers: ~6.4 MB (64 KB/cluster) of metadata for Adult and ~11 MB
+(56 KB/cluster) for Amazon Review — i.e. a small fraction of the stored
+data.  The reproduced quantity to check is that ratio, since absolute sizes
+scale with the synthetic dataset size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.metadata_space import format_metadata_space, run_metadata_space
+from .conftest import write_result
+
+
+def test_metadata_space_allocation(benchmark, adult, amazon):
+    points = run_metadata_space([adult, amazon])
+    write_result("metadata_space", format_metadata_space(points))
+
+    for point in points:
+        assert point.metadata_bytes > 0
+        # Metadata must stay a small fraction of the data it indexes.
+        assert point.metadata_fraction < 0.5
+
+    # Benchmark the offline pre-processing step itself (Algorithm 1) on one
+    # provider's clustered table.
+    from repro.storage.metadata import build_metadata
+
+    provider = adult.system.providers[0]
+    benchmark(lambda: build_metadata(provider.clustered).size_bytes())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools lacks the PEP 660 editable-wheel backend (no ``wheel`` package);
+all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

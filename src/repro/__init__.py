@@ -1,0 +1,48 @@
+"""Private Approximate Query Processing over a Horizontal Data Federation.
+
+Reproduction of "Private Approximate Query over Horizontal Data Federation"
+(Laouir & Imine, EDBT 2025).  The public API re-exports the pieces a
+downstream user needs:
+
+* :class:`~repro.core.system.FederatedAQPSystem` — build a federation and
+  answer range queries with end-to-end differential privacy,
+* :class:`~repro.query.model.RangeQuery` / :func:`~repro.query.parser.parse_query`
+  — the query model,
+* the configuration dataclasses (:class:`~repro.config.SystemConfig` etc.),
+* the synthetic dataset and workload generators used by the evaluation.
+"""
+
+from .config import (
+    NetworkConfig,
+    PrivacyConfig,
+    SamplingConfig,
+    SMCConfig,
+    SystemConfig,
+)
+from .core import FederatedAQPSystem, QueryResult
+from .errors import ReproError
+from .query import Aggregation, Interval, RangeQuery, parse_query
+from .storage import ClusteredTable, Dimension, Schema, Table, build_count_tensor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "FederatedAQPSystem",
+    "QueryResult",
+    "RangeQuery",
+    "Interval",
+    "Aggregation",
+    "parse_query",
+    "SystemConfig",
+    "PrivacyConfig",
+    "SamplingConfig",
+    "NetworkConfig",
+    "SMCConfig",
+    "Schema",
+    "Dimension",
+    "Table",
+    "ClusteredTable",
+    "build_count_tensor",
+    "ReproError",
+]

@@ -1,0 +1,23 @@
+"""Learning-based attribute-inference attack (Section 6.6).
+
+Implements the Naive-Bayes-classifier attack of Cormode (2010): an attacker
+issues COUNT/SUM range queries against the protected system, learns the
+conditional probabilities linking quasi-identifier attributes to a sensitive
+attribute, and predicts the sensitive value of every individual.  The runner
+evaluates the attack under the three budget regimes of Table 1 (sequential
+composition, advanced composition, and a coalition of single-query
+attackers).
+"""
+
+from .budgeting import AttackBudgetRegime, per_query_epsilon
+from .nbc import NaiveBayesAttacker, attack_query_count
+from .runner import AttackOutcome, AttackRunner
+
+__all__ = [
+    "NaiveBayesAttacker",
+    "attack_query_count",
+    "AttackBudgetRegime",
+    "per_query_epsilon",
+    "AttackRunner",
+    "AttackOutcome",
+]

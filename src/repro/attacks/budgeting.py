@@ -1,0 +1,62 @@
+"""Per-query attacker budgets under the three composition regimes of Table 1.
+
+The attacker holds a total budget ``(xi, psi)`` and needs ``n`` training
+queries.  Depending on the composition strategy the per-query budget is:
+
+* **sequential** — ``epsilon = xi / n`` and ``delta = psi / n``,
+* **advanced** — ``epsilon = xi / (2 * sqrt(2 n ln(1/delta)))``, the larger
+  allocation the paper derives from advanced composition,
+* **coalition** — ``epsilon = xi`` per query: ``n`` colluding attackers each
+  spend their whole budget on a single query and pool the answers (parallel
+  composition across attackers' budgets, not across data).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..dp.composition import (
+    advanced_composition_epsilon_per_query,
+    sequential_epsilon_per_query,
+)
+from ..errors import AttackError
+
+__all__ = ["AttackBudgetRegime", "per_query_epsilon", "per_query_delta"]
+
+
+class AttackBudgetRegime(enum.Enum):
+    """How the attacker spreads its total budget over the training queries."""
+
+    SEQUENTIAL = "sequential"
+    ADVANCED = "advanced"
+    COALITION = "coalition"
+
+
+def per_query_epsilon(
+    regime: AttackBudgetRegime, total_epsilon: float, n_queries: int, delta: float
+) -> float:
+    """Epsilon available to each training query under ``regime``."""
+    if n_queries < 1:
+        raise AttackError(f"n_queries must be >= 1, got {n_queries}")
+    if total_epsilon <= 0:
+        raise AttackError(f"total_epsilon must be > 0, got {total_epsilon}")
+    if regime is AttackBudgetRegime.SEQUENTIAL:
+        return sequential_epsilon_per_query(total_epsilon, n_queries)
+    if regime is AttackBudgetRegime.ADVANCED:
+        return advanced_composition_epsilon_per_query(total_epsilon, n_queries, delta)
+    if regime is AttackBudgetRegime.COALITION:
+        return total_epsilon
+    raise AttackError(f"unknown regime: {regime!r}")
+
+
+def per_query_delta(
+    regime: AttackBudgetRegime, total_delta: float, n_queries: int
+) -> float:
+    """Delta available to each training query under ``regime``."""
+    if n_queries < 1:
+        raise AttackError(f"n_queries must be >= 1, got {n_queries}")
+    if not 0 < total_delta < 1:
+        raise AttackError(f"total_delta must be in (0, 1), got {total_delta}")
+    if regime is AttackBudgetRegime.COALITION:
+        return total_delta
+    return total_delta / n_queries

@@ -1,0 +1,180 @@
+"""Naive-Bayes-classifier attribute-inference attack (Cormode, 2010).
+
+The attacker wants to predict a sensitive attribute ``SA`` from a set of
+quasi-identifier attributes ``QI``.  It trains a Naive Bayes classifier using
+only aggregate COUNT (or SUM) answers obtained from the protected system:
+
+* one query for the table size ``N``,
+* one query per sensitive value ``y`` for ``count(SA = y)``,
+* one query per ``(y, d, v)`` for ``count(SA = y AND d = v)`` over every
+  quasi-identifier dimension ``d`` and value ``v``,
+
+for a total of ``1 + ||SA|| + ||SA|| * sum_d ||d||`` queries — the
+``nQueries`` formula of Section 6.6.  Prediction follows Bayes' rule:
+``argmax_y P(y) * prod_i P(v_i | y) / P(v_i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import AttackError
+from ..query.model import Aggregation, RangeQuery
+from ..storage.schema import Schema
+from ..storage.table import Table
+
+__all__ = ["attack_query_count", "NaiveBayesAttacker"]
+
+AnswerFunction = Callable[[RangeQuery], float]
+"""Oracle mapping a training query to its (noisy) answer."""
+
+
+def attack_query_count(schema: Schema, sensitive: str, quasi_identifiers: Sequence[str]) -> int:
+    """Number of training queries the attack needs (the paper's ``nQueries``)."""
+    sa_size = schema.dimension(sensitive).domain_size
+    qi_total = sum(schema.dimension(name).domain_size for name in quasi_identifiers)
+    return 1 + sa_size + sa_size * qi_total
+
+
+@dataclass
+class NaiveBayesAttacker:
+    """Trains a Naive Bayes classifier from noisy aggregate answers.
+
+    Parameters
+    ----------
+    schema:
+        Schema of the attacked table.
+    sensitive:
+        Name of the sensitive dimension ``SA``.
+    quasi_identifiers:
+        Names of the quasi-identifier dimensions ``QI``.
+    aggregation:
+        COUNT or SUM — the paper evaluates both.
+    """
+
+    schema: Schema
+    sensitive: str
+    quasi_identifiers: Sequence[str]
+    aggregation: Aggregation = Aggregation.COUNT
+    _total: float = field(init=False, default=0.0)
+    _class_counts: dict[int, float] = field(init=False, default_factory=dict)
+    _joint_counts: dict[tuple[int, str, int], float] = field(init=False, default_factory=dict)
+    _trained: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.schema.dimension(self.sensitive)
+        if not self.quasi_identifiers:
+            raise AttackError("at least one quasi-identifier dimension is required")
+        for name in self.quasi_identifiers:
+            self.schema.dimension(name)
+        if self.sensitive in self.quasi_identifiers:
+            raise AttackError("the sensitive dimension cannot also be a quasi-identifier")
+
+    # -- training ---------------------------------------------------------------
+
+    def training_queries(self) -> list[RangeQuery]:
+        """All training queries, in issue order."""
+        queries: list[RangeQuery] = [self._full_table_query()]
+        sa = self.schema.dimension(self.sensitive)
+        for y in range(sa.low, sa.high + 1):
+            queries.append(RangeQuery(self.aggregation, {self.sensitive: (y, y)}))
+        for y in range(sa.low, sa.high + 1):
+            for name in self.quasi_identifiers:
+                dimension = self.schema.dimension(name)
+                for v in range(dimension.low, dimension.high + 1):
+                    queries.append(
+                        RangeQuery(
+                            self.aggregation,
+                            {self.sensitive: (y, y), name: (v, v)},
+                        )
+                    )
+        return queries
+
+    def num_queries(self) -> int:
+        """``nQueries`` for this attack configuration."""
+        return attack_query_count(self.schema, self.sensitive, self.quasi_identifiers)
+
+    def train(self, answer: AnswerFunction) -> int:
+        """Issue every training query through ``answer`` and fit the model.
+
+        Returns the number of queries issued.  Noisy negative answers are
+        clamped at zero, as a real attacker would do.
+        """
+        sa = self.schema.dimension(self.sensitive)
+        issued = 0
+
+        self._total = max(0.0, float(answer(self._full_table_query())))
+        issued += 1
+
+        self._class_counts = {}
+        for y in range(sa.low, sa.high + 1):
+            value = float(answer(RangeQuery(self.aggregation, {self.sensitive: (y, y)})))
+            self._class_counts[y] = max(0.0, value)
+            issued += 1
+
+        self._joint_counts = {}
+        for y in range(sa.low, sa.high + 1):
+            for name in self.quasi_identifiers:
+                dimension = self.schema.dimension(name)
+                for v in range(dimension.low, dimension.high + 1):
+                    query = RangeQuery(
+                        self.aggregation, {self.sensitive: (y, y), name: (v, v)}
+                    )
+                    self._joint_counts[(y, name, v)] = max(0.0, float(answer(query)))
+                    issued += 1
+
+        self._trained = True
+        return issued
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, qi_values: Mapping[str, int]) -> int:
+        """Predict the sensitive value of an individual from its QI values."""
+        if not self._trained:
+            raise AttackError("the attacker must be trained before predicting")
+        sa = self.schema.dimension(self.sensitive)
+        total = max(self._total, 1e-9)
+        best_value = sa.low
+        best_score = -np.inf
+        for y in range(sa.low, sa.high + 1):
+            class_count = max(self._class_counts.get(y, 0.0), 1e-9)
+            score = np.log(class_count / total)
+            for name in self.quasi_identifiers:
+                v = int(qi_values[name])
+                joint = max(self._joint_counts.get((y, name, v), 0.0), 1e-9)
+                marginal = max(
+                    sum(
+                        self._joint_counts.get((y2, name, v), 0.0)
+                        for y2 in range(sa.low, sa.high + 1)
+                    ),
+                    1e-9,
+                )
+                # P(v | y) / P(v) = (joint / class_count) / (marginal / total)
+                score += np.log(joint / class_count) - np.log(marginal / total)
+            if score > best_score:
+                best_score = score
+                best_value = y
+        return best_value
+
+    def accuracy(self, table: Table, *, max_rows: int | None = None) -> float:
+        """Fraction of rows whose sensitive value the attacker predicts right."""
+        if table.num_rows == 0:
+            raise AttackError("cannot evaluate accuracy on an empty table")
+        limit = table.num_rows if max_rows is None else min(max_rows, table.num_rows)
+        correct = 0
+        sensitive_column = table.column(self.sensitive)
+        qi_columns = {name: table.column(name) for name in self.quasi_identifiers}
+        for index in range(limit):
+            qi_values = {name: int(column[index]) for name, column in qi_columns.items()}
+            if self.predict(qi_values) == int(sensitive_column[index]):
+                correct += 1
+        return correct / limit
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _full_table_query(self) -> RangeQuery:
+        sa = self.schema.dimension(self.sensitive)
+        return RangeQuery(self.aggregation, {self.sensitive: (sa.low, sa.high)})

@@ -1,0 +1,246 @@
+"""Configuration dataclasses shared across the library.
+
+The paper exposes a small number of system-level knobs:
+
+* the privacy budget ``(epsilon, delta)`` per query and its split across the
+  three protocol phases (``hp1 + hp2 + hp3 = 1`` — Section 5.4),
+* the sampling rate ``sr`` and the per-provider approximation threshold
+  ``N_min`` (Section 5.2),
+* the common maximum cluster size ``S`` shared by all providers (Section 7),
+* the simulated network / SMC cost model (Section 6.1 hardware).
+
+Each knob lives in a dedicated frozen dataclass validated at construction so
+invalid settings fail fast with a :class:`~repro.errors.ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "PrivacyConfig",
+    "SamplingConfig",
+    "NetworkConfig",
+    "SMCConfig",
+    "SystemConfig",
+    "DEFAULT_PRIVACY",
+    "DEFAULT_SAMPLING",
+    "DEFAULT_NETWORK",
+    "DEFAULT_SMC",
+    "DEFAULT_SYSTEM",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class PrivacyConfig:
+    """Per-query privacy budget and its split across protocol phases.
+
+    Attributes
+    ----------
+    epsilon:
+        Total epsilon consumed by one query.
+    delta:
+        Failure probability of the smooth-sensitivity release.
+    hp_allocation:
+        Fraction of ``epsilon`` spent publishing the allocation summaries
+        (``N^Q`` and ``Avg(R̂)``) — the paper's ``hp1`` (default 0.1).
+    hp_sampling:
+        Fraction spent by the Exponential Mechanism cluster sampler — ``hp2``
+        (default 0.1).
+    hp_estimation:
+        Fraction spent releasing the final estimate — ``hp3`` (default 0.8).
+    """
+
+    epsilon: float = 1.0
+    delta: float = 1e-3
+    hp_allocation: float = 0.1
+    hp_sampling: float = 0.1
+    hp_estimation: float = 0.8
+
+    def __post_init__(self) -> None:
+        _require(self.epsilon > 0, f"epsilon must be > 0, got {self.epsilon}")
+        _require(0 < self.delta < 1, f"delta must be in (0, 1), got {self.delta}")
+        for name in ("hp_allocation", "hp_sampling", "hp_estimation"):
+            value = getattr(self, name)
+            _require(0 < value < 1, f"{name} must be in (0, 1), got {value}")
+        total = self.hp_allocation + self.hp_sampling + self.hp_estimation
+        _require(
+            math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9),
+            f"hp_allocation + hp_sampling + hp_estimation must equal 1, got {total}",
+        )
+
+    @property
+    def epsilon_allocation(self) -> float:
+        """Budget ``eps_O`` spent on the allocation-phase summaries."""
+        return self.hp_allocation * self.epsilon
+
+    @property
+    def epsilon_sampling(self) -> float:
+        """Budget ``eps_S`` spent by the Exponential Mechanism sampler."""
+        return self.hp_sampling * self.epsilon
+
+    @property
+    def epsilon_estimation(self) -> float:
+        """Budget ``eps_E`` spent releasing the final estimate."""
+        return self.hp_estimation * self.epsilon
+
+    def with_epsilon(self, epsilon: float) -> "PrivacyConfig":
+        """Return a copy with a different total epsilon (same split)."""
+        return replace(self, epsilon=epsilon)
+
+    def split(self) -> Mapping[str, float]:
+        """Return the per-phase epsilon budgets as a mapping."""
+        return {
+            "allocation": self.epsilon_allocation,
+            "sampling": self.epsilon_sampling,
+            "estimation": self.epsilon_estimation,
+        }
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Sampling-rate and approximation-threshold settings.
+
+    Attributes
+    ----------
+    sampling_rate:
+        Fraction ``sr`` of the query-covering clusters processed in total
+        across the federation (strictly between 0 and 1).
+    min_clusters_for_approximation:
+        The paper's ``N_min``: a provider answers exactly (no sampling) when
+        fewer than this many of its clusters cover the query.
+    min_allocation:
+        Lower bound on the per-provider sample size when it does approximate
+        (the paper constrains ``s_i ∈ ]1, N^Q_i[``; we use an integer floor).
+    """
+
+    sampling_rate: float = 0.1
+    min_clusters_for_approximation: int = 4
+    min_allocation: int = 1
+
+    def __post_init__(self) -> None:
+        _require(
+            0 < self.sampling_rate < 1,
+            f"sampling_rate must be in (0, 1), got {self.sampling_rate}",
+        )
+        _require(
+            self.min_clusters_for_approximation >= 1,
+            "min_clusters_for_approximation must be >= 1, got "
+            f"{self.min_clusters_for_approximation}",
+        )
+        _require(
+            self.min_allocation >= 1,
+            f"min_allocation must be >= 1, got {self.min_allocation}",
+        )
+
+    def with_rate(self, sampling_rate: float) -> "SamplingConfig":
+        """Return a copy with a different sampling rate."""
+        return replace(self, sampling_rate=sampling_rate)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Cost model for the simulated federation network.
+
+    Costs are expressed in seconds and are charged by the simulated network
+    for every message: ``latency + payload_bytes / bandwidth``.
+    """
+
+    latency_seconds: float = 1e-3
+    bandwidth_bytes_per_second: float = 125e6  # 1 Gbps
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        _require(
+            self.latency_seconds >= 0,
+            f"latency_seconds must be >= 0, got {self.latency_seconds}",
+        )
+        _require(
+            self.bandwidth_bytes_per_second > 0,
+            "bandwidth_bytes_per_second must be > 0, got "
+            f"{self.bandwidth_bytes_per_second}",
+        )
+
+    def transfer_cost(self, payload_bytes: int) -> float:
+        """Simulated cost in seconds of sending ``payload_bytes`` once."""
+        if not self.enabled:
+            return 0.0
+        return self.latency_seconds + payload_bytes / self.bandwidth_bytes_per_second
+
+
+@dataclass(frozen=True)
+class SMCConfig:
+    """Cost model for the simulated secure multiparty computation layer.
+
+    The per-element costs are deliberately large relative to plain messages:
+    secret-sharing one value requires one share per party plus interactive
+    rounds, which is what makes row-sharing under SMC so expensive in the
+    paper's Figure 1.
+    """
+
+    share_cost_seconds: float = 2e-4
+    reconstruct_cost_seconds: float = 2e-4
+    secure_addition_cost_seconds: float = 1e-6
+    secure_comparison_cost_seconds: float = 1e-3
+    bytes_per_share: int = 32
+    field_bits: int = 61
+    fixed_point_fraction_bits: int = 20
+
+    def __post_init__(self) -> None:
+        for name in (
+            "share_cost_seconds",
+            "reconstruct_cost_seconds",
+            "secure_addition_cost_seconds",
+            "secure_comparison_cost_seconds",
+        ):
+            _require(getattr(self, name) >= 0, f"{name} must be >= 0")
+        _require(self.bytes_per_share > 0, "bytes_per_share must be > 0")
+        _require(8 <= self.field_bits <= 63, "field_bits must be in [8, 63]")
+        _require(
+            0 <= self.fixed_point_fraction_bits < self.field_bits,
+            "fixed_point_fraction_bits must be in [0, field_bits)",
+        )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration of the federated AQP system."""
+
+    cluster_size: int = 1000
+    num_providers: int = 4
+    privacy: PrivacyConfig = field(default_factory=PrivacyConfig)
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    smc: SMCConfig = field(default_factory=SMCConfig)
+    use_smc_for_result: bool = False
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.cluster_size >= 1, f"cluster_size must be >= 1, got {self.cluster_size}")
+        _require(self.num_providers >= 1, f"num_providers must be >= 1, got {self.num_providers}")
+        if self.seed is not None:
+            _require(self.seed >= 0, f"seed must be >= 0, got {self.seed}")
+
+    def with_privacy(self, privacy: PrivacyConfig) -> "SystemConfig":
+        """Return a copy with a different privacy configuration."""
+        return replace(self, privacy=privacy)
+
+    def with_sampling(self, sampling: SamplingConfig) -> "SystemConfig":
+        """Return a copy with a different sampling configuration."""
+        return replace(self, sampling=sampling)
+
+
+DEFAULT_PRIVACY = PrivacyConfig()
+DEFAULT_SAMPLING = SamplingConfig()
+DEFAULT_NETWORK = NetworkConfig()
+DEFAULT_SMC = SMCConfig()
+DEFAULT_SYSTEM = SystemConfig()

@@ -1,0 +1,110 @@
+"""Per-query privacy-budget split and end-user accounting (Section 5.4).
+
+Each query consumes a budget ``(epsilon, delta)`` split across the three
+protocol phases by the hyper-parameters ``hp1 + hp2 + hp3 = 1``:
+
+* ``eps_O = hp1 * epsilon`` — Laplace release of ``N^Q`` and ``Avg(R̂)``,
+* ``eps_S = hp2 * epsilon`` — Exponential-Mechanism cluster sampling,
+* ``eps_E = hp3 * epsilon`` — Laplace release of the final estimate (the only
+  step carrying the ``delta`` of the smooth-sensitivity framework).
+
+Because providers hold disjoint partitions, the per-provider sequential
+composition ``eps_O + eps_S + eps_E`` composes in parallel across providers,
+so the whole query costs exactly ``(epsilon, delta)`` to the end user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PrivacyConfig
+from ..dp.accountant import PrivacyAccountant
+from ..dp.composition import PrivacySpend, parallel_composition, sequential_composition
+from ..errors import PrivacyError
+
+__all__ = ["QueryBudget", "split_query_budget", "query_spend", "EndUserBudget"]
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """The per-phase budgets of one query."""
+
+    epsilon_allocation: float
+    epsilon_sampling: float
+    epsilon_estimation: float
+    delta: float
+
+    @property
+    def epsilon_total(self) -> float:
+        """Total epsilon of the query (sequential composition of the phases)."""
+        return self.epsilon_allocation + self.epsilon_sampling + self.epsilon_estimation
+
+    def as_spend(self) -> PrivacySpend:
+        """The query's total spend as a :class:`PrivacySpend`."""
+        return PrivacySpend(self.epsilon_total, self.delta)
+
+
+def split_query_budget(privacy: PrivacyConfig) -> QueryBudget:
+    """Split a :class:`PrivacyConfig` into the three per-phase budgets."""
+    return QueryBudget(
+        epsilon_allocation=privacy.epsilon_allocation,
+        epsilon_sampling=privacy.epsilon_sampling,
+        epsilon_estimation=privacy.epsilon_estimation,
+        delta=privacy.delta,
+    )
+
+
+def query_spend(budget: QueryBudget, num_providers: int) -> PrivacySpend:
+    """Total ``(epsilon, delta)`` consumed by one query across the federation.
+
+    Each provider sequentially spends the three phase budgets on its own
+    partition; across providers the spends compose in parallel (disjoint
+    data), so the end-user charge equals a single provider's sequential total.
+    """
+    if num_providers < 1:
+        raise PrivacyError(f"num_providers must be >= 1, got {num_providers}")
+    per_provider = sequential_composition(
+        [
+            PrivacySpend(budget.epsilon_allocation, 0.0),
+            PrivacySpend(budget.epsilon_sampling, 0.0),
+            PrivacySpend(budget.epsilon_estimation, budget.delta),
+        ]
+    )
+    return parallel_composition([per_provider] * num_providers)
+
+
+@dataclass
+class EndUserBudget:
+    """The end user's total budget ``(xi, psi)`` with query-level charging."""
+
+    accountant: PrivacyAccountant
+
+    @classmethod
+    def create(cls, xi: float, psi: float) -> "EndUserBudget":
+        """Create a budget with total epsilon ``xi`` and total delta ``psi``."""
+        return cls(PrivacyAccountant(total_epsilon=xi, total_delta=psi))
+
+    def charge_query(self, budget: QueryBudget, num_providers: int, *, label: str = "query") -> PrivacySpend:
+        """Charge one query's spend, raising when the budget is exhausted."""
+        spend = query_spend(budget, num_providers)
+        return self.accountant.charge(spend.epsilon, spend.delta, label=label)
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """Epsilon still available to the end user."""
+        return self.accountant.remaining_epsilon
+
+    @property
+    def remaining_delta(self) -> float:
+        """Delta still available to the end user."""
+        return self.accountant.remaining_delta
+
+    def queries_remaining(self, budget: QueryBudget, num_providers: int) -> int:
+        """How many more queries of this size the user can still ask."""
+        spend = query_spend(budget, num_providers)
+        if spend.epsilon <= 0:
+            return 0
+        by_epsilon = int(self.remaining_epsilon // spend.epsilon)
+        if spend.delta <= 0:
+            return by_epsilon
+        return min(by_epsilon, int(self.remaining_delta // spend.delta))

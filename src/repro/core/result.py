@@ -1,0 +1,113 @@
+"""Query results and execution traces.
+
+A :class:`QueryResult` carries the DP answer plus everything needed by the
+evaluation harness: the exact answer (when the caller asked for it), the
+per-provider reports, timing per phase, work counters (clusters/rows
+scanned vs. available), message/communication accounting and the noise that
+was injected.  Keeping the trace attached to the result is what lets the
+benchmark harness regenerate every figure from a single protocol run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..query.model import RangeQuery
+
+__all__ = ["ProviderReport", "ExecutionTrace", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class ProviderReport:
+    """What one data provider contributed to a query."""
+
+    provider_id: str
+    covering_clusters: int
+    allocation: int
+    sampled_clusters: int
+    approximated: bool
+    local_estimate: float
+    local_noise: float
+    smooth_sensitivity: float
+    rows_scanned: int
+    rows_available: int
+    exact_local_answer: int | None = None
+
+    @property
+    def released_value(self) -> float:
+        """The value the provider actually sent (estimate + its own noise)."""
+        return self.local_estimate + self.local_noise
+
+
+@dataclass
+class ExecutionTrace:
+    """Work, timing, and communication accounting for one query."""
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    simulated_network_seconds: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    clusters_scanned: int = 0
+    clusters_available: int = 0
+    rows_scanned: int = 0
+    rows_available: int = 0
+    smc_operations: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time across phases plus simulated network time."""
+        return sum(self.phase_seconds.values()) + self.simulated_network_seconds
+
+    @property
+    def work_fraction(self) -> float:
+        """Fraction of available rows actually scanned (deterministic work)."""
+        if self.rows_available == 0:
+            return 0.0
+        return self.rows_scanned / self.rows_available
+
+
+@dataclass
+class QueryResult:
+    """Final answer of one federated query with its full trace."""
+
+    query: RangeQuery
+    value: float
+    epsilon_spent: float
+    delta_spent: float
+    used_smc: bool
+    provider_reports: tuple[ProviderReport, ...]
+    trace: ExecutionTrace
+    exact_value: int | None = None
+    noise_injected: float = 0.0
+
+    @property
+    def relative_error(self) -> float | None:
+        """``|exact - estimate| / exact`` when the exact answer is known."""
+        if self.exact_value is None:
+            return None
+        if self.exact_value == 0:
+            return None if self.value == 0 else float("inf")
+        return abs(self.exact_value - self.value) / abs(self.exact_value)
+
+    @property
+    def absolute_error(self) -> float | None:
+        """``|exact - estimate|`` when the exact answer is known."""
+        if self.exact_value is None:
+            return None
+        return abs(self.exact_value - self.value)
+
+    def phase_breakdown(self) -> Mapping[str, float]:
+        """Per-phase wall-clock timings."""
+        return dict(self.trace.phase_seconds)
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used by the examples)."""
+        parts = [f"answer={self.value:.1f}", f"eps={self.epsilon_spent:.3f}"]
+        if self.exact_value is not None:
+            parts.append(f"exact={self.exact_value}")
+            error = self.relative_error
+            if error is not None and error != float("inf"):
+                parts.append(f"rel_err={100 * error:.2f}%")
+        parts.append(f"clusters={self.trace.clusters_scanned}/{self.trace.clusters_available}")
+        return " ".join(parts)

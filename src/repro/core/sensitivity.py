@@ -1,0 +1,188 @@
+"""Paper-specific sensitivity analysis (Theorems 5.1-5.4, Appendices A & B).
+
+The protocol perturbs three kinds of values and needs a sensitivity for each:
+
+* the allocation-phase summaries ``N^Q`` (sensitivity 1) and ``Avg(R̂)``
+  (Theorem 5.1: ``max(ΔR / N_min, 1 / (N_min + 1))`` with
+  ``ΔR = 1 - (1 - 1/S)^{|D^Q|}``),
+* the per-cluster sampling probability used as the Exponential-Mechanism
+  score (Theorem 5.2: ``Δp = 1 / (N_min (N_min + 1))``),
+* the Hansen-Hurwitz estimator, whose global sensitivity is unbounded
+  (Theorem 5.3) and is therefore released with *smooth* sensitivity: for each
+  sampled cluster the dominant neighbouring scenario (Theorem 5.4) gives a
+  local sensitivity growing linearly in the neighbouring distance ``k``
+  (scenario 1: ``k * Q(C) * ΔR / R``; scenario 4: ``k / p``), and the smooth
+  upper bound is ``max_k e^{-beta k} LS^k`` (Equation 10).  The per-cluster
+  smooth sensitivities are averaged (Equation 9) to obtain the estimator's
+  noise scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..dp.sensitivity import smooth_sensitivity
+from ..errors import SensitivityError
+
+__all__ = [
+    "delta_r",
+    "avg_proportion_sensitivity",
+    "sampling_probability_sensitivity",
+    "dominant_scenario",
+    "local_sensitivity_at_k",
+    "ClusterSensitivityInputs",
+    "estimator_smooth_sensitivity",
+    "estimator_noise_scale",
+]
+
+
+def delta_r(cluster_size: int, num_query_dimensions: int) -> float:
+    """``ΔR = 1 - (1 - 1/S)^{|D^Q|}`` — sensitivity of one cluster proportion.
+
+    ``S`` is the shared nominal cluster size and ``|D^Q|`` the number of
+    dimensions constrained by the query (Appendix A.1, Equation 12).
+    """
+    if cluster_size < 1:
+        raise SensitivityError(f"cluster_size must be >= 1, got {cluster_size}")
+    if num_query_dimensions < 1:
+        raise SensitivityError(
+            f"num_query_dimensions must be >= 1, got {num_query_dimensions}"
+        )
+    return 1.0 - (1.0 - 1.0 / cluster_size) ** num_query_dimensions
+
+
+def avg_proportion_sensitivity(
+    cluster_size: int, num_query_dimensions: int, n_min: int
+) -> float:
+    """``ΔAvg(R̂) = max(ΔR / N_min, 1 / (N_min + 1))`` — Theorem 5.1."""
+    if n_min < 1:
+        raise SensitivityError(f"n_min must be >= 1, got {n_min}")
+    dr = delta_r(cluster_size, num_query_dimensions)
+    return max(dr / n_min, 1.0 / (n_min + 1))
+
+
+def sampling_probability_sensitivity(n_min: int) -> float:
+    """``Δp = 1 / (N_min (N_min + 1))`` — Theorem 5.2."""
+    if n_min < 1:
+        raise SensitivityError(f"n_min must be >= 1, got {n_min}")
+    return 1.0 / (n_min * (n_min + 1))
+
+
+def dominant_scenario(
+    cluster_value: float, sum_proportions: float, delta_r_value: float
+) -> int:
+    """Pick the dominant neighbouring scenario for a cluster — Theorem 5.4.
+
+    Returns ``1`` when scenario 1 (another cluster gains a matching row,
+    shrinking this cluster's probability) dominates, which happens iff
+    ``Q(C) > sum(R̂) / ΔR``; otherwise returns ``4`` (the cluster absorbs the
+    new individual into an existing tensor row, adding ``1/p``).
+    """
+    if delta_r_value <= 0:
+        raise SensitivityError(f"delta_r_value must be > 0, got {delta_r_value}")
+    if sum_proportions < 0:
+        raise SensitivityError(f"sum_proportions must be >= 0, got {sum_proportions}")
+    if cluster_value < 0:
+        raise SensitivityError(f"cluster_value must be >= 0, got {cluster_value}")
+    return 1 if cluster_value > sum_proportions / delta_r_value else 4
+
+
+def local_sensitivity_at_k(
+    k: int,
+    scenario: int,
+    *,
+    cluster_value: float,
+    proportion: float,
+    probability: float,
+    delta_r_value: float,
+) -> float:
+    """Local sensitivity of the per-cluster estimator term at distance ``k``.
+
+    * Scenario 1: ``LS^k = k * Q(C) * ΔR / R``
+    * Scenario 4: ``LS^k = k / p``
+    """
+    if k < 0:
+        raise SensitivityError(f"k must be >= 0, got {k}")
+    if scenario == 1:
+        if proportion <= 0:
+            raise SensitivityError(f"proportion must be > 0 for scenario 1, got {proportion}")
+        return k * cluster_value * delta_r_value / proportion
+    if scenario == 4:
+        if probability <= 0:
+            raise SensitivityError(f"probability must be > 0 for scenario 4, got {probability}")
+        return k / probability
+    raise SensitivityError(f"scenario must be 1 or 4, got {scenario}")
+
+
+@dataclass(frozen=True)
+class ClusterSensitivityInputs:
+    """Inputs needed to compute one sampled cluster's smooth sensitivity.
+
+    Attributes
+    ----------
+    cluster_value:
+        Exact per-cluster query result ``Q(C)``.
+    proportion:
+        The cluster's approximate proportion ``R̂`` (metadata-based).
+    probability:
+        The cluster's pps sampling probability ``p``.
+    """
+
+    cluster_value: float
+    proportion: float
+    probability: float
+
+
+def estimator_smooth_sensitivity(
+    inputs: ClusterSensitivityInputs,
+    *,
+    sum_proportions: float,
+    delta_r_value: float,
+    epsilon: float,
+    delta: float,
+) -> float:
+    """Smooth sensitivity ``S_LS_E`` of one sampled cluster's estimator term.
+
+    Chooses the dominant scenario (Theorem 5.4), then maximises
+    ``e^{-beta k} LS^k`` over ``k`` using the Appendix B.3 bound.  The
+    proportion and probability are floored at tiny positive values so that a
+    cluster with an approximate proportion of zero (possible, since the
+    metadata-based ``R̂`` is an approximation) still gets a finite — albeit
+    large — sensitivity rather than crashing the release.
+    """
+    proportion = max(inputs.proportion, 1e-12)
+    probability = max(inputs.probability, 1e-12)
+    scenario = dominant_scenario(inputs.cluster_value, sum_proportions, delta_r_value)
+    result = smooth_sensitivity(
+        lambda k: local_sensitivity_at_k(
+            k,
+            scenario,
+            cluster_value=inputs.cluster_value,
+            proportion=proportion,
+            probability=probability,
+            delta_r_value=delta_r_value,
+        ),
+        epsilon,
+        delta,
+    )
+    return result.value
+
+
+def estimator_noise_scale(
+    per_cluster_smooth: Sequence[float], epsilon: float
+) -> float:
+    """Laplace scale for the final estimate (Algorithm 3, line 10).
+
+    The estimator averages the per-cluster terms, so its smooth sensitivity is
+    the average of the per-cluster smooth sensitivities (Equation 9), and the
+    smooth-sensitivity framework injects ``Lap(2 * S_LS / epsilon)``.
+    """
+    values = list(per_cluster_smooth)
+    if not values:
+        raise SensitivityError("per_cluster_smooth must be non-empty")
+    if epsilon <= 0 or not math.isfinite(epsilon):
+        raise SensitivityError(f"epsilon must be a finite positive number, got {epsilon}")
+    average = sum(values) / len(values)
+    return 2.0 * average / epsilon

@@ -1,0 +1,227 @@
+"""Public facade: build a federation from tables and answer queries end to end.
+
+:class:`FederatedAQPSystem` is the entry point a downstream user works with:
+
+>>> system = FederatedAQPSystem.from_partitions(partitions, config=SystemConfig())
+>>> result = system.execute(RangeQuery.count({"age": (20, 40)}), sampling_rate=0.1)
+>>> result.value, result.relative_error
+
+It owns the providers, the aggregator, the end user's total privacy budget
+``(xi, psi)``, and the exact (non-private) baseline used for relative error
+and speed-up measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import SystemConfig
+from ..errors import ProtocolError
+from ..federation.aggregator import Aggregator
+from ..federation.network import SimulatedNetwork
+from ..federation.partitioning import partition_equal
+from ..federation.provider import DataProvider
+from ..query.model import RangeQuery
+from ..query.parser import parse_query
+from ..storage.table import Table
+from ..utils.rng import RngLike, derive_rng
+from ..utils.timing import Timer
+from .accounting import EndUserBudget, QueryBudget, split_query_budget
+from .result import QueryResult
+
+__all__ = ["FederatedAQPSystem", "BaselineExecution"]
+
+
+@dataclass(frozen=True)
+class BaselineExecution:
+    """Exact plain-text execution across the federation (the baseline)."""
+
+    value: int
+    seconds: float
+    clusters_scanned: int
+    rows_scanned: int
+
+
+@dataclass
+class FederatedAQPSystem:
+    """A ready-to-query private federated AQP deployment."""
+
+    providers: Sequence[DataProvider]
+    config: SystemConfig
+    end_user_budget: EndUserBudget | None = None
+    rng: RngLike = None
+    aggregator: Aggregator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.providers:
+            raise ProtocolError("a system needs at least one provider")
+        network = SimulatedNetwork(config=self.config.network)
+        self.aggregator = Aggregator(
+            providers=list(self.providers),
+            config=self.config,
+            network=network,
+            rng=derive_rng(self.rng if self.rng is not None else self.config.seed, "aggregator"),
+        )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_partitions(
+        cls,
+        partitions: Sequence[Table],
+        *,
+        config: SystemConfig | None = None,
+        n_min: int | None = None,
+        total_epsilon: float | None = None,
+        total_delta: float = 1.0,
+        clustering_policy: str = "sequential",
+        sort_by: str | None = None,
+    ) -> "FederatedAQPSystem":
+        """Build a system with one provider per partition table."""
+        cfg = config or SystemConfig()
+        threshold = cfg.sampling.min_clusters_for_approximation if n_min is None else n_min
+        providers = [
+            DataProvider(
+                provider_id=f"provider-{index}",
+                table=partition,
+                cluster_size=cfg.cluster_size,
+                n_min=threshold,
+                clustering_policy=clustering_policy,
+                sort_by=sort_by,
+                rng=derive_rng(cfg.seed, "provider", index),
+            )
+            for index, partition in enumerate(partitions)
+        ]
+        budget = None
+        if total_epsilon is not None:
+            budget = EndUserBudget.create(total_epsilon, total_delta)
+        return cls(providers=providers, config=cfg, end_user_budget=budget, rng=cfg.seed)
+
+    @classmethod
+    def from_table(
+        cls,
+        table: Table,
+        *,
+        config: SystemConfig | None = None,
+        **kwargs,
+    ) -> "FederatedAQPSystem":
+        """Horizontally partition ``table`` equally and build a system."""
+        cfg = config or SystemConfig()
+        partitions = partition_equal(
+            table, cfg.num_providers, rng=derive_rng(cfg.seed, "partition")
+        )
+        return cls.from_partitions(partitions, config=cfg, **kwargs)
+
+    # -- query execution -------------------------------------------------------
+
+    def execute(
+        self,
+        query: RangeQuery | str,
+        *,
+        sampling_rate: float | None = None,
+        epsilon: float | None = None,
+        use_smc: bool | None = None,
+        compute_exact: bool = True,
+    ) -> QueryResult:
+        """Answer ``query`` with the private approximate protocol.
+
+        Parameters
+        ----------
+        query:
+            A :class:`RangeQuery` or SQL text parsable by
+            :func:`repro.query.parse_query`.
+        sampling_rate:
+            Override of the configured sampling rate ``sr``.
+        epsilon:
+            Override of the configured per-query epsilon (the phase split is
+            preserved).
+        use_smc:
+            Override of the configured result-combination path.
+        compute_exact:
+            Also run the exact baseline so the result carries the relative
+            error and the speed-up denominator.  Disable for pure-performance
+            runs on large data.
+        """
+        range_query = self._coerce_query(query)
+        privacy = self.config.privacy if epsilon is None else self.config.privacy.with_epsilon(epsilon)
+        budget = split_query_budget(privacy)
+        if self.end_user_budget is not None:
+            self.end_user_budget.charge_query(
+                budget, len(self.providers), label=range_query.to_sql()
+            )
+
+        answer = self.aggregator.execute_query(
+            range_query,
+            budget,
+            sampling_rate=sampling_rate,
+            use_smc=use_smc,
+        )
+        exact_value: int | None = None
+        if compute_exact:
+            exact_value = self.exact_baseline(range_query).value
+
+        return QueryResult(
+            query=range_query,
+            value=answer.value,
+            epsilon_spent=budget.epsilon_total,
+            delta_spent=budget.delta,
+            used_smc=answer.used_smc,
+            provider_reports=answer.provider_reports,
+            trace=answer.trace,
+            exact_value=exact_value,
+            noise_injected=answer.noise_injected,
+        )
+
+    def exact_baseline(self, query: RangeQuery | str) -> BaselineExecution:
+        """Plain-text exact execution (the paper's "normal computation")."""
+        range_query = self._coerce_query(query)
+        with Timer() as timer:
+            value = 0
+            clusters = 0
+            rows = 0
+            for provider in self.providers:
+                execution = provider.exact_answer(range_query)
+                value += execution.value
+                clusters += execution.clusters_scanned
+                rows += execution.rows_scanned
+        return BaselineExecution(
+            value=value, seconds=timer.elapsed, clusters_scanned=clusters, rows_scanned=rows
+        )
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    @property
+    def num_providers(self) -> int:
+        """Number of providers in the federation."""
+        return len(self.providers)
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of stored rows across providers."""
+        return sum(provider.num_rows for provider in self.providers)
+
+    @property
+    def total_clusters(self) -> int:
+        """Total number of clusters across providers."""
+        return sum(provider.num_clusters for provider in self.providers)
+
+    def metadata_size_bytes(self) -> int:
+        """Total metadata footprint across providers (Section 6.1)."""
+        return sum(provider.metadata_size_bytes() for provider in self.providers)
+
+    def remaining_budget(self) -> tuple[float, float] | None:
+        """The end user's remaining ``(epsilon, delta)``, if a budget is set."""
+        if self.end_user_budget is None:
+            return None
+        return (
+            self.end_user_budget.remaining_epsilon,
+            self.end_user_budget.remaining_delta,
+        )
+
+    def _coerce_query(self, query: RangeQuery | str) -> RangeQuery:
+        if isinstance(query, RangeQuery):
+            return query
+        parsed, _table = parse_query(query)
+        schema = self.providers[0].clustered.schema
+        return parsed.clipped_to(schema)

@@ -1,0 +1,23 @@
+"""Synthetic dataset generators used by the evaluation.
+
+The paper evaluates on a synthetically scaled Adult table and on the Amazon
+Review table with added synthetic dimensions.  Neither raw dataset ships with
+this repository (no network access, and the Amazon table is ~120 GB), so the
+generators here reproduce their *shape*: schema, discrete ordered domains,
+skewed value distributions, and the count-tensor construction — at a
+configurable row count.  See DESIGN.md, "Substitutions".
+"""
+
+from .adult import AdultSyntheticGenerator, ADULT_TENSOR_DIMENSIONS
+from .amazon import AmazonReviewSyntheticGenerator, AMAZON_TENSOR_DIMENSIONS
+from .distributions import skewed_integers, zipf_integers, mixture_integers
+
+__all__ = [
+    "AdultSyntheticGenerator",
+    "AmazonReviewSyntheticGenerator",
+    "ADULT_TENSOR_DIMENSIONS",
+    "AMAZON_TENSOR_DIMENSIONS",
+    "skewed_integers",
+    "zipf_integers",
+    "mixture_integers",
+]

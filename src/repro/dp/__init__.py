@@ -1,0 +1,52 @@
+"""Differential-privacy substrate.
+
+This package implements, from scratch, every DP primitive the paper relies
+on: the Laplace and Exponential mechanisms (Definitions 3.4 and 3.5), the
+global / local / smooth sensitivity framework (Definitions 3.3 and 3.6-3.8),
+the composition theorems (Theorems 3.1-3.3 plus the advanced composition used
+by the attack analysis in Section 6.6), and a ledger-style privacy
+accountant for the per-user total budget ``(xi, psi)``.
+"""
+
+from .accountant import BudgetLedgerEntry, PrivacyAccountant
+from .composition import (
+    PrivacySpend,
+    advanced_composition,
+    advanced_composition_epsilon_per_query,
+    parallel_composition,
+    sequential_composition,
+    sequential_epsilon_per_query,
+)
+from .mechanisms import (
+    ExponentialMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    laplace_noise_scale,
+)
+from .sensitivity import (
+    SmoothSensitivityResult,
+    local_sensitivity_at_distance,
+    smooth_sensitivity,
+    smooth_sensitivity_beta,
+    smooth_sensitivity_from_series,
+)
+
+__all__ = [
+    "PrivacyAccountant",
+    "BudgetLedgerEntry",
+    "PrivacySpend",
+    "sequential_composition",
+    "parallel_composition",
+    "advanced_composition",
+    "sequential_epsilon_per_query",
+    "advanced_composition_epsilon_per_query",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "ExponentialMechanism",
+    "laplace_noise_scale",
+    "SmoothSensitivityResult",
+    "smooth_sensitivity",
+    "smooth_sensitivity_beta",
+    "smooth_sensitivity_from_series",
+    "local_sensitivity_at_distance",
+]

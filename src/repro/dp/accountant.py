@@ -1,0 +1,108 @@
+"""Ledger-style privacy accountant.
+
+The paper's end user holds a total budget ``(xi, psi)`` and every answered
+query consumes ``(epsilon, delta)`` under sequential composition
+(Section 5.4).  :class:`PrivacyAccountant` tracks that consumption, refuses
+charges that would overdraw the budget, and keeps an auditable ledger of who
+spent what and why — the same role OpenDP-style "odometers" play.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import BudgetExhaustedError, PrivacyError
+from .composition import PrivacySpend, sequential_composition
+
+__all__ = ["BudgetLedgerEntry", "PrivacyAccountant"]
+
+
+@dataclass(frozen=True)
+class BudgetLedgerEntry:
+    """One recorded charge against the budget."""
+
+    label: str
+    spend: PrivacySpend
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks cumulative ``(epsilon, delta)`` consumption against a budget.
+
+    Parameters
+    ----------
+    total_epsilon, total_delta:
+        The end user's total budget ``(xi, psi)``.  ``float('inf')`` epsilon
+        creates an unlimited accountant (useful for non-private baselines).
+    """
+
+    total_epsilon: float
+    total_delta: float = 1.0
+    _ledger: list[BudgetLedgerEntry] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon < 0:
+            raise PrivacyError(f"total_epsilon must be >= 0, got {self.total_epsilon}")
+        if not 0 <= self.total_delta <= 1:
+            raise PrivacyError(f"total_delta must be in [0, 1], got {self.total_delta}")
+
+    @property
+    def budget(self) -> PrivacySpend:
+        """The total budget as a :class:`PrivacySpend`."""
+        delta = self.total_delta
+        epsilon = self.total_epsilon
+        if epsilon == float("inf"):
+            # PrivacySpend requires finite epsilon; model "unlimited" with a
+            # very large sentinel so comparisons still work.
+            epsilon = 1e308
+        return PrivacySpend(epsilon, delta)
+
+    @property
+    def spent(self) -> PrivacySpend:
+        """Cumulative spend across all ledger entries."""
+        return sequential_composition(entry.spend for entry in self._ledger)
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """Epsilon still available."""
+        if self.total_epsilon == float("inf"):
+            return float("inf")
+        return max(0.0, self.total_epsilon - self.spent.epsilon)
+
+    @property
+    def remaining_delta(self) -> float:
+        """Delta still available."""
+        return max(0.0, self.total_delta - self.spent.delta)
+
+    def can_afford(self, epsilon: float, delta: float = 0.0) -> bool:
+        """True when charging ``(epsilon, delta)`` would not overdraw."""
+        prospective = self.spent + PrivacySpend(epsilon, delta)
+        return prospective.is_within(self.budget)
+
+    def charge(self, epsilon: float, delta: float = 0.0, *, label: str = "query") -> PrivacySpend:
+        """Record a charge, raising :class:`BudgetExhaustedError` on overdraw."""
+        spend = PrivacySpend(epsilon, delta)
+        if not self.can_afford(spend.epsilon, spend.delta):
+            raise BudgetExhaustedError(
+                f"charging ({spend.epsilon}, {spend.delta}) for {label!r} would exceed the "
+                f"remaining budget ({self.remaining_epsilon}, {self.remaining_delta})"
+            )
+        self._ledger.append(BudgetLedgerEntry(label=label, spend=spend))
+        return spend
+
+    def ledger(self) -> Iterator[BudgetLedgerEntry]:
+        """Iterate over the recorded charges in order."""
+        return iter(tuple(self._ledger))
+
+    def __len__(self) -> int:
+        return len(self._ledger)
+
+    def reset(self) -> None:
+        """Clear the ledger (e.g. when a new analysis period starts)."""
+        self._ledger.clear()
+
+    @classmethod
+    def unlimited(cls) -> "PrivacyAccountant":
+        """An accountant that never refuses a charge (non-private baselines)."""
+        return cls(total_epsilon=float("inf"), total_delta=1.0)

@@ -1,0 +1,163 @@
+"""Composition theorems for differential privacy.
+
+Implements the three composition rules the paper relies on:
+
+* sequential composition (Theorem 3.1): budgets add up,
+* parallel composition (Theorem 3.2): the maximum budget over disjoint parts,
+* advanced composition (Kairouz et al., used in Section 6.6): for ``n``
+  ``(epsilon, delta)``-DP mechanisms the composition is
+  ``(epsilon', n*delta + delta')``-DP with
+  ``epsilon' = epsilon * sqrt(2 n ln(1/delta')) + n epsilon (e^epsilon - 1)``;
+  the paper uses the simplified inversion
+  ``epsilon_per_query = xi / (2 sqrt(2 n ln(1/delta)))`` to derive the largest
+  per-query budget an attacker may spend, which we expose as
+  :func:`advanced_composition_epsilon_per_query`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import PrivacyError
+
+__all__ = [
+    "PrivacySpend",
+    "sequential_composition",
+    "parallel_composition",
+    "advanced_composition",
+    "sequential_epsilon_per_query",
+    "advanced_composition_epsilon_per_query",
+]
+
+
+@dataclass(frozen=True)
+class PrivacySpend:
+    """An ``(epsilon, delta)`` pair with validation and arithmetic helpers."""
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.epsilon) or self.epsilon < 0:
+            raise PrivacyError(f"epsilon must be finite and >= 0, got {self.epsilon}")
+        if not math.isfinite(self.delta) or not 0 <= self.delta <= 1:
+            raise PrivacyError(f"delta must be in [0, 1], got {self.delta}")
+
+    def __add__(self, other: "PrivacySpend") -> "PrivacySpend":
+        return PrivacySpend(self.epsilon + other.epsilon, min(1.0, self.delta + other.delta))
+
+    def is_within(self, budget: "PrivacySpend", *, tolerance: float = 1e-12) -> bool:
+        """True when this spend does not exceed ``budget`` in either term."""
+        return (
+            self.epsilon <= budget.epsilon + tolerance
+            and self.delta <= budget.delta + tolerance
+        )
+
+    @staticmethod
+    def zero() -> "PrivacySpend":
+        """The empty spend ``(0, 0)``."""
+        return PrivacySpend(0.0, 0.0)
+
+
+def _as_spends(spends: Iterable[PrivacySpend | tuple[float, float]]) -> list[PrivacySpend]:
+    normalised: list[PrivacySpend] = []
+    for spend in spends:
+        if isinstance(spend, PrivacySpend):
+            normalised.append(spend)
+        else:
+            epsilon, delta = spend
+            normalised.append(PrivacySpend(float(epsilon), float(delta)))
+    return normalised
+
+
+def sequential_composition(
+    spends: Iterable[PrivacySpend | tuple[float, float]],
+) -> PrivacySpend:
+    """Total budget of mechanisms applied sequentially to the same data."""
+    normalised = _as_spends(spends)
+    total = PrivacySpend.zero()
+    for spend in normalised:
+        total = total + spend
+    return total
+
+
+def parallel_composition(
+    spends: Iterable[PrivacySpend | tuple[float, float]],
+) -> PrivacySpend:
+    """Budget of mechanisms applied to disjoint parts of the data."""
+    normalised = _as_spends(spends)
+    if not normalised:
+        return PrivacySpend.zero()
+    return PrivacySpend(
+        max(spend.epsilon for spend in normalised),
+        max(spend.delta for spend in normalised),
+    )
+
+
+def advanced_composition(
+    epsilon: float, delta: float, n_queries: int, delta_prime: float
+) -> PrivacySpend:
+    """Total budget of ``n_queries`` ``(epsilon, delta)``-DP mechanisms.
+
+    Returns the ``(epsilon', n*delta + delta')`` guarantee from the advanced
+    composition theorem.
+    """
+    if n_queries < 0:
+        raise PrivacyError(f"n_queries must be >= 0, got {n_queries}")
+    if not 0 < delta_prime < 1:
+        raise PrivacyError(f"delta_prime must be in (0, 1), got {delta_prime}")
+    single = PrivacySpend(epsilon, delta)
+    if n_queries == 0:
+        return PrivacySpend.zero()
+    epsilon_total = single.epsilon * math.sqrt(
+        2.0 * n_queries * math.log(1.0 / delta_prime)
+    ) + n_queries * single.epsilon * (math.exp(single.epsilon) - 1.0)
+    delta_total = min(1.0, n_queries * single.delta + delta_prime)
+    return PrivacySpend(epsilon_total, delta_total)
+
+
+def sequential_epsilon_per_query(total_epsilon: float, n_queries: int) -> float:
+    """Largest per-query epsilon under plain sequential composition."""
+    if n_queries <= 0:
+        raise PrivacyError(f"n_queries must be >= 1, got {n_queries}")
+    if not math.isfinite(total_epsilon) or total_epsilon <= 0:
+        raise PrivacyError(f"total_epsilon must be positive, got {total_epsilon}")
+    return total_epsilon / n_queries
+
+
+def advanced_composition_epsilon_per_query(
+    total_epsilon: float, n_queries: int, delta: float
+) -> float:
+    """Per-query epsilon under advanced composition (paper, Section 6.6).
+
+    The paper allocates ``epsilon = xi / (2 * sqrt(2 * n * ln(1/delta)))`` to
+    each of the attacker's ``n`` queries, which is larger than the sequential
+    allocation ``xi / n`` for any realistically large ``n``.
+    """
+    if n_queries <= 0:
+        raise PrivacyError(f"n_queries must be >= 1, got {n_queries}")
+    if not math.isfinite(total_epsilon) or total_epsilon <= 0:
+        raise PrivacyError(f"total_epsilon must be positive, got {total_epsilon}")
+    if not 0 < delta < 1:
+        raise PrivacyError(f"delta must be in (0, 1), got {delta}")
+    return total_epsilon / (2.0 * math.sqrt(2.0 * n_queries * math.log(1.0 / delta)))
+
+
+def compose_heterogeneous(
+    sequential_spends: Sequence[PrivacySpend | tuple[float, float]] = (),
+    parallel_spends: Sequence[PrivacySpend | tuple[float, float]] = (),
+) -> PrivacySpend:
+    """Compose a sequential block followed by a parallel block.
+
+    Convenience used by the protocol accounting: the per-provider phases are
+    sequential on each provider's data, and the providers operate on disjoint
+    partitions so they compose in parallel.
+    """
+    return sequential_composition(
+        [sequential_composition(sequential_spends), parallel_composition(parallel_spends)]
+    )
+
+
+__all__.append("compose_heterogeneous")

@@ -1,0 +1,152 @@
+"""Local and smooth sensitivity framework (Nissim, Raskhodnikova & Smith).
+
+The paper's final-estimate release cannot use global sensitivity (Theorem 5.3
+shows it is unbounded), so it falls back to the smooth-sensitivity framework:
+
+* local sensitivity at distance ``k`` (Definition 3.7),
+* the smooth upper bound ``S_LS_f(T) = max_k exp(-beta * k) * LS_f(T)^k``
+  (Definition 3.8 / Equation 10) with ``beta = epsilon / (2 ln(2 / delta))``,
+* the termination bound ``k* > 1 / (1 - exp(-beta))`` (Appendix B.3), valid
+  whenever the distance grows at most linearly in ``k`` — which is exactly the
+  form of the paper's two dominant scenarios (``k * Q(C) * ΔR / R`` and
+  ``k / p``).
+
+The functions here are generic: they take a callable ``local_sensitivity_at_k``
+so they can be reused for statistics other than the paper's estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import PrivacyError, SensitivityError
+
+__all__ = [
+    "smooth_sensitivity_beta",
+    "smooth_sensitivity_max_k",
+    "local_sensitivity_at_distance",
+    "smooth_sensitivity",
+    "smooth_sensitivity_from_series",
+    "SmoothSensitivityResult",
+]
+
+
+def smooth_sensitivity_beta(epsilon: float, delta: float) -> float:
+    """Smoothing parameter ``beta = epsilon / (2 * ln(2 / delta))``."""
+    if not math.isfinite(epsilon) or epsilon <= 0:
+        raise PrivacyError(f"epsilon must be a finite positive number, got {epsilon}")
+    if not 0 < delta < 1:
+        raise PrivacyError(f"delta must be in (0, 1), got {delta}")
+    return epsilon / (2.0 * math.log(2.0 / delta))
+
+
+def smooth_sensitivity_max_k(beta: float) -> int:
+    """Upper bound on the distance ``k`` to examine (Appendix B.3).
+
+    For local sensitivities that grow linearly in ``k`` the product
+    ``exp(-beta k) * LS^k`` starts decaying once ``k > 1 / (1 - exp(-beta))``,
+    so scanning up to ``ceil(1 / (1 - exp(-beta))) + 1`` is sufficient.
+    """
+    if not math.isfinite(beta) or beta <= 0:
+        raise SensitivityError(f"beta must be a finite positive number, got {beta}")
+    return int(math.ceil(1.0 / (1.0 - math.exp(-beta)))) + 1
+
+
+def local_sensitivity_at_distance(
+    base_local_sensitivity: float, k: int, *, growth: str = "linear"
+) -> float:
+    """Local sensitivity at distance ``k`` for a simple growth model.
+
+    ``growth='linear'`` models ``LS^k = k * LS^1`` which is the form taken by
+    both dominant neighbouring scenarios of the paper's estimator.
+    ``growth='constant'`` models statistics whose local sensitivity does not
+    change with the distance (e.g. a COUNT query).
+    """
+    if k < 0:
+        raise SensitivityError(f"k must be >= 0, got {k}")
+    if not math.isfinite(base_local_sensitivity) or base_local_sensitivity < 0:
+        raise SensitivityError(
+            f"base_local_sensitivity must be finite and >= 0, got {base_local_sensitivity}"
+        )
+    if growth == "linear":
+        return k * base_local_sensitivity
+    if growth == "constant":
+        return base_local_sensitivity if k > 0 else 0.0
+    raise SensitivityError(f"unknown growth model: {growth!r}")
+
+
+@dataclass(frozen=True)
+class SmoothSensitivityResult:
+    """Result of a smooth-sensitivity computation.
+
+    Attributes
+    ----------
+    value:
+        The smooth upper bound ``S_LS_f(T)``.
+    argmax_k:
+        The distance ``k`` at which the maximum was attained.
+    beta:
+        The smoothing parameter used.
+    max_k:
+        The largest distance examined.
+    """
+
+    value: float
+    argmax_k: int
+    beta: float
+    max_k: int
+
+
+def smooth_sensitivity(
+    local_sensitivity_at_k: Callable[[int], float],
+    epsilon: float,
+    delta: float,
+    *,
+    max_k: int | None = None,
+) -> SmoothSensitivityResult:
+    """Compute ``max_k exp(-beta k) * LS^k`` by scanning distances.
+
+    Parameters
+    ----------
+    local_sensitivity_at_k:
+        Callable returning the local sensitivity at distance ``k >= 0``.
+    epsilon, delta:
+        Budget used to derive ``beta``.
+    max_k:
+        Optional override of the scan bound; defaults to the Appendix B.3
+        bound, which is valid for (sub-)linear growth in ``k``.
+    """
+    beta = smooth_sensitivity_beta(epsilon, delta)
+    bound = smooth_sensitivity_max_k(beta) if max_k is None else int(max_k)
+    if bound < 0:
+        raise SensitivityError(f"max_k must be >= 0, got {max_k}")
+    best_value = 0.0
+    best_k = 0
+    for k in range(bound + 1):
+        local = float(local_sensitivity_at_k(k))
+        if not math.isfinite(local) or local < 0:
+            raise SensitivityError(
+                f"local sensitivity at distance {k} must be finite and >= 0, got {local}"
+            )
+        candidate = math.exp(-beta * k) * local
+        if candidate > best_value:
+            best_value = candidate
+            best_k = k
+    return SmoothSensitivityResult(value=best_value, argmax_k=best_k, beta=beta, max_k=bound)
+
+
+def smooth_sensitivity_from_series(
+    local_sensitivities: Sequence[float], epsilon: float, delta: float
+) -> SmoothSensitivityResult:
+    """Smooth sensitivity when ``LS^k`` is given as an explicit series.
+
+    ``local_sensitivities[k]`` is the local sensitivity at distance ``k``.
+    """
+    series = list(local_sensitivities)
+    if not series:
+        raise SensitivityError("local_sensitivities must be non-empty")
+    return smooth_sensitivity(
+        lambda k: series[k], epsilon, delta, max_k=len(series) - 1
+    )

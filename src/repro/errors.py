@@ -1,0 +1,105 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised on purpose by the library derives from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-classes mirror the major subsystems (configuration, storage, queries,
+privacy accounting, federation protocol, SMC) which keeps error handling at
+call sites narrow and intention-revealing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SchemaError",
+    "StorageError",
+    "QueryError",
+    "QueryParseError",
+    "PrivacyError",
+    "BudgetExhaustedError",
+    "SensitivityError",
+    "SamplingError",
+    "AllocationError",
+    "FederationError",
+    "ProtocolError",
+    "SMCError",
+    "DatasetError",
+    "WorkloadError",
+    "AttackError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains invalid or inconsistent values."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is invalid or a row/table does not match it."""
+
+
+class StorageError(ReproError):
+    """A storage-level operation (table, cluster, metadata) failed."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or cannot be evaluated on a given table."""
+
+
+class QueryParseError(QueryError):
+    """The SQL-like query text could not be parsed."""
+
+
+class PrivacyError(ReproError):
+    """A differential-privacy operation was mis-used."""
+
+
+class BudgetExhaustedError(PrivacyError):
+    """The privacy budget of an accountant or end user is exhausted."""
+
+
+class SensitivityError(PrivacyError):
+    """A sensitivity value is invalid (negative, NaN, or unbounded where a
+    bound is required)."""
+
+
+class SamplingError(ReproError):
+    """A sampling operation received invalid probabilities or sizes."""
+
+
+class AllocationError(ReproError):
+    """The allocation optimisation problem is infeasible or malformed."""
+
+
+class FederationError(ReproError):
+    """A federation-level operation failed (providers, aggregator)."""
+
+
+class ProtocolError(FederationError):
+    """The federated query protocol was driven out of order or received an
+    unexpected message."""
+
+
+class SMCError(FederationError):
+    """A simulated secure multiparty computation operation failed."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""
+
+
+class AttackError(ReproError):
+    """The learning-based attack harness was mis-configured."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was mis-configured or failed."""

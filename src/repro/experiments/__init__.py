@@ -1,0 +1,51 @@
+"""Evaluation harness: one runner per table/figure of the paper.
+
+Each experiment module exposes a ``run_*`` function returning plain dataclass
+rows plus a ``format_*`` helper producing the text table/series printed by
+the corresponding benchmark under ``benchmarks/``.  EXPERIMENTS.md records
+the measured outputs next to the paper's reported numbers.
+"""
+
+from .metrics import relative_error, speedup, summarise_errors
+from .reporting import format_series_table
+from .scenarios import DatasetScenario, adult_scenario, amazon_scenario, build_system
+from .runner import QueryEvaluation, WorkloadStats, evaluate_workload
+from .dimension_analysis import DimensionPoint, run_dimension_analysis
+from .sampling_rate_analysis import SamplingRatePoint, run_sampling_rate_analysis
+from .epsilon_analysis import EpsilonPoint, run_epsilon_analysis
+from .smc_comparison import (
+    SharingCostPoint,
+    SMCComparisonPoint,
+    run_sharing_cost_experiment,
+    run_smc_vs_dp_experiment,
+)
+from .attack_resilience import AttackCell, run_attack_resilience
+from .metadata_space import MetadataSpacePoint, run_metadata_space
+
+__all__ = [
+    "relative_error",
+    "speedup",
+    "summarise_errors",
+    "format_series_table",
+    "DatasetScenario",
+    "adult_scenario",
+    "amazon_scenario",
+    "build_system",
+    "QueryEvaluation",
+    "WorkloadStats",
+    "evaluate_workload",
+    "DimensionPoint",
+    "run_dimension_analysis",
+    "SamplingRatePoint",
+    "run_sampling_rate_analysis",
+    "EpsilonPoint",
+    "run_epsilon_analysis",
+    "SharingCostPoint",
+    "SMCComparisonPoint",
+    "run_sharing_cost_experiment",
+    "run_smc_vs_dp_experiment",
+    "AttackCell",
+    "run_attack_resilience",
+    "MetadataSpacePoint",
+    "run_metadata_space",
+]

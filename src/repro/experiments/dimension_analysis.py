@@ -1,0 +1,90 @@
+"""Dimension-based analysis (Figures 4 and 7, left panels).
+
+Sweeps the number of query dimensions ``n`` and measures the mean relative
+error and the mean speed-up for COUNT and SUM workloads on a scenario.
+Expected shape (paper): error grows with the number of dimensions (the
+independence approximation of ``R`` degrades), speed-up shrinks slightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..query.model import Aggregation
+from .reporting import format_series_table
+from .runner import evaluate_workload
+from .scenarios import DatasetScenario
+
+__all__ = ["DimensionPoint", "run_dimension_analysis", "format_dimension_analysis"]
+
+
+@dataclass(frozen=True)
+class DimensionPoint:
+    """One point of the dimension sweep."""
+
+    dataset: str
+    aggregation: str
+    num_dimensions: int
+    mean_relative_error: float
+    mean_work_speedup: float
+    mean_wallclock_speedup: float
+    num_queries: int
+
+
+def run_dimension_analysis(
+    scenario: DatasetScenario,
+    *,
+    dimension_counts: Sequence[int],
+    queries_per_point: int = 20,
+    aggregations: Sequence[Aggregation] = (Aggregation.SUM, Aggregation.COUNT),
+    sampling_rate: float | None = None,
+    min_selectivity: float = 0.02,
+    seed: int = 0,
+) -> list[DimensionPoint]:
+    """Run the sweep and return one point per (aggregation, n)."""
+    rate = scenario.default_sampling_rate if sampling_rate is None else sampling_rate
+    accept = scenario.acceptance_predicate(min_selectivity=min_selectivity)
+    points: list[DimensionPoint] = []
+    for aggregation in aggregations:
+        for n in dimension_counts:
+            generator = scenario.workload_generator(seed=seed + n)
+            workload = generator.generate(
+                queries_per_point, n, aggregation, accept=accept
+            )
+            stats = evaluate_workload(
+                scenario.system, list(workload), sampling_rate=rate
+            )
+            points.append(
+                DimensionPoint(
+                    dataset=scenario.name,
+                    aggregation=aggregation.value,
+                    num_dimensions=n,
+                    mean_relative_error=stats.mean_relative_error,
+                    mean_work_speedup=stats.mean_work_speedup,
+                    mean_wallclock_speedup=stats.mean_wallclock_speedup,
+                    num_queries=stats.num_queries,
+                )
+            )
+    return points
+
+
+def format_dimension_analysis(points: Sequence[DimensionPoint]) -> str:
+    """Text rendition of Figure 4 / Figure 7 (dimension panels)."""
+    rows = [
+        {
+            "dataset": point.dataset,
+            "agg": point.aggregation,
+            "n_dims": point.num_dimensions,
+            "rel_error_%": 100 * point.mean_relative_error,
+            "work_speedup_x": point.mean_work_speedup,
+            "wallclock_speedup_x": point.mean_wallclock_speedup,
+            "queries": point.num_queries,
+        }
+        for point in points
+    ]
+    return format_series_table(
+        "Dimension-based analysis (Figures 4 and 7)",
+        rows,
+        ["dataset", "agg", "n_dims", "rel_error_%", "work_speedup_x", "wallclock_speedup_x", "queries"],
+    )

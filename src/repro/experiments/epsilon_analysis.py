@@ -1,0 +1,95 @@
+"""Privacy-budget analysis (Figure 6 and the epsilon panel of Figure 7).
+
+Sweeps the per-query epsilon (the paper uses 0.1-1.3) with 4-dimensional
+COUNT and SUM workloads.  Expected shape: error falls steeply as epsilon
+grows (classic DP utility curve), SUM errors sit below COUNT errors (larger
+answers are relatively less affected by noise), and speed-up is flat in
+epsilon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..query.model import Aggregation
+from .reporting import format_series_table
+from .runner import evaluate_workload
+from .scenarios import DatasetScenario
+
+__all__ = ["EpsilonPoint", "run_epsilon_analysis", "format_epsilon_analysis"]
+
+
+@dataclass(frozen=True)
+class EpsilonPoint:
+    """One point of the epsilon sweep."""
+
+    dataset: str
+    aggregation: str
+    epsilon: float
+    mean_relative_error: float
+    mean_work_speedup: float
+    mean_wallclock_speedup: float
+    num_queries: int
+
+
+def run_epsilon_analysis(
+    scenario: DatasetScenario,
+    *,
+    epsilons: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3),
+    num_dimensions: int = 4,
+    queries_per_point: int = 20,
+    aggregations: Sequence[Aggregation] = (Aggregation.SUM, Aggregation.COUNT),
+    sampling_rate: float | None = None,
+    min_selectivity: float = 0.02,
+    seed: int = 0,
+) -> list[EpsilonPoint]:
+    """Run the sweep and return one point per (aggregation, epsilon)."""
+    rate = scenario.default_sampling_rate if sampling_rate is None else sampling_rate
+    accept = scenario.acceptance_predicate(min_selectivity=min_selectivity)
+    points: list[EpsilonPoint] = []
+    for aggregation in aggregations:
+        generator = scenario.workload_generator(seed=seed)
+        workload = generator.generate(
+            queries_per_point, num_dimensions, aggregation, accept=accept
+        )
+        for epsilon in epsilons:
+            stats = evaluate_workload(
+                scenario.system,
+                list(workload),
+                sampling_rate=rate,
+                epsilon=epsilon,
+            )
+            points.append(
+                EpsilonPoint(
+                    dataset=scenario.name,
+                    aggregation=aggregation.value,
+                    epsilon=epsilon,
+                    mean_relative_error=stats.mean_relative_error,
+                    mean_work_speedup=stats.mean_work_speedup,
+                    mean_wallclock_speedup=stats.mean_wallclock_speedup,
+                    num_queries=stats.num_queries,
+                )
+            )
+    return points
+
+
+def format_epsilon_analysis(points: Sequence[EpsilonPoint]) -> str:
+    """Text rendition of Figure 6 / Figure 7 (epsilon panels)."""
+    rows = [
+        {
+            "dataset": point.dataset,
+            "agg": point.aggregation,
+            "epsilon": point.epsilon,
+            "rel_error_%": 100 * point.mean_relative_error,
+            "work_speedup_x": point.mean_work_speedup,
+            "wallclock_speedup_x": point.mean_wallclock_speedup,
+            "queries": point.num_queries,
+        }
+        for point in points
+    ]
+    return format_series_table(
+        "Privacy-budget analysis (Figures 6 and 7)",
+        rows,
+        ["dataset", "agg", "epsilon", "rel_error_%", "work_speedup_x", "wallclock_speedup_x", "queries"],
+    )

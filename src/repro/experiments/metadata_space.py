@@ -1,0 +1,78 @@
+"""Metadata space accounting (Section 6.1, "Metadata space allocation").
+
+Reports the approximate serialised footprint of the Algorithm-1 metadata per
+dataset and per cluster, the analogue of the paper's "11 MB (56 KB/cluster)
+for Amazon Review, 6.4 MB (64 KB/cluster) for Adult".  Absolute numbers scale
+with the synthetic dataset size; the quantity to compare is the ratio of
+metadata size to data size (a few percent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .reporting import format_series_table
+from .scenarios import DatasetScenario
+
+__all__ = ["MetadataSpacePoint", "run_metadata_space", "format_metadata_space"]
+
+
+@dataclass(frozen=True)
+class MetadataSpacePoint:
+    """Metadata footprint of one dataset scenario."""
+
+    dataset: str
+    num_clusters: int
+    data_bytes: int
+    metadata_bytes: int
+    metadata_bytes_per_cluster: float
+
+    @property
+    def metadata_fraction(self) -> float:
+        """Metadata size relative to the stored data size."""
+        if self.data_bytes == 0:
+            return 0.0
+        return self.metadata_bytes / self.data_bytes
+
+
+def run_metadata_space(scenarios: Sequence[DatasetScenario]) -> list[MetadataSpacePoint]:
+    """Measure the metadata footprint of each scenario."""
+    points: list[MetadataSpacePoint] = []
+    for scenario in scenarios:
+        system = scenario.system
+        data_bytes = sum(provider.clustered.memory_bytes() for provider in system.providers)
+        metadata_bytes = system.metadata_size_bytes()
+        num_clusters = system.total_clusters
+        points.append(
+            MetadataSpacePoint(
+                dataset=scenario.name,
+                num_clusters=num_clusters,
+                data_bytes=data_bytes,
+                metadata_bytes=metadata_bytes,
+                metadata_bytes_per_cluster=(
+                    metadata_bytes / num_clusters if num_clusters else 0.0
+                ),
+            )
+        )
+    return points
+
+
+def format_metadata_space(points: Sequence[MetadataSpacePoint]) -> str:
+    """Text rendition of the metadata-space paragraph of Section 6.1."""
+    rows = [
+        {
+            "dataset": point.dataset,
+            "clusters": point.num_clusters,
+            "data_KB": point.data_bytes / 1024,
+            "metadata_KB": point.metadata_bytes / 1024,
+            "KB_per_cluster": point.metadata_bytes_per_cluster / 1024,
+            "fraction_%": 100 * point.metadata_fraction,
+        }
+        for point in points
+    ]
+    return format_series_table(
+        "Metadata space allocation (Section 6.1)",
+        rows,
+        ["dataset", "clusters", "data_KB", "metadata_KB", "KB_per_cluster", "fraction_%"],
+    )

@@ -1,0 +1,59 @@
+"""Quality metrics: relative error and speed-up (Section 6.1, "Metrics")."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ExperimentError
+
+__all__ = ["relative_error", "speedup", "ErrorSummary", "summarise_errors"]
+
+
+def relative_error(exact: float, estimate: float) -> float:
+    """``|exact - estimate| / |exact|`` (the paper's relative error).
+
+    Defined as 0 when both values are 0 and +inf when only the exact answer
+    is 0 — callers filtering workloads should avoid empty-answer queries, but
+    the metric stays total.
+    """
+    if not math.isfinite(exact) or not math.isfinite(estimate):
+        raise ExperimentError("exact and estimate must be finite")
+    if exact == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(exact - estimate) / abs(exact)
+
+
+def speedup(baseline_cost: float, approximate_cost: float) -> float:
+    """``baseline / approximate`` — how many times faster the approximation is."""
+    if baseline_cost < 0 or approximate_cost < 0:
+        raise ExperimentError("costs must be non-negative")
+    if approximate_cost == 0:
+        return float("inf") if baseline_cost > 0 else 1.0
+    return baseline_cost / approximate_cost
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean / median / maximum of a set of relative errors."""
+
+    mean: float
+    median: float
+    maximum: float
+    count: int
+
+
+def summarise_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Summarise a list of relative errors, ignoring infinite entries."""
+    finite = sorted(error for error in errors if math.isfinite(error))
+    if not finite:
+        raise ExperimentError("no finite errors to summarise")
+    n = len(finite)
+    median = finite[n // 2] if n % 2 == 1 else 0.5 * (finite[n // 2 - 1] + finite[n // 2])
+    return ErrorSummary(
+        mean=sum(finite) / n,
+        median=median,
+        maximum=finite[-1],
+        count=n,
+    )

@@ -1,0 +1,37 @@
+"""Plain-text reporting helpers shared by benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_series_table"]
+
+
+def format_series_table(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+) -> str:
+    """Render rows as a fixed-width text table with a title line.
+
+    Values are formatted with 4 significant digits for floats and ``str()``
+    otherwise; the result is what the benchmark harness prints so that every
+    figure/table of the paper has a directly comparable text rendition.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    header = [str(column) for column in columns]
+    body = [[fmt(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)

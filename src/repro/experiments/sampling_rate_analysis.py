@@ -1,0 +1,93 @@
+"""Sampling-rate analysis (Figure 5).
+
+Sweeps the sampling rate ``sr`` (the paper uses 5-20%) with 4-dimensional
+COUNT and SUM workloads and measures relative error and speed-up.  Expected
+shape: error falls and speed-up falls as the sampling rate grows (the
+accuracy/speed trade-off of Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..query.model import Aggregation
+from .reporting import format_series_table
+from .runner import evaluate_workload
+from .scenarios import DatasetScenario
+
+__all__ = [
+    "SamplingRatePoint",
+    "run_sampling_rate_analysis",
+    "format_sampling_rate_analysis",
+]
+
+
+@dataclass(frozen=True)
+class SamplingRatePoint:
+    """One point of the sampling-rate sweep."""
+
+    dataset: str
+    aggregation: str
+    sampling_rate: float
+    mean_relative_error: float
+    mean_work_speedup: float
+    mean_wallclock_speedup: float
+    num_queries: int
+
+
+def run_sampling_rate_analysis(
+    scenario: DatasetScenario,
+    *,
+    sampling_rates: Sequence[float] = (0.05, 0.10, 0.15, 0.20),
+    num_dimensions: int = 4,
+    queries_per_point: int = 20,
+    aggregations: Sequence[Aggregation] = (Aggregation.SUM, Aggregation.COUNT),
+    min_selectivity: float = 0.02,
+    seed: int = 0,
+) -> list[SamplingRatePoint]:
+    """Run the sweep and return one point per (aggregation, sr)."""
+    accept = scenario.acceptance_predicate(min_selectivity=min_selectivity)
+    points: list[SamplingRatePoint] = []
+    for aggregation in aggregations:
+        generator = scenario.workload_generator(seed=seed)
+        workload = generator.generate(
+            queries_per_point, num_dimensions, aggregation, accept=accept
+        )
+        for rate in sampling_rates:
+            stats = evaluate_workload(
+                scenario.system, list(workload), sampling_rate=rate
+            )
+            points.append(
+                SamplingRatePoint(
+                    dataset=scenario.name,
+                    aggregation=aggregation.value,
+                    sampling_rate=rate,
+                    mean_relative_error=stats.mean_relative_error,
+                    mean_work_speedup=stats.mean_work_speedup,
+                    mean_wallclock_speedup=stats.mean_wallclock_speedup,
+                    num_queries=stats.num_queries,
+                )
+            )
+    return points
+
+
+def format_sampling_rate_analysis(points: Sequence[SamplingRatePoint]) -> str:
+    """Text rendition of Figure 5."""
+    rows = [
+        {
+            "dataset": point.dataset,
+            "agg": point.aggregation,
+            "sr_%": 100 * point.sampling_rate,
+            "rel_error_%": 100 * point.mean_relative_error,
+            "work_speedup_x": point.mean_work_speedup,
+            "wallclock_speedup_x": point.mean_wallclock_speedup,
+            "queries": point.num_queries,
+        }
+        for point in points
+    ]
+    return format_series_table(
+        "Sampling-rate analysis (Figure 5)",
+        rows,
+        ["dataset", "agg", "sr_%", "rel_error_%", "work_speedup_x", "wallclock_speedup_x", "queries"],
+    )

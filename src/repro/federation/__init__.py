@@ -1,0 +1,37 @@
+"""Simulated federation: providers, aggregator, network, and SMC.
+
+The federation is simulated in-process: every exchanged message goes through
+a :class:`~repro.federation.network.SimulatedNetwork` that counts messages
+and bytes and charges a configurable latency/bandwidth cost, and the secure
+multiparty computation option is provided by
+:class:`~repro.federation.smc.SMCSimulator` (additive secret sharing plus a
+calibrated cost model).
+"""
+
+from .aggregator import Aggregator
+from .messages import (
+    AllocationMessage,
+    EstimateMessage,
+    QueryRequest,
+    SummaryMessage,
+)
+from .network import NetworkStats, SimulatedNetwork
+from .partitioning import partition_equal, partition_skewed, partition_by_dimension
+from .provider import DataProvider
+from .smc import SecretShares, SMCSimulator
+
+__all__ = [
+    "DataProvider",
+    "Aggregator",
+    "SimulatedNetwork",
+    "NetworkStats",
+    "SMCSimulator",
+    "SecretShares",
+    "QueryRequest",
+    "SummaryMessage",
+    "AllocationMessage",
+    "EstimateMessage",
+    "partition_equal",
+    "partition_skewed",
+    "partition_by_dimension",
+]

@@ -1,0 +1,195 @@
+"""Aggregator: drives the query lifecycle of Figure 3(a).
+
+The aggregator never sees raw rows.  It forwards the query, collects the
+DP-noised summaries, solves the allocation problem, distributes allocations,
+collects the local estimates, and combines them — either by plain summation
+(each provider already added its own Laplace noise) or through the simulated
+SMC path (oblivious sum of un-noised estimates + a single Laplace noise
+calibrated with the maximum smooth sensitivity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import SystemConfig
+from ..core.accounting import QueryBudget
+from ..core.allocation import AllocationProblem, solve_allocation
+from ..core.result import ExecutionTrace, ProviderReport
+from ..dp.mechanisms import LaplaceMechanism
+from ..errors import ProtocolError
+from ..query.model import RangeQuery
+from ..utils.rng import RngLike, derive_rng
+from ..utils.timing import Stopwatch
+from .messages import AllocationMessage, EstimateMessage, QueryRequest, SummaryMessage
+from .network import SimulatedNetwork
+from .provider import DataProvider
+from .smc import SMCSimulator
+
+__all__ = ["Aggregator", "FederatedAnswer"]
+
+
+@dataclass(frozen=True)
+class FederatedAnswer:
+    """The aggregator's combined answer plus the per-provider reports."""
+
+    value: float
+    noise_injected: float
+    used_smc: bool
+    provider_reports: tuple[ProviderReport, ...]
+    trace: ExecutionTrace
+
+
+@dataclass
+class Aggregator:
+    """Coordinates one federation of data providers."""
+
+    providers: Sequence[DataProvider]
+    config: SystemConfig
+    network: SimulatedNetwork = field(default_factory=SimulatedNetwork)
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if not self.providers:
+            raise ProtocolError("an aggregator needs at least one provider")
+        self._rng = derive_rng(self.rng, "aggregator")
+        self._next_query_id = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def execute_query(
+        self,
+        query: RangeQuery,
+        budget: QueryBudget,
+        *,
+        sampling_rate: float | None = None,
+        use_smc: bool | None = None,
+    ) -> FederatedAnswer:
+        """Run the full protocol for one query and return the combined answer."""
+        rate = self.config.sampling.sampling_rate if sampling_rate is None else sampling_rate
+        if not 0 < rate < 1:
+            raise ProtocolError(f"sampling_rate must be in (0, 1), got {rate}")
+        smc = self.config.use_smc_for_result if use_smc is None else use_smc
+
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        stopwatch = Stopwatch()
+        network_before = self.network.snapshot()
+
+        request = QueryRequest(query_id=query_id, query=query, sampling_rate=rate)
+        with stopwatch.measure("allocation"):
+            summaries = self._collect_summaries(request, budget)
+            allocations = self._allocate(request, summaries, rate)
+        with stopwatch.measure("local_answering"):
+            answers = self._collect_answers(allocations, budget, smc)
+        with stopwatch.measure("combination"):
+            value, noise = self._combine(answers, budget, smc)
+
+        for provider in self.providers:
+            provider.forget(query_id)
+
+        network_after = self.network.snapshot()
+        reports = tuple(answer.report for answer in answers)
+        trace = ExecutionTrace(
+            phase_seconds=stopwatch.as_dict(),
+            simulated_network_seconds=network_after.simulated_seconds
+            - network_before.simulated_seconds,
+            messages_sent=network_after.messages - network_before.messages,
+            bytes_sent=network_after.bytes_sent - network_before.bytes_sent,
+            clusters_scanned=sum(report.sampled_clusters for report in reports),
+            clusters_available=sum(provider.num_clusters for provider in self.providers),
+            rows_scanned=sum(report.rows_scanned for report in reports),
+            rows_available=sum(report.rows_available for report in reports),
+            smc_operations=0,
+        )
+        return FederatedAnswer(
+            value=value,
+            noise_injected=noise,
+            used_smc=smc,
+            provider_reports=reports,
+            trace=trace,
+        )
+
+    # -- protocol phases ---------------------------------------------------------
+
+    def _collect_summaries(
+        self, request: QueryRequest, budget: QueryBudget
+    ) -> list[SummaryMessage]:
+        self.network.send(request.payload_bytes(), copies=len(self.providers))
+        summaries: list[SummaryMessage] = []
+        for provider in self.providers:
+            summary = provider.prepare_summary(request, budget.epsilon_allocation)
+            self.network.send(summary.payload_bytes())
+            summaries.append(summary)
+        return summaries
+
+    def _allocate(
+        self, request: QueryRequest, summaries: Sequence[SummaryMessage], rate: float
+    ) -> list[AllocationMessage]:
+        problems = [
+            AllocationProblem(
+                provider_id=summary.provider_id,
+                noisy_cluster_count=summary.noisy_cluster_count,
+                noisy_avg_proportion=summary.noisy_avg_proportion,
+            )
+            for summary in summaries
+        ]
+        results = solve_allocation(
+            problems, rate, min_allocation=self.config.sampling.min_allocation
+        )
+        allocations = []
+        for result in results:
+            message = AllocationMessage(
+                query_id=request.query_id,
+                provider_id=result.provider_id,
+                sample_size=result.sample_size,
+            )
+            self.network.send(message.payload_bytes())
+            allocations.append(message)
+        return allocations
+
+    def _collect_answers(
+        self,
+        allocations: Sequence[AllocationMessage],
+        budget: QueryBudget,
+        use_smc: bool,
+    ):
+        providers_by_id = {provider.provider_id: provider for provider in self.providers}
+        answers = []
+        for allocation in allocations:
+            provider = providers_by_id.get(allocation.provider_id)
+            if provider is None:
+                raise ProtocolError(f"unknown provider {allocation.provider_id!r}")
+            answer = provider.answer(allocation, budget, use_smc=use_smc)
+            self.network.send(answer.message.payload_bytes())
+            answers.append(answer)
+        return answers
+
+    def _combine(
+        self, answers, budget: QueryBudget, use_smc: bool
+    ) -> tuple[float, float]:
+        messages: list[EstimateMessage] = [answer.message for answer in answers]
+        if not use_smc:
+            total = sum(message.value for message in messages)
+            noise = sum(answer.report.local_noise for answer in answers)
+            return float(total), float(noise)
+
+        smc = SMCSimulator(
+            config=self.config.smc,
+            num_parties=max(2, len(self.providers)),
+            rng=derive_rng(self._rng, "smc"),
+        )
+        shared_estimates = [smc.share(message.value) for message in messages]
+        shared_sensitivities = [smc.share(message.smooth_sensitivity) for message in messages]
+        total = smc.reconstruct(smc.secure_sum(shared_estimates))
+        max_sensitivity = smc.secure_max(shared_sensitivities)
+        mechanism = LaplaceMechanism(
+            epsilon=budget.epsilon_estimation,
+            sensitivity=2.0 * max_sensitivity,
+            rng=derive_rng(self._rng, "smc-noise"),
+        )
+        noise = float(mechanism.sample_noise())
+        # Charge the SMC exchange to the simulated network so the trace shows it.
+        self.network.send(smc.cost.bytes_exchanged)
+        return float(total) + noise, noise

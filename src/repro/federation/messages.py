@@ -1,0 +1,86 @@
+"""Typed protocol messages exchanged between the aggregator and providers.
+
+The whole point of the paper's collaboration method is that these messages
+are tiny and their size is independent of the data: a query, two noisy
+scalars per provider, one integer allocation per provider, and one noisy
+estimate per provider.  Each message knows its approximate serialised size so
+the simulated network can charge a realistic transfer cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..query.model import RangeQuery
+
+__all__ = [
+    "QueryRequest",
+    "SummaryMessage",
+    "AllocationMessage",
+    "EstimateMessage",
+]
+
+_SCALAR_BYTES = 8
+_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Aggregator -> provider: the query and the requested sampling rate."""
+
+    query_id: int
+    query: RangeQuery
+    sampling_rate: float
+
+    def payload_bytes(self) -> int:
+        """Approximate serialised size: header + one interval per dimension."""
+        return _HEADER_BYTES + 2 * _SCALAR_BYTES * self.query.num_dimensions + _SCALAR_BYTES
+
+
+@dataclass(frozen=True)
+class SummaryMessage:
+    """Provider -> aggregator: DP-noised ``N^Q`` and ``Avg(R̂)`` (Equation 5)."""
+
+    query_id: int
+    provider_id: str
+    noisy_cluster_count: float
+    noisy_avg_proportion: float
+
+    def payload_bytes(self) -> int:
+        """Two noisy scalars plus a header."""
+        return _HEADER_BYTES + 2 * _SCALAR_BYTES
+
+
+@dataclass(frozen=True)
+class AllocationMessage:
+    """Aggregator -> provider: the sample size granted to the provider."""
+
+    query_id: int
+    provider_id: str
+    sample_size: int
+
+    def payload_bytes(self) -> int:
+        """One integer plus a header."""
+        return _HEADER_BYTES + _SCALAR_BYTES
+
+
+@dataclass(frozen=True)
+class EstimateMessage:
+    """Provider -> aggregator: the (noised or to-be-noised) local estimate.
+
+    In the plain-DP configuration ``value`` already includes the provider's
+    own Laplace noise and ``smooth_sensitivity`` is informational.  In the
+    SMC configuration the value and the sensitivity are secret-shared instead
+    of sent in the clear; this message then carries only the share destined
+    to the aggregator and has the same size.
+    """
+
+    query_id: int
+    provider_id: str
+    value: float
+    smooth_sensitivity: float
+    approximated: bool
+
+    def payload_bytes(self) -> int:
+        """Two scalars, one flag, and a header."""
+        return _HEADER_BYTES + 2 * _SCALAR_BYTES + 1

@@ -1,0 +1,71 @@
+"""Simulated network with message/byte accounting and a latency model.
+
+The simulator does not actually move bytes; it records every send and charges
+``latency + bytes / bandwidth`` seconds of *simulated* time, which the
+execution trace reports separately from wall-clock compute time.  This keeps
+the communication-volume effects visible (Figure 1 is entirely about them)
+while the whole federation runs in one process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import NetworkConfig
+from ..errors import FederationError
+
+__all__ = ["NetworkStats", "SimulatedNetwork"]
+
+
+@dataclass
+class NetworkStats:
+    """Counters accumulated by a :class:`SimulatedNetwork`."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    simulated_seconds: float = 0.0
+
+    def merge(self, other: "NetworkStats") -> "NetworkStats":
+        """Return the element-wise sum of two stats objects."""
+        return NetworkStats(
+            messages=self.messages + other.messages,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            simulated_seconds=self.simulated_seconds + other.simulated_seconds,
+        )
+
+
+@dataclass
+class SimulatedNetwork:
+    """Charges a latency/bandwidth cost for every message sent through it."""
+
+    config: NetworkConfig = field(default_factory=NetworkConfig)
+    stats: NetworkStats = field(default_factory=NetworkStats)
+
+    def send(self, payload_bytes: int, *, copies: int = 1) -> float:
+        """Record sending a payload (optionally to several recipients).
+
+        Returns the simulated transfer time in seconds for the whole send.
+        """
+        if payload_bytes < 0:
+            raise FederationError(f"payload_bytes must be >= 0, got {payload_bytes}")
+        if copies < 1:
+            raise FederationError(f"copies must be >= 1, got {copies}")
+        cost = copies * self.config.transfer_cost(payload_bytes)
+        self.stats.messages += copies
+        self.stats.bytes_sent += copies * payload_bytes
+        self.stats.simulated_seconds += cost
+        return cost
+
+    def reset(self) -> NetworkStats:
+        """Return the accumulated stats and start a fresh accumulation."""
+        stats = self.stats
+        self.stats = NetworkStats()
+        return stats
+
+    def snapshot(self) -> NetworkStats:
+        """Return a copy of the current counters without resetting them."""
+        return NetworkStats(
+            messages=self.stats.messages,
+            bytes_sent=self.stats.bytes_sent,
+            simulated_seconds=self.stats.simulated_seconds,
+        )

@@ -1,0 +1,77 @@
+"""Horizontal partitioning strategies.
+
+The paper horizontally partitions each dataset equally across four providers;
+skewed and value-based partitioners are provided as well because the
+allocation phase only pays off when providers hold *different* amounts of
+query-relevant data — the ablation benches exercise those regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import FederationError
+from ..storage.table import Table
+from ..utils.rng import RngLike, ensure_rng
+
+__all__ = ["partition_equal", "partition_skewed", "partition_by_dimension"]
+
+
+def _check_parts(num_parts: int) -> None:
+    if num_parts < 1:
+        raise FederationError(f"num_parts must be >= 1, got {num_parts}")
+
+
+def partition_equal(table: Table, num_parts: int, *, shuffle: bool = True, rng: RngLike = None) -> list[Table]:
+    """Split ``table`` into ``num_parts`` near-equal horizontal partitions."""
+    _check_parts(num_parts)
+    indices = np.arange(table.num_rows)
+    if shuffle:
+        ensure_rng(rng).shuffle(indices)
+    chunks = np.array_split(indices, num_parts)
+    return [table.take(chunk) for chunk in chunks]
+
+
+def partition_skewed(
+    table: Table,
+    weights: Sequence[float],
+    *,
+    shuffle: bool = True,
+    rng: RngLike = None,
+) -> list[Table]:
+    """Split ``table`` into partitions whose sizes follow ``weights``.
+
+    Weights are normalised; they do not need to sum to one.
+    """
+    weight_array = np.asarray(weights, dtype=float)
+    if weight_array.ndim != 1 or weight_array.size == 0:
+        raise FederationError("weights must be a non-empty one-dimensional sequence")
+    if np.any(weight_array < 0) or weight_array.sum() <= 0:
+        raise FederationError("weights must be non-negative and not all zero")
+    proportions = weight_array / weight_array.sum()
+    indices = np.arange(table.num_rows)
+    if shuffle:
+        ensure_rng(rng).shuffle(indices)
+    boundaries = np.floor(np.cumsum(proportions) * table.num_rows).astype(int)
+    boundaries[-1] = table.num_rows
+    partitions: list[Table] = []
+    start = 0
+    for stop in boundaries:
+        partitions.append(table.take(indices[start:stop]))
+        start = stop
+    return partitions
+
+
+def partition_by_dimension(table: Table, dimension: str, num_parts: int) -> list[Table]:
+    """Split ``table`` into contiguous value ranges of ``dimension``.
+
+    Produces the strongest inter-provider skew with respect to queries on
+    ``dimension``: each provider holds a disjoint slice of its domain.
+    """
+    _check_parts(num_parts)
+    table.schema.dimension(dimension)
+    order = np.argsort(table.column(dimension), kind="stable")
+    chunks = np.array_split(order, num_parts)
+    return [table.take(chunk) for chunk in chunks]

@@ -1,0 +1,332 @@
+"""Data provider: one participant of the horizontal federation.
+
+A provider owns a horizontal partition of the global table stored as clusters
+(plus the Algorithm-1 metadata built offline), keeps its rows strictly local,
+and exposes exactly the three protocol interactions of Figure 3(a):
+
+1. :meth:`prepare_summary` — identify the covering clusters ``C^Q``, compute
+   the approximate proportions ``R̂`` from metadata, and release the noisy
+   summary ``(Ñ^Q, ~Avg(R̂))`` under ``eps_O`` (Equation 5).
+2. :meth:`answer` — given the aggregator's allocation, either answer exactly
+   (when ``N^Q < N_min``) or sample clusters with the DP Exponential
+   Mechanism under ``eps_S``, estimate with Hansen-Hurwitz, compute the
+   smooth sensitivity, and release the estimate (locally noised under
+   ``eps_E``, or un-noised when the SMC path will inject a single noise).
+3. :meth:`exact_answer` — the non-private plain-text baseline used by the
+   speed-up metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.accounting import QueryBudget
+from ..core.result import ProviderReport
+from ..core.sensitivity import (
+    ClusterSensitivityInputs,
+    avg_proportion_sensitivity,
+    delta_r,
+    estimator_noise_scale,
+    estimator_smooth_sensitivity,
+)
+from ..dp.mechanisms import LaplaceMechanism
+from ..errors import ProtocolError
+from ..query.executor import ExactExecution, ExactExecutor, execute_on_cluster
+from ..query.model import RangeQuery
+from ..sampling.em_sampler import EMClusterSampler
+from ..sampling.estimator import hansen_hurwitz_estimate
+from ..storage.clustered_table import ClusteredTable
+from ..storage.metadata import MetadataStore, build_metadata
+from ..storage.table import Table
+from ..utils.rng import RngLike, derive_rng
+from .messages import AllocationMessage, EstimateMessage, QueryRequest, SummaryMessage
+
+__all__ = ["DataProvider", "LocalAnswer"]
+
+
+@dataclass
+class _QuerySession:
+    """Per-query state a provider keeps between the summary and answer phases."""
+
+    query: RangeQuery
+    covering_ids: list[int]
+    proportions: np.ndarray
+
+
+@dataclass(frozen=True)
+class LocalAnswer:
+    """A provider's local outcome for one query."""
+
+    message: EstimateMessage
+    report: ProviderReport
+
+
+@dataclass
+class DataProvider:
+    """One data provider of the federation.
+
+    Parameters
+    ----------
+    provider_id:
+        Unique identifier within the federation.
+    table:
+        The provider's horizontal partition (raw table or count tensor).
+    cluster_size:
+        The shared nominal cluster size ``S``.
+    n_min:
+        Approximation threshold ``N_min``: below this many covering clusters
+        the provider answers exactly.
+    clustering_policy:
+        ``"sequential"`` (default; clusters fill in insertion order, like DBMS
+        pages) or ``"sorted"`` (clusters carry skewed value ranges — the
+        regime where distribution-aware sampling matters most, used by the
+        ablation benches).
+    """
+
+    provider_id: str
+    table: Table
+    cluster_size: int
+    n_min: int = 4
+    clustering_policy: str = "sequential"
+    sort_by: str | None = None
+    rng: RngLike = None
+    clustered: ClusteredTable = field(init=False, repr=False)
+    metadata: MetadataStore = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_min < 1:
+            raise ProtocolError(f"n_min must be >= 1, got {self.n_min}")
+        self._rng = derive_rng(self.rng, "provider", self.provider_id)
+        self.clustered = ClusteredTable.from_table(
+            self.table,
+            self.cluster_size,
+            policy=self.clustering_policy,
+            sort_by=self.sort_by,
+        )
+        self.metadata = build_metadata(self.clustered)
+        self._executor = ExactExecutor(self.clustered, self.metadata)
+        self._sessions: dict[int, _QuerySession] = {}
+
+    # -- offline properties --------------------------------------------------
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters held by this provider."""
+        return self.clustered.num_clusters
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stored rows held by this provider."""
+        return self.clustered.num_rows
+
+    def metadata_size_bytes(self) -> int:
+        """Approximate footprint of the offline metadata (Section 6.1)."""
+        return self.metadata.size_bytes()
+
+    # -- protocol step 1: noisy summary ---------------------------------------
+
+    def prepare_summary(self, request: QueryRequest, epsilon_allocation: float) -> SummaryMessage:
+        """Release the DP summary ``(Ñ^Q, ~Avg(R̂))`` for the allocation phase."""
+        query = request.query.clipped_to(self.clustered.schema)
+        ranges = query.range_tuples()
+        covering_ids = self.metadata.covering_cluster_ids(ranges)
+        proportions = self.metadata.proportions(covering_ids, ranges)
+        self._sessions[request.query_id] = _QuerySession(
+            query=query, covering_ids=covering_ids, proportions=proportions
+        )
+
+        n_q = len(covering_ids)
+        avg_r = float(proportions.mean()) if n_q else 0.0
+        half_epsilon = epsilon_allocation / 2.0
+        dr_sensitivity = avg_proportion_sensitivity(
+            self.cluster_size, query.num_dimensions, self.n_min
+        )
+        count_mechanism = LaplaceMechanism(
+            epsilon=half_epsilon, sensitivity=1.0, rng=derive_rng(self._rng, "count", request.query_id)
+        )
+        avg_mechanism = LaplaceMechanism(
+            epsilon=half_epsilon,
+            sensitivity=dr_sensitivity,
+            rng=derive_rng(self._rng, "avg", request.query_id),
+        )
+        return SummaryMessage(
+            query_id=request.query_id,
+            provider_id=self.provider_id,
+            noisy_cluster_count=count_mechanism.release(float(n_q)),
+            noisy_avg_proportion=avg_mechanism.release(avg_r),
+        )
+
+    # -- protocol steps 4-6: sample, estimate, release -------------------------
+
+    def answer(
+        self,
+        allocation: AllocationMessage,
+        budget: QueryBudget,
+        *,
+        use_smc: bool = False,
+    ) -> LocalAnswer:
+        """Answer the query locally according to the granted allocation.
+
+        When ``use_smc`` is true the returned estimate is **not** noised; the
+        aggregator is expected to secret-share it, sum obliviously, and inject
+        a single Laplace noise calibrated with the maximum sensitivity.
+        """
+        session = self._sessions.get(allocation.query_id)
+        if session is None:
+            raise ProtocolError(
+                f"provider {self.provider_id} received an allocation for unknown "
+                f"query {allocation.query_id}"
+            )
+        query = session.query
+        covering_ids = session.covering_ids
+        n_q = len(covering_ids)
+        rows_available = self.clustered.num_rows
+
+        if n_q < self.n_min:
+            return self._answer_exact(allocation, session, budget, use_smc, rows_available)
+        return self._answer_approximate(allocation, session, budget, use_smc, rows_available)
+
+    def _answer_exact(
+        self,
+        allocation: AllocationMessage,
+        session: _QuerySession,
+        budget: QueryBudget,
+        use_smc: bool,
+        rows_available: int,
+    ) -> LocalAnswer:
+        covering = self.clustered.subset(session.covering_ids)
+        exact = sum(execute_on_cluster(cluster, session.query) for cluster in covering)
+        rows_scanned = sum(cluster.num_rows for cluster in covering)
+        # Adding or removing one individual changes COUNT(*) / SUM(Measure)
+        # by at most 1, so the exact path uses global sensitivity 1.
+        sensitivity = 1.0
+        noise = 0.0
+        if not use_smc:
+            mechanism = LaplaceMechanism(
+                epsilon=budget.epsilon_estimation,
+                sensitivity=sensitivity,
+                rng=derive_rng(self._rng, "exact-noise", allocation.query_id),
+            )
+            noise = float(mechanism.sample_noise())
+        report = ProviderReport(
+            provider_id=self.provider_id,
+            covering_clusters=len(covering),
+            allocation=allocation.sample_size,
+            sampled_clusters=len(covering),
+            approximated=False,
+            local_estimate=float(exact),
+            local_noise=noise,
+            smooth_sensitivity=sensitivity,
+            rows_scanned=rows_scanned,
+            rows_available=rows_available,
+            exact_local_answer=exact,
+        )
+        message = EstimateMessage(
+            query_id=allocation.query_id,
+            provider_id=self.provider_id,
+            value=float(exact) + noise,
+            smooth_sensitivity=sensitivity,
+            approximated=False,
+        )
+        return LocalAnswer(message=message, report=report)
+
+    def _answer_approximate(
+        self,
+        allocation: AllocationMessage,
+        session: _QuerySession,
+        budget: QueryBudget,
+        use_smc: bool,
+        rows_available: int,
+    ) -> LocalAnswer:
+        query = session.query
+        covering_ids = session.covering_ids
+        proportions = session.proportions
+        sample_size = max(1, min(allocation.sample_size, len(covering_ids)))
+
+        sampler = EMClusterSampler(
+            epsilon=budget.epsilon_sampling,
+            n_min=self.n_min,
+            rng=derive_rng(self._rng, "em", allocation.query_id),
+        )
+        outcome = sampler.sample(proportions, sample_size)
+        # Hansen-Hurwitz weights must match the distribution the clusters
+        # were actually drawn from (the DP selection distribution), otherwise
+        # near-zero approximate proportions blow the estimate up; see the
+        # estimator-consistency note in DESIGN.md.
+        weights = outcome.selection_probabilities
+        selected = list(outcome.selected_indices)
+        sampled_ids = [covering_ids[i] for i in selected]
+        sampled_clusters = self.clustered.subset(sampled_ids)
+        unique_scan_ids = set(sampled_ids)
+
+        values = np.array(
+            [execute_on_cluster(cluster, query) for cluster in sampled_clusters], dtype=float
+        )
+        rows_scanned = sum(
+            cluster.num_rows
+            for cluster in self.clustered.subset(sorted(unique_scan_ids))
+        )
+        estimate = hansen_hurwitz_estimate(values, weights[selected])
+
+        dr_value = delta_r(self.cluster_size, query.num_dimensions)
+        sum_proportions = float(proportions.sum())
+        smooth_values = [
+            estimator_smooth_sensitivity(
+                ClusterSensitivityInputs(
+                    cluster_value=float(values[position]),
+                    # A selected cluster holding matching rows has a true
+                    # proportion of at least one row over S; flooring the
+                    # approximate R̂ there keeps the scenario-1 local
+                    # sensitivity finite when the independence approximation
+                    # returned zero.
+                    proportion=max(float(proportions[index]), 1.0 / self.cluster_size),
+                    probability=float(weights[index]),
+                ),
+                sum_proportions=sum_proportions,
+                delta_r_value=dr_value,
+                epsilon=budget.epsilon_estimation,
+                delta=budget.delta,
+            )
+            for position, index in enumerate(selected)
+        ]
+        smooth_sensitivity = float(np.mean(smooth_values)) if smooth_values else 1.0
+
+        noise = 0.0
+        if not use_smc:
+            scale = estimator_noise_scale(smooth_values, budget.epsilon_estimation)
+            noise = float(
+                derive_rng(self._rng, "est-noise", allocation.query_id).laplace(0.0, scale)
+            )
+
+        report = ProviderReport(
+            provider_id=self.provider_id,
+            covering_clusters=len(covering_ids),
+            allocation=allocation.sample_size,
+            sampled_clusters=len(unique_scan_ids),
+            approximated=True,
+            local_estimate=float(estimate),
+            local_noise=noise,
+            smooth_sensitivity=smooth_sensitivity,
+            rows_scanned=rows_scanned,
+            rows_available=rows_available,
+        )
+        message = EstimateMessage(
+            query_id=allocation.query_id,
+            provider_id=self.provider_id,
+            value=float(estimate) + noise,
+            smooth_sensitivity=smooth_sensitivity,
+            approximated=True,
+        )
+        return LocalAnswer(message=message, report=report)
+
+    # -- baseline --------------------------------------------------------------
+
+    def exact_answer(self, query: RangeQuery) -> ExactExecution:
+        """Plain-text exact execution over this provider's covering clusters."""
+        return self._executor.execute(query.clipped_to(self.clustered.schema))
+
+    def forget(self, query_id: int) -> None:
+        """Drop the per-query session state (idempotent)."""
+        self._sessions.pop(query_id, None)

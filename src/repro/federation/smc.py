@@ -1,0 +1,190 @@
+"""Simulated secure multiparty computation (additive secret sharing).
+
+The paper uses SMC (MPyC) in two places:
+
+* the expensive strawman of Figure 1 — providers secret-share *rows* and the
+  query is evaluated on shares, and
+* the cheap option of Algorithm 3, line 8 — providers secret-share only their
+  local estimate and smooth sensitivity; the aggregator obliviously sums the
+  estimates, takes the maximum sensitivity, and injects a single Laplace
+  noise before releasing the result.
+
+This module implements the sharing semantics for real (not just the cost):
+values are fixed-point encoded into a 61-bit prime field, split into
+uniformly random additive shares (one per party), and reconstruction sums the
+shares modulo the prime.  A calibrated cost model charges per-share,
+per-reconstruction, per-addition and per-comparison simulated time so that
+the row-sharing vs result-sharing asymmetry of Figure 1 is reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..config import SMCConfig
+from ..errors import SMCError
+from ..utils.rng import RngLike, ensure_rng
+
+__all__ = ["SecretShares", "SMCSimulator", "SMCCostReport"]
+
+
+@dataclass(frozen=True)
+class SecretShares:
+    """Additive shares of one field element, one share per party."""
+
+    shares: tuple[int, ...]
+    prime: int
+
+    def __post_init__(self) -> None:
+        if len(self.shares) < 2:
+            raise SMCError("secret sharing requires at least two parties")
+        if any(not 0 <= share < self.prime for share in self.shares):
+            raise SMCError("every share must lie in [0, prime)")
+
+    @property
+    def num_parties(self) -> int:
+        """Number of parties holding a share."""
+        return len(self.shares)
+
+
+@dataclass
+class SMCCostReport:
+    """Simulated cost counters accumulated by an :class:`SMCSimulator`."""
+
+    operations: int = 0
+    simulated_seconds: float = 0.0
+    bytes_exchanged: int = 0
+
+
+@dataclass
+class SMCSimulator:
+    """Additive secret sharing over a prime field with a cost model."""
+
+    config: SMCConfig = field(default_factory=SMCConfig)
+    num_parties: int = 4
+    rng: RngLike = None
+    cost: SMCCostReport = field(default_factory=SMCCostReport)
+
+    def __post_init__(self) -> None:
+        if self.num_parties < 2:
+            raise SMCError(f"num_parties must be >= 2, got {self.num_parties}")
+        self._generator = ensure_rng(self.rng)
+        # A Mersenne prime close to 2**field_bits keeps arithmetic exact in
+        # Python integers while matching the configured field width.
+        self._prime = (1 << self.config.field_bits) - 1
+        self._scale = 1 << self.config.fixed_point_fraction_bits
+
+    # -- encoding ----------------------------------------------------------
+
+    @property
+    def prime(self) -> int:
+        """The prime modulus of the share field."""
+        return self._prime
+
+    def _encode(self, value: float) -> int:
+        scaled = int(round(value * self._scale))
+        if abs(scaled) >= self._prime // 2:
+            raise SMCError(f"value {value} overflows the fixed-point field")
+        return scaled % self._prime
+
+    def _decode(self, element: int) -> float:
+        centered = element if element <= self._prime // 2 else element - self._prime
+        return centered / self._scale
+
+    # -- sharing -----------------------------------------------------------
+
+    def share(self, value: float) -> SecretShares:
+        """Split ``value`` into additive shares (one per party)."""
+        encoded = self._encode(value)
+        random_shares = [
+            int(self._generator.integers(0, self._prime)) for _ in range(self.num_parties - 1)
+        ]
+        last = (encoded - sum(random_shares)) % self._prime
+        self._charge(
+            seconds=self.config.share_cost_seconds,
+            payload_bytes=self.config.bytes_per_share * self.num_parties,
+        )
+        return SecretShares(shares=tuple(random_shares + [last]), prime=self._prime)
+
+    def reconstruct(self, shares: SecretShares) -> float:
+        """Reconstruct the plaintext value from its shares."""
+        if shares.prime != self._prime:
+            raise SMCError("shares were produced under a different field")
+        total = sum(shares.shares) % self._prime
+        self._charge(
+            seconds=self.config.reconstruct_cost_seconds,
+            payload_bytes=self.config.bytes_per_share * shares.num_parties,
+        )
+        return self._decode(total)
+
+    # -- secure operations ---------------------------------------------------
+
+    def secure_sum(self, shared_values: Sequence[SecretShares]) -> SecretShares:
+        """Sum of several shared values, computed share-wise (no interaction)."""
+        if not shared_values:
+            raise SMCError("secure_sum requires at least one shared value")
+        for shared in shared_values:
+            if shared.num_parties != self.num_parties or shared.prime != self._prime:
+                raise SMCError("all shared values must match this simulator's parties/field")
+        summed = [0] * self.num_parties
+        for shared in shared_values:
+            for i, share in enumerate(shared.shares):
+                summed[i] = (summed[i] + share) % self._prime
+            self._charge(seconds=self.config.secure_addition_cost_seconds, payload_bytes=0)
+        return SecretShares(shares=tuple(summed), prime=self._prime)
+
+    def secure_max(self, shared_values: Sequence[SecretShares]) -> float:
+        """Maximum of several shared values via pairwise secure comparisons.
+
+        Comparisons under additive sharing are interactive; we charge the
+        per-comparison cost and reconstruct only the winning value, which is
+        the piece of information the protocol actually releases (the noise
+        scale).
+        """
+        if not shared_values:
+            raise SMCError("secure_max requires at least one shared value")
+        values = [self.reconstruct(shared) for shared in shared_values]
+        comparisons = max(0, len(values) - 1)
+        self._charge(
+            seconds=comparisons * self.config.secure_comparison_cost_seconds,
+            payload_bytes=comparisons * self.config.bytes_per_share * self.num_parties,
+        )
+        return max(values)
+
+    # -- cost model for bulk row sharing (Figure 1 strawman) -----------------
+
+    def row_sharing_cost(self, num_rows: int, num_columns: int) -> float:
+        """Simulated cost of secret-sharing an entire table's rows.
+
+        Every cell becomes one shared field element, so the cost scales with
+        ``num_rows * num_columns`` — this is the quantity Figure 1 shows
+        exploding relative to result sharing.
+        """
+        if num_rows < 0 or num_columns < 0:
+            raise SMCError("num_rows and num_columns must be >= 0")
+        cells = num_rows * num_columns
+        seconds = cells * self.config.share_cost_seconds
+        payload = cells * self.config.bytes_per_share * self.num_parties
+        self._charge(seconds=seconds, payload_bytes=payload)
+        return seconds
+
+    def result_sharing_cost(self, num_values: int) -> float:
+        """Simulated cost of secret-sharing ``num_values`` scalar results."""
+        if num_values < 0:
+            raise SMCError("num_values must be >= 0")
+        seconds = num_values * (
+            self.config.share_cost_seconds + self.config.reconstruct_cost_seconds
+        )
+        payload = num_values * self.config.bytes_per_share * self.num_parties
+        self._charge(seconds=seconds, payload_bytes=payload)
+        return seconds
+
+    # -- internals -----------------------------------------------------------
+
+    def _charge(self, *, seconds: float, payload_bytes: int) -> None:
+        self.cost.operations += 1
+        self.cost.simulated_seconds += seconds
+        self.cost.bytes_exchanged += payload_bytes

@@ -1,0 +1,16 @@
+"""Range-query model, SQL-like parser, and exact executor."""
+
+from .executor import ExactExecutor, execute_on_cluster, execute_on_clusters, execute_on_table
+from .model import Aggregation, Interval, RangeQuery
+from .parser import parse_query
+
+__all__ = [
+    "Aggregation",
+    "Interval",
+    "RangeQuery",
+    "parse_query",
+    "ExactExecutor",
+    "execute_on_table",
+    "execute_on_cluster",
+    "execute_on_clusters",
+]

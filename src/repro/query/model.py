@@ -1,0 +1,162 @@
+"""Range-query model.
+
+A :class:`RangeQuery` is the paper's
+``SELECT Aggregation FROM Table WHERE Range``: an aggregation (``COUNT(*)``
+or ``SUM(Measure)``) plus one inclusive interval per queried dimension
+(Section 3, "Queries").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import QueryError
+from ..storage.schema import Schema
+
+__all__ = ["Aggregation", "Interval", "RangeQuery"]
+
+
+class Aggregation(enum.Enum):
+    """Supported aggregation functions."""
+
+    COUNT = "count"
+    SUM = "sum"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive integer interval ``[low, high]`` on one dimension."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise QueryError(f"interval low ({self.low}) must be <= high ({self.high})")
+
+    @property
+    def width(self) -> int:
+        """Number of integer values covered by the interval."""
+        return self.high - self.low + 1
+
+    def contains(self, value: int) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def intersects(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one value."""
+        return self.low <= other.high and other.low <= self.high
+
+    def as_tuple(self) -> tuple[int, int]:
+        """The interval as a ``(low, high)`` tuple."""
+        return (self.low, self.high)
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A multidimensional range aggregation query.
+
+    Attributes
+    ----------
+    aggregation:
+        ``COUNT`` (counts represented individuals, i.e. sums the measure on
+        count tensors) or ``SUM`` (sums the measure column explicitly).
+    ranges:
+        Mapping from dimension name to its inclusive interval.  Dimensions not
+        mentioned are unconstrained.
+    """
+
+    aggregation: Aggregation
+    ranges: Mapping[str, Interval]
+
+    def __post_init__(self) -> None:
+        if not self.ranges:
+            raise QueryError("a range query must constrain at least one dimension")
+        object.__setattr__(self, "ranges", _normalise_ranges(self.ranges))
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def count(cls, ranges: Mapping[str, tuple[int, int] | Interval]) -> "RangeQuery":
+        """Build a COUNT query from ``{dimension: (low, high)}``."""
+        return cls(Aggregation.COUNT, _normalise_ranges(ranges))
+
+    @classmethod
+    def sum(cls, ranges: Mapping[str, tuple[int, int] | Interval]) -> "RangeQuery":
+        """Build a SUM(Measure) query from ``{dimension: (low, high)}``."""
+        return cls(Aggregation.SUM, _normalise_ranges(ranges))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def dimensions(self) -> tuple[str, ...]:
+        """Names of the constrained dimensions (``D^Q``)."""
+        return tuple(self.ranges)
+
+    @property
+    def num_dimensions(self) -> int:
+        """Number of constrained dimensions."""
+        return len(self.ranges)
+
+    def range_tuples(self) -> dict[str, tuple[int, int]]:
+        """Ranges as plain ``(low, high)`` tuples (metadata-friendly form)."""
+        return {name: interval.as_tuple() for name, interval in self.ranges.items()}
+
+    def validate_against(self, schema: Schema) -> None:
+        """Raise :class:`QueryError` if the query does not fit ``schema``."""
+        for name, interval in self.ranges.items():
+            if name not in schema:
+                raise QueryError(
+                    f"query constrains unknown dimension {name!r}; "
+                    f"schema has {list(schema.dimension_names)}"
+                )
+            dimension = schema.dimension(name)
+            if interval.high < dimension.low or interval.low > dimension.high:
+                raise QueryError(
+                    f"range {interval.as_tuple()} on {name!r} is disjoint from the "
+                    f"domain [{dimension.low}, {dimension.high}]"
+                )
+        if self.aggregation is Aggregation.SUM and not schema.has_measure:
+            # SUM(Measure) on a raw table degenerates to COUNT; we allow it but
+            # the executor treats the implicit measure as 1 per row.
+            return
+
+    def clipped_to(self, schema: Schema) -> "RangeQuery":
+        """Return a copy with every interval clipped into the schema domain."""
+        clipped: dict[str, Interval] = {}
+        for name, interval in self.ranges.items():
+            dimension = schema.dimension(name)
+            clipped[name] = Interval(
+                max(interval.low, dimension.low), min(interval.high, dimension.high)
+            )
+        return RangeQuery(self.aggregation, clipped)
+
+    def to_sql(self, table_name: str = "T") -> str:
+        """Render the query as the SQL text form used in the paper."""
+        select = "COUNT(*)" if self.aggregation is Aggregation.COUNT else "SUM(measure)"
+        predicates = [
+            f"{interval.low} <= {name} AND {name} <= {interval.high}"
+            for name, interval in self.ranges.items()
+        ]
+        return f"SELECT {select} FROM {table_name} WHERE " + " AND ".join(predicates)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_sql()
+
+
+def _normalise_ranges(
+    ranges: Mapping[str, tuple[int, int] | Interval],
+) -> dict[str, Interval]:
+    normalised: dict[str, Interval] = {}
+    for name, value in ranges.items():
+        if isinstance(value, Interval):
+            normalised[name] = value
+        else:
+            low, high = value
+            normalised[name] = Interval(int(low), int(high))
+    return normalised

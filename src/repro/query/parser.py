@@ -1,0 +1,149 @@
+"""A tiny SQL-like parser for the paper's query form.
+
+Accepted grammar (case-insensitive keywords)::
+
+    SELECT COUNT(*) FROM <table> WHERE <predicates>
+    SELECT SUM(<column>) FROM <table> WHERE <predicates>
+
+where ``<predicates>`` is an ``AND``-separated list of range predicates on
+dimensions, each in one of the forms::
+
+    20 <= age AND age <= 40        -- two half-bounds
+    20 <= age <= 40                -- chained comparison
+    age BETWEEN 20 AND 40
+    age >= 20 / age <= 40 / age = 30
+
+Half-open predicates (only a lower or only an upper bound) are completed with
+a very large sentinel bound and are expected to be clipped to the schema
+domain by the caller (``RangeQuery.clipped_to``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QueryParseError
+from .model import Aggregation, Interval, RangeQuery
+
+__all__ = ["parse_query"]
+
+_UNBOUNDED_LOW = -(2**62)
+_UNBOUNDED_HIGH = 2**62
+
+_SELECT_RE = re.compile(
+    r"^\s*select\s+(?P<agg>count\s*\(\s*\*\s*\)|sum\s*\(\s*[\w]+\s*\))\s+"
+    r"from\s+(?P<table>[\w\.]+)\s+where\s+(?P<where>.+?)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_BETWEEN_RE = re.compile(
+    r"^(?P<dim>\w+)\s+between\s+(?P<low>-?\d+)\s+and\s+(?P<high>-?\d+)$", re.IGNORECASE
+)
+_CHAIN_RE = re.compile(
+    r"^(?P<low>-?\d+)\s*<=\s*(?P<dim>\w+)\s*<=\s*(?P<high>-?\d+)$"
+)
+_COMPARISON_RE = re.compile(
+    r"^(?P<lhs>-?\d+|\w+)\s*(?P<op><=|>=|<|>|=)\s*(?P<rhs>-?\d+|\w+)$"
+)
+
+
+def parse_query(sql: str) -> tuple[RangeQuery, str]:
+    """Parse ``sql`` into a :class:`RangeQuery` plus the referenced table name.
+
+    Raises
+    ------
+    QueryParseError
+        When the text does not match the supported grammar.
+    """
+    match = _SELECT_RE.match(sql)
+    if match is None:
+        raise QueryParseError(f"cannot parse query: {sql!r}")
+    aggregation_text = re.sub(r"\s+", "", match.group("agg").lower())
+    aggregation = Aggregation.COUNT if aggregation_text.startswith("count") else Aggregation.SUM
+    table_name = match.group("table")
+    bounds = _parse_where(match.group("where"))
+    ranges = {
+        dim: Interval(low if low is not None else _UNBOUNDED_LOW,
+                      high if high is not None else _UNBOUNDED_HIGH)
+        for dim, (low, high) in bounds.items()
+    }
+    return RangeQuery(aggregation, ranges), table_name
+
+
+def _split_top_level_and(where: str) -> list[str]:
+    return [part.strip() for part in re.split(r"\band\b", where, flags=re.IGNORECASE) if part.strip()]
+
+
+def _parse_where(where: str) -> dict[str, tuple[int | None, int | None]]:
+    bounds: dict[str, tuple[int | None, int | None]] = {}
+
+    def update(dim: str, low: int | None, high: int | None) -> None:
+        current_low, current_high = bounds.get(dim, (None, None))
+        if low is not None:
+            current_low = low if current_low is None else max(current_low, low)
+        if high is not None:
+            current_high = high if current_high is None else min(current_high, high)
+        bounds[dim] = (current_low, current_high)
+
+    # BETWEEN predicates contain an AND, so extract them before splitting.
+    remaining_parts: list[str] = []
+    cursor = where
+    while True:
+        between = re.search(
+            r"(\w+)\s+between\s+(-?\d+)\s+and\s+(-?\d+)", cursor, re.IGNORECASE
+        )
+        if between is None:
+            remaining_parts.append(cursor)
+            break
+        remaining_parts.append(cursor[: between.start()])
+        update(between.group(1), int(between.group(2)), int(between.group(3)))
+        cursor = cursor[between.end():]
+
+    for chunk in remaining_parts:
+        for predicate in _split_top_level_and(chunk):
+            _parse_predicate(predicate, update)
+    if not bounds:
+        raise QueryParseError(f"no range predicates found in WHERE clause: {where!r}")
+    for dim, (low, high) in bounds.items():
+        if low is not None and high is not None and low > high:
+            raise QueryParseError(
+                f"contradictory bounds for {dim!r}: low {low} > high {high}"
+            )
+    return bounds
+
+
+def _parse_predicate(predicate: str, update) -> None:
+    if not predicate:
+        return
+    between = _BETWEEN_RE.match(predicate)
+    if between is not None:
+        update(between.group("dim"), int(between.group("low")), int(between.group("high")))
+        return
+    chained = _CHAIN_RE.match(predicate)
+    if chained is not None:
+        update(chained.group("dim"), int(chained.group("low")), int(chained.group("high")))
+        return
+    comparison = _COMPARISON_RE.match(predicate)
+    if comparison is None:
+        raise QueryParseError(f"cannot parse predicate: {predicate!r}")
+    lhs, op, rhs = comparison.group("lhs"), comparison.group("op"), comparison.group("rhs")
+    lhs_is_number = re.fullmatch(r"-?\d+", lhs) is not None
+    rhs_is_number = re.fullmatch(r"-?\d+", rhs) is not None
+    if lhs_is_number == rhs_is_number:
+        raise QueryParseError(
+            f"predicate must compare a dimension with a constant: {predicate!r}"
+        )
+    if lhs_is_number:
+        # Rewrite "20 <= age" as "age >= 20" by flipping the operator.
+        flipped = {"<=": ">=", ">=": "<=", "<": ">", ">": "<", "=": "="}[op]
+        lhs, rhs, op = rhs, lhs, flipped
+    dim, value = lhs, int(rhs)
+    if op == "=":
+        update(dim, value, value)
+    elif op == ">=":
+        update(dim, value, None)
+    elif op == ">":
+        update(dim, value + 1, None)
+    elif op == "<=":
+        update(dim, None, value)
+    elif op == "<":
+        update(dim, None, value - 1)

@@ -1,0 +1,31 @@
+"""Sampling and estimation substrate.
+
+Implements the paper's distribution-aware cluster sampling pipeline:
+
+* pps probabilities from approximate proportions (Equation 1),
+* the Hansen-Hurwitz estimator (Equation 3),
+* the DP Exponential-Mechanism cluster sampler (Algorithm 2),
+* non-private baselines (uniform row sampling, uniform cluster sampling,
+  exact pps sampling) used for comparison and ablation benches.
+"""
+
+from .baselines import (
+    ExactPPSSampler,
+    UniformClusterSampler,
+    UniformRowSampler,
+)
+from .em_sampler import EMClusterSampler, SamplingOutcome
+from .estimator import hansen_hurwitz_estimate, horvitz_thompson_estimate
+from .probabilities import normalise_proportions, sampling_probabilities
+
+__all__ = [
+    "sampling_probabilities",
+    "normalise_proportions",
+    "hansen_hurwitz_estimate",
+    "horvitz_thompson_estimate",
+    "EMClusterSampler",
+    "SamplingOutcome",
+    "UniformClusterSampler",
+    "UniformRowSampler",
+    "ExactPPSSampler",
+]

@@ -1,0 +1,123 @@
+"""Non-private sampling baselines.
+
+These samplers are the comparison points used in the problem statement and in
+the ablation benches:
+
+* :class:`UniformRowSampler` — Bernoulli-style row-level sampling (fast to
+  reason about, but requires touching every row, so it yields no speed-up),
+* :class:`UniformClusterSampler` — equal-probability cluster sampling (no
+  distribution awareness),
+* :class:`ExactPPSSampler` — pps cluster sampling using the *exact*
+  proportions (upper bound on what the metadata approximation can achieve,
+  and the non-DP "global sampling" reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..query.executor import execute_on_table, selection_mask
+from ..query.model import RangeQuery
+from ..storage.cluster import Cluster
+from ..utils.rng import RngLike, ensure_rng
+from .estimator import hansen_hurwitz_estimate
+from .probabilities import sampling_probabilities
+
+__all__ = ["UniformRowSampler", "UniformClusterSampler", "ExactPPSSampler"]
+
+
+@dataclass
+class UniformRowSampler:
+    """Row-level Bernoulli sampling followed by inverse-rate scaling."""
+
+    sampling_rate: float
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sampling_rate <= 1:
+            raise SamplingError(
+                f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
+            )
+        self._generator = ensure_rng(self.rng)
+
+    def estimate(self, clusters: Sequence[Cluster], query: RangeQuery) -> float:
+        """Estimate the query over the union of ``clusters``."""
+        if not clusters:
+            return 0.0
+        total = 0.0
+        for cluster in clusters:
+            table = cluster.rows
+            if table.num_rows == 0:
+                continue
+            keep = self._generator.random(table.num_rows) < self.sampling_rate
+            if not keep.any():
+                continue
+            mask = selection_mask(table, query) & keep
+            total += float(table.measure_column()[mask].sum())
+        return total / self.sampling_rate
+
+
+@dataclass
+class UniformClusterSampler:
+    """Equal-probability cluster sampling with Hansen-Hurwitz estimation."""
+
+    sampling_rate: float
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sampling_rate <= 1:
+            raise SamplingError(
+                f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
+            )
+        self._generator = ensure_rng(self.rng)
+
+    def estimate(self, clusters: Sequence[Cluster], query: RangeQuery) -> float:
+        """Estimate the query over ``clusters`` by sampling clusters uniformly."""
+        if not clusters:
+            return 0.0
+        count = max(1, int(round(self.sampling_rate * len(clusters))))
+        count = min(count, len(clusters))
+        indices = self._generator.choice(len(clusters), size=count, replace=False)
+        probabilities = np.full(len(clusters), 1.0 / len(clusters))
+        values = [execute_on_table(clusters[i].rows, query) for i in indices]
+        return hansen_hurwitz_estimate(values, probabilities[indices])
+
+
+@dataclass
+class ExactPPSSampler:
+    """pps cluster sampling using exact per-cluster proportions.
+
+    Computing the exact proportions costs as much as answering the query, so
+    this sampler is a reference point for accuracy, not a practical method —
+    exactly the argument the paper makes for approximating ``R``.
+    """
+
+    sampling_rate: float
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sampling_rate <= 1:
+            raise SamplingError(
+                f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
+            )
+        self._generator = ensure_rng(self.rng)
+
+    def estimate(self, clusters: Sequence[Cluster], query: RangeQuery) -> float:
+        """Estimate using pps probabilities derived from exact match counts."""
+        if not clusters:
+            return 0.0
+        exact_counts = np.array(
+            [execute_on_table(cluster.rows, query) for cluster in clusters], dtype=float
+        )
+        probabilities = sampling_probabilities(exact_counts)
+        count = max(1, int(round(self.sampling_rate * len(clusters))))
+        count = min(count, len(clusters))
+        indices = self._generator.choice(
+            len(clusters), size=count, replace=True, p=probabilities
+        )
+        values = exact_counts[indices]
+        return hansen_hurwitz_estimate(values, probabilities[indices])

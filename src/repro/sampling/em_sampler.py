@@ -1,0 +1,152 @@
+"""DP cluster sampling via the Exponential Mechanism (the paper's Algorithm 2).
+
+Each data provider receives an allocation ``s`` and must pick ``s`` of its
+covering clusters ``C^Q``.  The selection is biased by the pps probabilities
+``p_j`` (the score of a cluster is its own sampling probability), and made
+differentially private by the Exponential Mechanism with score sensitivity
+``Δp = 1 / (N_min * (N_min + 1))`` (Theorem 5.2).  The total budget
+``eps_S`` is split evenly across the ``s`` selections (Algorithm 2, line 3).
+
+Estimator-consistency note (see DESIGN.md): the sampler also exposes the
+*actual* selection distribution induced by the Exponential Mechanism.  The
+Hansen-Hurwitz estimator is unbiased only when the inverse-probability
+weights match the distribution the clusters were drawn from, so the provider
+weights by these selection probabilities rather than the raw pps
+probabilities of Equation 1 — when ``eps_S`` is large the two coincide, and
+when ``eps_S`` is small this choice prevents the estimate from exploding on
+clusters whose approximate proportion is near zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dp.mechanisms import ExponentialMechanism
+from ..errors import SamplingError
+from ..utils.rng import RngLike, ensure_rng
+from .probabilities import sampling_probabilities
+
+__all__ = ["SamplingOutcome", "EMClusterSampler", "sampling_probability_sensitivity"]
+
+
+def sampling_probability_sensitivity(n_min: int) -> float:
+    """``Δp = 1 / (N_min * (N_min + 1))`` — Theorem 5.2.
+
+    ``N_min`` is the provider's approximation threshold: the smallest number
+    of covering clusters for which sampling is triggered, hence the smallest
+    possible ``N^Q`` and the largest possible sensitivity of any cluster's
+    sampling probability.
+    """
+    if n_min < 1:
+        raise SamplingError(f"n_min must be >= 1, got {n_min}")
+    return 1.0 / (n_min * (n_min + 1))
+
+
+@dataclass(frozen=True)
+class SamplingOutcome:
+    """Result of one DP cluster-sampling run.
+
+    Attributes
+    ----------
+    selected_indices:
+        Positions (into the covering-cluster list) of the sampled clusters;
+        the same cluster may appear several times (with-replacement design,
+        matching the Hansen-Hurwitz estimator).
+    pps_probabilities:
+        The Equation-1 pps probabilities of *all* covering clusters.
+    selection_probabilities:
+        The Exponential-Mechanism distribution each selection was drawn from
+        — the weights the Hansen-Hurwitz estimator should use.
+    epsilon_spent:
+        The Exponential-Mechanism budget consumed (``eps_S``).
+    """
+
+    selected_indices: tuple[int, ...]
+    pps_probabilities: np.ndarray
+    selection_probabilities: np.ndarray
+    epsilon_spent: float
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Alias for :attr:`pps_probabilities` (Equation 1)."""
+        return self.pps_probabilities
+
+
+class EMClusterSampler:
+    """Exponential-Mechanism sampler over the covering clusters of a query."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        n_min: int,
+        *,
+        replace: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        if epsilon <= 0:
+            raise SamplingError(f"epsilon must be > 0, got {epsilon}")
+        self._epsilon = float(epsilon)
+        self._n_min = int(n_min)
+        self._replace = bool(replace)
+        self._rng = ensure_rng(rng)
+        self._sensitivity = sampling_probability_sensitivity(self._n_min)
+
+    @property
+    def epsilon(self) -> float:
+        """Total sampling budget ``eps_S``."""
+        return self._epsilon
+
+    @property
+    def score_sensitivity(self) -> float:
+        """Sensitivity ``Δp`` used to calibrate the Exponential Mechanism."""
+        return self._sensitivity
+
+    def selection_distribution(self, proportions, sample_size: int) -> np.ndarray:
+        """The per-selection Exponential-Mechanism distribution (Algorithm 2, line 5)."""
+        if sample_size < 1:
+            raise SamplingError(f"sample_size must be >= 1, got {sample_size}")
+        pps = sampling_probabilities(proportions)
+        mechanism = ExponentialMechanism(
+            epsilon=self._epsilon, sensitivity=self._sensitivity, rng=self._rng
+        )
+        per_selection_epsilon = self._epsilon / sample_size
+        return mechanism.selection_probabilities(pps, epsilon=per_selection_epsilon)
+
+    def sample(self, proportions, sample_size: int) -> SamplingOutcome:
+        """Run Algorithm 2: pick ``sample_size`` clusters from ``proportions``.
+
+        Parameters
+        ----------
+        proportions:
+            The approximate per-cluster proportions ``R̂`` of the covering
+            clusters (any non-negative sizes; normalised internally).
+        sample_size:
+            The provider's allocation ``s``.  Clamped to the number of
+            available clusters when sampling without replacement.
+        """
+        pps = sampling_probabilities(proportions)
+        if sample_size < 1:
+            raise SamplingError(f"sample_size must be >= 1, got {sample_size}")
+        count = sample_size if self._replace else min(sample_size, pps.size)
+
+        mechanism = ExponentialMechanism(
+            epsilon=self._epsilon, sensitivity=self._sensitivity, rng=self._rng
+        )
+        per_selection_epsilon = self._epsilon / count
+        selection = mechanism.selection_probabilities(pps, epsilon=per_selection_epsilon)
+
+        if self._replace:
+            chosen = [
+                int(self._rng.choice(selection.size, p=selection)) for _ in range(count)
+            ]
+        else:
+            chosen = mechanism.select_many(pps, count, replace=False)
+
+        return SamplingOutcome(
+            selected_indices=tuple(chosen),
+            pps_probabilities=pps,
+            selection_probabilities=selection,
+            epsilon_spent=self._epsilon,
+        )

@@ -1,0 +1,67 @@
+"""Statistical estimators for unequal-probability cluster samples.
+
+The paper uses the Hansen-Hurwitz estimator (Equation 3):
+
+    E(Q, C^Q_S) = (1 / N_S) * sum_i Q(C_i) / p_i
+
+where ``p_i`` is the pps sampling probability of the ``i``-th sampled cluster
+and ``Q(C_i)`` the exact query result on it.  The Horvitz-Thompson estimator
+is provided as an alternative for without-replacement designs and is used by
+ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SamplingError
+
+__all__ = ["hansen_hurwitz_estimate", "horvitz_thompson_estimate"]
+
+
+def _validate(values: Sequence[float], probabilities: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    vals = np.asarray(values, dtype=float)
+    probs = np.asarray(probabilities, dtype=float)
+    if vals.ndim != 1 or probs.ndim != 1:
+        raise SamplingError("values and probabilities must be one-dimensional")
+    if vals.size != probs.size:
+        raise SamplingError(
+            f"values ({vals.size}) and probabilities ({probs.size}) must be aligned"
+        )
+    if vals.size == 0:
+        raise SamplingError("cannot estimate from an empty sample")
+    if not np.all(np.isfinite(vals)) or not np.all(np.isfinite(probs)):
+        raise SamplingError("values and probabilities must be finite")
+    if np.any(probs <= 0) or np.any(probs > 1):
+        raise SamplingError("probabilities must lie in (0, 1]")
+    return vals, probs
+
+
+def hansen_hurwitz_estimate(
+    values: Sequence[float], probabilities: Sequence[float]
+) -> float:
+    """Hansen-Hurwitz estimate of the population total (Equation 3).
+
+    Parameters
+    ----------
+    values:
+        Exact per-cluster query results ``Q(C_i)`` for the sampled clusters.
+    probabilities:
+        The pps selection probabilities ``p_i`` of those clusters.
+    """
+    vals, probs = _validate(values, probabilities)
+    return float(np.mean(vals / probs))
+
+
+def horvitz_thompson_estimate(
+    values: Sequence[float], inclusion_probabilities: Sequence[float]
+) -> float:
+    """Horvitz-Thompson estimate ``sum_i Q(C_i) / pi_i``.
+
+    ``pi_i`` is the probability that cluster ``i`` appears in the sample at
+    all (inclusion probability), appropriate for without-replacement designs.
+    """
+    vals, probs = _validate(values, inclusion_probabilities)
+    return float(np.sum(vals / probs))

@@ -1,0 +1,58 @@
+"""Probability-proportional-to-size (pps) sampling probabilities (Equation 1).
+
+Given the approximate per-cluster proportions ``R_j`` (fraction of the
+cluster's rows matching the query, estimated from metadata under the
+dimension-independence assumption), the sampling probability of cluster ``j``
+is ``p_j = R_j / sum_i R_i``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SamplingError
+
+__all__ = ["normalise_proportions", "sampling_probabilities"]
+
+
+def normalise_proportions(proportions: Sequence[float]) -> np.ndarray:
+    """Validate raw proportions: finite, non-negative, one-dimensional."""
+    array = np.asarray(proportions, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise SamplingError("proportions must be a non-empty one-dimensional sequence")
+    if not np.all(np.isfinite(array)):
+        raise SamplingError("proportions must be finite")
+    if np.any(array < 0):
+        raise SamplingError("proportions must be non-negative")
+    return array
+
+
+def sampling_probabilities(
+    proportions: Sequence[float], *, floor: float = 1e-12
+) -> np.ndarray:
+    """pps probabilities ``p_j = R_j / sum(R)`` with a degenerate-case fallback.
+
+    When every proportion is zero (the metadata approximation found no
+    matching rows in any covering cluster — possible because Equation 1 is an
+    approximation) the probabilities fall back to uniform so that sampling and
+    estimation remain well defined.
+
+    Parameters
+    ----------
+    floor:
+        Minimum probability assigned to any cluster.  A strictly positive
+        floor keeps the Hansen-Hurwitz weights ``Q(C)/p`` finite even for
+        clusters whose approximate proportion is zero but that do contain
+        matching rows.
+    """
+    array = normalise_proportions(proportions)
+    total = float(array.sum())
+    if total <= 0.0:
+        return np.full(array.size, 1.0 / array.size)
+    probabilities = array / total
+    if floor > 0:
+        probabilities = np.maximum(probabilities, floor)
+        probabilities = probabilities / probabilities.sum()
+    return probabilities

@@ -1,0 +1,42 @@
+"""Storage substrate: schemas, tables, clusters, count tensors and metadata.
+
+The paper assumes each provider stores its table as a set of bounded-size
+clusters (PostgreSQL pages / HDFS blocks) plus lightweight per-cluster
+metadata (Algorithm 1).  This package provides a pure-Python/NumPy columnar
+equivalent:
+
+* :class:`~repro.storage.schema.Schema` / ``Dimension`` describe discrete,
+  totally ordered attribute domains,
+* :class:`~repro.storage.table.Table` is a columnar row store,
+* :func:`~repro.storage.tensor.build_count_tensor` aggregates a table into a
+  count tensor with a ``Measure`` column (Figure 2),
+* :class:`~repro.storage.clustered_table.ClusteredTable` splits a table into
+  clusters of at most ``S`` rows,
+* :mod:`~repro.storage.metadata` implements Algorithm 1: per-cluster
+  ``R_{d>=}(v)`` proportions and global per-cluster min/max bounds.
+"""
+
+from .cluster import Cluster
+from .clustered_table import ClusteredTable
+from .metadata import (
+    ClusterMetadata,
+    GlobalClusterEntry,
+    MetadataStore,
+    build_metadata,
+)
+from .schema import Dimension, Schema
+from .table import Table
+from .tensor import build_count_tensor
+
+__all__ = [
+    "Dimension",
+    "Schema",
+    "Table",
+    "Cluster",
+    "ClusteredTable",
+    "build_count_tensor",
+    "ClusterMetadata",
+    "GlobalClusterEntry",
+    "MetadataStore",
+    "build_metadata",
+]

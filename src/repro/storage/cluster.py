@@ -1,0 +1,54 @@
+"""A cluster: one bounded-size storage unit of a clustered table.
+
+Clusters play the role of PostgreSQL pages / HDFS blocks in the paper.  Each
+cluster knows its identifier, its rows (a :class:`~repro.storage.table.Table`
+slice) and the *nominal* cluster size ``S`` that all providers agreed on —
+used as the denominator of the ``R_{d>=}(v)`` proportions even when the
+cluster holds fewer rows (e.g. the last cluster of a partition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .table import Table
+
+__all__ = ["Cluster"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A bounded-size chunk of a provider's table."""
+
+    cluster_id: int
+    rows: Table
+    nominal_size: int
+
+    def __post_init__(self) -> None:
+        if self.cluster_id < 0:
+            raise StorageError(f"cluster_id must be >= 0, got {self.cluster_id}")
+        if self.nominal_size < 1:
+            raise StorageError(f"nominal_size must be >= 1, got {self.nominal_size}")
+        if self.rows.num_rows > self.nominal_size:
+            raise StorageError(
+                f"cluster {self.cluster_id} holds {self.rows.num_rows} rows, "
+                f"more than its nominal size {self.nominal_size}"
+            )
+
+    @property
+    def num_rows(self) -> int:
+        """Actual number of rows stored in this cluster."""
+        return self.rows.num_rows
+
+    @property
+    def schema(self):
+        """Schema of the stored rows."""
+        return self.rows.schema
+
+    def total_measure(self) -> int:
+        """Sum of the measure column of this cluster."""
+        return self.rows.total_measure()
+
+    def __len__(self) -> int:
+        return self.num_rows

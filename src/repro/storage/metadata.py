@@ -1,0 +1,354 @@
+"""Offline cluster metadata (the paper's Algorithm 1).
+
+During the offline pre-processing phase each data provider builds, for every
+cluster ``C`` and every dimension ``d``:
+
+* the per-value proportions ``R_{d>=}(v) = |rows with d >= v| / S`` for each
+  distinct value ``v`` present in the cluster (stored compactly as the sorted
+  distinct values plus suffix counts, so a lookup for an arbitrary ``x`` is a
+  binary search), and
+* the global entry ``(v_min, v_max)`` per dimension, used by Equation 2 to
+  identify the covering set ``C^Q`` without touching any rows.
+
+``S`` is the *nominal* cluster size shared by all providers (Section 7); it is
+used as the denominator even when a cluster holds fewer rows, which is what
+makes proportions comparable across providers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import StorageError
+from .cluster import Cluster
+from .clustered_table import ClusteredTable
+
+__all__ = [
+    "DimensionMetadata",
+    "ClusterMetadata",
+    "GlobalClusterEntry",
+    "MetadataStore",
+    "build_metadata",
+]
+
+
+@dataclass(frozen=True)
+class DimensionMetadata:
+    """Suffix-count metadata for one dimension of one cluster.
+
+    ``values`` are the sorted distinct values present in the cluster and
+    ``rows_geq[i]`` is the number of cluster rows whose value is
+    ``>= values[i]``.
+    """
+
+    values: np.ndarray
+    rows_geq: np.ndarray
+    nominal_size: int
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.int64)
+        rows_geq = np.asarray(self.rows_geq, dtype=np.int64)
+        if values.shape != rows_geq.shape or values.ndim != 1:
+            raise StorageError("values and rows_geq must be one-dimensional and aligned")
+        if values.size > 1 and not np.all(np.diff(values) > 0):
+            raise StorageError("values must be strictly increasing")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "rows_geq", rows_geq)
+
+    def rows_at_least(self, threshold: int) -> int:
+        """Number of cluster rows whose value is ``>= threshold``."""
+        if self.values.size == 0:
+            return 0
+        position = int(np.searchsorted(self.values, threshold, side="left"))
+        if position >= self.values.size:
+            return 0
+        return int(self.rows_geq[position])
+
+    def proportion_at_least(self, threshold: int) -> float:
+        """``R_{d>=}(threshold)``: proportion (over ``S``) of rows ``>= threshold``."""
+        return self.rows_at_least(threshold) / self.nominal_size
+
+    def proportion_in_range(self, low: int, high: int) -> float:
+        """Proportion of rows with value in the inclusive range ``[low, high]``.
+
+        Implemented as ``R_{d>=}(low) - R_{d>=}(high + 1)`` which is the
+        inclusive-range variant of the paper's ``R_d`` (see DESIGN.md).
+        """
+        if low > high:
+            return 0.0
+        return (self.rows_at_least(low) - self.rows_at_least(high + 1)) / self.nominal_size
+
+    def entry_count(self) -> int:
+        """Number of stored ``(d, v, R)`` entries for this dimension."""
+        return int(self.values.size)
+
+
+@dataclass(frozen=True)
+class GlobalClusterEntry:
+    """Per-cluster, per-dimension min/max bounds (the global metadata file)."""
+
+    cluster_id: int
+    bounds: Mapping[str, tuple[int, int]]
+    num_rows: int
+
+    def overlaps(self, ranges: Mapping[str, tuple[int, int]]) -> bool:
+        """True when the cluster's bounds intersect every queried range.
+
+        This is the paper's Equation 2: a cluster belongs to ``C^Q`` iff for
+        every queried dimension its ``[v_min, v_max]`` interval intersects the
+        query interval.  Empty clusters never overlap.
+        """
+        if self.num_rows == 0:
+            return False
+        for name, (low, high) in ranges.items():
+            if name not in self.bounds:
+                return False
+            v_min, v_max = self.bounds[name]
+            if v_max < low or v_min > high:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class ClusterMetadata:
+    """All metadata of one cluster: per-dimension suffix counts + bounds."""
+
+    cluster_id: int
+    nominal_size: int
+    num_rows: int
+    dimensions: Mapping[str, DimensionMetadata]
+
+    def proportion_for_ranges(self, ranges: Mapping[str, tuple[int, int]]) -> float:
+        """Approximate ``R``: product of per-dimension range proportions (Eq. 1).
+
+        Assumes dimension independence, exactly like the paper.  Dimensions
+        absent from ``ranges`` contribute a factor of 1 (no restriction).
+        """
+        proportion = 1.0
+        for name, (low, high) in ranges.items():
+            if name not in self.dimensions:
+                raise StorageError(
+                    f"cluster {self.cluster_id} has no metadata for dimension {name!r}"
+                )
+            proportion *= self.dimensions[name].proportion_in_range(low, high)
+            if proportion == 0.0:
+                return 0.0
+        return proportion
+
+    def global_entry(self) -> GlobalClusterEntry:
+        """Build the global-metadata entry (per-dimension min/max)."""
+        bounds: dict[str, tuple[int, int]] = {}
+        for name, meta in self.dimensions.items():
+            if meta.values.size:
+                bounds[name] = (int(meta.values[0]), int(meta.values[-1]))
+        return GlobalClusterEntry(
+            cluster_id=self.cluster_id, bounds=bounds, num_rows=self.num_rows
+        )
+
+    def entry_count(self) -> int:
+        """Total number of stored metadata entries across dimensions."""
+        return sum(meta.entry_count() for meta in self.dimensions.values())
+
+    def size_bytes(self) -> int:
+        """Approximate serialised size: each entry stores a value + a count."""
+        per_entry = 16  # one 8-byte value + one 8-byte suffix count
+        bounds_bytes = 16 * len(self.dimensions)
+        return per_entry * self.entry_count() + bounds_bytes
+
+
+@dataclass(frozen=True)
+class DenseDimensionIndex:
+    """Vectorised acceleration structure for one dimension across all clusters.
+
+    ``rows_geq[c, v - domain_low]`` is the number of rows of cluster ``c``
+    whose value is ``>= v``; an extra trailing column of zeros covers
+    ``domain_high + 1``.  ``v_min`` / ``v_max`` are the per-cluster bounds used
+    for covering-set identification.  This is a query-time acceleration of the
+    same information Algorithm 1 stores; the serialised-size accounting keeps
+    using the sparse per-cluster representation.
+    """
+
+    domain_low: int
+    domain_high: int
+    rows_geq: np.ndarray
+    v_min: np.ndarray
+    v_max: np.ndarray
+
+    def range_counts(self, cluster_positions: np.ndarray, low: int, high: int) -> np.ndarray:
+        """Rows of each cluster (by position) with value in ``[low, high]``."""
+        low_clipped = max(low, self.domain_low)
+        high_clipped = min(high, self.domain_high)
+        if low_clipped > high_clipped:
+            return np.zeros(cluster_positions.size, dtype=np.int64)
+        low_col = low_clipped - self.domain_low
+        high_col = high_clipped + 1 - self.domain_low
+        return (
+            self.rows_geq[cluster_positions, low_col]
+            - self.rows_geq[cluster_positions, high_col]
+        )
+
+    def overlap_mask(self, low: int, high: int) -> np.ndarray:
+        """Boolean mask of clusters whose [v_min, v_max] intersects [low, high]."""
+        return (self.v_max >= low) & (self.v_min <= high)
+
+
+@dataclass
+class MetadataStore:
+    """Metadata for every cluster of a provider's clustered table."""
+
+    clusters: Mapping[int, ClusterMetadata]
+    global_entries: tuple[GlobalClusterEntry, ...]
+    nominal_size: int
+    dense_index: Mapping[str, DenseDimensionIndex] | None = None
+    cluster_ids: tuple[int, ...] = ()
+    occupancy: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if not self.cluster_ids:
+            self.cluster_ids = tuple(entry.cluster_id for entry in self.global_entries)
+        self._position = {cluster_id: i for i, cluster_id in enumerate(self.cluster_ids)}
+        if self.occupancy is None:
+            self.occupancy = np.array(
+                [entry.num_rows for entry in self.global_entries], dtype=np.int64
+            )
+
+    def covering_cluster_ids(self, ranges: Mapping[str, tuple[int, int]]) -> list[int]:
+        """Identify ``C^Q``: ids of clusters whose bounds overlap the query."""
+        if self.dense_index is not None and all(name in self.dense_index for name in ranges):
+            mask = self.occupancy > 0
+            for name, (low, high) in ranges.items():
+                mask &= self.dense_index[name].overlap_mask(low, high)
+            return [self.cluster_ids[i] for i in np.flatnonzero(mask)]
+        return [entry.cluster_id for entry in self.global_entries if entry.overlaps(ranges)]
+
+    def proportions(
+        self, cluster_ids: Sequence[int], ranges: Mapping[str, tuple[int, int]]
+    ) -> np.ndarray:
+        """Approximate ``R`` for each cluster id, in order (Equation 1)."""
+        ids = list(cluster_ids)
+        if not ids:
+            return np.zeros(0, dtype=float)
+        if self.dense_index is not None and all(name in self.dense_index for name in ranges):
+            positions = np.array([self._position[cluster_id] for cluster_id in ids])
+            result = np.ones(len(ids), dtype=float)
+            for name, (low, high) in ranges.items():
+                counts = self.dense_index[name].range_counts(positions, low, high)
+                result *= counts / self.nominal_size
+            return result
+        return np.array(
+            [self.clusters[cluster_id].proportion_for_ranges(ranges) for cluster_id in ids],
+            dtype=float,
+        )
+
+    def cluster(self, cluster_id: int) -> ClusterMetadata:
+        """Return the metadata of ``cluster_id``."""
+        try:
+            return self.clusters[cluster_id]
+        except KeyError:
+            raise StorageError(f"no metadata for cluster {cluster_id}") from None
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters described by this store."""
+        return len(self.clusters)
+
+    def size_bytes(self) -> int:
+        """Approximate serialised size of the whole store."""
+        return sum(meta.size_bytes() for meta in self.clusters.values())
+
+    def size_bytes_per_cluster(self) -> float:
+        """Average metadata footprint per cluster."""
+        if not self.clusters:
+            return 0.0
+        return self.size_bytes() / len(self.clusters)
+
+
+def _dimension_metadata(cluster: Cluster, dimension: str) -> DimensionMetadata:
+    column = cluster.rows.column(dimension)
+    if column.size == 0:
+        return DimensionMetadata(
+            values=np.empty(0, dtype=np.int64),
+            rows_geq=np.empty(0, dtype=np.int64),
+            nominal_size=cluster.nominal_size,
+        )
+    values, counts = np.unique(column, return_counts=True)
+    # rows >= values[i] is the suffix sum of counts starting at i.
+    rows_geq = np.cumsum(counts[::-1])[::-1]
+    return DimensionMetadata(values=values, rows_geq=rows_geq, nominal_size=cluster.nominal_size)
+
+
+def _dense_index(
+    clustered: ClusteredTable, names: Sequence[str]
+) -> dict[str, DenseDimensionIndex]:
+    """Build the vectorised per-dimension suffix-count matrices."""
+    index: dict[str, DenseDimensionIndex] = {}
+    num_clusters = clustered.num_clusters
+    for name in names:
+        dimension = clustered.schema.dimension(name)
+        domain = dimension.domain_size
+        rows_geq = np.zeros((num_clusters, domain + 1), dtype=np.int64)
+        v_min = np.full(num_clusters, dimension.high + 1, dtype=np.int64)
+        v_max = np.full(num_clusters, dimension.low - 1, dtype=np.int64)
+        for position, cluster in enumerate(clustered):
+            column = cluster.rows.column(name)
+            if column.size == 0:
+                continue
+            counts = np.bincount(column - dimension.low, minlength=domain)
+            # rows >= v is the reversed cumulative sum of per-value counts.
+            rows_geq[position, :domain] = np.cumsum(counts[::-1])[::-1]
+            v_min[position] = int(column.min())
+            v_max[position] = int(column.max())
+        index[name] = DenseDimensionIndex(
+            domain_low=dimension.low,
+            domain_high=dimension.high,
+            rows_geq=rows_geq,
+            v_min=v_min,
+            v_max=v_max,
+        )
+    return index
+
+
+def build_metadata(
+    clustered: ClusteredTable,
+    dimensions: Sequence[str] | None = None,
+    *,
+    dense: bool = True,
+) -> MetadataStore:
+    """Run Algorithm 1: build per-cluster and global metadata.
+
+    Parameters
+    ----------
+    clustered:
+        The provider's clustered table.
+    dimensions:
+        Dimensions to index; defaults to every schema dimension (the measure
+        column is never indexed).
+    dense:
+        Also build the vectorised acceleration index (recommended; the sparse
+        per-cluster entries are kept either way for size accounting).
+    """
+    names = list(dimensions) if dimensions is not None else list(clustered.schema.dimension_names)
+    for name in names:
+        clustered.schema.dimension(name)
+    per_cluster: dict[int, ClusterMetadata] = {}
+    global_entries: list[GlobalClusterEntry] = []
+    for cluster in clustered:
+        dims = {name: _dimension_metadata(cluster, name) for name in names}
+        metadata = ClusterMetadata(
+            cluster_id=cluster.cluster_id,
+            nominal_size=cluster.nominal_size,
+            num_rows=cluster.num_rows,
+            dimensions=dims,
+        )
+        per_cluster[cluster.cluster_id] = metadata
+        global_entries.append(metadata.global_entry())
+    return MetadataStore(
+        clusters=per_cluster,
+        global_entries=tuple(global_entries),
+        nominal_size=clustered.cluster_size,
+        dense_index=_dense_index(clustered, names) if dense else None,
+        cluster_ids=tuple(cluster.cluster_id for cluster in clustered),
+    )

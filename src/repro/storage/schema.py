@@ -1,0 +1,140 @@
+"""Schemas over discrete, totally ordered attribute domains.
+
+The paper's data model (Section 3) assumes every dimension ``d`` has a
+discrete and totally ordered domain ``|d|``.  We model domains as integer
+ranges ``[low, high]``; categorical attributes are expected to be encoded to
+integers by the dataset generators.  A schema optionally designates one
+column as the ``Measure`` column of a count tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import SchemaError
+
+__all__ = ["Dimension", "Schema", "MEASURE_COLUMN"]
+
+MEASURE_COLUMN = "measure"
+"""Conventional name of the count-tensor measure column."""
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A named attribute with a discrete integer domain ``[low, high]``.
+
+    Attributes
+    ----------
+    name:
+        Attribute name (unique within a schema, case-sensitive).
+    low, high:
+        Inclusive bounds of the integer domain.
+    """
+
+    name: str
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise SchemaError("dimension name must be a non-empty string")
+        if self.low > self.high:
+            raise SchemaError(
+                f"dimension {self.name!r}: low ({self.low}) must be <= high ({self.high})"
+            )
+
+    @property
+    def domain_size(self) -> int:
+        """Number of distinct values in the domain (the paper's ``||d||``)."""
+        return self.high - self.low + 1
+
+    def contains(self, value: int) -> bool:
+        """True when ``value`` lies inside the domain."""
+        return self.low <= value <= self.high
+
+    def clip(self, value: int) -> int:
+        """Clamp ``value`` into the domain."""
+        return min(self.high, max(self.low, value))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of dimensions, optionally with a measure column.
+
+    The measure column (``Measure`` in the paper's Figure 2) stores the number
+    of original rows aggregated into each count-tensor row and is never range
+    queried itself.
+    """
+
+    dimensions: tuple[Dimension, ...]
+    measure: str | None = None
+    _index: Mapping[str, int] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.dimensions:
+            raise SchemaError("a schema must declare at least one dimension")
+        names = [dimension.name for dimension in self.dimensions]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate dimension names: {sorted(duplicates)}")
+        if self.measure is not None and self.measure in names:
+            raise SchemaError(
+                f"measure column {self.measure!r} collides with a dimension name"
+            )
+        object.__setattr__(self, "_index", {name: i for i, name in enumerate(names)})
+
+    @classmethod
+    def from_dimensions(
+        cls, dimensions: Iterable[Dimension], measure: str | None = None
+    ) -> "Schema":
+        """Build a schema from an iterable of dimensions."""
+        return cls(tuple(dimensions), measure=measure)
+
+    @property
+    def dimension_names(self) -> tuple[str, ...]:
+        """Names of the dimensions, in declaration order."""
+        return tuple(dimension.name for dimension in self.dimensions)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """All column names, measure last when present."""
+        if self.measure is None:
+            return self.dimension_names
+        return self.dimension_names + (self.measure,)
+
+    @property
+    def has_measure(self) -> bool:
+        """True when the schema carries a measure column (count tensor)."""
+        return self.measure is not None
+
+    def __len__(self) -> int:
+        return len(self.dimensions)
+
+    def __iter__(self) -> Iterator[Dimension]:
+        return iter(self.dimensions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def dimension(self, name: str) -> Dimension:
+        """Return the dimension named ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self.dimensions[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"unknown dimension {name!r}; known dimensions: {list(self.dimension_names)}"
+            ) from None
+
+    def dimension_index(self, name: str) -> int:
+        """Positional index of the dimension named ``name``."""
+        self.dimension(name)
+        return self._index[name]
+
+    def with_measure(self, measure: str = MEASURE_COLUMN) -> "Schema":
+        """Return a copy of this schema with a measure column attached."""
+        return Schema(self.dimensions, measure=measure)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a schema restricted to ``names`` (measure is dropped)."""
+        return Schema(tuple(self.dimension(name) for name in names), measure=None)

@@ -1,0 +1,188 @@
+"""Columnar in-memory table over a :class:`~repro.storage.schema.Schema`.
+
+A :class:`Table` stores one integer NumPy column per schema column (the
+dimensions plus, when present, the measure).  It is the substrate under both
+the raw tabular data and the count tensor of the paper's Figure 2, and under
+the per-provider partitions and clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError, StorageError
+from .schema import Schema
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """An immutable-by-convention columnar table.
+
+    Parameters
+    ----------
+    schema:
+        The table schema.
+    columns:
+        Mapping from column name to a one-dimensional integer array.  All
+        columns must have the same length and every schema column must be
+        present.
+    """
+
+    schema: Schema
+    columns: Mapping[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        normalised: dict[str, np.ndarray] = {}
+        expected = self.schema.column_names
+        missing = [name for name in expected if name not in self.columns]
+        if missing:
+            raise SchemaError(f"missing columns: {missing}")
+        extra = [name for name in self.columns if name not in expected]
+        if extra:
+            raise SchemaError(f"unexpected columns: {extra}")
+        length: int | None = None
+        for name in expected:
+            array = np.asarray(self.columns[name])
+            if array.ndim != 1:
+                raise StorageError(f"column {name!r} must be one-dimensional")
+            if not np.issubdtype(array.dtype, np.integer):
+                if np.issubdtype(array.dtype, np.floating) and np.all(
+                    np.equal(np.mod(array, 1), 0)
+                ):
+                    array = array.astype(np.int64)
+                else:
+                    raise StorageError(f"column {name!r} must contain integers")
+            array = np.ascontiguousarray(array, dtype=np.int64)
+            if length is None:
+                length = array.size
+            elif array.size != length:
+                raise StorageError(
+                    f"column {name!r} has {array.size} rows, expected {length}"
+                )
+            normalised[name] = array
+        self.columns = normalised
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[int]]) -> "Table":
+        """Build a table from row tuples ordered as ``schema.column_names``."""
+        matrix = np.asarray(list(rows), dtype=np.int64)
+        names = schema.column_names
+        if matrix.size == 0:
+            matrix = matrix.reshape(0, len(names))
+        if matrix.ndim != 2 or matrix.shape[1] != len(names):
+            raise StorageError(
+                f"rows must have {len(names)} values each, got shape {matrix.shape}"
+            )
+        return cls(schema, {name: matrix[:, i] for i, name in enumerate(names)})
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """An empty table with the given schema."""
+        return cls(schema, {name: np.empty(0, dtype=np.int64) for name in schema.column_names})
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        first = self.schema.column_names[0]
+        return int(self.columns[first].size)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column named ``name`` (a view, do not mutate)."""
+        if name not in self.columns:
+            raise SchemaError(f"unknown column {name!r}")
+        return self.columns[name]
+
+    def measure_column(self) -> np.ndarray:
+        """The measure column, or an all-ones vector for raw tables.
+
+        Treating raw tables as tensors with ``Measure = 1`` lets the query
+        executor use a single code path for ``COUNT(*)`` and ``SUM(Measure)``.
+        """
+        if self.schema.has_measure:
+            return self.columns[self.schema.measure]
+        return np.ones(self.num_rows, dtype=np.int64)
+
+    def row(self, index: int) -> dict[str, int]:
+        """Return row ``index`` as a column-name -> value mapping."""
+        if not 0 <= index < self.num_rows:
+            raise StorageError(f"row index {index} out of range [0, {self.num_rows})")
+        return {name: int(self.columns[name][index]) for name in self.schema.column_names}
+
+    def to_matrix(self) -> np.ndarray:
+        """Return the table as a dense ``(num_rows, num_columns)`` matrix."""
+        return np.column_stack([self.columns[name] for name in self.schema.column_names])
+
+    # -- slicing / combination --------------------------------------------
+
+    def take(self, indices: np.ndarray | Sequence[int]) -> "Table":
+        """Return a new table containing the rows at ``indices`` (in order)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return Table(
+            self.schema,
+            {name: self.columns[name][idx] for name in self.schema.column_names},
+        )
+
+    def slice(self, start: int, stop: int) -> "Table":
+        """Return rows ``start:stop`` as a new table."""
+        return Table(
+            self.schema,
+            {name: self.columns[name][start:stop] for name in self.schema.column_names},
+        )
+
+    def select(self, mask: np.ndarray) -> "Table":
+        """Return rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.size != self.num_rows:
+            raise StorageError(
+                f"mask has {mask.size} entries, expected {self.num_rows}"
+            )
+        return Table(
+            self.schema,
+            {name: self.columns[name][mask] for name in self.schema.column_names},
+        )
+
+    @staticmethod
+    def concat(tables: Sequence["Table"]) -> "Table":
+        """Concatenate tables sharing the same schema."""
+        if not tables:
+            raise StorageError("cannot concatenate an empty sequence of tables")
+        schema = tables[0].schema
+        for table in tables[1:]:
+            if table.schema.column_names != schema.column_names:
+                raise SchemaError("all tables must share the same schema to concatenate")
+        return Table(
+            schema,
+            {
+                name: np.concatenate([table.columns[name] for table in tables])
+                for name in schema.column_names
+            },
+        )
+
+    # -- statistics --------------------------------------------------------
+
+    def total_measure(self) -> int:
+        """Sum of the measure column (== number of represented individuals)."""
+        return int(self.measure_column().sum())
+
+    def column_min_max(self, name: str) -> tuple[int, int]:
+        """Minimum and maximum value present in column ``name``."""
+        column = self.column(name)
+        if column.size == 0:
+            raise StorageError(f"column {name!r} is empty; min/max undefined")
+        return int(column.min()), int(column.max())
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the stored columns."""
+        return int(sum(array.nbytes for array in self.columns.values()))

@@ -1,0 +1,71 @@
+"""Count-tensor construction (the paper's Figure 2).
+
+A count tensor aggregates a raw table over a subset of its dimensions: every
+distinct combination of the kept dimensions becomes one row, and a
+``Measure`` column records how many original rows it represents.  Range
+queries then use ``COUNT(*)`` on the raw table or ``SUM(Measure)`` on the
+tensor interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import MEASURE_COLUMN, Schema
+from .table import Table
+
+__all__ = ["build_count_tensor"]
+
+
+def build_count_tensor(
+    table: Table,
+    dimensions: Sequence[str],
+    *,
+    measure_name: str = MEASURE_COLUMN,
+) -> Table:
+    """Aggregate ``table`` over ``dimensions`` into a count tensor.
+
+    Parameters
+    ----------
+    table:
+        The source table.  If it already carries a measure column, measures
+        are summed (re-aggregation); otherwise every source row counts as 1.
+    dimensions:
+        The dimensions to keep (``D^a`` in the paper); all other dimensions
+        are aggregated away.
+    measure_name:
+        Name of the measure column in the produced tensor.
+
+    Returns
+    -------
+    Table
+        A table whose schema keeps only ``dimensions`` plus the measure
+        column, with one row per distinct value combination.
+    """
+    if not dimensions:
+        raise SchemaError("a count tensor needs at least one kept dimension")
+    kept = list(dict.fromkeys(dimensions))
+    if len(kept) != len(list(dimensions)):
+        raise SchemaError(f"duplicate dimensions in {list(dimensions)}")
+    for name in kept:
+        table.schema.dimension(name)
+
+    tensor_schema = Schema(
+        tuple(table.schema.dimension(name) for name in kept), measure=measure_name
+    )
+
+    if table.num_rows == 0:
+        return Table.empty(tensor_schema)
+
+    keys = np.column_stack([table.column(name) for name in kept])
+    measures = table.measure_column()
+    unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+    summed = np.zeros(unique_keys.shape[0], dtype=np.int64)
+    np.add.at(summed, inverse, measures)
+
+    columns = {name: unique_keys[:, i] for i, name in enumerate(kept)}
+    columns[measure_name] = summed
+    return Table(tensor_schema, columns)

@@ -1,0 +1,22 @@
+"""Small shared utilities: seeded RNG management, timers, validation."""
+
+from .rng import derive_rng, ensure_rng, spawn_child_rngs
+from .timing import Stopwatch, Timer
+from .validation import (
+    require_fraction,
+    require_non_negative,
+    require_positive,
+    require_probability_vector,
+)
+
+__all__ = [
+    "derive_rng",
+    "ensure_rng",
+    "spawn_child_rngs",
+    "Stopwatch",
+    "Timer",
+    "require_fraction",
+    "require_non_negative",
+    "require_positive",
+    "require_probability_vector",
+]

@@ -1,0 +1,75 @@
+"""Wall-clock timing helpers used by the execution traces and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+@dataclass
+class Timer:
+    """Context manager measuring a single elapsed wall-clock interval.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(10))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock intervals (one per protocol phase)."""
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    def measure(self, name: str) -> "_Lap":
+        """Return a context manager adding its elapsed time under ``name``."""
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated time of ``name``."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.laps[name] = self.laps.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Total time across all named laps."""
+        return sum(self.laps.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a copy of the recorded laps."""
+        return dict(self.laps)
+
+
+class _Lap:
+    """Context manager recording one interval into a :class:`Stopwatch`."""
+
+    def __init__(self, stopwatch: Stopwatch, name: str) -> None:
+        self._stopwatch = stopwatch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stopwatch.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,54 @@
+"""Numeric validation helpers shared across subsystems."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_fraction",
+    "require_probability_vector",
+]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is finite and strictly positive, else raise."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is finite and non-negative, else raise."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value}")
+    return value
+
+
+def require_fraction(value: float, name: str, *, inclusive: bool = False) -> float:
+    """Return ``value`` if it lies in ``(0, 1)`` (or ``[0, 1]``), else raise."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if inclusive:
+        if not 0 <= value <= 1:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    elif not 0 < value < 1:
+        raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def require_probability_vector(values: Sequence[float], name: str) -> np.ndarray:
+    """Validate and return a probability vector (non-negative, sums to one)."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError(f"{name} must be a non-empty one-dimensional sequence")
+    if not np.all(np.isfinite(array)) or np.any(array < 0):
+        raise ValueError(f"{name} must contain finite non-negative values")
+    total = float(array.sum())
+    if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return array

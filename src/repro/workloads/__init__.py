@@ -1,0 +1,5 @@
+"""Random range-query workload generation (the paper's ``(m, n)`` workloads)."""
+
+from .generator import Workload, WorkloadGenerator
+
+__all__ = ["Workload", "WorkloadGenerator"]

@@ -1,0 +1,138 @@
+"""Random range-query workloads.
+
+A workload ``(m, n)`` is a set of ``m`` distinct queries, each constraining
+``n`` dimensions with random ranges (Section 6.1).  The generator draws the
+constrained dimensions uniformly, draws each range as a random sub-interval
+covering a configurable fraction of the domain, and can optionally filter out
+queries whose exact answer is empty or whose covering-cluster count would not
+trigger the approximation (the paper only runs queries with
+``N^Q > N_min`` on all providers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from ..errors import WorkloadError
+from ..query.model import Aggregation, Interval, RangeQuery
+from ..storage.schema import Schema
+from ..utils.rng import RngLike, ensure_rng
+
+__all__ = ["Workload", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named set of range queries."""
+
+    name: str
+    queries: tuple[RangeQuery, ...]
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise WorkloadError(f"workload {self.name!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[RangeQuery]:
+        return iter(self.queries)
+
+
+@dataclass
+class WorkloadGenerator:
+    """Generate random ``(m, n)`` workloads against a schema.
+
+    Parameters
+    ----------
+    schema:
+        Schema of the queried table (the measure column is never constrained).
+    dimensions:
+        Optional subset of queryable dimensions; defaults to every dimension.
+    min_coverage, max_coverage:
+        Each range covers a uniformly drawn fraction of its dimension's domain
+        in ``[min_coverage, max_coverage]`` — wide enough ranges keep the
+        covering-cluster count above ``N_min`` so the approximation triggers.
+    """
+
+    schema: Schema
+    dimensions: Sequence[str] | None = None
+    min_coverage: float = 0.2
+    max_coverage: float = 0.7
+    rng: RngLike = None
+    _queryable: tuple[str, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        names = tuple(self.dimensions) if self.dimensions else self.schema.dimension_names
+        for name in names:
+            self.schema.dimension(name)
+        if not names:
+            raise WorkloadError("at least one queryable dimension is required")
+        if not 0 < self.min_coverage <= self.max_coverage <= 1:
+            raise WorkloadError(
+                "coverage bounds must satisfy 0 < min <= max <= 1, got "
+                f"({self.min_coverage}, {self.max_coverage})"
+            )
+        self._queryable = names
+        self._generator = ensure_rng(self.rng)
+
+    def random_query(self, num_dimensions: int, aggregation: Aggregation) -> RangeQuery:
+        """Draw one random query constraining ``num_dimensions`` dimensions."""
+        if not 1 <= num_dimensions <= len(self._queryable):
+            raise WorkloadError(
+                f"num_dimensions must be in [1, {len(self._queryable)}], got {num_dimensions}"
+            )
+        chosen = self._generator.choice(
+            len(self._queryable), size=num_dimensions, replace=False
+        )
+        ranges: dict[str, Interval] = {}
+        for index in chosen:
+            name = self._queryable[int(index)]
+            dimension = self.schema.dimension(name)
+            coverage = self._generator.uniform(self.min_coverage, self.max_coverage)
+            width = max(1, int(round(coverage * dimension.domain_size)))
+            max_start = dimension.high - width + 1
+            start = int(self._generator.integers(dimension.low, max(dimension.low, max_start) + 1))
+            ranges[name] = Interval(start, min(dimension.high, start + width - 1))
+        return RangeQuery(aggregation, ranges)
+
+    def generate(
+        self,
+        num_queries: int,
+        num_dimensions: int,
+        aggregation: Aggregation = Aggregation.COUNT,
+        *,
+        name: str | None = None,
+        accept: Callable[[RangeQuery], bool] | None = None,
+        max_attempts_per_query: int = 200,
+    ) -> Workload:
+        """Generate a workload of ``num_queries`` distinct queries.
+
+        ``accept`` (when given) filters candidate queries — e.g. "exact answer
+        is non-zero" or "covering clusters exceed N_min on every provider".
+        If the acceptance predicate is too strict the generator raises rather
+        than looping forever.
+        """
+        if num_queries < 1:
+            raise WorkloadError(f"num_queries must be >= 1, got {num_queries}")
+        queries: list[RangeQuery] = []
+        seen: set[str] = set()
+        attempts_left = num_queries * max_attempts_per_query
+        while len(queries) < num_queries:
+            if attempts_left <= 0:
+                raise WorkloadError(
+                    f"could not generate {num_queries} acceptable queries "
+                    f"(got {len(queries)}); relax the acceptance predicate or coverage bounds"
+                )
+            attempts_left -= 1
+            candidate = self.random_query(num_dimensions, aggregation)
+            key = candidate.to_sql()
+            if key in seen:
+                continue
+            if accept is not None and not accept(candidate):
+                continue
+            seen.add(key)
+            queries.append(candidate)
+        label = name or f"{aggregation.value}-m{num_queries}-n{num_dimensions}"
+        return Workload(name=label, queries=tuple(queries))

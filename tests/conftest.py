@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic tables, clustered tables, systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PrivacyConfig, SamplingConfig, SystemConfig
+from repro.core.system import FederatedAQPSystem
+from repro.storage.clustered_table import ClusteredTable
+from repro.storage.metadata import build_metadata
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def small_schema() -> Schema:
+    """Three-dimension schema used across storage/query tests."""
+    return Schema(
+        (
+            Dimension("age", 0, 99),
+            Dimension("hours", 0, 49),
+            Dimension("dept", 0, 9),
+        )
+    )
+
+
+@pytest.fixture
+def small_table(small_schema) -> Table:
+    """A deterministic 2 000-row table with skew on every dimension."""
+    rng = np.random.default_rng(123)
+    n = 2000
+    return Table(
+        small_schema,
+        {
+            "age": rng.integers(0, 100, n),
+            "hours": np.minimum(49, rng.poisson(12, n)),
+            "dept": rng.integers(0, 10, n),
+        },
+    )
+
+
+@pytest.fixture
+def clustered(small_table) -> ClusteredTable:
+    """The small table split into clusters of 100 rows."""
+    return ClusteredTable.from_table(small_table, cluster_size=100)
+
+
+@pytest.fixture
+def metadata(clustered):
+    """Algorithm-1 metadata for the clustered fixture."""
+    return build_metadata(clustered)
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A deterministic 4-provider configuration for protocol tests."""
+    return SystemConfig(
+        cluster_size=100,
+        num_providers=4,
+        privacy=PrivacyConfig(epsilon=1.0, delta=1e-3),
+        sampling=SamplingConfig(sampling_rate=0.2, min_clusters_for_approximation=3),
+        seed=7,
+    )
+
+
+@pytest.fixture
+def small_system(small_table, small_config) -> FederatedAQPSystem:
+    """A ready-to-query 4-provider federation over the small table."""
+    return FederatedAQPSystem.from_table(small_table, config=small_config)

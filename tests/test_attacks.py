@@ -1,0 +1,144 @@
+"""Tests for the Naive Bayes attack, budgeting regimes, and the runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.budgeting import AttackBudgetRegime, per_query_delta, per_query_epsilon
+from repro.attacks.nbc import NaiveBayesAttacker, attack_query_count
+from repro.attacks.runner import AttackRunner
+from repro.config import PrivacyConfig, SamplingConfig, SystemConfig
+from repro.core.system import FederatedAQPSystem
+from repro.errors import AttackError
+from repro.query.executor import execute_on_table
+from repro.query.model import Aggregation
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def correlated_table() -> Table:
+    """A table whose sensitive attribute is strongly predictable from QI."""
+    rng = np.random.default_rng(0)
+    n = 4000
+    qi_a = rng.integers(0, 4, n)
+    qi_b = rng.integers(0, 3, n)
+    # The sensitive value is a deterministic function of the QIs plus noise,
+    # so an unimpeded attacker should predict it far better than chance.
+    sensitive = (3 * qi_a + qi_b + rng.integers(0, 2, n)) % 10
+    schema = Schema(
+        (
+            Dimension("sa", 0, 9),
+            Dimension("qi_a", 0, 3),
+            Dimension("qi_b", 0, 2),
+        )
+    )
+    return Table(schema, {"sa": sensitive, "qi_a": qi_a, "qi_b": qi_b})
+
+
+class TestBudgeting:
+    def test_query_count_formula(self, correlated_table):
+        schema = correlated_table.schema
+        expected = 1 + 10 + 10 * (4 + 3)
+        assert attack_query_count(schema, "sa", ["qi_a", "qi_b"]) == expected
+
+    def test_sequential_budget(self):
+        assert per_query_epsilon(AttackBudgetRegime.SEQUENTIAL, 10.0, 100, 1e-6) == pytest.approx(0.1)
+
+    def test_advanced_exceeds_sequential_for_large_n(self):
+        sequential = per_query_epsilon(AttackBudgetRegime.SEQUENTIAL, 10.0, 5000, 1e-6)
+        advanced = per_query_epsilon(AttackBudgetRegime.ADVANCED, 10.0, 5000, 1e-6)
+        assert advanced > sequential
+
+    def test_coalition_gets_full_budget(self):
+        assert per_query_epsilon(AttackBudgetRegime.COALITION, 7.0, 1000, 1e-6) == pytest.approx(7.0)
+
+    def test_delta_split(self):
+        assert per_query_delta(AttackBudgetRegime.SEQUENTIAL, 1e-4, 100) == pytest.approx(1e-6)
+        assert per_query_delta(AttackBudgetRegime.COALITION, 1e-4, 100) == pytest.approx(1e-4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AttackError):
+            per_query_epsilon(AttackBudgetRegime.SEQUENTIAL, 10.0, 0, 1e-6)
+        with pytest.raises(AttackError):
+            per_query_epsilon(AttackBudgetRegime.SEQUENTIAL, -1.0, 10, 1e-6)
+
+
+class TestNaiveBayesAttacker:
+    def test_configuration_validation(self, correlated_table):
+        schema = correlated_table.schema
+        with pytest.raises(AttackError):
+            NaiveBayesAttacker(schema=schema, sensitive="sa", quasi_identifiers=[])
+        with pytest.raises(AttackError):
+            NaiveBayesAttacker(schema=schema, sensitive="sa", quasi_identifiers=["sa"])
+
+    def test_training_query_count_matches_formula(self, correlated_table):
+        attacker = NaiveBayesAttacker(
+            schema=correlated_table.schema, sensitive="sa", quasi_identifiers=["qi_a", "qi_b"]
+        )
+        assert len(attacker.training_queries()) == attacker.num_queries()
+
+    def test_predict_before_train_raises(self, correlated_table):
+        attacker = NaiveBayesAttacker(
+            schema=correlated_table.schema, sensitive="sa", quasi_identifiers=["qi_a"]
+        )
+        with pytest.raises(AttackError):
+            attacker.predict({"qi_a": 0})
+
+    def test_attack_succeeds_against_exact_oracle(self, correlated_table):
+        """Against un-noised answers the NBC learns the correlation (sanity
+        check that the attack implementation actually has teeth)."""
+        attacker = NaiveBayesAttacker(
+            schema=correlated_table.schema, sensitive="sa", quasi_identifiers=["qi_a", "qi_b"]
+        )
+        issued = attacker.train(lambda query: execute_on_table(correlated_table, query))
+        assert issued == attacker.num_queries()
+        accuracy = attacker.accuracy(correlated_table, max_rows=400)
+        assert accuracy > 0.4  # chance level is 0.1
+
+    def test_attack_fails_against_heavily_noised_oracle(self, correlated_table):
+        """With noise far larger than any count the attack collapses to chance."""
+        rng = np.random.default_rng(1)
+        attacker = NaiveBayesAttacker(
+            schema=correlated_table.schema, sensitive="sa", quasi_identifiers=["qi_a", "qi_b"]
+        )
+        attacker.train(
+            lambda query: execute_on_table(correlated_table, query)
+            + float(rng.laplace(0, 50_000))
+        )
+        accuracy = attacker.accuracy(correlated_table, max_rows=400)
+        assert accuracy < 0.3
+
+    def test_negative_answers_clamped(self, correlated_table):
+        attacker = NaiveBayesAttacker(
+            schema=correlated_table.schema, sensitive="sa", quasi_identifiers=["qi_a"]
+        )
+        attacker.train(lambda _query: -5.0)
+        # All counts collapse to zero; prediction still returns a legal value.
+        assert 0 <= attacker.predict({"qi_a": 1}) <= 9
+
+
+class TestAttackRunner:
+    def test_attack_against_protected_system_is_near_chance(self, correlated_table):
+        config = SystemConfig(
+            cluster_size=200,
+            num_providers=4,
+            privacy=PrivacyConfig(epsilon=1.0, delta=1e-3),
+            sampling=SamplingConfig(sampling_rate=0.3, min_clusters_for_approximation=2),
+            seed=5,
+        )
+        system = FederatedAQPSystem.from_table(correlated_table, config=config)
+        runner = AttackRunner(
+            system=system,
+            original_table=correlated_table,
+            sensitive="sa",
+            quasi_identifiers=("qi_a", "qi_b"),
+            evaluation_rows=150,
+        )
+        outcome = runner.run(AttackBudgetRegime.SEQUENTIAL, Aggregation.COUNT, total_epsilon=1.0)
+        assert outcome.num_queries == 1 + 10 + 10 * 7
+        assert outcome.per_query_epsilon == pytest.approx(1.0 / outcome.num_queries)
+        assert outcome.chance_accuracy == pytest.approx(0.1)
+        # The protected system should keep the attacker near chance level.
+        assert outcome.accuracy <= 0.3

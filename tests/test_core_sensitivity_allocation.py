@@ -1,0 +1,231 @@
+"""Tests for the paper-specific sensitivities, allocation, and accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PrivacyConfig
+from repro.core.accounting import (
+    EndUserBudget,
+    QueryBudget,
+    query_spend,
+    split_query_budget,
+)
+from repro.core.allocation import AllocationProblem, solve_allocation
+from repro.core.sensitivity import (
+    ClusterSensitivityInputs,
+    avg_proportion_sensitivity,
+    delta_r,
+    dominant_scenario,
+    estimator_noise_scale,
+    estimator_smooth_sensitivity,
+    local_sensitivity_at_k,
+)
+from repro.errors import AllocationError, BudgetExhaustedError, SensitivityError
+
+
+class TestDeltaR:
+    def test_formula(self):
+        assert delta_r(100, 3) == pytest.approx(1 - (1 - 0.01) ** 3)
+
+    def test_monotone_in_dimensions(self):
+        assert delta_r(100, 5) > delta_r(100, 2)
+
+    def test_monotone_in_cluster_size(self):
+        assert delta_r(10, 2) > delta_r(1000, 2)
+
+    def test_bounded_by_one(self):
+        assert delta_r(1, 10) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SensitivityError):
+            delta_r(0, 1)
+        with pytest.raises(SensitivityError):
+            delta_r(10, 0)
+
+    @given(st.integers(min_value=1, max_value=10_000), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_always_in_unit_interval(self, cluster_size, dims):
+        value = delta_r(cluster_size, dims)
+        assert 0 < value <= 1
+
+
+class TestAvgProportionSensitivity:
+    def test_takes_maximum_of_two_terms(self):
+        # With a tiny cluster size ΔR -> 1 so the first term dominates.
+        assert avg_proportion_sensitivity(1, 1, 4) == pytest.approx(1 / 4)
+        # With a large cluster size ΔR is tiny so the second term dominates.
+        assert avg_proportion_sensitivity(10_000, 1, 4) == pytest.approx(1 / 5)
+
+    def test_theorem_5_1_shape(self):
+        cluster_size, dims, n_min = 500, 3, 6
+        expected = max(delta_r(cluster_size, dims) / n_min, 1 / (n_min + 1))
+        assert avg_proportion_sensitivity(cluster_size, dims, n_min) == pytest.approx(expected)
+
+    def test_invalid_n_min(self):
+        with pytest.raises(SensitivityError):
+            avg_proportion_sensitivity(100, 2, 0)
+
+
+class TestDominantScenario:
+    def test_threshold(self):
+        # Q(C) > sum(R) / ΔR -> scenario 1, otherwise scenario 4.
+        assert dominant_scenario(1000.0, 5.0, 0.01) == 1
+        assert dominant_scenario(10.0, 5.0, 0.01) == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SensitivityError):
+            dominant_scenario(1.0, 1.0, 0.0)
+        with pytest.raises(SensitivityError):
+            dominant_scenario(-1.0, 1.0, 0.1)
+
+
+class TestLocalSensitivityAtK:
+    def test_scenario_1_linear_in_k(self):
+        ls1 = local_sensitivity_at_k(
+            1, 1, cluster_value=10, proportion=0.5, probability=0.1, delta_r_value=0.05
+        )
+        ls3 = local_sensitivity_at_k(
+            3, 1, cluster_value=10, proportion=0.5, probability=0.1, delta_r_value=0.05
+        )
+        assert ls3 == pytest.approx(3 * ls1)
+        assert ls1 == pytest.approx(10 * 0.05 / 0.5)
+
+    def test_scenario_4_is_k_over_p(self):
+        assert local_sensitivity_at_k(
+            5, 4, cluster_value=10, proportion=0.5, probability=0.2, delta_r_value=0.05
+        ) == pytest.approx(25.0)
+
+    def test_invalid_scenario(self):
+        with pytest.raises(SensitivityError):
+            local_sensitivity_at_k(
+                1, 2, cluster_value=1, proportion=0.5, probability=0.5, delta_r_value=0.1
+            )
+
+    def test_zero_at_distance_zero(self):
+        assert local_sensitivity_at_k(
+            0, 4, cluster_value=1, proportion=0.5, probability=0.5, delta_r_value=0.1
+        ) == 0.0
+
+
+class TestEstimatorSmoothSensitivity:
+    def test_positive_and_finite(self):
+        value = estimator_smooth_sensitivity(
+            ClusterSensitivityInputs(cluster_value=50.0, proportion=0.2, probability=0.05),
+            sum_proportions=4.0,
+            delta_r_value=0.01,
+            epsilon=0.8,
+            delta=1e-3,
+        )
+        assert math.isfinite(value)
+        assert value > 0
+
+    def test_zero_proportion_does_not_crash(self):
+        value = estimator_smooth_sensitivity(
+            ClusterSensitivityInputs(cluster_value=5.0, proportion=0.0, probability=0.0),
+            sum_proportions=1.0,
+            delta_r_value=0.01,
+            epsilon=0.8,
+            delta=1e-3,
+        )
+        assert math.isfinite(value)
+
+    def test_noise_scale_is_twice_average_over_epsilon(self):
+        scale = estimator_noise_scale([10.0, 20.0, 30.0], epsilon=0.5)
+        assert scale == pytest.approx(2 * 20.0 / 0.5)
+
+    def test_noise_scale_rejects_empty(self):
+        with pytest.raises(SensitivityError):
+            estimator_noise_scale([], epsilon=0.5)
+
+
+class TestAllocation:
+    def test_budget_respected(self):
+        problems = [
+            AllocationProblem("a", 50, 0.9),
+            AllocationProblem("b", 50, 0.1),
+            AllocationProblem("c", 50, 0.5),
+        ]
+        results = solve_allocation(problems, 0.2)
+        total = sum(result.sample_size for result in results)
+        assert total == round(0.2 * 150)
+        by_id = {result.provider_id: result.sample_size for result in results}
+        # The provider with the largest average proportion gets the most.
+        assert by_id["a"] >= by_id["c"] >= by_id["b"]
+
+    def test_every_provider_gets_at_least_min_allocation(self):
+        problems = [AllocationProblem("a", 100, 0.99), AllocationProblem("b", 100, 0.01)]
+        results = solve_allocation(problems, 0.1, min_allocation=2)
+        assert all(result.sample_size >= 2 for result in results)
+
+    def test_allocation_never_exceeds_capacity(self):
+        problems = [AllocationProblem("a", 5, 1.0), AllocationProblem("b", 100, 0.0)]
+        results = solve_allocation(problems, 0.5)
+        by_id = {result.provider_id: result.sample_size for result in results}
+        assert by_id["a"] <= 5
+
+    def test_noisy_negative_counts_are_clamped(self):
+        problems = [AllocationProblem("a", -3.0, 0.5), AllocationProblem("b", 10.0, 0.5)]
+        results = solve_allocation(problems, 0.3)
+        assert all(result.sample_size >= 1 for result in results)
+
+    def test_greedy_is_optimal_for_linear_objective(self):
+        """The waterfill solution maximises sum(avgR_i * s_i) over the box."""
+        problems = [
+            AllocationProblem("a", 10, 0.8),
+            AllocationProblem("b", 10, 0.6),
+            AllocationProblem("c", 10, 0.1),
+        ]
+        results = solve_allocation(problems, 0.5)
+        sizes = {result.provider_id: result.sample_size for result in results}
+        objective = 0.8 * sizes["a"] + 0.6 * sizes["b"] + 0.1 * sizes["c"]
+        # Exhaustive search over the feasible integer box with the same total.
+        total = sum(sizes.values())
+        best = 0.0
+        for sa in range(1, 11):
+            for sb in range(1, 11):
+                sc = total - sa - sb
+                if not 1 <= sc <= 10:
+                    continue
+                best = max(best, 0.8 * sa + 0.6 * sb + 0.1 * sc)
+        assert objective == pytest.approx(best)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AllocationError):
+            solve_allocation([], 0.2)
+        with pytest.raises(AllocationError):
+            solve_allocation([AllocationProblem("a", 10, 0.5)], 1.5)
+        with pytest.raises(AllocationError):
+            solve_allocation([AllocationProblem("a", 10, 0.5)], 0.2, min_allocation=0)
+
+
+class TestAccounting:
+    def test_split_matches_config(self):
+        budget = split_query_budget(PrivacyConfig(epsilon=2.0, delta=1e-4))
+        assert budget.epsilon_allocation == pytest.approx(0.2)
+        assert budget.epsilon_sampling == pytest.approx(0.2)
+        assert budget.epsilon_estimation == pytest.approx(1.6)
+        assert budget.epsilon_total == pytest.approx(2.0)
+        assert budget.delta == pytest.approx(1e-4)
+
+    def test_query_spend_is_parallel_across_providers(self):
+        budget = QueryBudget(0.1, 0.1, 0.8, 1e-3)
+        spend_one = query_spend(budget, 1)
+        spend_four = query_spend(budget, 4)
+        # Disjoint data -> the end-user charge does not grow with providers.
+        assert spend_four.epsilon == pytest.approx(spend_one.epsilon) == pytest.approx(1.0)
+        assert spend_four.delta == pytest.approx(1e-3)
+
+    def test_end_user_budget_charging_and_exhaustion(self):
+        budget = QueryBudget(0.1, 0.1, 0.8, 1e-3)
+        user = EndUserBudget.create(xi=2.5, psi=1e-2)
+        assert user.queries_remaining(budget, 4) == 2
+        user.charge_query(budget, 4)
+        user.charge_query(budget, 4)
+        with pytest.raises(BudgetExhaustedError):
+            user.charge_query(budget, 4)
+        assert user.remaining_epsilon == pytest.approx(0.5)

@@ -1,0 +1,166 @@
+"""Tests for the synthetic dataset generators and workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.adult import (
+    ADULT_DIMENSIONS,
+    ADULT_TENSOR_DIMENSIONS,
+    AdultSyntheticGenerator,
+)
+from repro.datasets.amazon import (
+    AMAZON_DIMENSIONS,
+    AMAZON_TENSOR_DIMENSIONS,
+    AmazonReviewSyntheticGenerator,
+)
+from repro.datasets.distributions import mixture_integers, skewed_integers, zipf_integers
+from repro.errors import DatasetError, WorkloadError
+from repro.query.model import Aggregation
+from repro.workloads.generator import Workload, WorkloadGenerator
+
+
+class TestDistributions:
+    def test_zipf_within_domain_and_skewed(self):
+        values = zipf_integers(0, 9, 20_000, rng=0)
+        assert values.min() >= 0 and values.max() <= 9
+        counts = np.bincount(values, minlength=10)
+        assert counts[0] > counts[5] > 0
+
+    def test_mixture_within_domain(self):
+        values = mixture_integers(10, 99, 5_000, num_modes=3, rng=1)
+        assert values.min() >= 10 and values.max() <= 99
+
+    def test_dispatch(self):
+        for kind in ("zipf", "mixture", "uniform"):
+            values = skewed_integers(0, 9, 100, kind=kind, rng=2)
+            assert values.shape == (100,)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DatasetError):
+            zipf_integers(5, 1, 10)
+        with pytest.raises(DatasetError):
+            zipf_integers(0, 9, 10, exponent=0)
+        with pytest.raises(DatasetError):
+            mixture_integers(0, 9, 10, num_modes=0)
+        with pytest.raises(DatasetError):
+            skewed_integers(0, 9, 10, kind="lognormal")
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_domains_respected_property(self, a, b):
+        low, high = min(a, b), max(a, b)
+        values = skewed_integers(low, high, 200, kind="zipf", rng=0)
+        assert values.min() >= low
+        assert values.max() <= high
+
+
+class TestAdultGenerator:
+    def test_schema_has_fifteen_attributes(self):
+        assert len(ADULT_DIMENSIONS) == 15
+
+    def test_table_respects_domains(self):
+        table = AdultSyntheticGenerator(num_rows=2_000, seed=1).table()
+        assert table.num_rows == 2_000
+        for dimension in table.schema:
+            column = table.column(dimension.name)
+            assert column.min() >= dimension.low
+            assert column.max() <= dimension.high
+
+    def test_reproducible_with_seed(self):
+        a = AdultSyntheticGenerator(num_rows=500, seed=9).table()
+        b = AdultSyntheticGenerator(num_rows=500, seed=9).table()
+        np.testing.assert_array_equal(a.column("age"), b.column("age"))
+
+    def test_count_tensor_keeps_requested_dimensions(self):
+        tensor = AdultSyntheticGenerator(num_rows=3_000, seed=2).count_tensor()
+        assert tensor.schema.dimension_names == ADULT_TENSOR_DIMENSIONS
+        assert tensor.schema.has_measure
+        assert tensor.total_measure() == 3_000
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(DatasetError):
+            AdultSyntheticGenerator(num_rows=0)
+
+
+class TestAmazonGenerator:
+    def test_schema_has_six_dimensions(self):
+        assert len(AMAZON_DIMENSIONS) == 6
+
+    def test_ratings_skewed_towards_five(self):
+        table = AmazonReviewSyntheticGenerator(num_rows=20_000, seed=3).table()
+        ratings = table.column("rating")
+        assert (ratings == 5).sum() > (ratings == 1).sum()
+        assert ratings.min() >= 1 and ratings.max() <= 5
+
+    def test_count_tensor(self):
+        tensor = AmazonReviewSyntheticGenerator(num_rows=5_000, seed=4).count_tensor()
+        assert tensor.schema.dimension_names == AMAZON_TENSOR_DIMENSIONS
+        assert tensor.total_measure() == 5_000
+
+
+class TestWorkloadGenerator:
+    def test_generates_distinct_queries_with_requested_shape(self, small_schema):
+        generator = WorkloadGenerator(schema=small_schema, rng=0)
+        workload = generator.generate(15, 2, Aggregation.COUNT)
+        assert len(workload) == 15
+        assert len({query.to_sql() for query in workload}) == 15
+        assert all(query.num_dimensions == 2 for query in workload)
+        assert all(query.aggregation is Aggregation.COUNT for query in workload)
+
+    def test_ranges_lie_within_domains(self, small_schema):
+        generator = WorkloadGenerator(schema=small_schema, rng=1)
+        for query in generator.generate(20, 3, Aggregation.SUM):
+            for name, interval in query.ranges.items():
+                dimension = small_schema.dimension(name)
+                assert dimension.low <= interval.low <= interval.high <= dimension.high
+
+    def test_coverage_bounds_respected(self, small_schema):
+        generator = WorkloadGenerator(
+            schema=small_schema, min_coverage=0.5, max_coverage=0.5, rng=2
+        )
+        query = generator.random_query(1, Aggregation.COUNT)
+        (interval,) = query.ranges.values()
+        dimension = small_schema.dimension(query.dimensions[0])
+        assert interval.width == pytest.approx(0.5 * dimension.domain_size, abs=1)
+
+    def test_accept_predicate_filters(self, small_schema):
+        generator = WorkloadGenerator(schema=small_schema, rng=3)
+        workload = generator.generate(
+            5, 1, Aggregation.COUNT, accept=lambda query: "age" in query.ranges
+        )
+        assert all("age" in query.ranges for query in workload)
+
+    def test_impossible_predicate_raises(self, small_schema):
+        generator = WorkloadGenerator(schema=small_schema, rng=4)
+        with pytest.raises(WorkloadError):
+            generator.generate(
+                3, 1, Aggregation.COUNT, accept=lambda _q: False, max_attempts_per_query=5
+            )
+
+    def test_dimension_subset_respected(self, small_schema):
+        generator = WorkloadGenerator(schema=small_schema, dimensions=("age", "hours"), rng=5)
+        workload = generator.generate(10, 2, Aggregation.COUNT)
+        for query in workload:
+            assert set(query.dimensions) <= {"age", "hours"}
+
+    def test_too_many_dimensions_rejected(self, small_schema):
+        generator = WorkloadGenerator(schema=small_schema, rng=6)
+        with pytest.raises(WorkloadError):
+            generator.random_query(4, Aggregation.COUNT)
+
+    def test_reproducible_with_seed(self, small_schema):
+        first = WorkloadGenerator(schema=small_schema, rng=7).generate(5, 2)
+        second = WorkloadGenerator(schema=small_schema, rng=7).generate(5, 2)
+        assert [q.to_sql() for q in first] == [q.to_sql() for q in second]
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="empty", queries=())
+
+    def test_invalid_coverage_rejected(self, small_schema):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(schema=small_schema, min_coverage=0.9, max_coverage=0.1)

@@ -1,0 +1,182 @@
+"""Tests for composition theorems, smooth sensitivity, and the accountant."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.composition import (
+    PrivacySpend,
+    advanced_composition,
+    advanced_composition_epsilon_per_query,
+    parallel_composition,
+    sequential_composition,
+    sequential_epsilon_per_query,
+)
+from repro.dp.sensitivity import (
+    local_sensitivity_at_distance,
+    smooth_sensitivity,
+    smooth_sensitivity_beta,
+    smooth_sensitivity_from_series,
+    smooth_sensitivity_max_k,
+)
+from repro.errors import BudgetExhaustedError, PrivacyError, SensitivityError
+
+
+class TestPrivacySpend:
+    def test_addition(self):
+        total = PrivacySpend(0.5, 1e-4) + PrivacySpend(0.25, 1e-4)
+        assert total.epsilon == pytest.approx(0.75)
+        assert total.delta == pytest.approx(2e-4)
+
+    def test_is_within(self):
+        assert PrivacySpend(0.5, 0).is_within(PrivacySpend(1.0, 0.1))
+        assert not PrivacySpend(1.5, 0).is_within(PrivacySpend(1.0, 0.1))
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(PrivacyError):
+            PrivacySpend(-0.1, 0)
+
+
+class TestComposition:
+    def test_sequential_adds_budgets(self):
+        spend = sequential_composition([(0.1, 0.0), (0.2, 1e-4), (0.3, 1e-4)])
+        assert spend.epsilon == pytest.approx(0.6)
+        assert spend.delta == pytest.approx(2e-4)
+
+    def test_parallel_takes_maximum(self):
+        spend = parallel_composition([(0.1, 1e-5), (0.5, 1e-6), (0.3, 1e-4)])
+        assert spend.epsilon == pytest.approx(0.5)
+        assert spend.delta == pytest.approx(1e-4)
+
+    def test_parallel_of_identical_spends_equals_one_spend(self):
+        spend = parallel_composition([(0.4, 1e-5)] * 4)
+        assert spend.epsilon == pytest.approx(0.4)
+
+    def test_empty_compositions_are_zero(self):
+        assert sequential_composition([]).epsilon == 0
+        assert parallel_composition([]).epsilon == 0
+
+    def test_advanced_composition_total(self):
+        total = advanced_composition(0.1, 0.0, n_queries=100, delta_prime=1e-6)
+        expected = 0.1 * math.sqrt(2 * 100 * math.log(1e6)) + 100 * 0.1 * (math.exp(0.1) - 1)
+        assert total.epsilon == pytest.approx(expected)
+
+    def test_advanced_per_query_exceeds_sequential_for_many_queries(self):
+        n = 2000
+        sequential = sequential_epsilon_per_query(10.0, n)
+        advanced = advanced_composition_epsilon_per_query(10.0, n, 1e-6)
+        assert advanced > sequential
+
+    def test_sequential_per_query(self):
+        assert sequential_epsilon_per_query(10.0, 4) == pytest.approx(2.5)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_advanced_per_query_is_positive(self, n):
+        assert advanced_composition_epsilon_per_query(1.0, n, 1e-6) > 0
+
+
+class TestSmoothSensitivity:
+    def test_beta_formula(self):
+        assert smooth_sensitivity_beta(0.8, 1e-3) == pytest.approx(
+            0.8 / (2 * math.log(2 / 1e-3))
+        )
+
+    def test_max_k_bound_is_finite_and_positive(self):
+        beta = smooth_sensitivity_beta(0.8, 1e-3)
+        assert smooth_sensitivity_max_k(beta) >= 1
+
+    def test_linear_growth_maximum_location(self):
+        # For LS^k = k * c the product e^{-beta k} * k * c peaks near k = 1/beta.
+        result = smooth_sensitivity(lambda k: k * 2.0, epsilon=0.8, delta=1e-3)
+        beta = smooth_sensitivity_beta(0.8, 1e-3)
+        assert abs(result.argmax_k - round(1 / beta)) <= 1
+        assert result.value > 0
+
+    def test_constant_local_sensitivity(self):
+        result = smooth_sensitivity(
+            lambda k: local_sensitivity_at_distance(1.0, k, growth="constant"),
+            epsilon=1.0,
+            delta=1e-3,
+        )
+        # Constant LS is maximised at the smallest positive distance.
+        assert result.argmax_k == 1
+        assert result.value == pytest.approx(math.exp(-smooth_sensitivity_beta(1.0, 1e-3)))
+
+    def test_from_series(self):
+        result = smooth_sensitivity_from_series([0.0, 1.0, 5.0], epsilon=1.0, delta=1e-3)
+        assert result.max_k == 2
+        assert result.value > 0
+
+    def test_smooth_upper_bounds_local_sensitivity_at_zero(self):
+        # S_LS >= e^{-beta*1} * LS^1 always.
+        result = smooth_sensitivity(lambda k: 3.0 * k, epsilon=0.5, delta=1e-3)
+        beta = smooth_sensitivity_beta(0.5, 1e-3)
+        assert result.value >= math.exp(-beta) * 3.0 - 1e-12
+
+    def test_rejects_negative_local_sensitivity(self):
+        with pytest.raises(SensitivityError):
+            smooth_sensitivity(lambda k: -1.0, epsilon=1.0, delta=1e-3)
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(SensitivityError):
+            smooth_sensitivity_from_series([], epsilon=1.0, delta=1e-3)
+
+    @given(
+        st.floats(min_value=0.01, max_value=5.0),
+        st.floats(min_value=1e-6, max_value=0.1),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_smooth_value_scales_linearly_with_slope(self, epsilon, delta, slope):
+        base = smooth_sensitivity(lambda k: k, epsilon=epsilon, delta=delta)
+        scaled = smooth_sensitivity(lambda k: slope * k, epsilon=epsilon, delta=delta)
+        assert scaled.value == pytest.approx(slope * base.value, rel=1e-9, abs=1e-12)
+
+
+class TestPrivacyAccountant:
+    def test_charge_and_remaining(self):
+        accountant = PrivacyAccountant(total_epsilon=2.0, total_delta=1e-2)
+        accountant.charge(0.5, 1e-3, label="q1")
+        accountant.charge(0.5, 1e-3, label="q2")
+        assert accountant.remaining_epsilon == pytest.approx(1.0)
+        assert accountant.remaining_delta == pytest.approx(8e-3)
+        assert len(accountant) == 2
+
+    def test_overdraw_raises_and_does_not_record(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge(0.9)
+        with pytest.raises(BudgetExhaustedError):
+            accountant.charge(0.2)
+        assert len(accountant) == 1
+        assert accountant.remaining_epsilon == pytest.approx(0.1)
+
+    def test_can_afford(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        assert accountant.can_afford(1.0)
+        assert not accountant.can_afford(1.1)
+
+    def test_unlimited_never_refuses(self):
+        accountant = PrivacyAccountant.unlimited()
+        for _ in range(100):
+            accountant.charge(10.0)
+        assert accountant.remaining_epsilon == float("inf")
+
+    def test_reset_clears_ledger(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge(0.5)
+        accountant.reset()
+        assert len(accountant) == 0
+        assert accountant.remaining_epsilon == pytest.approx(1.0)
+
+    def test_ledger_records_labels(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge(0.25, label="alpha")
+        entries = list(accountant.ledger())
+        assert entries[0].label == "alpha"
+        assert entries[0].spend.epsilon == pytest.approx(0.25)

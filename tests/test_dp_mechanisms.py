@@ -1,0 +1,145 @@
+"""Tests for the Laplace, Gaussian and Exponential mechanisms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.mechanisms import (
+    ExponentialMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    laplace_noise_scale,
+)
+from repro.errors import PrivacyError, SamplingError, SensitivityError
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0, rng=0)
+        assert mechanism.scale == pytest.approx(4.0)
+        assert laplace_noise_scale(2.0, 0.5) == pytest.approx(4.0)
+
+    def test_zero_sensitivity_adds_no_noise(self):
+        mechanism = LaplaceMechanism(epsilon=1.0, sensitivity=0.0, rng=0)
+        assert mechanism.release(42.0) == 42.0
+
+    def test_release_is_reproducible_with_seed(self):
+        a = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=5).release(10.0)
+        b = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=5).release(10.0)
+        assert a == b
+
+    def test_noise_distribution_has_expected_scale(self):
+        mechanism = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=1)
+        noise = mechanism.sample_noise(size=20000)
+        # Laplace(0, b) has mean 0 and std b * sqrt(2).
+        assert abs(float(np.mean(noise))) < 0.05
+        assert float(np.std(noise)) == pytest.approx(np.sqrt(2.0), rel=0.05)
+
+    def test_release_vector_shape(self):
+        mechanism = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=2)
+        released = mechanism.release_vector([1.0, 2.0, 3.0])
+        assert released.shape == (3,)
+
+    def test_rejects_non_finite_value(self):
+        mechanism = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=0)
+        with pytest.raises(PrivacyError):
+            mechanism.release(float("nan"))
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, float("nan")])
+    def test_rejects_invalid_epsilon(self, epsilon):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(epsilon=epsilon, sensitivity=1.0)
+
+    def test_rejects_negative_sensitivity(self):
+        with pytest.raises(SensitivityError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=-1.0)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_release_is_finite_for_any_finite_value(self, value):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=3.0, rng=0)
+        assert np.isfinite(mechanism.release(value))
+
+
+class TestGaussianMechanism:
+    def test_sigma_calibration(self):
+        mechanism = GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=1.0, rng=0)
+        expected = np.sqrt(2.0 * np.log(1.25 / 1e-5))
+        assert mechanism.sigma == pytest.approx(expected)
+
+    def test_zero_sensitivity_is_exact(self):
+        mechanism = GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=0.0, rng=0)
+        assert mechanism.release(7.0) == 7.0
+
+    def test_rejects_invalid_delta(self):
+        with pytest.raises(PrivacyError):
+            GaussianMechanism(epsilon=1.0, delta=0.0, sensitivity=1.0)
+
+
+class TestExponentialMechanism:
+    def test_probabilities_sum_to_one(self):
+        mechanism = ExponentialMechanism(epsilon=1.0, sensitivity=0.5, rng=0)
+        probabilities = mechanism.selection_probabilities([0.1, 0.5, 0.9])
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_higher_scores_get_higher_probability(self):
+        mechanism = ExponentialMechanism(epsilon=5.0, sensitivity=0.1, rng=0)
+        probabilities = mechanism.selection_probabilities([0.0, 1.0])
+        assert probabilities[1] > probabilities[0]
+
+    def test_small_epsilon_approaches_uniform(self):
+        mechanism = ExponentialMechanism(epsilon=1e-6, sensitivity=1.0, rng=0)
+        probabilities = mechanism.selection_probabilities([0.0, 10.0, 20.0])
+        assert probabilities == pytest.approx(np.full(3, 1 / 3), abs=1e-4)
+
+    def test_select_returns_valid_index(self):
+        mechanism = ExponentialMechanism(epsilon=1.0, sensitivity=1.0, rng=3)
+        index = mechanism.select([0.2, 0.4, 0.6])
+        assert index in (0, 1, 2)
+
+    def test_select_many_without_replacement_is_distinct(self):
+        mechanism = ExponentialMechanism(epsilon=1.0, sensitivity=1.0, rng=4)
+        chosen = mechanism.select_many([0.1, 0.2, 0.3, 0.4], 3, replace=False)
+        assert len(chosen) == 3
+        assert len(set(chosen)) == 3
+
+    def test_select_many_with_replacement_allows_repeats(self):
+        mechanism = ExponentialMechanism(epsilon=1.0, sensitivity=1.0, rng=4)
+        chosen = mechanism.select_many([0.1, 0.9], 10, replace=True)
+        assert len(chosen) == 10
+        assert set(chosen) <= {0, 1}
+
+    def test_select_many_rejects_oversized_request_without_replacement(self):
+        mechanism = ExponentialMechanism(epsilon=1.0, sensitivity=1.0, rng=0)
+        with pytest.raises(SamplingError):
+            mechanism.select_many([0.1, 0.2], 3, replace=False)
+
+    def test_rejects_zero_sensitivity(self):
+        with pytest.raises(SensitivityError):
+            ExponentialMechanism(epsilon=1.0, sensitivity=0.0)
+
+    def test_rejects_empty_scores(self):
+        mechanism = ExponentialMechanism(epsilon=1.0, sensitivity=1.0, rng=0)
+        with pytest.raises(SamplingError):
+            mechanism.selection_probabilities([])
+
+    def test_large_scores_are_numerically_stable(self):
+        mechanism = ExponentialMechanism(epsilon=100.0, sensitivity=1e-3, rng=0)
+        probabilities = mechanism.selection_probabilities([1e5, 1e5 + 1, 1e5 + 2])
+        assert np.all(np.isfinite(probabilities))
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=20),
+        st.floats(min_value=0.01, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_probabilities_always_valid(self, scores, epsilon):
+        mechanism = ExponentialMechanism(epsilon=epsilon, sensitivity=0.5, rng=0)
+        probabilities = mechanism.selection_probabilities(scores)
+        assert probabilities.shape == (len(scores),)
+        assert np.all(probabilities >= 0)
+        assert probabilities.sum() == pytest.approx(1.0)

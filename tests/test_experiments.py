@@ -1,0 +1,189 @@
+"""Tests for the metrics, reporting helpers, and experiment runners.
+
+The experiment runners are exercised at miniature scale — the goal here is to
+verify plumbing (shapes, fields, formatting, determinism of the acceptance
+logic), not to reproduce the paper's numbers; the benchmarks do the latter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.dimension_analysis import format_dimension_analysis, run_dimension_analysis
+from repro.experiments.epsilon_analysis import format_epsilon_analysis, run_epsilon_analysis
+from repro.experiments.metadata_space import format_metadata_space, run_metadata_space
+from repro.experiments.metrics import relative_error, speedup, summarise_errors
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import evaluate_workload
+from repro.experiments.sampling_rate_analysis import (
+    format_sampling_rate_analysis,
+    run_sampling_rate_analysis,
+)
+from repro.experiments.scenarios import adult_scenario, amazon_scenario
+from repro.experiments.smc_comparison import (
+    format_sharing_costs,
+    format_smc_comparison,
+    run_sharing_cost_experiment,
+    run_smc_vs_dp_experiment,
+)
+from repro.query.model import Aggregation, RangeQuery
+
+
+@pytest.fixture(scope="module")
+def tiny_adult():
+    return adult_scenario(num_rows=6_000, cluster_size=100, sampling_rate=0.3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_amazon():
+    return amazon_scenario(num_rows=8_000, cluster_size=100, sampling_rate=0.2, seed=1)
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(100, 90) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert math.isinf(relative_error(0, 5))
+
+    def test_relative_error_rejects_nan(self):
+        with pytest.raises(ExperimentError):
+            relative_error(float("nan"), 1.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(0.0, 0.0) == 1.0
+        assert math.isinf(speedup(1.0, 0.0))
+        with pytest.raises(ExperimentError):
+            speedup(-1.0, 1.0)
+
+    def test_summarise_errors(self):
+        summary = summarise_errors([0.1, 0.3, float("inf"), 0.2])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.median == pytest.approx(0.2)
+        assert summary.maximum == pytest.approx(0.3)
+
+    def test_summarise_errors_rejects_all_infinite(self):
+        with pytest.raises(ExperimentError):
+            summarise_errors([float("inf")])
+
+
+class TestReporting:
+    def test_format_series_table_layout(self):
+        text = format_series_table(
+            "Title", [{"a": 1, "b": 2.3456789}, {"a": 10, "b": 0.5}], ["a", "b"]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_column_rendered_empty(self):
+        text = format_series_table("T", [{"a": 1}], ["a", "missing"])
+        assert "missing" in text
+
+
+class TestEvaluateWorkload:
+    def test_stats_fields(self, tiny_adult):
+        generator = tiny_adult.workload_generator(seed=0)
+        workload = generator.generate(4, 2, Aggregation.COUNT)
+        stats = evaluate_workload(tiny_adult.system, list(workload), sampling_rate=0.3)
+        assert 1 <= stats.num_queries <= 4
+        assert stats.mean_relative_error >= 0
+        assert stats.mean_work_speedup > 0
+        for evaluation in stats.evaluations:
+            assert evaluation.exact_value >= 0
+            assert evaluation.approximate_seconds >= 0
+
+    def test_empty_workload_rejected(self, tiny_adult):
+        with pytest.raises(ExperimentError):
+            evaluate_workload(tiny_adult.system, [])
+
+    def test_all_empty_answers_rejected(self, tiny_adult):
+        # A query whose range matches nothing on every provider.
+        query = RangeQuery.count({"capital_gain": (99, 99), "capital_loss": (99, 99)})
+        with pytest.raises(ExperimentError):
+            evaluate_workload(tiny_adult.system, [query])
+
+
+class TestScenarios:
+    def test_adult_scenario_shape(self, tiny_adult):
+        assert tiny_adult.name == "adult_synth"
+        assert tiny_adult.system.num_providers == 4
+        assert set(tiny_adult.queryable_dimensions) <= set(
+            tiny_adult.tensor.schema.dimension_names
+        )
+
+    def test_acceptance_predicate_rejects_empty_queries(self, tiny_adult):
+        accept = tiny_adult.acceptance_predicate(min_selectivity=0.01)
+        empty = RangeQuery.count({"capital_gain": (99, 99), "capital_loss": (99, 99)})
+        assert not accept(empty)
+        broad = RangeQuery.count({"age": (17, 90), "hours_per_week": (1, 99)})
+        assert accept(broad)
+
+
+class TestExperimentRunners:
+    def test_dimension_analysis_rows(self, tiny_adult):
+        points = run_dimension_analysis(
+            tiny_adult,
+            dimension_counts=[2],
+            queries_per_point=3,
+            aggregations=(Aggregation.COUNT,),
+            min_selectivity=0.01,
+        )
+        assert len(points) == 1
+        assert points[0].num_dimensions == 2
+        assert points[0].num_queries <= 3
+        assert "Figures 4 and 7" in format_dimension_analysis(points)
+
+    def test_sampling_rate_analysis_rows(self, tiny_adult):
+        points = run_sampling_rate_analysis(
+            tiny_adult,
+            sampling_rates=(0.1, 0.3),
+            num_dimensions=2,
+            queries_per_point=3,
+            aggregations=(Aggregation.COUNT,),
+            min_selectivity=0.01,
+        )
+        assert len(points) == 2
+        assert {point.sampling_rate for point in points} == {0.1, 0.3}
+        assert "Figure 5" in format_sampling_rate_analysis(points)
+
+    def test_epsilon_analysis_rows(self, tiny_adult):
+        points = run_epsilon_analysis(
+            tiny_adult,
+            epsilons=(0.5, 1.0),
+            num_dimensions=2,
+            queries_per_point=3,
+            aggregations=(Aggregation.SUM,),
+            min_selectivity=0.01,
+        )
+        assert len(points) == 2
+        assert "Figures 6 and 7" in format_epsilon_analysis(points)
+
+    def test_sharing_cost_experiment_shape(self, tiny_amazon):
+        points = run_sharing_cost_experiment(tiny_amazon, num_queries=3, num_dimensions=2)
+        assert len(points) == 3
+        for point in points:
+            assert point.row_sharing_seconds >= 0
+            assert point.result_sharing_seconds > 0
+        assert "Figure 1" in format_sharing_costs(points)
+
+    def test_smc_vs_dp_experiment_shape(self, tiny_adult):
+        points = run_smc_vs_dp_experiment(
+            tiny_adult, num_queries=2, repetitions=2, num_dimensions=2
+        )
+        assert len(points) == 4
+        assert "Figure 8" in format_smc_comparison(points)
+
+    def test_metadata_space(self, tiny_adult, tiny_amazon):
+        points = run_metadata_space([tiny_adult, tiny_amazon])
+        assert {point.dataset for point in points} == {"adult_synth", "amazon"}
+        for point in points:
+            assert point.metadata_bytes > 0
+            assert point.metadata_bytes_per_cluster > 0
+            assert 0 < point.metadata_fraction < 1
+        assert "Metadata space" in format_metadata_space(points)

@@ -1,0 +1,207 @@
+"""Tests for the query model, parser, and exact executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError, QueryParseError
+from repro.query.executor import (
+    ExactExecutor,
+    execute_on_cluster,
+    execute_on_clusters,
+    execute_on_table,
+    selection_mask,
+)
+from repro.query.model import Aggregation, Interval, RangeQuery
+from repro.query.parser import parse_query
+from repro.storage.clustered_table import ClusteredTable
+from repro.storage.metadata import build_metadata
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+from repro.storage.tensor import build_count_tensor
+
+
+class TestInterval:
+    def test_width_and_contains(self):
+        interval = Interval(3, 7)
+        assert interval.width == 5
+        assert interval.contains(3) and interval.contains(7)
+        assert not interval.contains(8)
+
+    def test_intersects(self):
+        assert Interval(0, 5).intersects(Interval(5, 10))
+        assert not Interval(0, 4).intersects(Interval(5, 10))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(QueryError):
+            Interval(5, 4)
+
+
+class TestRangeQuery:
+    def test_constructors(self):
+        count = RangeQuery.count({"age": (20, 40)})
+        total = RangeQuery.sum({"age": Interval(20, 40)})
+        assert count.aggregation is Aggregation.COUNT
+        assert total.aggregation is Aggregation.SUM
+        assert count.ranges["age"] == Interval(20, 40)
+
+    def test_requires_at_least_one_range(self):
+        with pytest.raises(QueryError):
+            RangeQuery(Aggregation.COUNT, {})
+
+    def test_validate_against_schema(self, small_schema):
+        query = RangeQuery.count({"age": (20, 40)})
+        query.validate_against(small_schema)
+        with pytest.raises(QueryError):
+            RangeQuery.count({"salary": (0, 1)}).validate_against(small_schema)
+
+    def test_disjoint_range_rejected(self, small_schema):
+        with pytest.raises(QueryError):
+            RangeQuery.count({"age": (200, 300)}).validate_against(small_schema)
+
+    def test_clipping(self, small_schema):
+        clipped = RangeQuery.count({"age": (-10, 500)}).clipped_to(small_schema)
+        assert clipped.ranges["age"] == Interval(0, 99)
+
+    def test_to_sql_roundtrip(self):
+        query = RangeQuery.count({"age": (20, 40), "dept": (1, 3)})
+        parsed, table = parse_query(query.to_sql("people"))
+        assert table == "people"
+        assert parsed.aggregation is Aggregation.COUNT
+        assert parsed.ranges == query.ranges
+
+
+class TestParser:
+    def test_count_star(self):
+        query, table = parse_query(
+            "SELECT COUNT(*) FROM adult WHERE 20 <= age AND age <= 40"
+        )
+        assert query.aggregation is Aggregation.COUNT
+        assert table == "adult"
+        assert query.ranges["age"] == Interval(20, 40)
+
+    def test_sum_measure(self):
+        query, _ = parse_query("SELECT SUM(measure) FROM t WHERE hours >= 5 AND hours <= 9")
+        assert query.aggregation is Aggregation.SUM
+        assert query.ranges["hours"] == Interval(5, 9)
+
+    def test_between(self):
+        query, _ = parse_query("SELECT COUNT(*) FROM t WHERE age BETWEEN 30 AND 35")
+        assert query.ranges["age"] == Interval(30, 35)
+
+    def test_chained_comparison(self):
+        query, _ = parse_query("SELECT COUNT(*) FROM t WHERE 10 <= dept <= 20")
+        assert query.ranges["dept"] == Interval(10, 20)
+
+    def test_equality_predicate(self):
+        query, _ = parse_query("SELECT COUNT(*) FROM t WHERE age = 33")
+        assert query.ranges["age"] == Interval(33, 33)
+
+    def test_strict_inequalities(self):
+        query, _ = parse_query("SELECT COUNT(*) FROM t WHERE age > 20 AND age < 30")
+        assert query.ranges["age"] == Interval(21, 29)
+
+    def test_multiple_dimensions(self):
+        query, _ = parse_query(
+            "SELECT COUNT(*) FROM t WHERE 1 <= a AND a <= 2 AND b BETWEEN 3 AND 4"
+        )
+        assert set(query.dimensions) == {"a", "b"}
+
+    def test_half_open_predicate_gets_sentinel_bound(self):
+        query, _ = parse_query("SELECT COUNT(*) FROM t WHERE age >= 18")
+        assert query.ranges["age"].low == 18
+        assert query.ranges["age"].high > 10**9
+
+    def test_contradictory_bounds_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT COUNT(*) FROM t WHERE age >= 50 AND age <= 10")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("DELETE FROM t")
+
+    def test_missing_predicates_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT COUNT(*) FROM t WHERE ")
+
+    def test_comparing_two_constants_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT COUNT(*) FROM t WHERE 1 <= 2")
+
+
+class TestExecutor:
+    def test_count_matches_numpy(self, small_table):
+        query = RangeQuery.count({"age": (20, 40), "dept": (0, 4)})
+        age = small_table.column("age")
+        dept = small_table.column("dept")
+        expected = int((((age >= 20) & (age <= 40)) & (dept <= 4)).sum())
+        assert execute_on_table(small_table, query) == expected
+
+    def test_sum_on_tensor_equals_count_on_raw(self, small_table):
+        tensor = build_count_tensor(small_table, ["age", "dept"])
+        query_ranges = {"age": (10, 60), "dept": (1, 7)}
+        raw_count = execute_on_table(small_table, RangeQuery.count(query_ranges))
+        tensor_sum = execute_on_table(tensor, RangeQuery.sum(query_ranges))
+        tensor_count = execute_on_table(tensor, RangeQuery.count(query_ranges))
+        assert raw_count == tensor_sum == tensor_count
+
+    def test_selection_mask_size(self, small_table):
+        mask = selection_mask(small_table, RangeQuery.count({"age": (0, 99)}))
+        assert mask.shape == (small_table.num_rows,)
+        assert mask.all()
+
+    def test_cluster_sum_equals_table(self, clustered, small_table):
+        query = RangeQuery.count({"hours": (0, 10)})
+        total = execute_on_clusters(clustered.clusters, query)
+        assert total == execute_on_table(small_table, query)
+        assert total == sum(execute_on_cluster(c, query) for c in clustered)
+
+    def test_executor_with_pruning_matches_full_scan(self, clustered, metadata, small_table):
+        executor_pruned = ExactExecutor(clustered, metadata)
+        executor_full = ExactExecutor(clustered, None)
+        query = RangeQuery.count({"age": (30, 35), "hours": (0, 20)})
+        pruned = executor_pruned.execute(query)
+        full = executor_full.execute(query)
+        assert pruned.value == full.value == execute_on_table(small_table, query)
+        assert pruned.clusters_scanned <= full.clusters_scanned
+        assert pruned.rows_scanned <= full.rows_scanned
+
+    def test_empty_result(self, small_table):
+        # dept domain is [0, 9]; an interval inside the domain that matches no rows.
+        table = small_table.select(small_table.column("dept") != 9)
+        assert execute_on_table(table, RangeQuery.count({"dept": (9, 9)})) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=49),
+        st.integers(min_value=0, max_value=49),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_executor_equals_bruteforce_property(self, a1, a2, h1, h2):
+        rng = np.random.default_rng(7)
+        schema = Schema((Dimension("age", 0, 99), Dimension("hours", 0, 49)))
+        table = Table(
+            schema,
+            {"age": rng.integers(0, 100, 500), "hours": rng.integers(0, 50, 500)},
+        )
+        age_low, age_high = min(a1, a2), max(a1, a2)
+        hour_low, hour_high = min(h1, h2), max(h1, h2)
+        query = RangeQuery.count({"age": (age_low, age_high), "hours": (hour_low, hour_high)})
+        age = table.column("age")
+        hours = table.column("hours")
+        expected = int(
+            (
+                (age >= age_low)
+                & (age <= age_high)
+                & (hours >= hour_low)
+                & (hours <= hour_high)
+            ).sum()
+        )
+        assert execute_on_table(table, query) == expected
+        clustered = ClusteredTable.from_table(table, cluster_size=64)
+        executor = ExactExecutor(clustered, build_metadata(clustered))
+        assert executor.execute(query).value == expected

@@ -1,0 +1,185 @@
+"""Tests for pps probabilities, estimators, the EM sampler, and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.query.model import RangeQuery
+from repro.sampling.baselines import ExactPPSSampler, UniformClusterSampler, UniformRowSampler
+from repro.sampling.em_sampler import (
+    EMClusterSampler,
+    sampling_probability_sensitivity,
+)
+from repro.sampling.estimator import hansen_hurwitz_estimate, horvitz_thompson_estimate
+from repro.sampling.probabilities import normalise_proportions, sampling_probabilities
+from repro.storage.clustered_table import ClusteredTable
+
+
+class TestSamplingProbabilities:
+    def test_proportional_to_size(self):
+        probabilities = sampling_probabilities([1.0, 2.0, 1.0], floor=0.0)
+        assert probabilities == pytest.approx([0.25, 0.5, 0.25])
+
+    def test_all_zero_falls_back_to_uniform(self):
+        probabilities = sampling_probabilities([0.0, 0.0, 0.0, 0.0])
+        assert probabilities == pytest.approx(np.full(4, 0.25))
+
+    def test_floor_keeps_probabilities_positive(self):
+        probabilities = sampling_probabilities([0.0, 1.0], floor=1e-6)
+        assert probabilities.min() > 0
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SamplingError):
+            sampling_probabilities([-0.1, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SamplingError):
+            normalise_proportions([])
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_always_a_distribution(self, proportions):
+        probabilities = sampling_probabilities(proportions)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities >= 0)
+
+
+class TestEstimators:
+    def test_hansen_hurwitz_exact_when_weights_match(self):
+        # If every cluster value is proportional to its probability the
+        # estimator is exact regardless of which clusters are sampled.
+        values = np.array([10.0, 20.0, 70.0])
+        probabilities = values / values.sum()
+        estimate = hansen_hurwitz_estimate(values[[0, 2]], probabilities[[0, 2]])
+        assert estimate == pytest.approx(100.0)
+
+    def test_hansen_hurwitz_unbiased_under_uniform_sampling(self):
+        rng = np.random.default_rng(0)
+        population = rng.integers(0, 100, 50).astype(float)
+        probabilities = np.full(50, 1 / 50)
+        estimates = []
+        for _ in range(3000):
+            picks = rng.integers(0, 50, size=10)
+            estimates.append(hansen_hurwitz_estimate(population[picks], probabilities[picks]))
+        assert np.mean(estimates) == pytest.approx(population.sum(), rel=0.02)
+
+    def test_horvitz_thompson_full_sample_is_exact(self):
+        values = [5.0, 7.0, 9.0]
+        assert horvitz_thompson_estimate(values, [1.0, 1.0, 1.0]) == pytest.approx(21.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SamplingError):
+            hansen_hurwitz_estimate([1.0], [0.5, 0.5])
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(SamplingError):
+            hansen_hurwitz_estimate([1.0], [0.0])
+        with pytest.raises(SamplingError):
+            hansen_hurwitz_estimate([1.0], [1.5])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(SamplingError):
+            hansen_hurwitz_estimate([], [])
+
+
+class TestEMSampler:
+    def test_sensitivity_formula(self):
+        assert sampling_probability_sensitivity(4) == pytest.approx(1 / 20)
+        with pytest.raises(SamplingError):
+            sampling_probability_sensitivity(0)
+
+    def test_sample_count_and_indices_in_range(self):
+        sampler = EMClusterSampler(epsilon=0.5, n_min=4, rng=0)
+        outcome = sampler.sample([0.1, 0.2, 0.3, 0.4], 3)
+        assert len(outcome.selected_indices) == 3
+        assert all(0 <= i < 4 for i in outcome.selected_indices)
+        assert outcome.epsilon_spent == pytest.approx(0.5)
+
+    def test_selection_distribution_is_valid(self):
+        sampler = EMClusterSampler(epsilon=0.5, n_min=4, rng=0)
+        distribution = sampler.selection_distribution([0.0, 1.0, 2.0, 5.0], 2)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert np.all(distribution > 0)
+
+    def test_large_epsilon_prefers_large_proportions(self):
+        sampler = EMClusterSampler(epsilon=500.0, n_min=2, rng=1)
+        outcome = sampler.sample([0.01, 0.01, 0.01, 0.97], 40)
+        counts = np.bincount(outcome.selected_indices, minlength=4)
+        assert counts[3] > counts[:3].sum()
+
+    def test_without_replacement_selects_distinct(self):
+        sampler = EMClusterSampler(epsilon=1.0, n_min=4, replace=False, rng=2)
+        outcome = sampler.sample([0.1, 0.2, 0.3, 0.4, 0.5], 3)
+        assert len(set(outcome.selected_indices)) == 3
+
+    def test_without_replacement_clamps_to_population(self):
+        sampler = EMClusterSampler(epsilon=1.0, n_min=4, replace=False, rng=2)
+        outcome = sampler.sample([0.1, 0.2], 10)
+        assert len(outcome.selected_indices) == 2
+
+    def test_reproducible_with_seed(self):
+        a = EMClusterSampler(epsilon=1.0, n_min=4, rng=9).sample([0.1, 0.4, 0.5], 2)
+        b = EMClusterSampler(epsilon=1.0, n_min=4, rng=9).sample([0.1, 0.4, 0.5], 2)
+        assert a.selected_indices == b.selected_indices
+
+    def test_invalid_sample_size_rejected(self):
+        sampler = EMClusterSampler(epsilon=1.0, n_min=4, rng=0)
+        with pytest.raises(SamplingError):
+            sampler.sample([0.5, 0.5], 0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(SamplingError):
+            EMClusterSampler(epsilon=0.0, n_min=4)
+
+
+class TestBaselineSamplers:
+    @pytest.fixture
+    def clusters(self, small_table):
+        return ClusteredTable.from_table(small_table, cluster_size=100).clusters
+
+    @pytest.fixture
+    def query(self):
+        return RangeQuery.count({"age": (10, 80)})
+
+    def test_uniform_row_sampler_reasonable(self, clusters, query, small_table):
+        exact = sum(
+            1
+            for value in small_table.column("age")
+            if 10 <= value <= 80
+        )
+        estimates = [
+            UniformRowSampler(sampling_rate=0.5, rng=seed).estimate(clusters, query)
+            for seed in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.1)
+
+    def test_uniform_cluster_sampler_reasonable(self, clusters, query, small_table):
+        exact = int(((small_table.column("age") >= 10) & (small_table.column("age") <= 80)).sum())
+        estimates = [
+            UniformClusterSampler(sampling_rate=0.5, rng=seed).estimate(clusters, query)
+            for seed in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.15)
+
+    def test_exact_pps_sampler_reasonable(self, clusters, query, small_table):
+        exact = int(((small_table.column("age") >= 10) & (small_table.column("age") <= 80)).sum())
+        estimates = [
+            ExactPPSSampler(sampling_rate=0.3, rng=seed).estimate(clusters, query)
+            for seed in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.15)
+
+    def test_empty_cluster_list_returns_zero(self, query):
+        assert UniformRowSampler(sampling_rate=0.5, rng=0).estimate([], query) == 0.0
+        assert UniformClusterSampler(sampling_rate=0.5, rng=0).estimate([], query) == 0.0
+        assert ExactPPSSampler(sampling_rate=0.5, rng=0).estimate([], query) == 0.0
+
+    @pytest.mark.parametrize("sampler_cls", [UniformRowSampler, UniformClusterSampler, ExactPPSSampler])
+    def test_invalid_rate_rejected(self, sampler_cls):
+        with pytest.raises(SamplingError):
+            sampler_cls(sampling_rate=0.0)

@@ -1,0 +1,206 @@
+"""Tests for schemas, tables and count tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+from repro.storage.tensor import build_count_tensor
+
+
+class TestDimension:
+    def test_domain_size(self):
+        assert Dimension("age", 18, 90).domain_size == 73
+
+    def test_contains_and_clip(self):
+        dimension = Dimension("x", 0, 10)
+        assert dimension.contains(5)
+        assert not dimension.contains(11)
+        assert dimension.clip(42) == 10
+        assert dimension.clip(-3) == 0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(SchemaError):
+            Dimension("bad", 10, 0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Dimension(" ", 0, 1)
+
+
+class TestSchema:
+    def test_lookup_and_index(self, small_schema):
+        assert small_schema.dimension("hours").high == 49
+        assert small_schema.dimension_index("dept") == 2
+        assert "age" in small_schema
+        assert "salary" not in small_schema
+
+    def test_unknown_dimension_raises(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.dimension("salary")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Dimension("a", 0, 1), Dimension("a", 0, 2)))
+
+    def test_measure_column_listed_last(self):
+        schema = Schema((Dimension("a", 0, 1),), measure="m")
+        assert schema.column_names == ("a", "m")
+        assert schema.has_measure
+
+    def test_measure_name_cannot_collide(self):
+        with pytest.raises(SchemaError):
+            Schema((Dimension("a", 0, 1),), measure="a")
+
+    def test_with_measure_and_project(self, small_schema):
+        with_measure = small_schema.with_measure()
+        assert with_measure.has_measure
+        projected = small_schema.project(["dept", "age"])
+        assert projected.dimension_names == ("dept", "age")
+        assert not projected.has_measure
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+
+class TestTable:
+    def test_from_rows_roundtrip(self, small_schema):
+        rows = [(1, 2, 3), (4, 5, 6)]
+        table = Table.from_rows(small_schema, rows)
+        assert table.num_rows == 2
+        assert table.row(1) == {"age": 4, "hours": 5, "dept": 6}
+
+    def test_missing_column_rejected(self, small_schema):
+        with pytest.raises(SchemaError):
+            Table(small_schema, {"age": np.array([1])})
+
+    def test_unexpected_column_rejected(self, small_schema):
+        with pytest.raises(SchemaError):
+            Table(
+                small_schema,
+                {
+                    "age": np.array([1]),
+                    "hours": np.array([1]),
+                    "dept": np.array([1]),
+                    "bonus": np.array([1]),
+                },
+            )
+
+    def test_length_mismatch_rejected(self, small_schema):
+        with pytest.raises(StorageError):
+            Table(
+                small_schema,
+                {
+                    "age": np.array([1, 2]),
+                    "hours": np.array([1]),
+                    "dept": np.array([1, 2]),
+                },
+            )
+
+    def test_float_columns_with_integral_values_accepted(self, small_schema):
+        table = Table(
+            small_schema,
+            {
+                "age": np.array([1.0, 2.0]),
+                "hours": np.array([3.0, 4.0]),
+                "dept": np.array([5.0, 6.0]),
+            },
+        )
+        assert table.column("age").dtype == np.int64
+
+    def test_non_integral_floats_rejected(self, small_schema):
+        with pytest.raises(StorageError):
+            Table(
+                small_schema,
+                {
+                    "age": np.array([1.5]),
+                    "hours": np.array([1.0]),
+                    "dept": np.array([1.0]),
+                },
+            )
+
+    def test_measure_column_defaults_to_ones(self, small_table):
+        assert small_table.measure_column().sum() == small_table.num_rows
+        assert small_table.total_measure() == small_table.num_rows
+
+    def test_take_select_slice_concat(self, small_table):
+        taken = small_table.take([0, 10, 20])
+        assert taken.num_rows == 3
+        mask = small_table.column("age") < 50
+        selected = small_table.select(mask)
+        assert selected.num_rows == int(mask.sum())
+        sliced = small_table.slice(0, 5)
+        assert sliced.num_rows == 5
+        combined = Table.concat([sliced, taken])
+        assert combined.num_rows == 8
+
+    def test_select_with_wrong_mask_size(self, small_table):
+        with pytest.raises(StorageError):
+            small_table.select(np.array([True, False]))
+
+    def test_column_min_max(self, small_table):
+        low, high = small_table.column_min_max("dept")
+        assert 0 <= low <= high <= 9
+
+    def test_empty_table(self, small_schema):
+        table = Table.empty(small_schema)
+        assert table.num_rows == 0
+        with pytest.raises(StorageError):
+            table.column_min_max("age")
+
+    def test_row_out_of_range(self, small_table):
+        with pytest.raises(StorageError):
+            small_table.row(small_table.num_rows)
+
+    def test_to_matrix_shape(self, small_table):
+        matrix = small_table.to_matrix()
+        assert matrix.shape == (small_table.num_rows, 3)
+
+
+class TestCountTensor:
+    def test_tensor_preserves_total_measure(self, small_table):
+        tensor = build_count_tensor(small_table, ["dept"])
+        assert tensor.schema.has_measure
+        assert tensor.total_measure() == small_table.num_rows
+        assert tensor.num_rows <= 10
+
+    def test_tensor_rows_are_distinct_combinations(self, small_table):
+        tensor = build_count_tensor(small_table, ["dept", "hours"])
+        keys = set(zip(tensor.column("dept").tolist(), tensor.column("hours").tolist()))
+        assert len(keys) == tensor.num_rows
+
+    def test_tensor_of_tensor_reaggregates(self, small_table):
+        tensor = build_count_tensor(small_table, ["dept", "hours"])
+        coarser = build_count_tensor(tensor, ["dept"])
+        assert coarser.total_measure() == small_table.num_rows
+        assert coarser.num_rows <= 10
+
+    def test_rejects_unknown_dimension(self, small_table):
+        with pytest.raises(SchemaError):
+            build_count_tensor(small_table, ["salary"])
+
+    def test_rejects_duplicate_dimensions(self, small_table):
+        with pytest.raises(SchemaError):
+            build_count_tensor(small_table, ["dept", "dept"])
+
+    def test_empty_source(self, small_schema):
+        tensor = build_count_tensor(Table.empty(small_schema), ["age"])
+        assert tensor.num_rows == 0
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_total_measure_invariant_under_aggregation(self, n):
+        rng = np.random.default_rng(n)
+        schema = Schema((Dimension("a", 0, 3), Dimension("b", 0, 3)))
+        table = Table(
+            schema,
+            {"a": rng.integers(0, 4, n), "b": rng.integers(0, 4, n)},
+        )
+        tensor = build_count_tensor(table, ["a"])
+        assert tensor.total_measure() == n

@@ -1,0 +1,164 @@
+"""End-to-end tests of the public :class:`FederatedAQPSystem` facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FederatedAQPSystem,
+    PrivacyConfig,
+    RangeQuery,
+    SamplingConfig,
+    SystemConfig,
+)
+from repro.errors import BudgetExhaustedError
+from repro.query.model import Aggregation
+
+
+class TestSystemConstruction:
+    def test_from_table_builds_configured_providers(self, small_table, small_config):
+        system = FederatedAQPSystem.from_table(small_table, config=small_config)
+        assert system.num_providers == 4
+        assert system.total_rows == small_table.num_rows
+        assert system.total_clusters == sum(p.num_clusters for p in system.providers)
+        assert system.metadata_size_bytes() > 0
+
+    def test_from_partitions_respects_partition_count(self, small_table, small_config):
+        halves = [small_table.slice(0, 1000), small_table.slice(1000, 2000)]
+        system = FederatedAQPSystem.from_partitions(halves, config=small_config)
+        assert system.num_providers == 2
+
+
+class TestQueryExecution:
+    def test_estimate_tracks_exact_answer(self, small_system, small_table):
+        query = RangeQuery.count({"age": (10, 80)})
+        age = small_table.column("age")
+        exact = int(((age >= 10) & (age <= 80)).sum())
+        result = small_system.execute(query, sampling_rate=0.4)
+        assert result.exact_value == exact
+        # The estimate is noisy but must stay within a generous envelope of
+        # the truth for a selective-but-large query on this fixture.
+        assert abs(result.value - exact) < 0.9 * exact
+
+    def test_relative_error_and_summary(self, small_system):
+        result = small_system.execute(RangeQuery.count({"age": (10, 80)}))
+        assert result.relative_error is not None
+        assert result.absolute_error is not None
+        assert "rel_err" in result.summary() or "exact" in result.summary()
+
+    def test_sql_string_queries_accepted(self, small_system):
+        result = small_system.execute(
+            "SELECT COUNT(*) FROM t WHERE 10 <= age AND age <= 80",
+            sampling_rate=0.3,
+        )
+        assert result.exact_value is not None
+
+    def test_trace_counts_messages_and_work(self, small_system):
+        result = small_system.execute(RangeQuery.count({"age": (10, 80)}))
+        trace = result.trace
+        assert trace.messages_sent >= 3 * small_system.num_providers
+        assert 0 < trace.rows_scanned <= trace.rows_available
+        assert trace.clusters_scanned <= trace.clusters_available
+        assert set(trace.phase_seconds) == {"allocation", "local_answering", "combination"}
+
+    def test_epsilon_override_controls_noise(self, small_system):
+        query = RangeQuery.count({"age": (10, 80)})
+        tight = [
+            abs(small_system.execute(query, epsilon=100.0).noise_injected) for _ in range(5)
+        ]
+        loose = [
+            abs(small_system.execute(query, epsilon=0.05).noise_injected) for _ in range(5)
+        ]
+        assert np.mean(tight) < np.mean(loose)
+
+    def test_budget_split_reported(self, small_system):
+        result = small_system.execute(RangeQuery.count({"age": (10, 80)}), epsilon=0.5)
+        assert result.epsilon_spent == pytest.approx(0.5)
+        assert result.delta_spent == pytest.approx(1e-3)
+
+    def test_smc_path_executes_and_flags_result(self, small_system):
+        result = small_system.execute(RangeQuery.count({"age": (10, 80)}), use_smc=True)
+        assert result.used_smc
+        # With SMC a single noise is injected at the aggregator.
+        assert np.isfinite(result.noise_injected)
+
+    def test_sum_and_count_agree_on_raw_tables(self, small_system):
+        ranges = {"age": (20, 60), "hours": (0, 30)}
+        count = small_system.execute(RangeQuery.count(ranges))
+        total = small_system.execute(RangeQuery.sum(ranges))
+        assert count.exact_value == total.exact_value
+
+    def test_exact_baseline_consistency(self, small_system, small_table):
+        query = RangeQuery.count({"hours": (5, 15)})
+        baseline = small_system.exact_baseline(query)
+        hours = small_table.column("hours")
+        assert baseline.value == int(((hours >= 5) & (hours <= 15)).sum())
+        assert baseline.rows_scanned <= small_table.num_rows
+
+    def test_compute_exact_false_skips_baseline(self, small_system):
+        result = small_system.execute(
+            RangeQuery.count({"age": (10, 80)}), compute_exact=False
+        )
+        assert result.exact_value is None
+        assert result.relative_error is None
+
+
+class TestEndUserBudget:
+    def test_budget_enforced_across_queries(self, small_table):
+        config = SystemConfig(
+            cluster_size=100,
+            num_providers=2,
+            privacy=PrivacyConfig(epsilon=1.0, delta=1e-3),
+            sampling=SamplingConfig(sampling_rate=0.3, min_clusters_for_approximation=3),
+            seed=1,
+        )
+        system = FederatedAQPSystem.from_table(
+            small_table, config=config, total_epsilon=2.0, total_delta=1.0
+        )
+        query = RangeQuery.count({"age": (10, 80)})
+        system.execute(query)
+        system.execute(query)
+        with pytest.raises(BudgetExhaustedError):
+            system.execute(query)
+        remaining = system.remaining_budget()
+        assert remaining is not None
+        assert remaining[0] == pytest.approx(0.0)
+
+    def test_no_budget_means_unlimited(self, small_system):
+        assert small_system.remaining_budget() is None
+        for _ in range(3):
+            small_system.execute(RangeQuery.count({"age": (10, 80)}))
+
+
+class TestStatisticalBehaviour:
+    def test_estimator_is_roughly_unbiased_over_repeated_runs(self, small_table):
+        """Across independently seeded runs the mean estimate should approach
+        the exact answer: the Hansen-Hurwitz weights match the DP selection
+        distribution and the Laplace noise is symmetric around zero."""
+        query = RangeQuery.count({"age": (10, 80)})
+        estimates = []
+        exact = None
+        for seed in range(20):
+            system = FederatedAQPSystem.from_table(
+                small_table,
+                config=SystemConfig(
+                    cluster_size=100,
+                    num_providers=4,
+                    privacy=PrivacyConfig(epsilon=1.0, delta=1e-3),
+                    sampling=SamplingConfig(
+                        sampling_rate=0.3, min_clusters_for_approximation=3
+                    ),
+                    seed=seed,
+                ),
+            )
+            result = system.execute(query, compute_exact=True)
+            exact = result.exact_value
+            estimates.append(result.value)
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.25)
+
+    def test_higher_sampling_rate_scans_more_rows(self, small_system):
+        query = RangeQuery.count({"age": (10, 80)})
+        low = small_system.execute(query, sampling_rate=0.1).trace.rows_scanned
+        high = small_system.execute(query, sampling_rate=0.6).trace.rows_scanned
+        assert high >= low
