@@ -30,11 +30,28 @@ AMAZON_ROWS = int(os.environ.get("REPRO_BENCH_AMAZON_ROWS", "400000"))
 QUERIES_PER_POINT = int(os.environ.get("REPRO_BENCH_QUERIES_PER_POINT", "6"))
 
 
-def write_result(name: str, text: str) -> None:
+def _write_result(name: str, text: str) -> None:
     """Print a figure/table rendition and persist it under ``results/``."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Fixture form of the results writer.
+
+    Benchmarks receive it as a fixture instead of importing from conftest —
+    relative imports are unavailable because pytest collects these modules
+    outside a package.
+    """
+    return _write_result
+
+
+@pytest.fixture(scope="session")
+def queries_per_point() -> int:
+    """Workload size per figure point (``REPRO_BENCH_QUERIES_PER_POINT``)."""
+    return QUERIES_PER_POINT
 
 
 @pytest.fixture(scope="session")

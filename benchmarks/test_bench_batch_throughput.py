@@ -1,0 +1,119 @@
+"""Batch engine micro-benchmark: queries/sec, batch vs per-query loop.
+
+Runs a 16-query workload against a ~100k-row federation twice — once as a
+sequential per-query loop (``system.execute`` per query) and once as a single
+``system.execute_batch`` call — and records the throughput of each.  The
+batch path must be at least 2x faster; its results are also checked to be
+bit-identical to the sequential loop under the same seed.
+
+Each run appends an entry to ``results/BENCH_batch_throughput.json`` so the
+performance trajectory across commits can be tracked.  The file is
+git-tracked on purpose: committing the updated history alongside a change is
+what builds the trajectory, so a dirty tree after a bench run is expected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.experiments.scenarios import adult_scenario
+from repro.query.model import Aggregation
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_batch_throughput.json"
+
+NUM_QUERIES = 16
+NUM_ROWS = 100_000
+REPS = 7
+# Required batch-over-sequential speedup.  2x on a quiet machine; noisy
+# shared CI runners can relax it via the environment without touching code.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _scenario():
+    return adult_scenario(num_rows=NUM_ROWS, seed=0)
+
+
+def _workload(scenario):
+    generator = scenario.workload_generator(seed=11)
+    accept_batch = scenario.batch_acceptance_predicate(min_selectivity=0.02)
+    return list(
+        generator.generate(NUM_QUERIES, 3, Aggregation.COUNT, accept_batch=accept_batch)
+    )
+
+
+def _record(entry: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = {"bench": "batch_throughput", "entries": []}
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text())
+    history["entries"].append(entry)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_batch_throughput_vs_sequential(benchmark):
+    scenario = _scenario()
+    queries = _workload(scenario)
+    system = scenario.system
+
+    # Same-seed equivalence: the batch engine must return exactly what the
+    # per-query loop returns, so the throughput comparison is apples to
+    # apples.
+    loop_system = _scenario().system
+    sequential_values = [
+        loop_system.execute(query, compute_exact=False).value for query in queries
+    ]
+    batch_system = _scenario().system
+    batch_values = [
+        result.value
+        for result in batch_system.execute_batch(queries, compute_exact=False).results
+    ]
+    assert batch_values == sequential_values
+
+    # Warm the layouts and metadata caches, then measure steady state.
+    system.execute_batch(queries, compute_exact=False)
+    sequential_seconds = []
+    batch_seconds = []
+    for _ in range(REPS):
+        start = time.perf_counter()
+        for query in queries:
+            system.execute(query, compute_exact=False)
+        sequential_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        system.execute_batch(queries, compute_exact=False)
+        batch_seconds.append(time.perf_counter() - start)
+
+    best_sequential = min(sequential_seconds)
+    best_batch = min(batch_seconds)
+    sequential_qps = NUM_QUERIES / best_sequential
+    batch_qps = NUM_QUERIES / best_batch
+    speedup = batch_qps / sequential_qps
+
+    _record(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "num_queries": NUM_QUERIES,
+            "federation_rows": NUM_ROWS,
+            "num_providers": system.num_providers,
+            "sequential_qps": round(sequential_qps, 1),
+            "batch_qps": round(batch_qps, 1),
+            "speedup": round(speedup, 2),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+    )
+    print(
+        f"\nbatch throughput: {batch_qps:.0f} q/s vs sequential {sequential_qps:.0f} q/s "
+        f"({speedup:.2f}x)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch path must be >= {MIN_SPEEDUP}x the per-query loop, got {speedup:.2f}x "
+        f"(batch {batch_qps:.0f} q/s, sequential {sequential_qps:.0f} q/s)"
+    )
+
+    benchmark(lambda: system.execute_batch(queries, compute_exact=False).values)

@@ -11,10 +11,9 @@ from repro.experiments.smc_comparison import (
     format_sharing_costs,
     run_sharing_cost_experiment,
 )
-from .conftest import write_result
 
 
-def test_fig1_smc_row_vs_result_sharing(benchmark, adult):
+def test_fig1_smc_row_vs_result_sharing(benchmark, adult, write_result):
     points = run_sharing_cost_experiment(adult, num_queries=12, num_dimensions=2, seed=0)
     write_result("fig1_smc_sharing", format_sharing_costs(points))
 

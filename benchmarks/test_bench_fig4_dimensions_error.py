@@ -12,14 +12,13 @@ from repro.experiments.dimension_analysis import (
     run_dimension_analysis,
 )
 from repro.query.model import RangeQuery
-from .conftest import QUERIES_PER_POINT, write_result
 
 
-def test_fig4_error_vs_dimensions_adult(benchmark, adult):
+def test_fig4_error_vs_dimensions_adult(benchmark, adult, write_result, queries_per_point):
     points = run_dimension_analysis(
         adult,
         dimension_counts=[2, 3, 4, 5, 6, 7],
-        queries_per_point=QUERIES_PER_POINT,
+        queries_per_point=queries_per_point,
         min_selectivity=0.002,
         seed=0,
     )
@@ -35,11 +34,11 @@ def test_fig4_error_vs_dimensions_adult(benchmark, adult):
     benchmark(lambda: adult.system.execute(query, compute_exact=False).value)
 
 
-def test_fig4_error_vs_dimensions_amazon(benchmark, amazon):
+def test_fig4_error_vs_dimensions_amazon(benchmark, amazon, write_result, queries_per_point):
     points = run_dimension_analysis(
         amazon,
         dimension_counts=[2, 3, 4, 5],
-        queries_per_point=QUERIES_PER_POINT,
+        queries_per_point=queries_per_point,
         seed=0,
     )
     write_result("fig4_dimensions_amazon", format_dimension_analysis(points))

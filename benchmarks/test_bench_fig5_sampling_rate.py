@@ -11,7 +11,6 @@ from repro.experiments.sampling_rate_analysis import (
     format_sampling_rate_analysis,
     run_sampling_rate_analysis,
 )
-from .conftest import QUERIES_PER_POINT, write_result
 
 
 def _check_tradeoff(points):
@@ -25,11 +24,11 @@ def _check_tradeoff(points):
         assert speedups[0] > speedups[-1]
 
 
-def test_fig5_sampling_rate_adult(benchmark, adult):
+def test_fig5_sampling_rate_adult(benchmark, adult, write_result, queries_per_point):
     points = run_sampling_rate_analysis(
         adult,
         sampling_rates=(0.05, 0.10, 0.15, 0.20),
-        queries_per_point=QUERIES_PER_POINT,
+        queries_per_point=queries_per_point,
         seed=1,
     )
     write_result("fig5_sampling_rate_adult", format_sampling_rate_analysis(points))
@@ -42,11 +41,11 @@ def test_fig5_sampling_rate_adult(benchmark, adult):
     )
 
 
-def test_fig5_sampling_rate_amazon(benchmark, amazon):
+def test_fig5_sampling_rate_amazon(benchmark, amazon, write_result, queries_per_point):
     points = run_sampling_rate_analysis(
         amazon,
         sampling_rates=(0.05, 0.10, 0.15, 0.20),
-        queries_per_point=QUERIES_PER_POINT,
+        queries_per_point=queries_per_point,
         seed=1,
     )
     write_result("fig5_sampling_rate_amazon", format_sampling_rate_analysis(points))

@@ -11,7 +11,6 @@ from repro.experiments.epsilon_analysis import (
     format_epsilon_analysis,
     run_epsilon_analysis,
 )
-from .conftest import QUERIES_PER_POINT, write_result
 
 EPSILONS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3)
 
@@ -25,9 +24,9 @@ def _check_epsilon_trend(points):
         assert series[0].mean_relative_error > series[-1].mean_relative_error
 
 
-def test_fig6_epsilon_adult(benchmark, adult):
+def test_fig6_epsilon_adult(benchmark, adult, write_result, queries_per_point):
     points = run_epsilon_analysis(
-        adult, epsilons=EPSILONS, queries_per_point=QUERIES_PER_POINT, seed=2
+        adult, epsilons=EPSILONS, queries_per_point=queries_per_point, seed=2
     )
     write_result("fig6_epsilon_adult", format_epsilon_analysis(points))
     _check_epsilon_trend(points)
@@ -41,9 +40,9 @@ def test_fig6_epsilon_adult(benchmark, adult):
     )
 
 
-def test_fig6_epsilon_amazon(benchmark, amazon):
+def test_fig6_epsilon_amazon(benchmark, amazon, write_result, queries_per_point):
     points = run_epsilon_analysis(
-        amazon, epsilons=EPSILONS, queries_per_point=QUERIES_PER_POINT, seed=2
+        amazon, epsilons=EPSILONS, queries_per_point=queries_per_point, seed=2
     )
     write_result("fig6_epsilon_amazon", format_epsilon_analysis(points))
     _check_epsilon_trend(points)

@@ -13,10 +13,9 @@ from repro.experiments.smc_comparison import (
     format_smc_comparison,
     run_smc_vs_dp_experiment,
 )
-from .conftest import write_result
 
 
-def test_fig8_smc_vs_per_provider_dp(benchmark, adult):
+def test_fig8_smc_vs_per_provider_dp(benchmark, adult, write_result):
     points = run_smc_vs_dp_experiment(
         adult, num_queries=5, repetitions=5, num_dimensions=2, seed=4
     )

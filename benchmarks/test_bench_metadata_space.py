@@ -9,10 +9,9 @@ scale with the synthetic dataset size.
 from __future__ import annotations
 
 from repro.experiments.metadata_space import format_metadata_space, run_metadata_space
-from .conftest import write_result
 
 
-def test_metadata_space_allocation(benchmark, adult, amazon):
+def test_metadata_space_allocation(benchmark, adult, amazon, write_result):
     points = run_metadata_space([adult, amazon])
     write_result("metadata_space", format_metadata_space(points))
 

@@ -20,12 +20,11 @@ from repro.experiments.attack_resilience import (
     run_attack_resilience,
 )
 from repro.query.model import Aggregation
-from .conftest import write_result
 
 FULL = os.environ.get("REPRO_BENCH_FULL_ATTACK", "0") == "1"
 
 
-def test_table1_attack_resilience(benchmark, adult):
+def test_table1_attack_resilience(benchmark, adult, write_result):
     if FULL:
         cells = run_attack_resilience(seed=5)
     else:

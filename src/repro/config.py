@@ -26,6 +26,7 @@ __all__ = [
     "SamplingConfig",
     "NetworkConfig",
     "SMCConfig",
+    "ParallelismConfig",
     "SystemConfig",
     "DEFAULT_PRIVACY",
     "DEFAULT_SAMPLING",
@@ -212,6 +213,33 @@ class SMCConfig:
 
 
 @dataclass(frozen=True)
+class ParallelismConfig:
+    """Aggregator-side fan-out across providers during batch execution.
+
+    When enabled, the aggregator dispatches the per-provider batch phases
+    (summary preparation and local answering) to a thread pool.  Each provider
+    owns its own RNG derivation tree, so results are bit-identical with and
+    without parallelism; only wall-clock changes.
+    """
+
+    enabled: bool = False
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None:
+            _require(
+                self.max_workers >= 1,
+                f"max_workers must be >= 1, got {self.max_workers}",
+            )
+
+    def resolve_workers(self, num_providers: int) -> int:
+        """Number of pool workers to use for ``num_providers`` providers."""
+        if self.max_workers is None:
+            return max(1, num_providers)
+        return max(1, min(self.max_workers, num_providers))
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration of the federated AQP system."""
 
@@ -221,6 +249,7 @@ class SystemConfig:
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     smc: SMCConfig = field(default_factory=SMCConfig)
+    parallelism: ParallelismConfig = field(default_factory=ParallelismConfig)
     use_smc_for_result: bool = False
     seed: int | None = None
 

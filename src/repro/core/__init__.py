@@ -15,7 +15,7 @@ This package wires the substrates together:
 
 from .accounting import QueryBudget, split_query_budget
 from .allocation import AllocationProblem, AllocationResult, solve_allocation
-from .result import ExecutionTrace, ProviderReport, QueryResult
+from .result import BatchResult, ExecutionTrace, ProviderReport, QueryResult
 from .sensitivity import (
     avg_proportion_sensitivity,
     delta_r,
@@ -29,6 +29,7 @@ from .system import FederatedAQPSystem
 __all__ = [
     "FederatedAQPSystem",
     "QueryResult",
+    "BatchResult",
     "ProviderReport",
     "ExecutionTrace",
     "QueryBudget",

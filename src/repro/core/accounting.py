@@ -89,6 +89,20 @@ class EndUserBudget:
         spend = query_spend(budget, num_providers)
         return self.accountant.charge(spend.epsilon, spend.delta, label=label)
 
+    def can_afford_queries(
+        self, budget: QueryBudget, num_providers: int, count: int
+    ) -> bool:
+        """True when ``count`` queries of this size fit the remaining budget.
+
+        Uses the accountant's own tolerance-aware check, so a batch of
+        ``count`` queries is admitted exactly when charging them one at a
+        time would succeed.
+        """
+        if count < 0:
+            raise PrivacyError(f"count must be >= 0, got {count}")
+        spend = query_spend(budget, num_providers)
+        return self.accountant.can_afford(count * spend.epsilon, count * spend.delta)
+
     @property
     def remaining_epsilon(self) -> float:
         """Epsilon still available to the end user."""

@@ -11,11 +11,11 @@ benchmark harness regenerate every figure from a single protocol run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterator, Mapping
 
 from ..query.model import RangeQuery
 
-__all__ = ["ProviderReport", "ExecutionTrace", "QueryResult"]
+__all__ = ["ProviderReport", "ExecutionTrace", "QueryResult", "BatchResult"]
 
 
 @dataclass(frozen=True)
@@ -111,3 +111,66 @@ class QueryResult:
                 parts.append(f"rel_err={100 * error:.2f}%")
         parts.append(f"clusters={self.trace.clusters_scanned}/{self.trace.clusters_available}")
         return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-query results of one batched execution plus aggregate accounting.
+
+    The privacy budget is charged once per query (exactly as in sequential
+    execution); ``wall_seconds`` is the end-to-end wall-clock of the whole
+    batch, which is what the throughput metric divides by.
+    """
+
+    results: tuple[QueryResult, ...]
+    wall_seconds: float
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValueError("a batch result needs at least one query result")
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> QueryResult:
+        return self.results[index]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries answered by the batch."""
+        return len(self.results)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """The per-query DP answers, in workload order."""
+        return tuple(result.value for result in self.results)
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Total epsilon charged across the workload (one charge per query)."""
+        return sum(result.epsilon_spent for result in self.results)
+
+    @property
+    def delta_spent(self) -> float:
+        """Total delta charged across the workload."""
+        return sum(result.delta_spent for result in self.results)
+
+    @property
+    def total_rows_scanned(self) -> int:
+        """Rows scanned across all queries and providers."""
+        return sum(result.trace.rows_scanned for result in self.results)
+
+    @property
+    def total_clusters_scanned(self) -> int:
+        """Clusters scanned across all queries and providers."""
+        return sum(result.trace.clusters_scanned for result in self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Batch throughput: queries answered per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return len(self.results) / self.wall_seconds

@@ -19,11 +19,18 @@ The protocol perturbs three kinds of values and needs a sensitivity for each:
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..dp.sensitivity import smooth_sensitivity
+import numpy as np
+
+from ..dp.sensitivity import (
+    smooth_sensitivity,
+    smooth_sensitivity_beta,
+    smooth_sensitivity_max_k,
+)
 from ..errors import SensitivityError
 
 __all__ = [
@@ -34,7 +41,9 @@ __all__ = [
     "local_sensitivity_at_k",
     "ClusterSensitivityInputs",
     "estimator_smooth_sensitivity",
+    "estimator_smooth_sensitivities",
     "estimator_noise_scale",
+    "smooth_peak_factor",
 ]
 
 
@@ -168,6 +177,65 @@ def estimator_smooth_sensitivity(
         delta,
     )
     return result.value
+
+
+@functools.lru_cache(maxsize=256)
+def smooth_peak_factor(epsilon: float, delta: float) -> float:
+    """``max_k k * e^{-beta k}`` over the Appendix B.3 distance bound.
+
+    For local sensitivities linear in the neighbouring distance the smooth
+    bound factorises as ``slope * smooth_peak_factor(epsilon, delta)``.  The
+    factor depends only on ``(epsilon, delta)``, so it is cached across the
+    queries of a batch (and across batches with the same budget split).
+    """
+    beta = smooth_sensitivity_beta(epsilon, delta)
+    bound = smooth_sensitivity_max_k(beta)
+    distances = np.arange(bound + 1, dtype=float)
+    return float(np.max(distances * np.exp(-beta * distances)))
+
+
+def estimator_smooth_sensitivities(
+    cluster_values: np.ndarray,
+    proportions: np.ndarray,
+    probabilities: np.ndarray,
+    *,
+    sum_proportions: float | np.ndarray,
+    delta_r_value: float | np.ndarray,
+    epsilon: float,
+    delta: float,
+) -> np.ndarray:
+    """Vectorised ``S_LS_E`` for a batch of sampled clusters at once.
+
+    Both dominant scenarios of Theorem 5.4 have local sensitivity linear in
+    the neighbouring distance, ``LS^k = k * slope``, so the smooth bound
+    factorises as ``slope * max_k k * e^{-beta k}`` — the peak factor depends
+    only on ``(epsilon, delta)`` and is computed once for the whole batch of
+    clusters instead of re-scanning distances per cluster.  Proportions and
+    probabilities are floored exactly as in the scalar path.
+
+    ``sum_proportions`` and ``delta_r_value`` may be scalars (all clusters
+    belong to one query) or arrays aligned with ``cluster_values`` (clusters
+    of many queries flattened together, as the provider's batch engine does).
+    """
+    sums = np.asarray(sum_proportions, dtype=float)
+    delta_rs = np.asarray(delta_r_value, dtype=float)
+    if np.any(delta_rs <= 0):
+        raise SensitivityError(f"delta_r_value must be > 0, got {delta_r_value}")
+    if np.any(sums < 0):
+        raise SensitivityError(f"sum_proportions must be >= 0, got {sum_proportions}")
+    peak = smooth_peak_factor(epsilon, delta)
+    values = np.asarray(cluster_values, dtype=float)
+    if np.any(values < 0):
+        raise SensitivityError("cluster values must be >= 0")
+    floored_proportions = np.maximum(np.asarray(proportions, dtype=float), 1e-12)
+    floored_probabilities = np.maximum(np.asarray(probabilities, dtype=float), 1e-12)
+    scenario_one = values > sums / delta_rs
+    slopes = np.where(
+        scenario_one,
+        values * delta_rs / floored_proportions,
+        1.0 / floored_probabilities,
+    )
+    return slopes * peak
 
 
 def estimator_noise_scale(

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..config import SystemConfig
-from ..errors import ProtocolError
+from ..errors import BudgetExhaustedError, ProtocolError
 from ..federation.aggregator import Aggregator
 from ..federation.network import SimulatedNetwork
 from ..federation.partitioning import partition_equal
@@ -28,7 +28,7 @@ from ..storage.table import Table
 from ..utils.rng import RngLike, derive_rng
 from ..utils.timing import Timer
 from .accounting import EndUserBudget, QueryBudget, split_query_budget
-from .result import QueryResult
+from .result import BatchResult, QueryResult
 
 __all__ = ["FederatedAQPSystem", "BaselineExecution"]
 
@@ -143,51 +143,122 @@ class FederatedAQPSystem:
             error and the speed-up denominator.  Disable for pure-performance
             runs on large data.
         """
-        range_query = self._coerce_query(query)
+        batch = self.execute_batch(
+            [query],
+            sampling_rate=sampling_rate,
+            epsilon=epsilon,
+            use_smc=use_smc,
+            compute_exact=compute_exact,
+        )
+        return batch.results[0]
+
+    def execute_batch(
+        self,
+        queries: Sequence[RangeQuery | str],
+        *,
+        sampling_rate: float | None = None,
+        epsilon: float | None = None,
+        use_smc: bool | None = None,
+        compute_exact: bool = True,
+    ) -> BatchResult:
+        """Answer a whole workload with one batched protocol pass.
+
+        The budget is charged once per query — exactly what the sequential
+        loop would have charged — but the summary, allocation, and estimation
+        phases are amortised across the workload: each provider is contacted
+        once per phase with every query, and all metadata / ``Q(C)`` work runs
+        vectorised.  With the same seed, the per-query results are
+        bit-identical to executing the queries one at a time.
+        """
+        if not queries:
+            raise ProtocolError("a batch must contain at least one query")
+        range_queries = [self._coerce_query(query) for query in queries]
         privacy = self.config.privacy if epsilon is None else self.config.privacy.with_epsilon(epsilon)
         budget = split_query_budget(privacy)
         if self.end_user_budget is not None:
-            self.end_user_budget.charge_query(
-                budget, len(self.providers), label=range_query.to_sql()
+            # All-or-nothing batch admission: verify the whole workload is
+            # affordable before running anything.  The check shares the
+            # accountant's float tolerance, so a batch is admitted exactly
+            # when charging its queries one by one would be.
+            if not self.end_user_budget.can_afford_queries(
+                budget, len(self.providers), len(range_queries)
+            ):
+                raise BudgetExhaustedError(
+                    f"batch of {len(range_queries)} queries needs more budget than "
+                    "remains"
+                )
+
+        with Timer() as timer:
+            answers = self.aggregator.execute_batch(
+                range_queries,
+                budget,
+                sampling_rate=sampling_rate,
+                use_smc=use_smc,
             )
-
-        answer = self.aggregator.execute_query(
-            range_query,
-            budget,
-            sampling_rate=sampling_rate,
-            use_smc=use_smc,
-        )
-        exact_value: int | None = None
+        if self.end_user_budget is not None:
+            # Charge only after the protocol ran to completion (but before
+            # the answers are released to the caller): a batch that fails
+            # mid-protocol returns no results and consumes no budget.
+            for range_query in range_queries:
+                self.end_user_budget.charge_query(
+                    budget, len(self.providers), label=range_query.to_sql()
+                )
+        exact_values: list[int | None] = [None] * len(range_queries)
         if compute_exact:
-            exact_value = self.exact_baseline(range_query).value
+            exact_values = [
+                baseline.value for baseline in self.exact_baseline_batch(range_queries)
+            ]
 
-        return QueryResult(
-            query=range_query,
-            value=answer.value,
-            epsilon_spent=budget.epsilon_total,
-            delta_spent=budget.delta,
-            used_smc=answer.used_smc,
-            provider_reports=answer.provider_reports,
-            trace=answer.trace,
-            exact_value=exact_value,
-            noise_injected=answer.noise_injected,
+        results = tuple(
+            QueryResult(
+                query=range_query,
+                value=answer.value,
+                epsilon_spent=budget.epsilon_total,
+                delta_spent=budget.delta,
+                used_smc=answer.used_smc,
+                provider_reports=answer.provider_reports,
+                trace=answer.trace,
+                exact_value=exact_value,
+                noise_injected=answer.noise_injected,
+            )
+            for range_query, answer, exact_value in zip(range_queries, answers, exact_values)
         )
+        return BatchResult(results=results, wall_seconds=timer.elapsed)
 
     def exact_baseline(self, query: RangeQuery | str) -> BaselineExecution:
         """Plain-text exact execution (the paper's "normal computation")."""
-        range_query = self._coerce_query(query)
+        return self.exact_baseline_batch([query])[0]
+
+    def exact_baseline_batch(
+        self, queries: Sequence[RangeQuery | str]
+    ) -> list[BaselineExecution]:
+        """Exact plain-text execution of a workload, vectorised per provider.
+
+        Per-query seconds are the batch wall-clock amortised over the
+        workload (exact for a batch of one).
+        """
+        range_queries = [self._coerce_query(query) for query in queries]
+        if not range_queries:
+            return []
         with Timer() as timer:
-            value = 0
-            clusters = 0
-            rows = 0
-            for provider in self.providers:
-                execution = provider.exact_answer(range_query)
-                value += execution.value
-                clusters += execution.clusters_scanned
-                rows += execution.rows_scanned
-        return BaselineExecution(
-            value=value, seconds=timer.elapsed, clusters_scanned=clusters, rows_scanned=rows
-        )
+            per_provider = [
+                provider.exact_answer_batch(range_queries) for provider in self.providers
+            ]
+        seconds = timer.elapsed / len(range_queries)
+        baselines: list[BaselineExecution] = []
+        for index in range(len(range_queries)):
+            executions = [executions_[index] for executions_ in per_provider]
+            baselines.append(
+                BaselineExecution(
+                    value=sum(execution.value for execution in executions),
+                    seconds=seconds,
+                    clusters_scanned=sum(
+                        execution.clusters_scanned for execution in executions
+                    ),
+                    rows_scanned=sum(execution.rows_scanned for execution in executions),
+                )
+            )
+        return baselines
 
     # -- bookkeeping -------------------------------------------------------------
 

@@ -44,13 +44,13 @@ def run_dimension_analysis(
 ) -> list[DimensionPoint]:
     """Run the sweep and return one point per (aggregation, n)."""
     rate = scenario.default_sampling_rate if sampling_rate is None else sampling_rate
-    accept = scenario.acceptance_predicate(min_selectivity=min_selectivity)
+    accept_batch = scenario.batch_acceptance_predicate(min_selectivity=min_selectivity)
     points: list[DimensionPoint] = []
     for aggregation in aggregations:
         for n in dimension_counts:
             generator = scenario.workload_generator(seed=seed + n)
             workload = generator.generate(
-                queries_per_point, n, aggregation, accept=accept
+                queries_per_point, n, aggregation, accept_batch=accept_batch
             )
             stats = evaluate_workload(
                 scenario.system, list(workload), sampling_rate=rate

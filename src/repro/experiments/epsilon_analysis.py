@@ -46,12 +46,12 @@ def run_epsilon_analysis(
 ) -> list[EpsilonPoint]:
     """Run the sweep and return one point per (aggregation, epsilon)."""
     rate = scenario.default_sampling_rate if sampling_rate is None else sampling_rate
-    accept = scenario.acceptance_predicate(min_selectivity=min_selectivity)
+    accept_batch = scenario.batch_acceptance_predicate(min_selectivity=min_selectivity)
     points: list[EpsilonPoint] = []
     for aggregation in aggregations:
         generator = scenario.workload_generator(seed=seed)
         workload = generator.generate(
-            queries_per_point, num_dimensions, aggregation, accept=accept
+            queries_per_point, num_dimensions, aggregation, accept_batch=accept_batch
         )
         for epsilon in epsilons:
             stats = evaluate_workload(

@@ -47,12 +47,12 @@ def run_sampling_rate_analysis(
     seed: int = 0,
 ) -> list[SamplingRatePoint]:
     """Run the sweep and return one point per (aggregation, sr)."""
-    accept = scenario.acceptance_predicate(min_selectivity=min_selectivity)
+    accept_batch = scenario.batch_acceptance_predicate(min_selectivity=min_selectivity)
     points: list[SamplingRatePoint] = []
     for aggregation in aggregations:
         generator = scenario.workload_generator(seed=seed)
         workload = generator.generate(
-            queries_per_point, num_dimensions, aggregation, accept=accept
+            queries_per_point, num_dimensions, aggregation, accept_batch=accept_batch
         )
         for rate in sampling_rates:
             stats = evaluate_workload(

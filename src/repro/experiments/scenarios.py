@@ -73,6 +73,44 @@ class DatasetScenario:
 
         return accept
 
+    def batch_acceptance_predicate(self, *, min_selectivity: float = 0.02):
+        """Batched form of :meth:`acceptance_predicate`.
+
+        Screens a whole chunk of candidate queries with one dense-index pass
+        per provider (covering sets and proportions for every candidate at
+        once); agrees with the scalar predicate query-for-query, so the
+        generated workloads are identical.
+        """
+        total_measure = sum(
+            provider.clustered.total_measure() for provider in self.system.providers
+        )
+        floor = min_selectivity * total_measure
+
+        def accept_batch(queries) -> list[bool]:
+            queries = list(queries)
+            estimated = [0.0] * len(queries)
+            alive = [True] * len(queries)
+            for provider in self.system.providers:
+                schema = provider.clustered.schema
+                ranges_list = [
+                    query.clipped_to(schema).range_tuples() for query in queries
+                ]
+                covering_lists = provider.metadata.covering_cluster_ids_batch(ranges_list)
+                for index, covering in enumerate(covering_lists):
+                    if len(covering) < provider.n_min:
+                        alive[index] = False
+                proportions_list = provider.metadata.proportions_batch(
+                    covering_lists, ranges_list
+                )
+                for index, proportions in enumerate(proportions_list):
+                    estimated[index] += float(proportions.sum()) * provider.cluster_size
+            return [
+                alive[index] and estimated[index] >= floor
+                for index in range(len(queries))
+            ]
+
+        return accept_batch
+
 
 def build_system(
     tensor: Table,

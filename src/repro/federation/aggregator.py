@@ -1,17 +1,25 @@
-"""Aggregator: drives the query lifecycle of Figure 3(a).
+"""Aggregator: drives the query lifecycle of Figure 3(a), one batch at a time.
 
-The aggregator never sees raw rows.  It forwards the query, collects the
-DP-noised summaries, solves the allocation problem, distributes allocations,
-collects the local estimates, and combines them — either by plain summation
-(each provider already added its own Laplace noise) or through the simulated
-SMC path (oblivious sum of un-noised estimates + a single Laplace noise
-calibrated with the maximum smooth sensitivity).
+The aggregator never sees raw rows.  It forwards the workload, collects the
+DP-noised summaries, solves the per-query allocation problems, distributes
+allocations, collects the local estimates, and combines them — either by
+plain summation (each provider already added its own Laplace noise) or
+through the simulated SMC path (oblivious sum of un-noised estimates + a
+single Laplace noise calibrated with the maximum smooth sensitivity).
+
+:meth:`Aggregator.execute_batch` amortises the summary / allocation /
+estimate phases across a whole workload: each provider is contacted once per
+phase with every query of the batch, and the per-provider work can optionally
+fan out to a thread pool (:class:`~repro.config.ParallelismConfig`).  The
+single-query :meth:`execute_query` is a batch of one, so both paths share one
+implementation and produce bit-identical results for the same seed.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
 
 from ..config import SystemConfig
 from ..core.accounting import QueryBudget
@@ -24,10 +32,12 @@ from ..utils.rng import RngLike, derive_rng
 from ..utils.timing import Stopwatch
 from .messages import AllocationMessage, EstimateMessage, QueryRequest, SummaryMessage
 from .network import SimulatedNetwork
-from .provider import DataProvider
+from .provider import DataProvider, LocalAnswer
 from .smc import SMCSimulator
 
 __all__ = ["Aggregator", "FederatedAnswer"]
+
+_T = TypeVar("_T")
 
 
 @dataclass(frozen=True)
@@ -39,6 +49,15 @@ class FederatedAnswer:
     used_smc: bool
     provider_reports: tuple[ProviderReport, ...]
     trace: ExecutionTrace
+
+
+@dataclass
+class _QueryAccounting:
+    """Per-query network counters accumulated during a batch."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    simulated_seconds: float = 0.0
 
 
 @dataclass
@@ -67,107 +86,241 @@ class Aggregator:
         use_smc: bool | None = None,
     ) -> FederatedAnswer:
         """Run the full protocol for one query and return the combined answer."""
+        return self.execute_batch(
+            [query], budget, sampling_rate=sampling_rate, use_smc=use_smc
+        )[0]
+
+    def execute_batch(
+        self,
+        queries: Sequence[RangeQuery],
+        budget: QueryBudget,
+        *,
+        sampling_rate: float | None = None,
+        use_smc: bool | None = None,
+    ) -> list[FederatedAnswer]:
+        """Run the full protocol for a workload and return per-query answers.
+
+        All queries of the batch march through the three protocol phases
+        together: one summary round-trip per provider for the whole workload,
+        one allocation solve per query, one answering round-trip per provider,
+        and one combination per query.  Session state is always released —
+        even when a phase raises — so providers cannot leak per-query state.
+        """
+        if not queries:
+            return []
         rate = self.config.sampling.sampling_rate if sampling_rate is None else sampling_rate
         if not 0 < rate < 1:
             raise ProtocolError(f"sampling_rate must be in (0, 1), got {rate}")
         smc = self.config.use_smc_for_result if use_smc is None else use_smc
 
-        query_id = self._next_query_id
-        self._next_query_id += 1
+        num_queries = len(queries)
+        first_id = self._next_query_id
+        self._next_query_id += num_queries
+        requests = [
+            QueryRequest(query_id=first_id + index, query=query, sampling_rate=rate)
+            for index, query in enumerate(queries)
+        ]
+        accounting = [_QueryAccounting() for _ in requests]
         stopwatch = Stopwatch()
-        network_before = self.network.snapshot()
 
-        request = QueryRequest(query_id=query_id, query=query, sampling_rate=rate)
-        with stopwatch.measure("allocation"):
-            summaries = self._collect_summaries(request, budget)
-            allocations = self._allocate(request, summaries, rate)
-        with stopwatch.measure("local_answering"):
-            answers = self._collect_answers(allocations, budget, smc)
-        with stopwatch.measure("combination"):
-            value, noise = self._combine(answers, budget, smc)
+        try:
+            with stopwatch.measure("allocation"):
+                summaries = self._collect_summaries(requests, budget, accounting)
+                allocations = self._allocate(requests, summaries, rate, accounting)
+            with stopwatch.measure("local_answering"):
+                answers = self._collect_answers(allocations, budget, smc, accounting)
+            with stopwatch.measure("combination"):
+                combined = [
+                    self._combine(
+                        [provider_answers[index] for provider_answers in answers],
+                        budget,
+                        smc,
+                        accounting[index],
+                    )
+                    for index in range(num_queries)
+                ]
+        finally:
+            # Providers must never accumulate per-query state, even when a
+            # phase fails between summary and answer.
+            for provider in self.providers:
+                provider.forget_batch([request.query_id for request in requests])
 
-        for provider in self.providers:
-            provider.forget(query_id)
+        phase_seconds = stopwatch.as_dict()
+        clusters_available = sum(provider.num_clusters for provider in self.providers)
+        results: list[FederatedAnswer] = []
+        for index in range(num_queries):
+            value, noise = combined[index]
+            reports = tuple(
+                provider_answers[index].report for provider_answers in answers
+            )
+            trace = ExecutionTrace(
+                # Wall-clock phases are measured per batch; each query carries
+                # its amortised share (exact for a batch of one).
+                phase_seconds={
+                    name: seconds / num_queries for name, seconds in phase_seconds.items()
+                },
+                simulated_network_seconds=accounting[index].simulated_seconds,
+                messages_sent=accounting[index].messages,
+                bytes_sent=accounting[index].bytes_sent,
+                clusters_scanned=sum(report.sampled_clusters for report in reports),
+                clusters_available=clusters_available,
+                rows_scanned=sum(report.rows_scanned for report in reports),
+                rows_available=sum(report.rows_available for report in reports),
+                smc_operations=0,
+            )
+            results.append(
+                FederatedAnswer(
+                    value=value,
+                    noise_injected=noise,
+                    used_smc=smc,
+                    provider_reports=reports,
+                    trace=trace,
+                )
+            )
+        return results
 
-        network_after = self.network.snapshot()
-        reports = tuple(answer.report for answer in answers)
-        trace = ExecutionTrace(
-            phase_seconds=stopwatch.as_dict(),
-            simulated_network_seconds=network_after.simulated_seconds
-            - network_before.simulated_seconds,
-            messages_sent=network_after.messages - network_before.messages,
-            bytes_sent=network_after.bytes_sent - network_before.bytes_sent,
-            clusters_scanned=sum(report.sampled_clusters for report in reports),
-            clusters_available=sum(provider.num_clusters for provider in self.providers),
-            rows_scanned=sum(report.rows_scanned for report in reports),
-            rows_available=sum(report.rows_available for report in reports),
-            smc_operations=0,
-        )
-        return FederatedAnswer(
-            value=value,
-            noise_injected=noise,
-            used_smc=smc,
-            provider_reports=reports,
-            trace=trace,
-        )
+    # -- provider fan-out --------------------------------------------------------
+
+    def _map_providers(self, task: Callable[[int, DataProvider], _T]) -> list[_T]:
+        """Apply ``task(index, provider)`` to every provider, optionally pooled.
+
+        Provider order is preserved.  Each provider owns an independent RNG
+        derivation tree, so the parallel and sequential fan-outs are
+        bit-identical; only wall-clock changes.
+        """
+        parallelism = self.config.parallelism
+        if not parallelism.enabled or len(self.providers) <= 1:
+            return [task(index, provider) for index, provider in enumerate(self.providers)]
+        workers = parallelism.resolve_workers(len(self.providers))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda pair: task(pair[0], pair[1]), enumerate(self.providers))
+            )
 
     # -- protocol phases ---------------------------------------------------------
 
+    def _send(
+        self,
+        payload_bytes: int,
+        accounting: _QueryAccounting,
+        *,
+        copies: int = 1,
+    ) -> None:
+        cost = self.network.send(payload_bytes, copies=copies)
+        accounting.messages += copies
+        accounting.bytes_sent += copies * payload_bytes
+        accounting.simulated_seconds += cost
+
+    def _send_uniform(
+        self,
+        payload_bytes: int,
+        accounting: Sequence[_QueryAccounting],
+        *,
+        copies_per_query: int = 1,
+    ) -> None:
+        """Send one same-size message per query (× ``copies_per_query``).
+
+        One bulk :meth:`SimulatedNetwork.send` charges the network (its cost
+        model is linear in copies, so the stats equal per-message sends), and
+        each query's accounting receives its exact per-message share.
+        """
+        num_queries = len(accounting)
+        self.network.send(payload_bytes, copies=copies_per_query * num_queries)
+        cost = copies_per_query * self.network.config.transfer_cost(payload_bytes)
+        payload = copies_per_query * payload_bytes
+        for entry in accounting:
+            entry.messages += copies_per_query
+            entry.bytes_sent += payload
+            entry.simulated_seconds += cost
+
     def _collect_summaries(
-        self, request: QueryRequest, budget: QueryBudget
-    ) -> list[SummaryMessage]:
-        self.network.send(request.payload_bytes(), copies=len(self.providers))
-        summaries: list[SummaryMessage] = []
-        for provider in self.providers:
-            summary = provider.prepare_summary(request, budget.epsilon_allocation)
-            self.network.send(summary.payload_bytes())
-            summaries.append(summary)
+        self,
+        requests: Sequence[QueryRequest],
+        budget: QueryBudget,
+        accounting: Sequence[_QueryAccounting],
+    ) -> list[list[SummaryMessage]]:
+        """Per-provider summary lists, aligned with the request order."""
+        for index, request in enumerate(requests):
+            self._send(request.payload_bytes(), accounting[index], copies=len(self.providers))
+        summaries = self._map_providers(
+            lambda _, provider: provider.prepare_summary_batch(
+                requests, budget.epsilon_allocation
+            )
+        )
+        for provider_summaries in summaries:
+            # Summaries have a data-independent constant size, so one bulk
+            # send per provider covers the whole workload.
+            self._send_uniform(provider_summaries[0].payload_bytes(), accounting)
         return summaries
 
     def _allocate(
-        self, request: QueryRequest, summaries: Sequence[SummaryMessage], rate: float
-    ) -> list[AllocationMessage]:
-        problems = [
-            AllocationProblem(
-                provider_id=summary.provider_id,
-                noisy_cluster_count=summary.noisy_cluster_count,
-                noisy_avg_proportion=summary.noisy_avg_proportion,
+        self,
+        requests: Sequence[QueryRequest],
+        summaries: Sequence[Sequence[SummaryMessage]],
+        rate: float,
+        accounting: Sequence[_QueryAccounting],
+    ) -> list[list[AllocationMessage]]:
+        """Per-provider allocation lists, aligned with the request order."""
+        per_provider: list[list[AllocationMessage]] = [[] for _ in self.providers]
+        for index, request in enumerate(requests):
+            problems = [
+                AllocationProblem(
+                    provider_id=provider_summaries[index].provider_id,
+                    noisy_cluster_count=provider_summaries[index].noisy_cluster_count,
+                    noisy_avg_proportion=provider_summaries[index].noisy_avg_proportion,
+                )
+                for provider_summaries in summaries
+            ]
+            results = solve_allocation(
+                problems, rate, min_allocation=self.config.sampling.min_allocation
             )
-            for summary in summaries
-        ]
-        results = solve_allocation(
-            problems, rate, min_allocation=self.config.sampling.min_allocation
-        )
-        allocations = []
-        for result in results:
-            message = AllocationMessage(
-                query_id=request.query_id,
-                provider_id=result.provider_id,
-                sample_size=result.sample_size,
+            for provider_index, result in enumerate(results):
+                per_provider[provider_index].append(
+                    AllocationMessage(
+                        query_id=request.query_id,
+                        provider_id=result.provider_id,
+                        sample_size=result.sample_size,
+                    )
+                )
+        if per_provider[0]:
+            # Allocations have a constant size: one bulk send covers the
+            # per-query messages to every provider.
+            self._send_uniform(
+                per_provider[0][0].payload_bytes(),
+                accounting,
+                copies_per_query=len(self.providers),
             )
-            self.network.send(message.payload_bytes())
-            allocations.append(message)
-        return allocations
+        return per_provider
 
     def _collect_answers(
         self,
-        allocations: Sequence[AllocationMessage],
+        allocations: Sequence[Sequence[AllocationMessage]],
         budget: QueryBudget,
         use_smc: bool,
-    ):
-        providers_by_id = {provider.provider_id: provider for provider in self.providers}
-        answers = []
-        for allocation in allocations:
-            provider = providers_by_id.get(allocation.provider_id)
-            if provider is None:
-                raise ProtocolError(f"unknown provider {allocation.provider_id!r}")
-            answer = provider.answer(allocation, budget, use_smc=use_smc)
-            self.network.send(answer.message.payload_bytes())
-            answers.append(answer)
+        accounting: Sequence[_QueryAccounting],
+    ) -> list[list[LocalAnswer]]:
+        """Per-provider answer lists, aligned with the request order."""
+        provider_ids = {provider.provider_id for provider in self.providers}
+        for provider_allocations in allocations:
+            for message in provider_allocations:
+                if message.provider_id not in provider_ids:
+                    raise ProtocolError(f"unknown provider {message.provider_id!r}")
+        answers = self._map_providers(
+            lambda index, provider: provider.answer_batch(
+                allocations[index], budget, use_smc=use_smc
+            )
+        )
+        for provider_answers in answers:
+            # Estimates have a data-independent constant size as well.
+            self._send_uniform(provider_answers[0].message.payload_bytes(), accounting)
         return answers
 
     def _combine(
-        self, answers, budget: QueryBudget, use_smc: bool
+        self,
+        answers: Sequence[LocalAnswer],
+        budget: QueryBudget,
+        use_smc: bool,
+        accounting: _QueryAccounting,
     ) -> tuple[float, float]:
         messages: list[EstimateMessage] = [answer.message for answer in answers]
         if not use_smc:
@@ -191,5 +344,5 @@ class Aggregator:
         )
         noise = float(mechanism.sample_noise())
         # Charge the SMC exchange to the simulated network so the trace shows it.
-        self.network.send(smc.cost.bytes_exchanged)
+        self._send(smc.cost.bytes_exchanged, accounting)
         return float(total) + noise, noise

@@ -2,41 +2,52 @@
 
 A provider owns a horizontal partition of the global table stored as clusters
 (plus the Algorithm-1 metadata built offline), keeps its rows strictly local,
-and exposes exactly the three protocol interactions of Figure 3(a):
+and exposes the three protocol interactions of Figure 3(a) — each in a
+single-query and a batched form:
 
-1. :meth:`prepare_summary` — identify the covering clusters ``C^Q``, compute
-   the approximate proportions ``R̂`` from metadata, and release the noisy
-   summary ``(Ñ^Q, ~Avg(R̂))`` under ``eps_O`` (Equation 5).
-2. :meth:`answer` — given the aggregator's allocation, either answer exactly
-   (when ``N^Q < N_min``) or sample clusters with the DP Exponential
-   Mechanism under ``eps_S``, estimate with Hansen-Hurwitz, compute the
-   smooth sensitivity, and release the estimate (locally noised under
-   ``eps_E``, or un-noised when the SMC path will inject a single noise).
-3. :meth:`exact_answer` — the non-private plain-text baseline used by the
-   speed-up metric.
+1. :meth:`prepare_summary` / :meth:`prepare_summary_batch` — identify the
+   covering clusters ``C^Q``, compute the approximate proportions ``R̂`` from
+   metadata, and release the noisy summary ``(Ñ^Q, ~Avg(R̂))`` under
+   ``eps_O`` (Equation 5).  The batched form evaluates every query's covering
+   mask and proportions against the dense metadata index in one pass.
+2. :meth:`answer` / :meth:`answer_batch` — given the aggregator's allocation,
+   either answer exactly (when ``N^Q < N_min``) or sample clusters with the
+   DP Exponential Mechanism under ``eps_S``, estimate with Hansen-Hurwitz,
+   compute the smooth sensitivity, and release the estimate (locally noised
+   under ``eps_E``, or un-noised when the SMC path will inject a single
+   noise).  The batched form evaluates ``Q(C)`` for every needed
+   (query, cluster) pair in one vectorised pass over the contiguous cluster
+   layout; per-query EM sampling is semantically unchanged.
+3. :meth:`exact_answer` / :meth:`exact_answer_batch` — the non-private
+   plain-text baseline used by the speed-up metric.
+
+Randomness: each query gets one independent child generator derived from the
+provider's root RNG, keyed by the query id, at summary time.  All of a
+query's draws (summary noise, EM sampling, estimate noise) consume that
+per-query stream in a fixed order, so executing a workload as one batch or as
+a sequence of single queries produces bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..core.accounting import QueryBudget
 from ..core.result import ProviderReport
 from ..core.sensitivity import (
-    ClusterSensitivityInputs,
     avg_proportion_sensitivity,
     delta_r,
-    estimator_noise_scale,
-    estimator_smooth_sensitivity,
+    estimator_smooth_sensitivities,
+    sampling_probability_sensitivity,
 )
-from ..dp.mechanisms import LaplaceMechanism
+from ..dp.mechanisms import LaplaceMechanism, laplace_noise_scale
 from ..errors import ProtocolError
-from ..query.executor import ExactExecution, ExactExecutor, execute_on_cluster
+from ..query.batch import QueryBatch
+from ..query.executor import ExactExecution, ExactExecutor
 from ..query.model import RangeQuery
-from ..sampling.em_sampler import EMClusterSampler
-from ..sampling.estimator import hansen_hurwitz_estimate
 from ..storage.clustered_table import ClusteredTable
 from ..storage.metadata import MetadataStore, build_metadata
 from ..storage.table import Table
@@ -48,11 +59,21 @@ __all__ = ["DataProvider", "LocalAnswer"]
 
 @dataclass
 class _QuerySession:
-    """Per-query state a provider keeps between the summary and answer phases."""
+    """Per-query state a provider keeps between the summary and answer phases.
+
+    ``covering_positions`` are storage-order positions into the cluster
+    layout (cheaper than ids for the vectorised kernels).  ``rng`` is the
+    query's private random stream; every stochastic step of this query
+    (summary noise, EM sampling, estimate noise) draws from it in a fixed
+    order, which is what makes batched and sequential execution
+    bit-identical.
+    """
 
     query: RangeQuery
-    covering_ids: list[int]
+    covering_positions: np.ndarray
     proportions: np.ndarray
+    proportions_sum: float
+    rng: np.random.Generator
 
 
 @dataclass(frozen=True)
@@ -61,6 +82,26 @@ class LocalAnswer:
 
     message: EstimateMessage
     report: ProviderReport
+
+
+@dataclass
+class _AnswerPlan:
+    """Planned local answer for one query, before ``Q(C)`` evaluation.
+
+    For approximating queries, :meth:`DataProvider._select_clusters` fills
+    ``selection`` (the Exponential-Mechanism distribution — the
+    Hansen-Hurwitz weights), ``selected`` (the with-replacement draw), the
+    needed/unique cluster positions, and the clamped ``sample_size``.
+    """
+
+    allocation: AllocationMessage
+    session: _QuerySession
+    exact: bool
+    needed_positions: np.ndarray
+    selected: np.ndarray | None = None
+    selection: np.ndarray | None = None
+    unique_positions: np.ndarray | None = None
+    sample_size: int = 0
 
 
 @dataclass
@@ -121,6 +162,11 @@ class DataProvider:
         """Number of stored rows held by this provider."""
         return self.clustered.num_rows
 
+    @property
+    def num_open_sessions(self) -> int:
+        """Number of per-query sessions currently held (leak monitoring)."""
+        return len(self._sessions)
+
     def metadata_size_bytes(self) -> int:
         """Approximate footprint of the offline metadata (Section 6.1)."""
         return self.metadata.size_bytes()
@@ -129,34 +175,68 @@ class DataProvider:
 
     def prepare_summary(self, request: QueryRequest, epsilon_allocation: float) -> SummaryMessage:
         """Release the DP summary ``(Ñ^Q, ~Avg(R̂))`` for the allocation phase."""
-        query = request.query.clipped_to(self.clustered.schema)
-        ranges = query.range_tuples()
-        covering_ids = self.metadata.covering_cluster_ids(ranges)
-        proportions = self.metadata.proportions(covering_ids, ranges)
-        self._sessions[request.query_id] = _QuerySession(
-            query=query, covering_ids=covering_ids, proportions=proportions
-        )
+        return self.prepare_summary_batch([request], epsilon_allocation)[0]
 
-        n_q = len(covering_ids)
-        avg_r = float(proportions.mean()) if n_q else 0.0
+    def prepare_summary_batch(
+        self, requests: Sequence[QueryRequest], epsilon_allocation: float
+    ) -> list[SummaryMessage]:
+        """Release the DP summaries for a whole workload in one metadata pass.
+
+        Covering sets and proportions for every query are computed against
+        the dense index in one shot; the per-query RNG children are derived
+        in request order so a batch of ``n`` and ``n`` single-query calls
+        consume the provider's root stream identically.
+        """
+        if not requests:
+            return []
+        schema = self.clustered.schema
+        queries = [request.query.clipped_to(schema) for request in requests]
+        ranges_list = [query.range_tuples() for query in queries]
+        positions_list = self.metadata.covering_positions_batch(ranges_list)
+        proportions_list = self.metadata.proportions_at_positions_batch(
+            positions_list, ranges_list
+        )
         half_epsilon = epsilon_allocation / 2.0
-        dr_sensitivity = avg_proportion_sensitivity(
-            self.cluster_size, query.num_dimensions, self.n_min
-        )
-        count_mechanism = LaplaceMechanism(
-            epsilon=half_epsilon, sensitivity=1.0, rng=derive_rng(self._rng, "count", request.query_id)
-        )
-        avg_mechanism = LaplaceMechanism(
-            epsilon=half_epsilon,
-            sensitivity=dr_sensitivity,
-            rng=derive_rng(self._rng, "avg", request.query_id),
-        )
-        return SummaryMessage(
-            query_id=request.query_id,
-            provider_id=self.provider_id,
-            noisy_cluster_count=count_mechanism.release(float(n_q)),
-            noisy_avg_proportion=avg_mechanism.release(avg_r),
-        )
+        # Validate the phase budget once per batch; the per-query noise draws
+        # below use the Lap(sensitivity / eps) calibration directly.
+        count_scale = laplace_noise_scale(1.0, half_epsilon)
+        avg_scales = {
+            dimensions: laplace_noise_scale(
+                avg_proportion_sensitivity(self.cluster_size, dimensions, self.n_min),
+                half_epsilon,
+            )
+            for dimensions in {query.num_dimensions for query in queries}
+        }
+        # One bulk draw seeds every per-query child stream; numpy's bounded
+        # integer sampling consumes the bit stream per value, so a bulk draw
+        # of n seeds equals n consecutive single draws — which is what keeps
+        # batch and sequential execution on identical streams.
+        child_seeds = self._rng.integers(0, 2**63, size=len(requests))
+        summaries: list[SummaryMessage] = []
+        for index, (request, query, covering_positions, proportions) in enumerate(
+            zip(requests, queries, positions_list, proportions_list)
+        ):
+            query_rng = np.random.default_rng(int(child_seeds[index]))
+            n_q = int(covering_positions.size)
+            proportions_sum = float(proportions.sum()) if n_q else 0.0
+            self._sessions[request.query_id] = _QuerySession(
+                query=query,
+                covering_positions=covering_positions,
+                proportions=proportions,
+                proportions_sum=proportions_sum,
+                rng=query_rng,
+            )
+            avg_r = proportions_sum / n_q if n_q else 0.0
+            summaries.append(
+                SummaryMessage(
+                    query_id=request.query_id,
+                    provider_id=self.provider_id,
+                    noisy_cluster_count=float(n_q) + float(query_rng.laplace(0.0, count_scale)),
+                    noisy_avg_proportion=avg_r
+                    + float(query_rng.laplace(0.0, avg_scales[query.num_dimensions])),
+                )
+            )
+        return summaries
 
     # -- protocol steps 4-6: sample, estimate, release -------------------------
 
@@ -167,38 +247,275 @@ class DataProvider:
         *,
         use_smc: bool = False,
     ) -> LocalAnswer:
-        """Answer the query locally according to the granted allocation.
+        """Answer one query locally according to the granted allocation.
 
         When ``use_smc`` is true the returned estimate is **not** noised; the
         aggregator is expected to secret-share it, sum obliviously, and inject
         a single Laplace noise calibrated with the maximum sensitivity.
         """
-        session = self._sessions.get(allocation.query_id)
-        if session is None:
-            raise ProtocolError(
-                f"provider {self.provider_id} received an allocation for unknown "
-                f"query {allocation.query_id}"
-            )
-        query = session.query
-        covering_ids = session.covering_ids
-        n_q = len(covering_ids)
-        rows_available = self.clustered.num_rows
+        return self.answer_batch([allocation], budget, use_smc=use_smc)[0]
 
-        if n_q < self.n_min:
-            return self._answer_exact(allocation, session, budget, use_smc, rows_available)
-        return self._answer_approximate(allocation, session, budget, use_smc, rows_available)
-
-    def _answer_exact(
+    def answer_batch(
         self,
-        allocation: AllocationMessage,
-        session: _QuerySession,
+        allocations: Sequence[AllocationMessage],
+        budget: QueryBudget,
+        *,
+        use_smc: bool = False,
+    ) -> list[LocalAnswer]:
+        """Answer a workload locally with vectorised sampling and evaluation.
+
+        Per-query EM cluster sampling is semantically identical to the
+        single-query path (each query draws from its own session stream), but
+        the selection distributions of all queries are computed in one
+        flattened pass, the exact per-cluster values for all
+        (query, needed-cluster) pairs are evaluated with one boolean-mask +
+        segmented-reduction pass, and the Hansen-Hurwitz / smooth-sensitivity
+        arithmetic of the whole batch runs flattened as well.
+        """
+        if not allocations:
+            return []
+        plans: list[_AnswerPlan] = []
+        approx_plans: list[_AnswerPlan] = []
+        for allocation in allocations:
+            if allocation.provider_id != self.provider_id:
+                raise ProtocolError(
+                    f"provider {self.provider_id} received an allocation addressed "
+                    f"to {allocation.provider_id!r}"
+                )
+            session = self._sessions.get(allocation.query_id)
+            if session is None:
+                raise ProtocolError(
+                    f"provider {self.provider_id} received an allocation for unknown "
+                    f"query {allocation.query_id}"
+                )
+            covering_positions = session.covering_positions
+            plan = _AnswerPlan(
+                allocation=allocation,
+                session=session,
+                exact=int(covering_positions.size) < self.n_min,
+                needed_positions=covering_positions,
+            )
+            plans.append(plan)
+            if not plan.exact:
+                approx_plans.append(plan)
+        if approx_plans:
+            self._select_clusters(approx_plans, budget.epsilon_sampling)
+        values_list = self._needed_values(plans)
+        return self._assemble_answers(plans, values_list, budget, use_smc)
+
+    def _select_clusters(
+        self, plans: Sequence[_AnswerPlan], epsilon_sampling: float
+    ) -> None:
+        """Algorithm-2 DP cluster sampling for every approximating query.
+
+        The pps probabilities (with the uniform fallback and probability
+        floor) and the Exponential-Mechanism selection distributions of all
+        queries are computed on one flattened array — per-query reductions
+        operate on contiguous slices, so the distributions are bit-identical
+        for any batching of the same queries.  The actual selections are then
+        drawn per query from that query's own session stream (inverse-CDF
+        sampling), preserving the sequential draw order.  The scalar
+        reference for the distribution math is
+        :meth:`repro.sampling.em_sampler.EMClusterSampler.selection_distribution`,
+        and a regression test pins the two against each other.
+        """
+        proportions_list = [plan.session.proportions for plan in plans]
+        lengths = np.array([p.size for p in proportions_list], dtype=np.int64)
+        boundaries = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=boundaries[1:])
+        flat = np.concatenate(proportions_list)
+        sizes = np.array(
+            [
+                max(1, min(plan.allocation.sample_size, int(length)))
+                for plan, length in zip(plans, lengths)
+            ],
+            dtype=np.int64,
+        )
+        totals = np.array([plan.session.proportions_sum for plan in plans])
+        pps = flat / np.repeat(np.where(totals > 0.0, totals, 1.0), lengths)
+        for i in np.flatnonzero(totals <= 0.0):
+            # Uniform fallback: the metadata approximation found no matching
+            # rows in any covering cluster.
+            pps[boundaries[i] : boundaries[i + 1]] = 1.0 / float(lengths[i])
+        pps = np.maximum(pps, 1e-12)
+        pps_sums = np.array(
+            [
+                float(pps[boundaries[i] : boundaries[i + 1]].sum())
+                for i in range(lengths.size)
+            ]
+        )
+        pps = pps / np.repeat(pps_sums, lengths)
+        delta_p = sampling_probability_sensitivity(self.n_min)
+        exponents = pps * np.repeat(epsilon_sampling / sizes, lengths) / (2.0 * delta_p)
+        maxima = np.array(
+            [
+                float(exponents[boundaries[i] : boundaries[i + 1]].max())
+                for i in range(lengths.size)
+            ]
+        )
+        exponents -= np.repeat(maxima, lengths)
+        weights = np.exp(exponents)
+        weight_sums = np.array(
+            [
+                float(weights[boundaries[i] : boundaries[i + 1]].sum())
+                for i in range(lengths.size)
+            ]
+        )
+        selection = weights / np.repeat(weight_sums, lengths)
+        for i, plan in enumerate(plans):
+            plan.selection = selection[boundaries[i] : boundaries[i + 1]]
+            cdf = np.cumsum(plan.selection)
+            draws = plan.session.rng.random(int(sizes[i])) * cdf[-1]
+            plan.selected = np.minimum(
+                np.searchsorted(cdf, draws, side="right"), int(lengths[i]) - 1
+            )
+            plan.sample_size = int(sizes[i])
+            plan.needed_positions = plan.session.covering_positions[plan.selected]
+            plan.unique_positions = np.unique(plan.needed_positions)
+
+    def _needed_values(self, plans: Sequence[_AnswerPlan]) -> list[np.ndarray]:
+        """Exact ``Q(C)`` per plan, aligned with each plan's needed positions.
+
+        One boolean-mask + segmented-reduction pass over exactly the rows of
+        the (query, needed-cluster) pairs serves every query of the batch; a
+        batch of one touches exactly the clusters the per-cluster loop would
+        have scanned, and a batch of many shares the single vectorised pass.
+        """
+        batch = QueryBatch(tuple(plan.session.query for plan in plans))
+        positions_per_query = [
+            plan.needed_positions if plan.exact else plan.unique_positions
+            for plan in plans
+        ]
+        values_list = self.clustered.layout().query_cluster_values(
+            batch, positions_per_query
+        )
+        values: list[np.ndarray] = []
+        for plan, unique_values in zip(plans, values_list):
+            if plan.exact or plan.needed_positions.size == 0:
+                values.append(unique_values)
+                continue
+            # Map the with-replacement selection order back onto the unique
+            # cluster values (unique_positions is sorted by construction).
+            indices = np.searchsorted(plan.unique_positions, plan.needed_positions)
+            values.append(unique_values[indices])
+        return values
+
+    def _assemble_answers(
+        self,
+        plans: Sequence[_AnswerPlan],
+        values_list: Sequence[np.ndarray],
         budget: QueryBudget,
         use_smc: bool,
-        rows_available: int,
+    ) -> list[LocalAnswer]:
+        """Build every query's local answer, flattening the estimator math.
+
+        The Hansen-Hurwitz terms ``Q(C)/p`` and the Theorem-5.4 smooth
+        sensitivities of all approximating queries are computed on one
+        flattened array; per-query reductions use contiguous slices so the
+        results are bit-identical for any batching.  Noise draws happen per
+        query from that query's session stream, in allocation order.
+        """
+        results: list[LocalAnswer | None] = [None] * len(plans)
+        approx = [
+            (index, plan) for index, plan in enumerate(plans) if not plan.exact
+        ]
+        if approx:
+            lengths = np.array([plan.selected.size for _, plan in approx], dtype=np.int64)
+            boundaries = np.zeros(lengths.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=boundaries[1:])
+            flat_values = np.concatenate(
+                [values_list[index] for index, _ in approx]
+            ).astype(float)
+            # Hansen-Hurwitz weights must match the distribution the clusters
+            # were actually drawn from (the DP selection distribution),
+            # otherwise near-zero approximate proportions blow the estimate
+            # up; see the estimator-consistency note in DESIGN.md.
+            flat_weights = np.concatenate(
+                [plan.selection[plan.selected] for _, plan in approx]
+            )
+            flat_ratios = flat_values / flat_weights
+            # A selected cluster holding matching rows has a true proportion
+            # of at least one row over S; flooring the approximate R̂ there
+            # keeps the scenario-1 local sensitivity finite when the
+            # independence approximation returned zero.
+            flat_proportions = np.maximum(
+                np.concatenate(
+                    [plan.session.proportions[plan.selected] for _, plan in approx]
+                ),
+                1.0 / self.cluster_size,
+            )
+            dr_values = np.array(
+                [
+                    delta_r(self.cluster_size, plan.session.query.num_dimensions)
+                    for _, plan in approx
+                ]
+            )
+            proportion_sums = np.array(
+                [plan.session.proportions_sum for _, plan in approx]
+            )
+            flat_smooth = estimator_smooth_sensitivities(
+                flat_values,
+                flat_proportions,
+                flat_weights,
+                sum_proportions=np.repeat(proportion_sums, lengths),
+                delta_r_value=np.repeat(dr_values, lengths),
+                epsilon=budget.epsilon_estimation,
+                delta=budget.delta,
+            )
+            layout_rows = self.clustered.layout().cluster_rows
+            for slot, (index, plan) in enumerate(approx):
+                segment = slice(boundaries[slot], boundaries[slot + 1])
+                size = int(lengths[slot])
+                estimate = float(flat_ratios[segment].sum() / size)
+                smooth = float(flat_smooth[segment].sum() / size)
+                noise = 0.0
+                if not use_smc:
+                    # Lap(2 * S_LS / eps_E) — Algorithm 3, line 10.
+                    scale = 2.0 * smooth / budget.epsilon_estimation
+                    noise = float(plan.session.rng.laplace(0.0, scale))
+                rows_scanned = int(layout_rows[plan.unique_positions].sum())
+                report = ProviderReport(
+                    provider_id=self.provider_id,
+                    covering_clusters=int(plan.session.covering_positions.size),
+                    allocation=plan.allocation.sample_size,
+                    sampled_clusters=int(plan.unique_positions.size),
+                    approximated=True,
+                    local_estimate=estimate,
+                    local_noise=noise,
+                    smooth_sensitivity=smooth,
+                    rows_scanned=rows_scanned,
+                    rows_available=self.clustered.num_rows,
+                )
+                message = EstimateMessage(
+                    query_id=plan.allocation.query_id,
+                    provider_id=self.provider_id,
+                    value=estimate + noise,
+                    smooth_sensitivity=smooth,
+                    approximated=True,
+                )
+                results[index] = LocalAnswer(message=message, report=report)
+        for index, plan in enumerate(plans):
+            if plan.exact:
+                results[index] = self._build_exact_answer(
+                    plan, values_list[index], budget, use_smc
+                )
+        if any(answer is None for answer in results):
+            raise ProtocolError(
+                "internal error: a query of the batch produced no local answer"
+            )
+        return results
+
+    def _build_exact_answer(
+        self,
+        plan: _AnswerPlan,
+        values: np.ndarray,
+        budget: QueryBudget,
+        use_smc: bool,
     ) -> LocalAnswer:
-        covering = self.clustered.subset(session.covering_ids)
-        exact = sum(execute_on_cluster(cluster, session.query) for cluster in covering)
-        rows_scanned = sum(cluster.num_rows for cluster in covering)
+        allocation = plan.allocation
+        layout = self.clustered.layout()
+        exact = int(values.sum())
+        rows_scanned = int(layout.cluster_rows[plan.needed_positions].sum())
         # Adding or removing one individual changes COUNT(*) / SUM(Measure)
         # by at most 1, so the exact path uses global sensitivity 1.
         sensitivity = 1.0
@@ -207,20 +524,20 @@ class DataProvider:
             mechanism = LaplaceMechanism(
                 epsilon=budget.epsilon_estimation,
                 sensitivity=sensitivity,
-                rng=derive_rng(self._rng, "exact-noise", allocation.query_id),
+                rng=plan.session.rng,
             )
             noise = float(mechanism.sample_noise())
         report = ProviderReport(
             provider_id=self.provider_id,
-            covering_clusters=len(covering),
+            covering_clusters=int(plan.needed_positions.size),
             allocation=allocation.sample_size,
-            sampled_clusters=len(covering),
+            sampled_clusters=int(plan.needed_positions.size),
             approximated=False,
             local_estimate=float(exact),
             local_noise=noise,
             smooth_sensitivity=sensitivity,
             rows_scanned=rows_scanned,
-            rows_available=rows_available,
+            rows_available=self.clustered.num_rows,
             exact_local_answer=exact,
         )
         message = EstimateMessage(
@@ -232,101 +549,26 @@ class DataProvider:
         )
         return LocalAnswer(message=message, report=report)
 
-    def _answer_approximate(
-        self,
-        allocation: AllocationMessage,
-        session: _QuerySession,
-        budget: QueryBudget,
-        use_smc: bool,
-        rows_available: int,
-    ) -> LocalAnswer:
-        query = session.query
-        covering_ids = session.covering_ids
-        proportions = session.proportions
-        sample_size = max(1, min(allocation.sample_size, len(covering_ids)))
-
-        sampler = EMClusterSampler(
-            epsilon=budget.epsilon_sampling,
-            n_min=self.n_min,
-            rng=derive_rng(self._rng, "em", allocation.query_id),
-        )
-        outcome = sampler.sample(proportions, sample_size)
-        # Hansen-Hurwitz weights must match the distribution the clusters
-        # were actually drawn from (the DP selection distribution), otherwise
-        # near-zero approximate proportions blow the estimate up; see the
-        # estimator-consistency note in DESIGN.md.
-        weights = outcome.selection_probabilities
-        selected = list(outcome.selected_indices)
-        sampled_ids = [covering_ids[i] for i in selected]
-        sampled_clusters = self.clustered.subset(sampled_ids)
-        unique_scan_ids = set(sampled_ids)
-
-        values = np.array(
-            [execute_on_cluster(cluster, query) for cluster in sampled_clusters], dtype=float
-        )
-        rows_scanned = sum(
-            cluster.num_rows
-            for cluster in self.clustered.subset(sorted(unique_scan_ids))
-        )
-        estimate = hansen_hurwitz_estimate(values, weights[selected])
-
-        dr_value = delta_r(self.cluster_size, query.num_dimensions)
-        sum_proportions = float(proportions.sum())
-        smooth_values = [
-            estimator_smooth_sensitivity(
-                ClusterSensitivityInputs(
-                    cluster_value=float(values[position]),
-                    # A selected cluster holding matching rows has a true
-                    # proportion of at least one row over S; flooring the
-                    # approximate R̂ there keeps the scenario-1 local
-                    # sensitivity finite when the independence approximation
-                    # returned zero.
-                    proportion=max(float(proportions[index]), 1.0 / self.cluster_size),
-                    probability=float(weights[index]),
-                ),
-                sum_proportions=sum_proportions,
-                delta_r_value=dr_value,
-                epsilon=budget.epsilon_estimation,
-                delta=budget.delta,
-            )
-            for position, index in enumerate(selected)
-        ]
-        smooth_sensitivity = float(np.mean(smooth_values)) if smooth_values else 1.0
-
-        noise = 0.0
-        if not use_smc:
-            scale = estimator_noise_scale(smooth_values, budget.epsilon_estimation)
-            noise = float(
-                derive_rng(self._rng, "est-noise", allocation.query_id).laplace(0.0, scale)
-            )
-
-        report = ProviderReport(
-            provider_id=self.provider_id,
-            covering_clusters=len(covering_ids),
-            allocation=allocation.sample_size,
-            sampled_clusters=len(unique_scan_ids),
-            approximated=True,
-            local_estimate=float(estimate),
-            local_noise=noise,
-            smooth_sensitivity=smooth_sensitivity,
-            rows_scanned=rows_scanned,
-            rows_available=rows_available,
-        )
-        message = EstimateMessage(
-            query_id=allocation.query_id,
-            provider_id=self.provider_id,
-            value=float(estimate) + noise,
-            smooth_sensitivity=smooth_sensitivity,
-            approximated=True,
-        )
-        return LocalAnswer(message=message, report=report)
-
     # -- baseline --------------------------------------------------------------
 
     def exact_answer(self, query: RangeQuery) -> ExactExecution:
         """Plain-text exact execution over this provider's covering clusters."""
-        return self._executor.execute(query.clipped_to(self.clustered.schema))
+        return self.exact_answer_batch([query])[0]
+
+    def exact_answer_batch(
+        self, queries: Sequence[RangeQuery]
+    ) -> list[ExactExecution]:
+        """Plain-text exact execution of a workload in one vectorised pass."""
+        schema = self.clustered.schema
+        return self._executor.execute_batch(
+            [query.clipped_to(schema) for query in queries]
+        )
 
     def forget(self, query_id: int) -> None:
         """Drop the per-query session state (idempotent)."""
         self._sessions.pop(query_id, None)
+
+    def forget_batch(self, query_ids: Sequence[int]) -> None:
+        """Drop the session state of every listed query (idempotent)."""
+        for query_id in query_ids:
+            self._sessions.pop(query_id, None)

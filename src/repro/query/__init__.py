@@ -1,5 +1,6 @@
-"""Range-query model, SQL-like parser, and exact executor."""
+"""Range-query model, SQL-like parser, batches, and exact executor."""
 
+from .batch import QueryBatch
 from .executor import ExactExecutor, execute_on_cluster, execute_on_clusters, execute_on_table
 from .model import Aggregation, Interval, RangeQuery
 from .parser import parse_query
@@ -8,6 +9,7 @@ __all__ = [
     "Aggregation",
     "Interval",
     "RangeQuery",
+    "QueryBatch",
     "parse_query",
     "ExactExecutor",
     "execute_on_table",

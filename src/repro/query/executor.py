@@ -25,6 +25,7 @@ from ..storage.cluster import Cluster
 from ..storage.clustered_table import ClusteredTable
 from ..storage.metadata import MetadataStore
 from ..storage.table import Table
+from .batch import QueryBatch
 from .model import RangeQuery
 
 __all__ = [
@@ -106,13 +107,42 @@ class ExactExecutor:
 
     def execute(self, query: RangeQuery) -> ExactExecution:
         """Exact answer plus work accounting over the covering clusters."""
-        query.validate_against(self._clustered.schema)
-        covering = self.covering_clusters(query)
-        value = 0
-        rows_scanned = 0
-        for cluster in covering:
-            value += execute_on_cluster(cluster, query)
-            rows_scanned += cluster.num_rows
-        return ExactExecution(
-            value=value, clusters_scanned=len(covering), rows_scanned=rows_scanned
-        )
+        return self.execute_batch([query])[0]
+
+    def execute_batch(
+        self, queries: QueryBatch | Sequence[RangeQuery]
+    ) -> list[ExactExecution]:
+        """Exact answers for a whole workload in one vectorised pass.
+
+        Covering sets for every query are identified with one batched pass
+        over the metadata, then ``Q(C)`` for all needed (query, cluster) pairs
+        is evaluated with boolean masks + segmented reduction over the
+        contiguous cluster layout restricted to the union of covering
+        clusters.  A batch of one therefore scans exactly the clusters the
+        sequential per-cluster loop did.
+        """
+        batch = QueryBatch.coerce(queries)
+        batch.validate_against(self._clustered.schema)
+        layout = self._clustered.layout()
+        position_of = layout.position_of()
+        if self._metadata is None:
+            covering_positions = [
+                np.arange(layout.num_clusters, dtype=np.int64) for _ in batch
+            ]
+        else:
+            covering_lists = self._metadata.covering_cluster_ids_batch(
+                batch.range_tuples_list()
+            )
+            covering_positions = [
+                np.array([position_of[cluster_id] for cluster_id in ids], dtype=np.int64)
+                for ids in covering_lists
+            ]
+        values_list = layout.query_cluster_values(batch, covering_positions)
+        return [
+            ExactExecution(
+                value=int(values.sum()),
+                clusters_scanned=int(positions.size),
+                rows_scanned=int(layout.cluster_rows[positions].sum()),
+            )
+            for positions, values in zip(covering_positions, values_list)
+        ]

@@ -127,7 +127,20 @@ class RangeQuery:
             return
 
     def clipped_to(self, schema: Schema) -> "RangeQuery":
-        """Return a copy with every interval clipped into the schema domain."""
+        """Return a copy with every interval clipped into the schema domain.
+
+        Returns ``self`` unchanged when every interval already lies inside
+        the domain (the common case on generated workloads), so the hot path
+        pays no object construction.
+        """
+        needs_clipping = False
+        for name, interval in self.ranges.items():
+            dimension = schema.dimension(name)
+            if interval.low < dimension.low or interval.high > dimension.high:
+                needs_clipping = True
+                break
+        if not needs_clipping:
+            return self
         clipped: dict[str, Interval] = {}
         for name, interval in self.ranges.items():
             dimension = schema.dimension(name)

@@ -28,7 +28,11 @@ from ..errors import SamplingError
 from ..utils.rng import RngLike, ensure_rng
 from .probabilities import sampling_probabilities
 
-__all__ = ["SamplingOutcome", "EMClusterSampler", "sampling_probability_sensitivity"]
+__all__ = [
+    "SamplingOutcome",
+    "EMClusterSampler",
+    "sampling_probability_sensitivity",
+]
 
 
 def sampling_probability_sensitivity(n_min: int) -> float:
@@ -138,9 +142,10 @@ class EMClusterSampler:
         selection = mechanism.selection_probabilities(pps, epsilon=per_selection_epsilon)
 
         if self._replace:
-            chosen = [
-                int(self._rng.choice(selection.size, p=selection)) for _ in range(count)
-            ]
+            # One vectorised multinomial draw instead of ``count`` independent
+            # single-choice calls; the selections stay i.i.d. from the same
+            # Exponential-Mechanism distribution.
+            chosen = [int(c) for c in self._rng.choice(selection.size, size=count, p=selection)]
         else:
             chosen = mechanism.select_many(pps, count, replace=False)
 

@@ -18,6 +18,7 @@ equivalent:
 
 from .cluster import Cluster
 from .clustered_table import ClusteredTable
+from .layout import ClusterLayout
 from .metadata import (
     ClusterMetadata,
     GlobalClusterEntry,
@@ -34,6 +35,7 @@ __all__ = [
     "Table",
     "Cluster",
     "ClusteredTable",
+    "ClusterLayout",
     "build_count_tensor",
     "ClusterMetadata",
     "GlobalClusterEntry",

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import StorageError
 from .cluster import Cluster
+from .layout import ClusterLayout
 from .table import Table
 
 __all__ = ["ClusteredTable"]
@@ -44,6 +45,8 @@ class ClusteredTable:
                     f"({self.cluster_size}), cluster {cluster.cluster_id} has "
                     f"{cluster.nominal_size}"
                 )
+        self._layout: ClusterLayout | None = None
+        self._num_rows = sum(cluster.num_rows for cluster in self.clusters)
 
     # -- constructors -----------------------------------------------------
 
@@ -99,8 +102,8 @@ class ClusteredTable:
 
     @property
     def num_rows(self) -> int:
-        """Total number of stored rows across clusters."""
-        return sum(cluster.num_rows for cluster in self.clusters)
+        """Total number of stored rows across clusters (cached)."""
+        return self._num_rows
 
     def __len__(self) -> int:
         return self.num_clusters
@@ -118,6 +121,16 @@ class ClusteredTable:
     def subset(self, cluster_ids: Sequence[int]) -> tuple[Cluster, ...]:
         """Return the clusters whose ids appear in ``cluster_ids`` (in order)."""
         return tuple(self.cluster(cluster_id) for cluster_id in cluster_ids)
+
+    def layout(self) -> ClusterLayout:
+        """The contiguous columnar layout (built lazily, cached).
+
+        Clusters are immutable by convention, so the concatenated arrays stay
+        valid for the lifetime of the table.
+        """
+        if self._layout is None:
+            self._layout = ClusterLayout.from_clusters(self.clusters)
+        return self._layout
 
     def to_table(self) -> Table:
         """Reassemble the full table (cluster order)."""

@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import StorageError
 from .cluster import Cluster
 from .clustered_table import ClusteredTable
+from .layout import OPEN_HIGH, OPEN_LOW
 
 __all__ = [
     "DimensionMetadata",
@@ -33,6 +34,7 @@ __all__ = [
     "MetadataStore",
     "build_metadata",
 ]
+
 
 
 @dataclass(frozen=True)
@@ -190,9 +192,35 @@ class DenseDimensionIndex:
             - self.rows_geq[cluster_positions, high_col]
         )
 
+    def range_counts_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Per-(query, cluster) matching-row counts — ``(nq, nc)`` in one shot.
+
+        ``lows`` / ``highs`` hold one inclusive bound pair per query; queries
+        whose clipped interval is empty get all-zero counts, mirroring
+        :meth:`range_counts`.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        low_clipped = np.maximum(lows, self.domain_low)
+        high_clipped = np.minimum(highs, self.domain_high)
+        valid = low_clipped <= high_clipped
+        low_col = np.where(valid, low_clipped - self.domain_low, 0)
+        high_col = np.where(valid, high_clipped + 1 - self.domain_low, 0)
+        counts = (self.rows_geq[:, low_col] - self.rows_geq[:, high_col]).T
+        counts[~valid, :] = 0
+        return counts
+
     def overlap_mask(self, low: int, high: int) -> np.ndarray:
         """Boolean mask of clusters whose [v_min, v_max] intersects [low, high]."""
         return (self.v_max >= low) & (self.v_min <= high)
+
+    def overlap_mask_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Per-(query, cluster) Equation-2 overlap masks — ``(nq, nc)``."""
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        return (self.v_max[None, :] >= lows[:, None]) & (
+            self.v_min[None, :] <= highs[:, None]
+        )
 
 
 @dataclass
@@ -217,31 +245,158 @@ class MetadataStore:
 
     def covering_cluster_ids(self, ranges: Mapping[str, tuple[int, int]]) -> list[int]:
         """Identify ``C^Q``: ids of clusters whose bounds overlap the query."""
-        if self.dense_index is not None and all(name in self.dense_index for name in ranges):
-            mask = self.occupancy > 0
-            for name, (low, high) in ranges.items():
-                mask &= self.dense_index[name].overlap_mask(low, high)
-            return [self.cluster_ids[i] for i in np.flatnonzero(mask)]
+        return self.covering_cluster_ids_batch([ranges])[0]
+
+    def covering_cluster_ids_batch(
+        self, ranges_list: Sequence[Mapping[str, tuple[int, int]]]
+    ) -> list[list[int]]:
+        """Identify ``C^Q`` for every query of a workload in one dense pass.
+
+        All queries' overlap masks are evaluated against the dense index with
+        one broadcast comparison per dimension; the scalar per-entry path is
+        the fallback when a queried dimension is not densely indexed.
+        """
+        return [
+            [self.cluster_ids[i] for i in positions]
+            for positions in self.covering_positions_batch(ranges_list)
+        ]
+
+    def covering_positions_batch(
+        self, ranges_list: Sequence[Mapping[str, tuple[int, int]]]
+    ) -> list[np.ndarray]:
+        """Covering sets as storage-order positions (the batch-engine form).
+
+        Positions index into :attr:`cluster_ids` / the provider's cluster
+        layout, so downstream vectorised kernels can skip the id indirection.
+        """
+        if not ranges_list:
+            return []
+        if self.dense_index is None or not all(
+            name in self.dense_index for ranges in ranges_list for name in ranges
+        ):
+            position_of = self._position
+            return [
+                np.array(
+                    [
+                        position_of[cluster_id]
+                        for cluster_id in self._covering_cluster_ids_scalar(ranges)
+                    ],
+                    dtype=np.int64,
+                )
+                for ranges in ranges_list
+            ]
+        num_queries = len(ranges_list)
+        mask = np.broadcast_to(
+            self.occupancy > 0, (num_queries, len(self.cluster_ids))
+        ).copy()
+        for name in self._union_dimensions(ranges_list):
+            index = self.dense_index[name]
+            lows = np.full(num_queries, OPEN_LOW, dtype=np.int64)
+            highs = np.full(num_queries, OPEN_HIGH, dtype=np.int64)
+            for position, ranges in enumerate(ranges_list):
+                if name in ranges:
+                    lows[position], highs[position] = ranges[name]
+            mask &= index.overlap_mask_batch(lows, highs)
+        return [np.flatnonzero(row) for row in mask]
+
+    def _covering_cluster_ids_scalar(
+        self, ranges: Mapping[str, tuple[int, int]]
+    ) -> list[int]:
         return [entry.cluster_id for entry in self.global_entries if entry.overlaps(ranges)]
 
     def proportions(
         self, cluster_ids: Sequence[int], ranges: Mapping[str, tuple[int, int]]
     ) -> np.ndarray:
         """Approximate ``R`` for each cluster id, in order (Equation 1)."""
-        ids = list(cluster_ids)
+        return self.proportions_batch([list(cluster_ids)], [ranges])[0]
+
+    def proportions_batch(
+        self,
+        cluster_ids_list: Sequence[Sequence[int]],
+        ranges_list: Sequence[Mapping[str, tuple[int, int]]],
+    ) -> list[np.ndarray]:
+        """Equation-1 proportions for every (query, covering set) pair.
+
+        The dense path evaluates every query's per-dimension range counts over
+        *all* clusters with one fancy-indexing pass per dimension, multiplies
+        the factors in a canonical (sorted) dimension order so the result is
+        bit-identical regardless of how queries are batched, and slices out
+        each query's covering positions at the end.
+        """
+        if len(cluster_ids_list) != len(ranges_list):
+            raise StorageError(
+                "cluster_ids_list and ranges_list must have the same length"
+            )
+        positions_list = [
+            np.array([self._position[cluster_id] for cluster_id in ids], dtype=np.int64)
+            for ids in cluster_ids_list
+        ]
+        return self.proportions_at_positions_batch(positions_list, ranges_list)
+
+    def proportions_at_positions_batch(
+        self,
+        positions_list: Sequence[np.ndarray],
+        ranges_list: Sequence[Mapping[str, tuple[int, int]]],
+    ) -> list[np.ndarray]:
+        """Equation-1 proportions addressed by storage-order positions."""
+        if len(positions_list) != len(ranges_list):
+            raise StorageError(
+                "positions_list and ranges_list must have the same length"
+            )
+        if not ranges_list:
+            return []
+        if self.dense_index is None or not all(
+            name in self.dense_index for ranges in ranges_list for name in ranges
+        ):
+            return [
+                self._proportions_scalar(
+                    [self.cluster_ids[int(p)] for p in positions], ranges
+                )
+                for positions, ranges in zip(positions_list, ranges_list)
+            ]
+        num_queries = len(ranges_list)
+        num_clusters = len(self.cluster_ids)
+        result = np.ones((num_queries, num_clusters), dtype=float)
+        for name in sorted(self._union_dimensions(ranges_list)):
+            index = self.dense_index[name]
+            lows = np.full(num_queries, index.domain_low, dtype=np.int64)
+            highs = np.full(num_queries, index.domain_high, dtype=np.int64)
+            constrained = np.zeros(num_queries, dtype=bool)
+            for position, ranges in enumerate(ranges_list):
+                if name in ranges:
+                    lows[position], highs[position] = ranges[name]
+                    constrained[position] = True
+            factor = index.range_counts_batch(lows, highs) / self.nominal_size
+            # Unconstrained queries contribute an exact factor of one on this
+            # dimension, matching the scalar executor skipping it.
+            factor[~constrained, :] = 1.0
+            result *= factor
+        return [
+            result[query_index, positions]
+            if len(positions)
+            else np.zeros(0, dtype=float)
+            for query_index, positions in enumerate(positions_list)
+        ]
+
+    def _proportions_scalar(
+        self, ids: list[int], ranges: Mapping[str, tuple[int, int]]
+    ) -> np.ndarray:
         if not ids:
             return np.zeros(0, dtype=float)
-        if self.dense_index is not None and all(name in self.dense_index for name in ranges):
-            positions = np.array([self._position[cluster_id] for cluster_id in ids])
-            result = np.ones(len(ids), dtype=float)
-            for name, (low, high) in ranges.items():
-                counts = self.dense_index[name].range_counts(positions, low, high)
-                result *= counts / self.nominal_size
-            return result
         return np.array(
             [self.clusters[cluster_id].proportion_for_ranges(ranges) for cluster_id in ids],
             dtype=float,
         )
+
+    @staticmethod
+    def _union_dimensions(
+        ranges_list: Sequence[Mapping[str, tuple[int, int]]]
+    ) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for ranges in ranges_list:
+            for name in ranges:
+                seen.setdefault(name, None)
+        return tuple(seen)
 
     def cluster(self, cluster_id: int) -> ClusterMetadata:
         """Return the metadata of ``cluster_id``."""

@@ -105,34 +105,58 @@ class WorkloadGenerator:
         *,
         name: str | None = None,
         accept: Callable[[RangeQuery], bool] | None = None,
+        accept_batch: Callable[[Sequence[RangeQuery]], Sequence[bool]] | None = None,
         max_attempts_per_query: int = 200,
     ) -> Workload:
         """Generate a workload of ``num_queries`` distinct queries.
 
         ``accept`` (when given) filters candidate queries — e.g. "exact answer
         is non-zero" or "covering clusters exceed N_min on every provider".
-        If the acceptance predicate is too strict the generator raises rather
-        than looping forever.
+        ``accept_batch`` is the amortised form: candidates are screened in
+        chunks with one call, which lets metadata-based predicates evaluate a
+        whole chunk against the dense index in one pass.  The candidate
+        stream is identical either way, so an ``accept_batch`` that agrees
+        with ``accept`` pointwise generates the same workload.  If the
+        acceptance predicate is too strict the generator raises rather than
+        looping forever.
         """
         if num_queries < 1:
             raise WorkloadError(f"num_queries must be >= 1, got {num_queries}")
+        if accept is not None and accept_batch is not None:
+            raise WorkloadError("pass either accept or accept_batch, not both")
         queries: list[RangeQuery] = []
         seen: set[str] = set()
         attempts_left = num_queries * max_attempts_per_query
+        chunk_size = max(1, num_queries) if accept_batch is not None else 1
         while len(queries) < num_queries:
             if attempts_left <= 0:
                 raise WorkloadError(
                     f"could not generate {num_queries} acceptable queries "
                     f"(got {len(queries)}); relax the acceptance predicate or coverage bounds"
                 )
-            attempts_left -= 1
-            candidate = self.random_query(num_dimensions, aggregation)
-            key = candidate.to_sql()
-            if key in seen:
+            chunk: list[RangeQuery] = []
+            while len(chunk) < chunk_size and attempts_left > 0:
+                attempts_left -= 1
+                candidate = self.random_query(num_dimensions, aggregation)
+                key = candidate.to_sql()
+                if key in seen:
+                    continue
+                seen.add(key)
+                chunk.append(candidate)
+            if not chunk:
                 continue
-            if accept is not None and not accept(candidate):
-                continue
-            seen.add(key)
-            queries.append(candidate)
+            if accept_batch is not None:
+                verdicts = list(accept_batch(chunk))
+                if len(verdicts) != len(chunk):
+                    raise WorkloadError(
+                        "accept_batch must return one verdict per candidate"
+                    )
+            elif accept is not None:
+                verdicts = [accept(candidate) for candidate in chunk]
+            else:
+                verdicts = [True] * len(chunk)
+            for candidate, verdict in zip(chunk, verdicts):
+                if verdict and len(queries) < num_queries:
+                    queries.append(candidate)
         label = name or f"{aggregation.value}-m{num_queries}-n{num_dimensions}"
         return Workload(name=label, queries=tuple(queries))

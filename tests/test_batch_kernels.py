@@ -1,0 +1,192 @@
+"""Unit tests for the vectorised batch kernels.
+
+The batch engine is built on three layers of vectorised primitives — the
+contiguous :class:`ClusterLayout`, the batched :class:`MetadataStore`
+queries, and the vectorised sensitivity helpers.  Each must agree exactly
+with its scalar counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import (
+    ClusterSensitivityInputs,
+    delta_r,
+    estimator_smooth_sensitivities,
+    estimator_smooth_sensitivity,
+    smooth_peak_factor,
+)
+from repro.query.batch import QueryBatch
+from repro.query.executor import ExactExecutor, execute_on_cluster
+from repro.query.model import RangeQuery
+from repro.sampling.em_sampler import EMClusterSampler
+from repro.storage.metadata import build_metadata
+
+
+@pytest.fixture
+def layout(clustered):
+    return clustered.layout()
+
+
+class TestClusterLayout:
+    def test_layout_preserves_rows_and_offsets(self, clustered, layout):
+        assert layout.num_rows == clustered.num_rows
+        assert layout.num_clusters == clustered.num_clusters
+        ends = layout.starts + layout.cluster_rows
+        assert layout.starts[0] == 0
+        assert int(ends[-1]) == layout.num_rows
+        assert np.all(layout.starts[1:] == ends[:-1])
+
+    def test_dimension_columns_are_narrowed(self, layout):
+        # The test schema's domains fit comfortably in int32.
+        for name, column in layout.columns.items():
+            assert column.dtype == np.int32, name
+        assert layout.measure.dtype == np.int64
+
+    def test_cluster_values_match_per_cluster_loop(self, clustered, layout):
+        queries = [
+            RangeQuery.count({"age": (10, 60)}),
+            RangeQuery.count({"age": (0, 99), "dept": (3, 7)}),
+            RangeQuery.sum({"hours": (0, 10)}),
+        ]
+        matrix = layout.cluster_values(QueryBatch(tuple(queries)))
+        for query_index, query in enumerate(queries):
+            expected = [execute_on_cluster(cluster, query) for cluster in clustered]
+            assert matrix[query_index].tolist() == expected
+
+    def test_query_cluster_values_respects_per_query_positions(self, clustered, layout):
+        queries = [
+            RangeQuery.count({"age": (10, 60)}),
+            RangeQuery.count({"hours": (2, 9)}),
+        ]
+        positions = [np.array([0, 3, 7]), np.array([1, 2])]
+        values = layout.query_cluster_values(QueryBatch(tuple(queries)), positions)
+        for query_index, (query, chosen) in enumerate(zip(queries, positions)):
+            expected = [
+                execute_on_cluster(clustered.clusters[p], query) for p in chosen
+            ]
+            assert values[query_index].tolist() == expected
+
+    def test_query_cluster_values_empty_positions(self, layout):
+        queries = [RangeQuery.count({"age": (10, 60)})]
+        values = layout.query_cluster_values(
+            QueryBatch(tuple(queries)), [np.empty(0, dtype=np.int64)]
+        )
+        assert values[0].size == 0
+
+    def test_gather_subsets_clusters(self, clustered, layout):
+        sub = layout.gather(np.array([2, 5]))
+        assert sub.num_clusters == 2
+        assert sub.cluster_ids == (2, 5)
+        assert sub.num_rows == (
+            clustered.clusters[2].num_rows + clustered.clusters[5].num_rows
+        )
+
+
+class TestMetadataBatch:
+    def test_covering_batch_matches_scalar(self, clustered, metadata):
+        ranges_list = [
+            {"age": (10, 60)},
+            {"age": (0, 99), "dept": (3, 7)},
+            {"hours": (200, 300)},  # disjoint from the clipped domain data
+        ]
+        batched = metadata.covering_cluster_ids_batch(ranges_list)
+        for ranges, expected_ids in zip(ranges_list, batched):
+            assert metadata.covering_cluster_ids(ranges) == expected_ids
+            scalar = [
+                entry.cluster_id
+                for entry in metadata.global_entries
+                if entry.overlaps(ranges)
+            ]
+            assert expected_ids == scalar
+
+    def test_proportions_batch_matches_scalar_path(self, clustered):
+        # Build the metadata without the dense index to get the reference
+        # per-cluster scalar computation, and with it for the batched path.
+        sparse = build_metadata(clustered, dense=False)
+        dense = build_metadata(clustered, dense=True)
+        ranges_list = [{"age": (10, 60), "dept": (2, 6)}, {"hours": (0, 12)}]
+        covering = dense.covering_cluster_ids_batch(ranges_list)
+        batched = dense.proportions_batch(covering, ranges_list)
+        for ranges, ids, proportions in zip(ranges_list, covering, batched):
+            reference = sparse.proportions(ids, ranges)
+            assert proportions == pytest.approx(reference.tolist(), abs=1e-12)
+
+    def test_positions_and_ids_agree(self, metadata):
+        ranges_list = [{"age": (20, 40)}]
+        positions = metadata.covering_positions_batch(ranges_list)[0]
+        ids = metadata.covering_cluster_ids_batch(ranges_list)[0]
+        assert [metadata.cluster_ids[p] for p in positions] == ids
+
+
+class TestVectorisedSensitivity:
+    def test_matches_scalar_smooth_sensitivity(self):
+        epsilon, delta = 0.8, 1e-3
+        dr_value = delta_r(100, 3)
+        sum_proportions = 4.2
+        values = np.array([0.0, 3.0, 250.0, 9000.0])
+        proportions = np.array([0.01, 0.2, 0.05, 0.5])
+        probabilities = np.array([0.05, 0.3, 0.15, 0.5])
+        vectorised = estimator_smooth_sensitivities(
+            values,
+            proportions,
+            probabilities,
+            sum_proportions=sum_proportions,
+            delta_r_value=dr_value,
+            epsilon=epsilon,
+            delta=delta,
+        )
+        for index in range(values.size):
+            scalar = estimator_smooth_sensitivity(
+                ClusterSensitivityInputs(
+                    cluster_value=float(values[index]),
+                    proportion=float(proportions[index]),
+                    probability=float(probabilities[index]),
+                ),
+                sum_proportions=sum_proportions,
+                delta_r_value=dr_value,
+                epsilon=epsilon,
+                delta=delta,
+            )
+            assert vectorised[index] == pytest.approx(scalar, rel=1e-12)
+
+    def test_peak_factor_is_positive_and_cached(self):
+        first = smooth_peak_factor(0.8, 1e-3)
+        second = smooth_peak_factor(0.8, 1e-3)
+        assert first > 0
+        assert first == second
+
+
+class TestFlattenedSelectionDistribution:
+    """The provider's flattened Algorithm-2 pipeline vs the scalar sampler."""
+
+    def test_select_clusters_matches_class_sampler(self, small_table):
+        from repro.core.accounting import QueryBudget
+        from repro.federation.messages import AllocationMessage, QueryRequest
+        from repro.federation.provider import DataProvider, _AnswerPlan
+
+        provider = DataProvider(
+            provider_id="p0", table=small_table, cluster_size=100, n_min=3, rng=0
+        )
+        query = RangeQuery.count({"age": (10, 80)})
+        provider.prepare_summary(
+            QueryRequest(query_id=1, query=query, sampling_rate=0.3),
+            epsilon_allocation=0.1,
+        )
+        session = provider._sessions[1]
+        plan = _AnswerPlan(
+            allocation=AllocationMessage(query_id=1, provider_id="p0", sample_size=4),
+            session=session,
+            exact=False,
+            needed_positions=session.covering_positions,
+        )
+        provider._select_clusters([plan], epsilon_sampling=0.1)
+        reference = EMClusterSampler(epsilon=0.1, n_min=3).selection_distribution(
+            session.proportions, plan.sample_size
+        )
+        assert plan.selection == pytest.approx(reference.tolist(), rel=1e-12)
+        assert plan.selected.size == 4
+        assert np.all((0 <= plan.selected) & (plan.selected < session.proportions.size))
+        provider.forget(1)

@@ -1,0 +1,147 @@
+"""Regression tests: providers must never leak per-query session state.
+
+The seed implementation only released sessions on the success path, so any
+error between the summary and answer phases (a failing provider, an
+allocation error) left ``DataProvider._sessions`` growing forever.  The
+aggregator now releases every session in a ``finally`` block, batch-aware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PrivacyConfig, SamplingConfig, SystemConfig
+from repro.core.accounting import split_query_budget
+from repro.core.system import FederatedAQPSystem
+from repro.query.model import RangeQuery
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def system() -> FederatedAQPSystem:
+    rng = np.random.default_rng(5)
+    schema = Schema((Dimension("age", 0, 99), Dimension("dept", 0, 9)))
+    table = Table(
+        schema,
+        {"age": rng.integers(0, 100, 3000), "dept": rng.integers(0, 10, 3000)},
+    )
+    config = SystemConfig(
+        cluster_size=100,
+        num_providers=3,
+        privacy=PrivacyConfig(epsilon=1.0, delta=1e-3),
+        sampling=SamplingConfig(sampling_rate=0.2, min_clusters_for_approximation=3),
+        seed=3,
+    )
+    return FederatedAQPSystem.from_table(table, config=config)
+
+
+QUERIES = [
+    RangeQuery.count({"age": (10, 80)}),
+    RangeQuery.count({"age": (20, 60), "dept": (1, 8)}),
+    RangeQuery.sum({"dept": (0, 5)}),
+]
+
+
+def _open_sessions(system: FederatedAQPSystem) -> list[int]:
+    return [provider.num_open_sessions for provider in system.providers]
+
+
+class TestSessionRelease:
+    def test_success_path_releases_all_sessions(self, system):
+        system.execute_batch(QUERIES, compute_exact=False)
+        assert _open_sessions(system) == [0, 0, 0]
+
+    def test_sequential_loop_releases_all_sessions(self, system):
+        for query in QUERIES:
+            system.execute(query, compute_exact=False)
+        assert _open_sessions(system) == [0, 0, 0]
+
+    def test_failure_between_summary_and_answer_releases_sessions(
+        self, monkeypatch
+    ):
+        rng = np.random.default_rng(5)
+        schema = Schema((Dimension("age", 0, 99), Dimension("dept", 0, 9)))
+        table = Table(
+            schema,
+            {"age": rng.integers(0, 100, 3000), "dept": rng.integers(0, 10, 3000)},
+        )
+        config = SystemConfig(
+            cluster_size=100,
+            num_providers=3,
+            privacy=PrivacyConfig(epsilon=1.0, delta=1e-3),
+            sampling=SamplingConfig(sampling_rate=0.2, min_clusters_for_approximation=3),
+            seed=3,
+        )
+        system = FederatedAQPSystem.from_table(
+            table, config=config, total_epsilon=100.0, total_delta=0.5
+        )
+        provider = system.providers[-1]
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("provider crashed mid-protocol")
+
+        monkeypatch.setattr(provider, "answer_batch", explode)
+        with pytest.raises(RuntimeError):
+            system.execute_batch(QUERIES, compute_exact=False)
+        # Every provider — including the ones that answered successfully and
+        # the crashed one itself — must have dropped its per-query state.
+        assert _open_sessions(system) == [0, 0, 0]
+        # A batch that failed mid-protocol returned no answers, so it must
+        # not have consumed any of the end user's budget either.
+        assert system.remaining_budget() == (100.0, 0.5)
+
+    def test_failure_during_combination_releases_sessions(self, system, monkeypatch):
+        aggregator = system.aggregator
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("combination failed")
+
+        monkeypatch.setattr(aggregator, "_combine", explode)
+        with pytest.raises(RuntimeError):
+            system.execute_batch(QUERIES, compute_exact=False)
+        assert _open_sessions(system) == [0, 0, 0]
+
+    def test_repeated_failures_do_not_accumulate_state(self, system, monkeypatch):
+        provider = system.providers[0]
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("flaky provider")
+
+        monkeypatch.setattr(provider, "answer_batch", explode)
+        for _ in range(5):
+            with pytest.raises(RuntimeError):
+                system.execute_batch(QUERIES, compute_exact=False)
+        assert _open_sessions(system) == [0, 0, 0]
+
+    def test_budget_is_charged_before_any_session_is_created(self):
+        rng = np.random.default_rng(5)
+        schema = Schema((Dimension("age", 0, 99),))
+        table = Table(schema, {"age": rng.integers(0, 100, 500)})
+        config = SystemConfig(
+            cluster_size=50,
+            num_providers=2,
+            privacy=PrivacyConfig(epsilon=1.0, delta=1e-3),
+            seed=3,
+        )
+        system = FederatedAQPSystem.from_partitions(
+            [table, table], config=config, total_epsilon=1.5, total_delta=1e-2
+        )
+        budget = split_query_budget(config.privacy)
+        assert budget.epsilon_total == pytest.approx(1.0)
+        with pytest.raises(Exception):
+            # Two queries cost 2.0 epsilon > 1.5 total: batch admission is
+            # all-or-nothing, so the batch is rejected before any charge and
+            # no provider session may linger.
+            system.execute_batch(
+                [RangeQuery.count({"age": (0, 50)}), RangeQuery.count({"age": (10, 60)})],
+                compute_exact=False,
+            )
+        assert _open_sessions(system) == [0, 0]
+        # The rejected batch consumed no budget at all.
+        assert system.remaining_budget()[0] == pytest.approx(1.5)
+        # An affordable single query still goes through afterwards.
+        result = system.execute(RangeQuery.count({"age": (0, 50)}), compute_exact=False)
+        assert result.epsilon_spent == pytest.approx(1.0)
+        assert system.remaining_budget()[0] == pytest.approx(0.5)
