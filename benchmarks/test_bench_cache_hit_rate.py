@@ -1,0 +1,123 @@
+"""Cache reuse benchmark: throughput and budget savings on repeated predicates.
+
+Runs the workload-locality experiment (a small pool of predicates repeated,
+executed for several rounds) on two identically seeded federations — release
+cache off and on — and records both axes of the win:
+
+* **throughput** — warm rounds must be at least 2x faster with the cache on
+  (cache hits skip the metadata pass, the EM sampling, and the cluster
+  scans entirely);
+* **budget** — the cache-on run must charge measurably less epsilon (every
+  repeated release is DP post-processing and costs nothing).
+
+Correctness gate: the cache-off run is asserted bit-identical to the plain
+batch engine (the PR-1 path) under the same seed before anything is timed.
+
+Each run appends an entry to ``results/BENCH_cache_hit_rate.json`` so the
+reuse trajectory across commits can be tracked; the file is git-tracked on
+purpose, so a dirty tree after a bench run is expected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.config import CacheConfig
+from repro.experiments.scenarios import adult_scenario
+from repro.experiments.workload_locality import (
+    format_locality_table,
+    run_workload_locality,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_cache_hit_rate.json"
+
+NUM_ROWS = 100_000
+NUM_UNIQUE = 8
+REPEATS = 4
+ROUNDS = 3
+# Required warm-round speedup of cache-on over cache-off.  2x on a quiet
+# machine; noisy shared CI runners can relax it via the environment.
+MIN_SPEEDUP = float(
+    os.environ.get(
+        "REPRO_BENCH_MIN_CACHE_SPEEDUP",
+        os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"),
+    )
+)
+
+
+def _record(entry: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = {"bench": "cache_hit_rate", "entries": []}
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text())
+    history["entries"].append(entry)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_cache_hit_rate_and_budget_savings(benchmark, write_result):
+    scenario = adult_scenario(num_rows=NUM_ROWS, seed=0)
+
+    # Correctness gate: cache-off must be bit-identical to the plain batch
+    # engine (default config) under the same seed.
+    pool = list(
+        scenario.workload_generator(seed=11).generate(
+            NUM_UNIQUE,
+            3,
+            accept_batch=scenario.batch_acceptance_predicate(min_selectivity=0.02),
+        )
+    )
+    plain_values = scenario.system.execute_batch(pool, compute_exact=False).values
+    from dataclasses import replace
+
+    from repro.core.system import FederatedAQPSystem
+
+    off_config = replace(scenario.system.config, cache=CacheConfig(enabled=False))
+    off_system = FederatedAQPSystem.from_table(scenario.tensor, config=off_config)
+    off_values = off_system.execute_batch(pool, compute_exact=False).values
+    assert off_values == plain_values
+
+    result = run_workload_locality(
+        scenario,
+        num_unique=NUM_UNIQUE,
+        repeats=REPEATS,
+        rounds=ROUNDS,
+        workload_seed=11,
+    )
+    table = format_locality_table(result)
+    write_result("cache_hit_rate", table)
+
+    assert result.epsilon_saved > 0, "reuse must save measurable epsilon"
+    assert result.warm_answer_hit_rate == 1.0, "warm rounds must be fully reused"
+    assert result.warm_speedup >= MIN_SPEEDUP, (
+        f"cache-on warm rounds must be >= {MIN_SPEEDUP}x cache-off, got "
+        f"{result.warm_speedup:.2f}x"
+    )
+
+    _record(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "federation_rows": NUM_ROWS,
+            "num_unique": NUM_UNIQUE,
+            "num_queries": result.num_queries,
+            "rounds": ROUNDS,
+            "warm_speedup": round(result.warm_speedup, 2),
+            "warm_answer_hit_rate": round(result.warm_answer_hit_rate, 3),
+            "epsilon_charged_off": round(result.epsilon_charged_off, 3),
+            "epsilon_charged_on": round(result.epsilon_charged_on, 3),
+            "epsilon_saved": round(result.epsilon_saved, 3),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+    )
+
+    # Steady-state hot-loop measurement: a fully warmed cache-on batch.
+    warm_config = replace(scenario.system.config, cache=CacheConfig(enabled=True))
+    warm_system = FederatedAQPSystem.from_table(scenario.tensor, config=warm_config)
+    workload = list(pool) * REPEATS
+    warm_system.execute_batch(workload, compute_exact=False)
+    benchmark(lambda: warm_system.execute_batch(workload, compute_exact=False).values)

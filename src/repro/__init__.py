@@ -13,6 +13,7 @@ downstream user needs:
 """
 
 from .config import (
+    CacheConfig,
     NetworkConfig,
     PrivacyConfig,
     SamplingConfig,
@@ -20,6 +21,10 @@ from .config import (
     SystemConfig,
 )
 from .core import FederatedAQPSystem, QueryResult
+
+# Imported after .core on purpose: the cache package participates in the
+# core/federation import cycle and must not be the module that enters it.
+from .cache import CacheStats, ReleaseCache, ReusePlanner
 from .errors import ReproError
 from .query import Aggregation, Interval, RangeQuery, parse_query
 from .storage import ClusteredTable, Dimension, Schema, Table, build_count_tensor
@@ -39,6 +44,10 @@ __all__ = [
     "SamplingConfig",
     "NetworkConfig",
     "SMCConfig",
+    "CacheConfig",
+    "CacheStats",
+    "ReleaseCache",
+    "ReusePlanner",
     "Schema",
     "Dimension",
     "Table",

@@ -1,0 +1,36 @@
+"""Cross-query reuse of released DP artifacts.
+
+The protocol's privacy cost is incurred when a provider *releases* a noisy
+value — the allocation summary ``(Ñ^Q, ~Avg(R̂))`` and the noisy local
+estimate.  Anything computed from an already-released value is
+post-processing and is free under differential privacy.  This package turns
+that observation into a reuse layer for repeated-predicate workloads:
+
+* :mod:`repro.cache.key` — canonical keys: query fingerprint × exact phase
+  epsilons (× granted sample size for answers);
+* :mod:`repro.cache.store` — :class:`~repro.cache.store.ReleaseCache`, the
+  per-provider keyed store with epsilon-aware admission, LRU capacity, TTL
+  by protocol round, layout-epoch staleness, and hit/miss accounting;
+* :mod:`repro.cache.planner` — :class:`~repro.cache.planner.ReusePlanner`,
+  which splits a batch into fully-cached (zero budget) and must-release
+  queries before execution, so the system can admit reuse-heavy workloads
+  against a nearly exhausted budget.
+
+See ``docs/protocol.md`` for the post-processing argument and
+``docs/architecture.md`` for where the cache sits in the data flow.
+"""
+
+from .key import answer_key, query_fingerprint, summary_key
+from .planner import QueryReusePreview, ReusePlan, ReusePlanner
+from .store import CacheStats, ReleaseCache
+
+__all__ = [
+    "query_fingerprint",
+    "summary_key",
+    "answer_key",
+    "CacheStats",
+    "ReleaseCache",
+    "QueryReusePreview",
+    "ReusePlan",
+    "ReusePlanner",
+]

@@ -1,0 +1,83 @@
+"""Canonical cache keys for released DP artifacts.
+
+A release is reusable only for a query that is *semantically identical* to
+the one it was computed for, at *exactly* the privacy budget it was released
+under.  The key functions here encode both requirements:
+
+* :func:`query_fingerprint` canonicalises a :class:`~repro.query.model.RangeQuery`
+  into a hashable value that is independent of predicate ordering — two
+  queries with the same aggregation and the same per-dimension intervals map
+  to the same fingerprint regardless of how their ``ranges`` mappings were
+  built.
+* :func:`summary_key` / :func:`answer_key` extend the fingerprint with the
+  per-phase epsilons (and, for answers, the granted sample size), so a cache
+  hit is only possible when serving the stored bytes is pure post-processing
+  of the original release.
+
+Layout staleness is deliberately **not** part of the key: the store tracks a
+layout epoch per entry (see :class:`~repro.cache.store.ReleaseCache`), which
+lets a provider invalidate everything it cached with one epoch bump when its
+clustering changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (import cycle guard)
+    from ..core.accounting import QueryBudget
+    from ..query.model import RangeQuery
+
+__all__ = ["query_fingerprint", "summary_key", "answer_key"]
+
+
+def query_fingerprint(query: RangeQuery) -> tuple:
+    """Canonical hashable form of a range query.
+
+    Parameters
+    ----------
+    query:
+        The (schema-clipped) query to fingerprint.
+
+    Returns
+    -------
+    tuple
+        ``(aggregation, ((dimension, low, high), ...))`` with dimensions in
+        sorted order, suitable as a dictionary key.
+    """
+    ranges = tuple(
+        sorted(
+            (name, interval.low, interval.high)
+            for name, interval in query.ranges.items()
+        )
+    )
+    return (query.aggregation.value, ranges)
+
+
+def summary_key(query: RangeQuery, epsilon_allocation: float) -> tuple:
+    """Key of a released allocation summary ``(Ñ^Q, ~Avg(R̂))``.
+
+    The summary depends only on the query predicate and the phase budget
+    ``eps_O`` it was noised under, so those are exactly the key components.
+    """
+    return ("summary", query_fingerprint(query), float(epsilon_allocation))
+
+
+def answer_key(query: RangeQuery, budget: QueryBudget, sample_size: int) -> tuple:
+    """Key of a released local estimate.
+
+    The estimate depends on the predicate, the sampling and estimation phase
+    budgets (``eps_S``, ``eps_E`` and the smooth-sensitivity ``delta``), and
+    the sample size the aggregator granted — a different allocation draws a
+    different Exponential-Mechanism sample, so it is part of the key.  When
+    every provider's summary is served from cache the allocation solve is
+    deterministic, which is what makes repeated workloads hit this key.
+    """
+    return (
+        "answer",
+        query_fingerprint(query),
+        float(budget.epsilon_sampling),
+        float(budget.epsilon_estimation),
+        float(budget.delta),
+        int(sample_size),
+    )

@@ -1,0 +1,211 @@
+"""Budget-aware reuse planning for a query batch.
+
+Before a workload runs, the system must decide whether the end user can
+afford it.  Without a cache the answer is simple: every query costs its full
+``(epsilon, delta)``.  With the cache, a query whose releases are all
+cached costs *nothing* — and admitting a reuse-heavy workload against a
+nearly exhausted budget is exactly the point of budget-aware reuse.
+
+:class:`ReusePlanner` computes a **sound upper bound** of the batch's charge
+by peeking (never mutating) the providers' release caches:
+
+* a query is *fully cached* when every provider holds its summary release
+  and — after deterministically re-solving the allocation from those cached
+  summaries — its answer release for the granted sample size; such a query
+  is guaranteed to be served by post-processing and is bounded at zero cost;
+* any other query is bounded at the full per-query spend, because a partial
+  hit can degrade at execution time (e.g. a fresh summary shifts the
+  allocation, which misses the answer key).
+
+The preview uses :meth:`~repro.cache.store.ReleaseCache.peek` with one round
+of TTL look-ahead so an entry cannot be counted here and expire under the
+batch's own clock tick.  (The one deliberately unguarded corner is LRU
+eviction *within* the admitted batch under a pathologically small
+``max_entries`` — the actual cost can then exceed this preview.  Because the
+releases have already happened by charging time, the accountant records the
+full actual spend even if it overdraws the wallet; the ledger stays honest
+and the next fresh batch is refused at admission.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.allocation import AllocationProblem, solve_allocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..core.accounting import QueryBudget
+    from ..federation.provider import DataProvider
+    from ..query.model import RangeQuery
+
+__all__ = ["QueryReusePreview", "ReusePlan", "ReusePlanner"]
+
+
+@dataclass(frozen=True)
+class QueryReusePreview:
+    """Planner verdict for one query of the batch.
+
+    Attributes
+    ----------
+    query_index:
+        Position of the query in the batch.
+    summary_hits:
+        Number of providers whose summary release is cached.
+    answer_hits:
+        Number of providers whose answer release is cached (only probed
+        when every summary is cached — otherwise the allocation, and hence
+        the answer key, is unknowable before execution).
+    fully_cached:
+        True when the query is guaranteed to be served entirely by
+        post-processing (zero budget).
+    max_epsilon, max_delta:
+        Sound upper bound of the query's charge.
+    """
+
+    query_index: int
+    summary_hits: int
+    answer_hits: int
+    fully_cached: bool
+    max_epsilon: float
+    max_delta: float
+
+
+@dataclass(frozen=True)
+class ReusePlan:
+    """The planner's split of a batch into cached vs. must-release queries."""
+
+    previews: tuple[QueryReusePreview, ...]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of planned queries."""
+        return len(self.previews)
+
+    @property
+    def num_fully_cached(self) -> int:
+        """Queries guaranteed to cost zero budget."""
+        return sum(1 for preview in self.previews if preview.fully_cached)
+
+    @property
+    def upper_bound_epsilon(self) -> float:
+        """Sound upper bound of the batch's total epsilon charge."""
+        return sum(preview.max_epsilon for preview in self.previews)
+
+    @property
+    def upper_bound_delta(self) -> float:
+        """Sound upper bound of the batch's total delta charge."""
+        return sum(preview.max_delta for preview in self.previews)
+
+    def must_release(self) -> tuple[int, ...]:
+        """Indices of the queries that may need at least one fresh release."""
+        return tuple(
+            preview.query_index for preview in self.previews if not preview.fully_cached
+        )
+
+
+@dataclass
+class ReusePlanner:
+    """Splits a workload into cached and must-release queries.
+
+    Parameters
+    ----------
+    providers:
+        The federation's data providers (peeked, never mutated).
+    min_allocation:
+        The aggregator's allocation floor — the preview must re-solve the
+        allocation exactly as the aggregator will.
+    """
+
+    providers: Sequence["DataProvider"]
+    min_allocation: int = 1
+
+    def preview(
+        self,
+        queries: Sequence[RangeQuery],
+        budget: QueryBudget,
+        sampling_rate: float,
+        *,
+        use_smc: bool = False,
+    ) -> ReusePlan:
+        """Plan the reuse of a workload without executing (or mutating) anything.
+
+        Parameters
+        ----------
+        queries:
+            The batch, in execution order.
+        budget:
+            The per-query phase budgets the batch will run under.
+        sampling_rate:
+            The sampling rate ``sr`` the allocation will be solved with.
+        use_smc:
+            Whether results will combine through the SMC path.  SMC answers
+            are never cached (the aggregator injects the single estimation
+            noise per round), so SMC queries are never fully cached.
+
+        Returns
+        -------
+        ReusePlan
+            Per-query previews plus batch-level upper bounds.
+        """
+        previews: list[QueryReusePreview] = []
+        full_epsilon = budget.epsilon_total
+        if all(len(provider.cache) == 0 for provider in self.providers):
+            # Nothing is cached anywhere (cold start, or non-repeating
+            # traffic): skip the per-(query, provider) peeks and bound every
+            # query at full cost directly.
+            return ReusePlan(
+                previews=tuple(
+                    QueryReusePreview(
+                        query_index=index,
+                        summary_hits=0,
+                        answer_hits=0,
+                        fully_cached=False,
+                        max_epsilon=full_epsilon,
+                        max_delta=budget.delta,
+                    )
+                    for index in range(len(queries))
+                )
+            )
+        for index, query in enumerate(queries):
+            summaries = [
+                provider.peek_summary_release(query, budget.epsilon_allocation)
+                for provider in self.providers
+            ]
+            summary_hits = sum(1 for summary in summaries if summary is not None)
+            answer_hits = 0
+            if summary_hits == len(self.providers):
+                problems = [
+                    AllocationProblem(
+                        provider_id=provider.provider_id,
+                        noisy_cluster_count=summary[0],
+                        noisy_avg_proportion=summary[1],
+                    )
+                    for provider, summary in zip(self.providers, summaries)
+                ]
+                allocations = solve_allocation(
+                    problems, sampling_rate, min_allocation=self.min_allocation
+                )
+                answer_hits = sum(
+                    1
+                    for provider, allocation in zip(self.providers, allocations)
+                    if provider.peek_answer_release(
+                        query, budget, allocation.sample_size
+                    )
+                )
+            fully_cached = (
+                not use_smc
+                and summary_hits == len(self.providers)
+                and answer_hits == len(self.providers)
+            )
+            previews.append(
+                QueryReusePreview(
+                    query_index=index,
+                    summary_hits=summary_hits,
+                    answer_hits=answer_hits,
+                    fully_cached=fully_cached,
+                    max_epsilon=0.0 if fully_cached else full_epsilon,
+                    max_delta=0.0 if fully_cached else budget.delta,
+                )
+            )
+        return ReusePlan(previews=tuple(previews))

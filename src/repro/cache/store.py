@@ -1,0 +1,254 @@
+"""Keyed store for released DP artifacts, with admission and eviction policy.
+
+:class:`ReleaseCache` is the per-provider building block of the cross-query
+reuse layer.  It is deliberately *value-agnostic*: the provider stores the
+released summary scalars and the released ``(message, report)`` answer pairs
+under keys built by :mod:`repro.cache.key`; the store only decides whether an
+entry may be admitted, whether a lookup may be served, and what to evict.
+
+Three invalidation mechanisms compose:
+
+* **capacity** — least-recently-used eviction beyond ``max_entries``,
+* **age** — an optional time-to-live measured in protocol rounds (a round is
+  one summary phase; :meth:`ReleaseCache.advance_round` is called by the
+  provider at the start of each),
+* **staleness** — every entry records the provider's layout epoch at release
+  time; a lookup under a newer epoch evicts the entry and misses, so a
+  re-clustered provider can never serve summaries of a layout that no longer
+  exists.
+
+All accounting lands in :class:`CacheStats` so systems can report hit rates
+and eviction pressure without instrumenting call sites.
+
+>>> from repro.config import CacheConfig
+>>> cache = ReleaseCache(CacheConfig(enabled=True, max_entries=2))
+>>> cache.put(("k", 1), ("payload",), epoch=0, epsilon=1.0)
+>>> cache.get(("k", 1), epoch=0)
+('payload',)
+>>> cache.get(("k", 1), epoch=1) is None   # layout changed: entry is stale
+True
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+from ..config import CacheConfig
+
+__all__ = ["CacheStats", "ReleaseCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting of one (or several merged) caches.
+
+    Attributes
+    ----------
+    lookups, hits, misses:
+        Lookup counters; ``lookups == hits + misses``.  Peeks (planner
+        previews) are intentionally not counted.  Intra-batch alias serves
+        — a repeated predicate inside one batch reusing the first
+        occurrence's release before it reaches the store — are reuse but
+        not store lookups: they show up in the
+        :class:`~repro.core.result.ExecutionTrace` cache-hit counters
+        while the pre-pass lookup here records a miss, so the trace
+        counters may legitimately exceed ``hits``.
+    insertions, rejected:
+        Admission counters; ``rejected`` counts releases refused by the
+        epsilon-aware admission floor.
+    evicted_capacity, evicted_expired, evicted_stale:
+        Evictions by LRU pressure, TTL expiry, and layout-epoch staleness.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    rejected: int = 0
+    evicted_capacity: int = 0
+    evicted_expired: int = 0
+    evicted_stale: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form (for JSON benchmark records)."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "rejected": self.rejected,
+            "evicted_capacity": self.evicted_capacity,
+            "evicted_expired": self.evicted_expired,
+            "evicted_stale": self.evicted_stale,
+            "hit_rate": self.hit_rate,
+        }
+
+    @classmethod
+    def merged(cls, stats: Iterable["CacheStats"]) -> "CacheStats":
+        """Element-wise sum of several stats records (federation-wide view)."""
+        total = cls()
+        for entry in stats:
+            total.lookups += entry.lookups
+            total.hits += entry.hits
+            total.misses += entry.misses
+            total.insertions += entry.insertions
+            total.rejected += entry.rejected
+            total.evicted_capacity += entry.evicted_capacity
+            total.evicted_expired += entry.evicted_expired
+            total.evicted_stale += entry.evicted_stale
+        return total
+
+
+@dataclass
+class _Entry:
+    value: Any
+    epoch: int
+    round_inserted: int
+
+
+@dataclass
+class ReleaseCache:
+    """LRU + TTL + epoch-validated store of released DP artifacts.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.config.CacheConfig` policy.  A disabled config
+        turns every operation into a no-op, which is what keeps the
+        cache-off engine bit-identical to the plain batched protocol.
+    """
+
+    config: CacheConfig = field(default_factory=CacheConfig)
+    stats: CacheStats = field(default_factory=CacheStats, repr=False)
+
+    def __post_init__(self) -> None:
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._round = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the policy admits and serves entries at all."""
+        return self.config.enabled
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def current_round(self) -> int:
+        """The logical clock (number of protocol rounds observed)."""
+        return self._round
+
+    # -- clock -----------------------------------------------------------------
+
+    def advance_round(self) -> None:
+        """Advance the logical TTL clock by one protocol round."""
+        if self.enabled:
+            self._round += 1
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, key: Hashable, *, epoch: int) -> Any | None:
+        """Serve ``key`` if present, fresh, and released under ``epoch``.
+
+        A stale (older-epoch) or expired (TTL) entry is evicted and the
+        lookup misses.  Hits refresh the entry's LRU position.
+        """
+        if not self.enabled:
+            return None
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.epoch != epoch:
+            del self._entries[key]
+            self.stats.evicted_stale += 1
+            self.stats.misses += 1
+            return None
+        if self._expired(entry, self._round):
+            del self._entries[key]
+            self.stats.evicted_expired += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def peek(self, key: Hashable, *, epoch: int, rounds_ahead: int = 0) -> Any | None:
+        """Non-mutating lookup used by the reuse planner.
+
+        Does not touch the LRU order, the stats, or evict anything.
+        ``rounds_ahead`` lets the planner ask "will this entry still be
+        valid *after* the next round's clock tick?", which is what makes a
+        pre-execution affordability preview sound under a TTL policy.
+        """
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None or entry.epoch != epoch:
+            return None
+        if self._expired(entry, self._round + rounds_ahead):
+            return None
+        return entry.value
+
+    # -- admission -------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any, *, epoch: int, epsilon: float) -> None:
+        """Admit a released artifact.
+
+        Parameters
+        ----------
+        key:
+            A key from :mod:`repro.cache.key`.
+        value:
+            The released artifact (stored as-is; callers store immutable
+            payloads so a later hit re-serves the original bytes).
+        epoch:
+            The provider's layout epoch at release time.
+        epsilon:
+            The phase budget the release consumed — admission refuses
+            releases below the policy's ``min_epsilon`` floor.
+        """
+        if not self.enabled:
+            return
+        if epsilon < self.config.min_epsilon:
+            self.stats.rejected += 1
+            return
+        self._entries[key] = _Entry(value=value, epoch=epoch, round_inserted=self._round)
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+        while len(self._entries) > self.config.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evicted_capacity += 1
+
+    # -- bulk invalidation -------------------------------------------------------
+
+    def purge_stale(self, epoch: int) -> int:
+        """Eagerly drop every entry not released under ``epoch``.
+
+        Returns the number of entries dropped.  Lazy eviction in
+        :meth:`get` would reclaim them eventually; providers call this on
+        layout rebuilds so the memory is released immediately.
+        """
+        stale = [key for key, entry in self._entries.items() if entry.epoch != epoch]
+        for key in stale:
+            del self._entries[key]
+        self.stats.evicted_stale += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        self._entries.clear()
+
+    def _expired(self, entry: _Entry, now: int) -> bool:
+        ttl = self.config.ttl_rounds
+        return ttl is not None and now - entry.round_inserted >= ttl

@@ -27,11 +27,13 @@ __all__ = [
     "NetworkConfig",
     "SMCConfig",
     "ParallelismConfig",
+    "CacheConfig",
     "SystemConfig",
     "DEFAULT_PRIVACY",
     "DEFAULT_SAMPLING",
     "DEFAULT_NETWORK",
     "DEFAULT_SMC",
+    "DEFAULT_CACHE",
     "DEFAULT_SYSTEM",
 ]
 
@@ -240,6 +242,56 @@ class ParallelismConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Cross-query summary-cache policy (see :mod:`repro.cache`).
+
+    Every data provider owns a :class:`~repro.cache.store.ReleaseCache` that
+    memoizes its *released* DP artifacts — the noisy allocation summaries and
+    the noisy local estimates.  Re-serving a released value is differential
+    privacy post-processing, so a cache hit consumes **no** privacy budget
+    and skips the sampling / cluster-scan work entirely.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Disabled by default: with the cache off the engine
+        is bit-identical to the plain batched protocol under the same seed.
+    max_entries:
+        Capacity per provider cache; the least recently used entry is
+        evicted beyond it.
+    ttl_rounds:
+        Optional time-to-live measured in protocol rounds (one summary
+        phase = one round).  ``None`` means entries never expire by age;
+        layout changes still invalidate them via the epoch check.
+    min_epsilon:
+        Epsilon-aware admission floor: releases whose phase budget is below
+        this are not admitted (their reuse value rarely justifies pinning a
+        very noisy release).  The cache *key* additionally embeds the exact
+        per-phase epsilons, so a hit is only ever served at precisely the
+        budget of the original release.
+    """
+
+    enabled: bool = False
+    max_entries: int = 4096
+    ttl_rounds: int | None = None
+    min_epsilon: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.max_entries >= 1, f"max_entries must be >= 1, got {self.max_entries}")
+        if self.ttl_rounds is not None:
+            _require(
+                self.ttl_rounds >= 1, f"ttl_rounds must be >= 1, got {self.ttl_rounds}"
+            )
+        _require(
+            self.min_epsilon >= 0, f"min_epsilon must be >= 0, got {self.min_epsilon}"
+        )
+
+    def with_enabled(self, enabled: bool = True) -> "CacheConfig":
+        """Return a copy with the cache switched on or off."""
+        return replace(self, enabled=enabled)
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration of the federated AQP system."""
 
@@ -250,6 +302,7 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     smc: SMCConfig = field(default_factory=SMCConfig)
     parallelism: ParallelismConfig = field(default_factory=ParallelismConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
     use_smc_for_result: bool = False
     seed: int | None = None
 
@@ -267,9 +320,14 @@ class SystemConfig:
         """Return a copy with a different sampling configuration."""
         return replace(self, sampling=sampling)
 
+    def with_cache(self, cache: CacheConfig) -> "SystemConfig":
+        """Return a copy with a different summary-cache policy."""
+        return replace(self, cache=cache)
+
 
 DEFAULT_PRIVACY = PrivacyConfig()
 DEFAULT_SAMPLING = SamplingConfig()
 DEFAULT_NETWORK = NetworkConfig()
 DEFAULT_SMC = SMCConfig()
+DEFAULT_CACHE = CacheConfig()
 DEFAULT_SYSTEM = SystemConfig()

@@ -27,7 +27,27 @@ __all__ = ["QueryBudget", "split_query_budget", "query_spend", "EndUserBudget"]
 
 @dataclass(frozen=True)
 class QueryBudget:
-    """The per-phase budgets of one query."""
+    """The per-phase budgets of one query.
+
+    A query's budget is a *plan*, not a charge: it says what each protocol
+    phase is **allowed** to spend on every provider's partition.  What the
+    query actually costs the end user can be lower — when a provider serves
+    a phase from its release cache (:mod:`repro.cache`) that phase is DP
+    post-processing and spends nothing.  The actual charge is reported per
+    query by :attr:`~repro.federation.aggregator.FederatedAnswer.epsilon_charged`.
+
+    Attributes
+    ----------
+    epsilon_allocation:
+        ``eps_O`` — Laplace release of the summary ``(N^Q, Avg(R̂))``.
+    epsilon_sampling:
+        ``eps_S`` — Exponential-Mechanism cluster sampling.
+    epsilon_estimation:
+        ``eps_E`` — Laplace release of the final estimate.
+    delta:
+        Failure probability of the smooth-sensitivity release (spent with
+        ``eps_E``; the other phases are pure-epsilon).
+    """
 
     epsilon_allocation: float
     epsilon_sampling: float
@@ -75,7 +95,22 @@ def query_spend(budget: QueryBudget, num_providers: int) -> PrivacySpend:
 
 @dataclass
 class EndUserBudget:
-    """The end user's total budget ``(xi, psi)`` with query-level charging."""
+    """The end user's total budget ``(xi, psi)`` with query-level charging.
+
+    Semantics
+    ---------
+    The budget is a hard wallet: a charge that would overdraw either term
+    raises :class:`~repro.errors.BudgetExhaustedError` and records nothing.
+    Queries are priced by *sequential composition within a provider* and
+    *parallel composition across providers* (disjoint partitions), so a
+    fully fresh query costs exactly its ``(epsilon, delta)`` regardless of
+    the federation size.  Cache-served queries are priced by what was
+    actually released: phases re-served from a provider's release cache
+    are post-processing and cost zero (:meth:`charge_spends` accepts the
+    per-query actuals computed by the aggregator — including a full zero
+    for a fully reused query, which is still recorded in the ledger for
+    auditability).
+    """
 
     accountant: PrivacyAccountant
 
@@ -85,9 +120,33 @@ class EndUserBudget:
         return cls(PrivacyAccountant(total_epsilon=xi, total_delta=psi))
 
     def charge_query(self, budget: QueryBudget, num_providers: int, *, label: str = "query") -> PrivacySpend:
-        """Charge one query's spend, raising when the budget is exhausted."""
+        """Charge one fully fresh query's spend (no reuse discount)."""
         spend = query_spend(budget, num_providers)
         return self.accountant.charge(spend.epsilon, spend.delta, label=label)
+
+    def charge_spends(
+        self, charges: "list[tuple[float, float, str]]", *, enforce: bool = True
+    ) -> PrivacySpend:
+        """Atomically charge one batch's per-query ``(epsilon, delta, label)`` actuals.
+
+        Used by the cache-aware execution path: the aggregator reports what
+        each query really cost after reuse, and that — not the nominal
+        per-query budget — is what the wallet loses.  Zero-cost charges are
+        recorded too, so the ledger shows one entry per answered query.
+
+        With ``enforce`` (the default) the group is all-or-nothing: on
+        overdraw nothing is recorded and
+        :class:`~repro.errors.BudgetExhaustedError` is raised.  The system
+        facade passes ``enforce=False`` when recording a batch *after* the
+        protocol ran — those releases already happened, so the true spend
+        is recorded even if it overdraws the wallet (admission of the next
+        batch will then be refused).  Returns the group total.
+        """
+        return self.accountant.charge_many(charges, enforce=enforce)
+
+    def can_afford_spend(self, epsilon: float, delta: float) -> bool:
+        """True when charging ``(epsilon, delta)`` would not overdraw."""
+        return self.accountant.can_afford(epsilon, delta)
 
     def can_afford_queries(
         self, budget: QueryBudget, num_providers: int, count: int

@@ -42,7 +42,14 @@ class ProviderReport:
 
 @dataclass
 class ExecutionTrace:
-    """Work, timing, and communication accounting for one query."""
+    """Work, timing, communication, and reuse accounting for one query.
+
+    ``summary_cache_hits`` / ``answer_cache_hits`` count the providers that
+    served the respective release from their cross-query release cache (see
+    :mod:`repro.cache`).  For cache hits the work counters
+    (``clusters_scanned`` / ``rows_scanned``) carry the numbers of the
+    *original* release — re-serving it scanned nothing.
+    """
 
     phase_seconds: dict[str, float] = field(default_factory=dict)
     simulated_network_seconds: float = 0.0
@@ -53,6 +60,8 @@ class ExecutionTrace:
     rows_scanned: int = 0
     rows_available: int = 0
     smc_operations: int = 0
+    summary_cache_hits: int = 0
+    answer_cache_hits: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -174,3 +183,32 @@ class BatchResult:
         if self.wall_seconds <= 0:
             return float("inf")
         return len(self.results) / self.wall_seconds
+
+    # -- reuse accounting -------------------------------------------------------
+
+    @property
+    def summary_cache_hits(self) -> int:
+        """Provider summary releases served from cache across the workload."""
+        return sum(result.trace.summary_cache_hits for result in self.results)
+
+    @property
+    def answer_cache_hits(self) -> int:
+        """Provider answer releases served from cache across the workload."""
+        return sum(result.trace.answer_cache_hits for result in self.results)
+
+    @property
+    def answer_cache_hit_rate(self) -> float:
+        """Fraction of (query, provider) answers served by reuse."""
+        slots = sum(len(result.provider_reports) for result in self.results)
+        if slots == 0:
+            return 0.0
+        return self.answer_cache_hits / slots
+
+    @property
+    def fully_cached_queries(self) -> int:
+        """Queries that consumed zero budget (every release was reused)."""
+        return sum(
+            1
+            for result in self.results
+            if result.epsilon_spent == 0.0 and result.delta_spent == 0.0
+        )

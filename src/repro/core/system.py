@@ -1,14 +1,20 @@
 """Public facade: build a federation from tables and answer queries end to end.
 
-:class:`FederatedAQPSystem` is the entry point a downstream user works with:
+:class:`FederatedAQPSystem` is the entry point a downstream user works with::
 
->>> system = FederatedAQPSystem.from_partitions(partitions, config=SystemConfig())
->>> result = system.execute(RangeQuery.count({"age": (20, 40)}), sampling_rate=0.1)
->>> result.value, result.relative_error
+    system = FederatedAQPSystem.from_partitions(partitions, config=SystemConfig())
+    result = system.execute(RangeQuery.count({"age": (20, 40)}), sampling_rate=0.1)
+    result.value, result.relative_error
 
 It owns the providers, the aggregator, the end user's total privacy budget
 ``(xi, psi)``, and the exact (non-private) baseline used for relative error
-and speed-up measurements.
+and speed-up measurements.  The production shape is
+:meth:`FederatedAQPSystem.execute_batch` — one protocol round for a whole
+workload — optionally with cross-query reuse
+(:class:`~repro.config.CacheConfig`): repeated predicates are then served
+from the providers' release caches as DP post-processing, charged only for
+what was actually re-released, and admitted against the remaining budget by
+the :class:`~repro.cache.planner.ReusePlanner`'s upper bound.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..cache.store import CacheStats
 from ..config import SystemConfig
 from ..errors import BudgetExhaustedError, ProtocolError
 from ..federation.aggregator import Aggregator
@@ -78,7 +85,30 @@ class FederatedAQPSystem:
         clustering_policy: str = "sequential",
         sort_by: str | None = None,
     ) -> "FederatedAQPSystem":
-        """Build a system with one provider per partition table."""
+        """Build a system with one provider per partition table.
+
+        Parameters
+        ----------
+        partitions:
+            One table per data provider (the horizontal partitioning).
+        config:
+            System-wide knobs (privacy split, sampling, network, cache,
+            parallelism); defaults to :class:`~repro.config.SystemConfig`.
+        n_min:
+            Per-provider approximation threshold ``N_min``; defaults to
+            ``config.sampling.min_clusters_for_approximation``.
+        total_epsilon, total_delta:
+            When ``total_epsilon`` is given, an end-user budget ``(xi, psi)``
+            is installed and every executed query is charged against it.
+        clustering_policy, sort_by:
+            Forwarded to each :class:`~repro.federation.provider.DataProvider`.
+
+        Returns
+        -------
+        FederatedAQPSystem
+            A ready-to-query deployment; provider RNGs are derived from
+            ``config.seed`` so a fixed seed makes runs reproducible.
+        """
         cfg = config or SystemConfig()
         threshold = cfg.sampling.min_clusters_for_approximation if n_min is None else n_min
         providers = [
@@ -89,6 +119,7 @@ class FederatedAQPSystem:
                 n_min=threshold,
                 clustering_policy=clustering_policy,
                 sort_by=sort_by,
+                cache_config=cfg.cache,
                 rng=derive_rng(cfg.seed, "provider", index),
             )
             for index, partition in enumerate(partitions)
@@ -169,6 +200,31 @@ class FederatedAQPSystem:
         once per phase with every query, and all metadata / ``Q(C)`` work runs
         vectorised.  With the same seed, the per-query results are
         bit-identical to executing the queries one at a time.
+
+        When :class:`~repro.config.CacheConfig` is enabled, providers
+        re-serve previously released summaries and estimates for repeated
+        predicates (DP post-processing): such queries are charged only the
+        phases that were actually re-released — down to zero for a fully
+        cached query — and the admission check prices them accordingly.
+        Reuse statistics land in each result's
+        :class:`~repro.core.result.ExecutionTrace` and on the
+        :class:`~repro.core.result.BatchResult` aggregates.
+
+        Parameters
+        ----------
+        queries:
+            The workload: :class:`RangeQuery` objects or SQL texts.
+        sampling_rate, epsilon, use_smc:
+            Per-batch overrides of the configured values (see
+            :meth:`execute`).
+        compute_exact:
+            Also run the exact baselines so results carry relative errors.
+
+        Returns
+        -------
+        BatchResult
+            Per-query results in workload order plus batch-level wall-clock
+            and reuse accounting.
         """
         if not queries:
             raise ProtocolError("a batch must contain at least one query")
@@ -179,10 +235,28 @@ class FederatedAQPSystem:
             # All-or-nothing batch admission: verify the whole workload is
             # affordable before running anything.  The check shares the
             # accountant's float tolerance, so a batch is admitted exactly
-            # when charging its queries one by one would be.
-            if not self.end_user_budget.can_afford_queries(
+            # when charging its queries one by one would be.  With the
+            # release caches enabled, the reuse planner lowers the bound to
+            # zero for queries guaranteed to be served by post-processing —
+            # a reuse-heavy workload is admitted even against a nearly
+            # exhausted budget (budget-aware reuse).
+            affordable = self.end_user_budget.can_afford_queries(
                 budget, len(self.providers), len(range_queries)
-            ):
+            )
+            if not affordable and self.config.cache.enabled:
+                # Full price does not fit — ask the planner for the tighter
+                # bound before refusing (it can only lower the estimate, so
+                # skipping it when full price fits is behaviour-preserving).
+                plan = self.aggregator.plan_reuse(
+                    range_queries,
+                    budget,
+                    sampling_rate=sampling_rate,
+                    use_smc=use_smc,
+                )
+                affordable = self.end_user_budget.can_afford_spend(
+                    plan.upper_bound_epsilon, plan.upper_bound_delta
+                )
+            if not affordable:
                 raise BudgetExhaustedError(
                     f"batch of {len(range_queries)} queries needs more budget than "
                     "remains"
@@ -196,13 +270,22 @@ class FederatedAQPSystem:
                 use_smc=use_smc,
             )
         if self.end_user_budget is not None:
-            # Charge only after the protocol ran to completion (but before
-            # the answers are released to the caller): a batch that fails
-            # mid-protocol returns no results and consumes no budget.
-            for range_query in range_queries:
-                self.end_user_budget.charge_query(
-                    budget, len(self.providers), label=range_query.to_sql()
-                )
+            # Charge only after the protocol ran to completion: a batch that
+            # fails mid-protocol returns no results and consumes no budget.
+            # Each query is charged what it actually cost after reuse (zero
+            # for fully cached queries).  The recording is unconditional
+            # (enforce=False): the noisy releases already happened, so even
+            # in the pathological corner where the actual cost exceeds the
+            # admission bound (LRU eviction within the admitted batch), the
+            # ledger must show the true spend — the wallet then reads empty
+            # and the next fresh batch is refused at admission.
+            self.end_user_budget.charge_spends(
+                [
+                    (answer.epsilon_charged, answer.delta_charged, range_query.to_sql())
+                    for range_query, answer in zip(range_queries, answers)
+                ],
+                enforce=False,
+            )
         exact_values: list[int | None] = [None] * len(range_queries)
         if compute_exact:
             exact_values = [
@@ -213,8 +296,8 @@ class FederatedAQPSystem:
             QueryResult(
                 query=range_query,
                 value=answer.value,
-                epsilon_spent=budget.epsilon_total,
-                delta_spent=budget.delta,
+                epsilon_spent=answer.epsilon_charged,
+                delta_spent=answer.delta_charged,
                 used_smc=answer.used_smc,
                 provider_reports=answer.provider_reports,
                 trace=answer.trace,
@@ -289,6 +372,15 @@ class FederatedAQPSystem:
             self.end_user_budget.remaining_epsilon,
             self.end_user_budget.remaining_delta,
         )
+
+    def cache_stats(self) -> CacheStats:
+        """Merged release-cache statistics across every provider."""
+        return CacheStats.merged(provider.cache.stats for provider in self.providers)
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached release federation-wide (stats are preserved)."""
+        for provider in self.providers:
+            provider.cache.clear()
 
     def _coerce_query(self, query: RangeQuery | str) -> RangeQuery:
         if isinstance(query, RangeQuery):

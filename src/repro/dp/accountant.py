@@ -10,7 +10,7 @@ spent what and why — the same role OpenDP-style "odometers" play.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from ..errors import BudgetExhaustedError, PrivacyError
 from .composition import PrivacySpend, sequential_composition
@@ -46,6 +46,10 @@ class PrivacyAccountant:
             raise PrivacyError(f"total_epsilon must be >= 0, got {self.total_epsilon}")
         if not 0 <= self.total_delta <= 1:
             raise PrivacyError(f"total_delta must be in [0, 1], got {self.total_delta}")
+        # Running total maintained on append (same left-fold as recomputing
+        # over the ledger), so budget checks stay O(1) however many queries
+        # — e.g. a replayed dashboard workload — the ledger has recorded.
+        self._spent = sequential_composition(entry.spend for entry in self._ledger)
 
     @property
     def budget(self) -> PrivacySpend:
@@ -61,7 +65,7 @@ class PrivacyAccountant:
     @property
     def spent(self) -> PrivacySpend:
         """Cumulative spend across all ledger entries."""
-        return sequential_composition(entry.spend for entry in self._ledger)
+        return self._spent
 
     @property
     def remaining_epsilon(self) -> float:
@@ -88,8 +92,46 @@ class PrivacyAccountant:
                 f"charging ({spend.epsilon}, {spend.delta}) for {label!r} would exceed the "
                 f"remaining budget ({self.remaining_epsilon}, {self.remaining_delta})"
             )
-        self._ledger.append(BudgetLedgerEntry(label=label, spend=spend))
+        self._record(BudgetLedgerEntry(label=label, spend=spend))
         return spend
+
+    def charge_many(
+        self,
+        charges: "Sequence[tuple[float, float, str]]",
+        *,
+        enforce: bool = True,
+    ) -> PrivacySpend:
+        """Atomically record several ``(epsilon, delta, label)`` charges.
+
+        With ``enforce`` (the default) the whole group is validated against
+        the remaining budget first and recorded only when it fits — on
+        overdraw nothing is recorded, so a batch of queries can never leave
+        the ledger partially charged.
+
+        ``enforce=False`` records unconditionally.  It exists for post-run
+        bookkeeping of spends that *already happened*: once a protocol round
+        has released its noisy values, the only sound accounting is to
+        record the full actual cost, even if that overdraws (the remaining
+        budget then reads zero and future admissions are refused).  Hiding
+        an overdraft would under-report real privacy loss.
+
+        Returns the group's total spend.
+        """
+        spends = [PrivacySpend(epsilon, delta) for epsilon, delta, _ in charges]
+        total = sequential_composition(spends)
+        if enforce and not self.can_afford(total.epsilon, total.delta):
+            raise BudgetExhaustedError(
+                f"charging {len(spends)} entries totalling ({total.epsilon}, "
+                f"{total.delta}) would exceed the remaining budget "
+                f"({self.remaining_epsilon}, {self.remaining_delta})"
+            )
+        for spend, (_, _, label) in zip(spends, charges):
+            self._record(BudgetLedgerEntry(label=label, spend=spend))
+        return total
+
+    def _record(self, entry: BudgetLedgerEntry) -> None:
+        self._ledger.append(entry)
+        self._spent = self._spent + entry.spend
 
     def ledger(self) -> Iterator[BudgetLedgerEntry]:
         """Iterate over the recorded charges in order."""
@@ -101,6 +143,7 @@ class PrivacyAccountant:
     def reset(self) -> None:
         """Clear the ledger (e.g. when a new analysis period starts)."""
         self._ledger.clear()
+        self._spent = PrivacySpend.zero()
 
     @classmethod
     def unlimited(cls) -> "PrivacyAccountant":

@@ -21,6 +21,12 @@ from .smc_comparison import (
 )
 from .attack_resilience import AttackCell, run_attack_resilience
 from .metadata_space import MetadataSpacePoint, run_metadata_space
+from .workload_locality import (
+    LocalityPoint,
+    LocalityResult,
+    format_locality_table,
+    run_workload_locality,
+)
 
 __all__ = [
     "relative_error",
@@ -48,4 +54,8 @@ __all__ = [
     "run_attack_resilience",
     "MetadataSpacePoint",
     "run_metadata_space",
+    "LocalityPoint",
+    "LocalityResult",
+    "run_workload_locality",
+    "format_locality_table",
 ]

@@ -13,6 +13,14 @@ phase with every query of the batch, and the per-provider work can optionally
 fan out to a thread pool (:class:`~repro.config.ParallelismConfig`).  The
 single-query :meth:`execute_query` is a batch of one, so both paths share one
 implementation and produce bit-identical results for the same seed.
+
+When the providers' release caches are enabled
+(:class:`~repro.config.CacheConfig`), the aggregator additionally tracks
+which summaries and estimates were served from cache and prices each query
+accordingly: a provider that re-served a release spent nothing on it, and
+the federation-wide charge of a query is the parallel composition (maximum)
+of the per-provider spends.  :meth:`Aggregator.plan_reuse` exposes the
+pre-execution view of that split for budget admission.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
+from ..cache.planner import ReusePlan, ReusePlanner
 from ..config import SystemConfig
 from ..core.accounting import QueryBudget
 from ..core.allocation import AllocationProblem, solve_allocation
@@ -42,13 +51,34 @@ _T = TypeVar("_T")
 
 @dataclass(frozen=True)
 class FederatedAnswer:
-    """The aggregator's combined answer plus the per-provider reports."""
+    """The aggregator's combined answer plus the per-provider reports.
+
+    Attributes
+    ----------
+    value:
+        The combined DP answer.
+    noise_injected:
+        Total noise added across providers (or the single SMC noise).
+    used_smc:
+        Whether the SMC combination path produced the value.
+    provider_reports:
+        One diagnostic report per provider, in federation order.
+    trace:
+        Work / timing / communication / reuse accounting.
+    epsilon_charged, delta_charged:
+        What this query actually cost the end user.  Equal to the full
+        per-query budget when every release was fresh; lower (down to zero)
+        when providers re-served cached releases, because post-processing
+        is free and spends compose in parallel across disjoint providers.
+    """
 
     value: float
     noise_injected: float
     used_smc: bool
     provider_reports: tuple[ProviderReport, ...]
     trace: ExecutionTrace
+    epsilon_charged: float = 0.0
+    delta_charged: float = 0.0
 
 
 @dataclass
@@ -125,10 +155,14 @@ class Aggregator:
 
         try:
             with stopwatch.measure("allocation"):
-                summaries = self._collect_summaries(requests, budget, accounting)
+                summaries, summary_reuse = self._collect_summaries(
+                    requests, budget, accounting
+                )
                 allocations = self._allocate(requests, summaries, rate, accounting)
             with stopwatch.measure("local_answering"):
-                answers = self._collect_answers(allocations, budget, smc, accounting)
+                answers, answer_reuse = self._collect_answers(
+                    allocations, budget, smc, accounting
+                )
             with stopwatch.measure("combination"):
                 combined = [
                     self._combine(
@@ -153,6 +187,11 @@ class Aggregator:
             reports = tuple(
                 provider_answers[index].report for provider_answers in answers
             )
+            epsilon_charged, delta_charged = self._query_charge(
+                budget,
+                [provider_reuse[index] for provider_reuse in summary_reuse],
+                [provider_reuse[index] for provider_reuse in answer_reuse],
+            )
             trace = ExecutionTrace(
                 # Wall-clock phases are measured per batch; each query carries
                 # its amortised share (exact for a batch of one).
@@ -167,6 +206,12 @@ class Aggregator:
                 rows_scanned=sum(report.rows_scanned for report in reports),
                 rows_available=sum(report.rows_available for report in reports),
                 smc_operations=0,
+                summary_cache_hits=sum(
+                    provider_reuse[index] for provider_reuse in summary_reuse
+                ),
+                answer_cache_hits=sum(
+                    provider_reuse[index] for provider_reuse in answer_reuse
+                ),
             )
             results.append(
                 FederatedAnswer(
@@ -175,9 +220,57 @@ class Aggregator:
                     used_smc=smc,
                     provider_reports=reports,
                     trace=trace,
+                    epsilon_charged=epsilon_charged,
+                    delta_charged=delta_charged,
                 )
             )
         return results
+
+    def plan_reuse(
+        self,
+        queries: Sequence[RangeQuery],
+        budget: QueryBudget,
+        *,
+        sampling_rate: float | None = None,
+        use_smc: bool | None = None,
+    ) -> ReusePlan:
+        """Preview which queries of a workload are fully served by the caches.
+
+        Delegates to :class:`~repro.cache.planner.ReusePlanner` with this
+        federation's providers and allocation floor.  Never mutates any
+        cache; used by the system facade for budget-aware batch admission.
+        """
+        rate = self.config.sampling.sampling_rate if sampling_rate is None else sampling_rate
+        smc = self.config.use_smc_for_result if use_smc is None else use_smc
+        planner = ReusePlanner(
+            providers=self.providers,
+            min_allocation=self.config.sampling.min_allocation,
+        )
+        return planner.preview(queries, budget, rate, use_smc=smc)
+
+    @staticmethod
+    def _query_charge(
+        budget: QueryBudget,
+        summary_hits: Sequence[bool],
+        answer_hits: Sequence[bool],
+    ) -> tuple[float, float]:
+        """Actual ``(epsilon, delta)`` cost of one query across the federation.
+
+        Each provider sequentially spends only the phases it released fresh
+        (cache hits are post-processing); providers hold disjoint partitions,
+        so the end-user charge is the parallel composition — the maximum —
+        of the per-provider spends.  With every release fresh this equals
+        the full ``(epsilon_total, delta)``, bit-for-bit.
+        """
+        epsilon = 0.0
+        delta = 0.0
+        for summary_hit, answer_hit in zip(summary_hits, answer_hits):
+            spent = 0.0 if summary_hit else budget.epsilon_allocation
+            if not answer_hit:
+                spent = spent + budget.epsilon_sampling + budget.epsilon_estimation
+            epsilon = max(epsilon, spent)
+            delta = max(delta, 0.0 if answer_hit else budget.delta)
+        return epsilon, delta
 
     # -- provider fan-out --------------------------------------------------------
 
@@ -238,20 +331,30 @@ class Aggregator:
         requests: Sequence[QueryRequest],
         budget: QueryBudget,
         accounting: Sequence[_QueryAccounting],
-    ) -> list[list[SummaryMessage]]:
-        """Per-provider summary lists, aligned with the request order."""
+    ) -> tuple[list[list[SummaryMessage]], list[list[bool]]]:
+        """Per-provider summary lists plus per-provider cache-hit flags.
+
+        Both returned lists are aligned with the request order; the flags
+        mark summaries the provider re-served from its release cache.
+        """
         for index, request in enumerate(requests):
             self._send(request.payload_bytes(), accounting[index], copies=len(self.providers))
-        summaries = self._map_providers(
-            lambda _, provider: provider.prepare_summary_batch(
-                requests, budget.epsilon_allocation
+
+        def collect(_: int, provider: DataProvider) -> tuple[list[SummaryMessage], list[bool]]:
+            reuse: list[bool] = []
+            messages = provider.prepare_summary_batch(
+                requests, budget.epsilon_allocation, reuse_out=reuse
             )
-        )
+            return messages, reuse
+
+        outcomes = self._map_providers(collect)
+        summaries = [messages for messages, _ in outcomes]
+        reuse_flags = [reuse for _, reuse in outcomes]
         for provider_summaries in summaries:
             # Summaries have a data-independent constant size, so one bulk
             # send per provider covers the whole workload.
             self._send_uniform(provider_summaries[0].payload_bytes(), accounting)
-        return summaries
+        return summaries, reuse_flags
 
     def _allocate(
         self,
@@ -298,22 +401,32 @@ class Aggregator:
         budget: QueryBudget,
         use_smc: bool,
         accounting: Sequence[_QueryAccounting],
-    ) -> list[list[LocalAnswer]]:
-        """Per-provider answer lists, aligned with the request order."""
+    ) -> tuple[list[list[LocalAnswer]], list[list[bool]]]:
+        """Per-provider answer lists plus per-provider cache-hit flags.
+
+        Both returned lists are aligned with the request order; the flags
+        mark local answers the provider re-served from its release cache.
+        """
         provider_ids = {provider.provider_id for provider in self.providers}
         for provider_allocations in allocations:
             for message in provider_allocations:
                 if message.provider_id not in provider_ids:
                     raise ProtocolError(f"unknown provider {message.provider_id!r}")
-        answers = self._map_providers(
-            lambda index, provider: provider.answer_batch(
-                allocations[index], budget, use_smc=use_smc
+
+        def collect(index: int, provider: DataProvider) -> tuple[list[LocalAnswer], list[bool]]:
+            reuse: list[bool] = []
+            local_answers = provider.answer_batch(
+                allocations[index], budget, use_smc=use_smc, reuse_out=reuse
             )
-        )
+            return local_answers, reuse
+
+        outcomes = self._map_providers(collect)
+        answers = [local_answers for local_answers, _ in outcomes]
+        reuse_flags = [reuse for _, reuse in outcomes]
         for provider_answers in answers:
             # Estimates have a data-independent constant size as well.
             self._send_uniform(provider_answers[0].message.payload_bytes(), accounting)
-        return answers
+        return answers, reuse_flags
 
     def _combine(
         self,

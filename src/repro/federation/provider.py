@@ -26,15 +26,30 @@ provider's root RNG, keyed by the query id, at summary time.  All of a
 query's draws (summary noise, EM sampling, estimate noise) consume that
 per-query stream in a fixed order, so executing a workload as one batch or as
 a sequence of single queries produces bit-identical results.
+
+Reuse: when the provider's :class:`~repro.config.CacheConfig` is enabled, the
+provider memoizes every *released* artifact — the noisy summary of step 1 and
+the noisy estimate of step 2 — in a :class:`~repro.cache.store.ReleaseCache`.
+A later query with the same canonical predicate at the same phase budgets is
+served the stored bytes verbatim: pure DP post-processing, so no budget is
+spent, no fresh noise is drawn, and (for answers) no cluster is scanned.
+Cache misses run exactly the code path of the disabled cache, so on a
+duplicate-free workload a cold cache is bit-identical to no cache under the
+same seed.  (A workload that repeats a predicate *within* one batch is
+served by reuse even when cold — the repeat aliases the first occurrence's
+release instead of drawing the independent noise the disabled cache would.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
 
+from ..cache.key import answer_key, summary_key
+from ..cache.store import ReleaseCache
+from ..config import CacheConfig
 from ..core.accounting import QueryBudget
 from ..core.result import ProviderReport
 from ..core.sensitivity import (
@@ -67,13 +82,18 @@ class _QuerySession:
     (summary noise, EM sampling, estimate noise) draws from it in a fixed
     order, which is what makes batched and sequential execution
     bit-identical.
+
+    Sessions opened by a summary *cache hit* are lazy: the covering set and
+    proportions are only materialised (in one vectorised metadata pass) if
+    the answer phase turns out to need a fresh release — a fully cached
+    query never touches the metadata index at all.
     """
 
     query: RangeQuery
-    covering_positions: np.ndarray
-    proportions: np.ndarray
-    proportions_sum: float
     rng: np.random.Generator
+    covering_positions: np.ndarray | None = None
+    proportions: np.ndarray | None = None
+    proportions_sum: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -124,6 +144,9 @@ class DataProvider:
         pages) or ``"sorted"`` (clusters carry skewed value ranges — the
         regime where distribution-aware sampling matters most, used by the
         ablation benches).
+    cache_config:
+        Release-cache policy (:class:`~repro.config.CacheConfig`); ``None``
+        or a disabled config keeps the provider on the plain protocol path.
     """
 
     provider_id: str
@@ -132,14 +155,22 @@ class DataProvider:
     n_min: int = 4
     clustering_policy: str = "sequential"
     sort_by: str | None = None
+    cache_config: CacheConfig | None = None
     rng: RngLike = None
     clustered: ClusteredTable = field(init=False, repr=False)
     metadata: MetadataStore = field(init=False, repr=False)
+    cache: ReleaseCache = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_min < 1:
             raise ProtocolError(f"n_min must be >= 1, got {self.n_min}")
         self._rng = derive_rng(self.rng, "provider", self.provider_id)
+        self.cache = ReleaseCache(self.cache_config or CacheConfig())
+        self._layout_epoch = 0
+        self._build_layout()
+        self._sessions: dict[int, _QuerySession] = {}
+
+    def _build_layout(self) -> None:
         self.clustered = ClusteredTable.from_table(
             self.table,
             self.cluster_size,
@@ -148,7 +179,6 @@ class DataProvider:
         )
         self.metadata = build_metadata(self.clustered)
         self._executor = ExactExecutor(self.clustered, self.metadata)
-        self._sessions: dict[int, _QuerySession] = {}
 
     # -- offline properties --------------------------------------------------
 
@@ -167,9 +197,83 @@ class DataProvider:
         """Number of per-query sessions currently held (leak monitoring)."""
         return len(self._sessions)
 
+    @property
+    def layout_epoch(self) -> int:
+        """Monotonic clustering-layout version (bumped by :meth:`rebuild_layout`).
+
+        Cache entries record the epoch they were released under; a mismatch
+        makes them stale, so a re-clustered provider can never serve
+        summaries of a layout that no longer exists.
+        """
+        return self._layout_epoch
+
     def metadata_size_bytes(self) -> int:
         """Approximate footprint of the offline metadata (Section 6.1)."""
         return self.metadata.size_bytes()
+
+    def rebuild_layout(
+        self,
+        *,
+        clustering_policy: str | None = None,
+        sort_by: str | None = None,
+    ) -> None:
+        """Re-cluster the partition and invalidate every cached release.
+
+        Parameters
+        ----------
+        clustering_policy, sort_by:
+            Optional overrides; omitted values keep the current settings.
+
+        Raises
+        ------
+        ProtocolError
+            When called while per-query sessions are open (mid-protocol
+            rebuilds would leave sessions pointing at dead cluster
+            positions).
+        """
+        if self._sessions:
+            raise ProtocolError(
+                f"provider {self.provider_id} cannot rebuild its layout with "
+                f"{len(self._sessions)} open sessions"
+            )
+        if clustering_policy is not None:
+            self.clustering_policy = clustering_policy
+        if sort_by is not None:
+            self.sort_by = sort_by
+        self._build_layout()
+        self._layout_epoch += 1
+        self.cache.purge_stale(self._layout_epoch)
+
+    # -- cache peeks (reuse planner) -------------------------------------------
+
+    def peek_summary_release(
+        self, query: RangeQuery, epsilon_allocation: float
+    ) -> tuple[float, float] | None:
+        """Return the cached summary ``(Ñ^Q, ~Avg(R̂))`` without serving it.
+
+        Used by the :class:`~repro.cache.planner.ReusePlanner` to bound a
+        batch's budget charge before execution; never mutates the cache.
+        """
+        clipped = query.clipped_to(self.clustered.schema)
+        return self.cache.peek(
+            summary_key(clipped, epsilon_allocation),
+            epoch=self._layout_epoch,
+            rounds_ahead=1,
+        )
+
+    def peek_answer_release(
+        self, query: RangeQuery, budget: QueryBudget, sample_size: int
+    ) -> bool:
+        """True when the local answer for this allocation is cached."""
+        clipped = query.clipped_to(self.clustered.schema)
+        return (
+            self.cache.peek(
+                answer_key(clipped, budget, sample_size),
+                epoch=self._layout_epoch,
+                rounds_ahead=1,
+            )
+            is not None
+        )
 
     # -- protocol step 1: noisy summary ---------------------------------------
 
@@ -178,7 +282,11 @@ class DataProvider:
         return self.prepare_summary_batch([request], epsilon_allocation)[0]
 
     def prepare_summary_batch(
-        self, requests: Sequence[QueryRequest], epsilon_allocation: float
+        self,
+        requests: Sequence[QueryRequest],
+        epsilon_allocation: float,
+        *,
+        reuse_out: list[bool] | None = None,
     ) -> list[SummaryMessage]:
         """Release the DP summaries for a whole workload in one metadata pass.
 
@@ -186,15 +294,73 @@ class DataProvider:
         the dense index in one shot; the per-query RNG children are derived
         in request order so a batch of ``n`` and ``n`` single-query calls
         consume the provider's root stream identically.
+
+        Parameters
+        ----------
+        requests:
+            The workload, in execution order.
+        epsilon_allocation:
+            The summary-phase budget ``eps_O`` (split evenly across the two
+            released scalars).
+        reuse_out:
+            Optional list the method appends one flag per request to: True
+            when that query's summary was served from the release cache
+            (post-processing, no budget spent, no noise drawn), False when
+            it was freshly released.
+
+        Returns
+        -------
+        list of SummaryMessage
+            One summary per request, aligned with the request order.  A
+            cache hit re-serves the original release's noisy scalars
+            byte-for-byte; only metadata work is the fresh queries'.
         """
         if not requests:
             return []
         schema = self.clustered.schema
         queries = [request.query.clipped_to(schema) for request in requests]
-        ranges_list = [query.range_tuples() for query in queries]
-        positions_list = self.metadata.covering_positions_batch(ranges_list)
-        proportions_list = self.metadata.proportions_at_positions_batch(
-            positions_list, ranges_list
+        cache = self.cache
+        cache.advance_round()
+        cached_releases: list[tuple[float, float] | None] = [None] * len(requests)
+        keys: list[tuple | None] = [None] * len(requests)
+        # A repeated predicate inside one batch is reuse too: the first
+        # occurrence releases, later ones alias it (one release, served n
+        # times).  ``duplicate_of`` maps each aliased index to its source.
+        duplicate_of: dict[int, int] = {}
+        if cache.enabled:
+            first_occurrence: dict[tuple, int] = {}
+            for index, query in enumerate(queries):
+                key = summary_key(query, epsilon_allocation)
+                keys[index] = key
+                cached_releases[index] = cache.get(key, epoch=self._layout_epoch)
+                if cached_releases[index] is None:
+                    if key in first_occurrence:
+                        duplicate_of[index] = first_occurrence[key]
+                    else:
+                        first_occurrence[key] = index
+        fresh = [
+            index
+            for index in range(len(requests))
+            if cached_releases[index] is None and index not in duplicate_of
+        ]
+        # Open one (lazy) session per request, then run the vectorised
+        # metadata pass over the fresh queries only: cache hits defer
+        # covering/proportions until (and unless) the answer phase needs a
+        # fresh release.
+        #
+        # One bulk draw seeds every per-query child stream; numpy's bounded
+        # integer sampling consumes the bit stream per value, so a bulk draw
+        # of n seeds equals n consecutive single draws — which is what keeps
+        # batch and sequential execution on identical streams.  Cache hits
+        # keep their (otherwise untouched) child stream: it seeds the
+        # answer-phase randomness if the answer later misses.
+        child_seeds = self._rng.integers(0, 2**63, size=len(requests))
+        for index, (request, query) in enumerate(zip(requests, queries)):
+            self._sessions[request.query_id] = _QuerySession(
+                query=query, rng=np.random.default_rng(int(child_seeds[index]))
+            )
+        self._materialize_sessions(
+            [self._sessions[requests[index].query_id] for index in fresh]
         )
         half_epsilon = epsilon_allocation / 2.0
         # Validate the phase budget once per batch; the per-query noise draws
@@ -205,36 +371,50 @@ class DataProvider:
                 avg_proportion_sensitivity(self.cluster_size, dimensions, self.n_min),
                 half_epsilon,
             )
-            for dimensions in {query.num_dimensions for query in queries}
+            for dimensions in {queries[index].num_dimensions for index in fresh}
         }
-        # One bulk draw seeds every per-query child stream; numpy's bounded
-        # integer sampling consumes the bit stream per value, so a bulk draw
-        # of n seeds equals n consecutive single draws — which is what keeps
-        # batch and sequential execution on identical streams.
-        child_seeds = self._rng.integers(0, 2**63, size=len(requests))
         summaries: list[SummaryMessage] = []
-        for index, (request, query, covering_positions, proportions) in enumerate(
-            zip(requests, queries, positions_list, proportions_list)
-        ):
-            query_rng = np.random.default_rng(int(child_seeds[index]))
-            n_q = int(covering_positions.size)
-            proportions_sum = float(proportions.sum()) if n_q else 0.0
-            self._sessions[request.query_id] = _QuerySession(
-                query=query,
-                covering_positions=covering_positions,
-                proportions=proportions,
-                proportions_sum=proportions_sum,
-                rng=query_rng,
-            )
-            avg_r = proportions_sum / n_q if n_q else 0.0
-            summaries.append(
-                SummaryMessage(
-                    query_id=request.query_id,
-                    provider_id=self.provider_id,
-                    noisy_cluster_count=float(n_q) + float(query_rng.laplace(0.0, count_scale)),
-                    noisy_avg_proportion=avg_r
-                    + float(query_rng.laplace(0.0, avg_scales[query.num_dimensions])),
+        for index, (request, query) in enumerate(zip(requests, queries)):
+            session = self._sessions[request.query_id]
+            cached = cached_releases[index]
+            if cached is None and index in duplicate_of:
+                # Intra-batch alias: the source query (an earlier index)
+                # already released this summary within this loop.
+                source = summaries[duplicate_of[index]]
+                cached = (source.noisy_cluster_count, source.noisy_avg_proportion)
+            if cached is not None:
+                # Post-processing: re-serve the original release verbatim.
+                summaries.append(
+                    SummaryMessage(
+                        query_id=request.query_id,
+                        provider_id=self.provider_id,
+                        noisy_cluster_count=cached[0],
+                        noisy_avg_proportion=cached[1],
+                    )
                 )
+                continue
+            n_q = int(session.covering_positions.size)
+            avg_r = session.proportions_sum / n_q if n_q else 0.0
+            message = SummaryMessage(
+                query_id=request.query_id,
+                provider_id=self.provider_id,
+                noisy_cluster_count=float(n_q)
+                + float(session.rng.laplace(0.0, count_scale)),
+                noisy_avg_proportion=avg_r
+                + float(session.rng.laplace(0.0, avg_scales[query.num_dimensions])),
+            )
+            summaries.append(message)
+            if cache.enabled:
+                cache.put(
+                    keys[index],
+                    (message.noisy_cluster_count, message.noisy_avg_proportion),
+                    epoch=self._layout_epoch,
+                    epsilon=epsilon_allocation,
+                )
+        if reuse_out is not None:
+            reuse_out.extend(
+                cached_releases[index] is not None or index in duplicate_of
+                for index in range(len(requests))
             )
         return summaries
 
@@ -261,6 +441,7 @@ class DataProvider:
         budget: QueryBudget,
         *,
         use_smc: bool = False,
+        reuse_out: list[bool] | None = None,
     ) -> list[LocalAnswer]:
         """Answer a workload locally with vectorised sampling and evaluation.
 
@@ -271,12 +452,46 @@ class DataProvider:
         (query, needed-cluster) pairs are evaluated with one boolean-mask +
         segmented-reduction pass, and the Hansen-Hurwitz / smooth-sensitivity
         arithmetic of the whole batch runs flattened as well.
+
+        Parameters
+        ----------
+        allocations:
+            The granted sample sizes, aligned with the summary-phase
+            request order.
+        budget:
+            The per-phase budgets; a fresh answer spends ``eps_S`` (cluster
+            sampling) and ``eps_E`` (estimate release).
+        use_smc:
+            When true the returned estimates are un-noised (the aggregator
+            injects one noise after the oblivious sum); SMC answers are
+            never cached because the released value is not formed locally.
+        reuse_out:
+            Optional list the method appends one flag per allocation to:
+            True when the answer was served from the release cache (or
+            aliased to an identical release earlier in this batch) — no
+            budget spent, no cluster scanned — False when it was freshly
+            computed.
+
+        Returns
+        -------
+        list of LocalAnswer
+            One local answer per allocation, aligned with the input order.
+            A cache hit re-serves the original estimate message and report
+            byte-for-byte (only the transport ``query_id`` is rewritten).
         """
         if not allocations:
             return []
-        plans: list[_AnswerPlan] = []
-        approx_plans: list[_AnswerPlan] = []
-        for allocation in allocations:
+        cache = self.cache
+        use_cache = cache.enabled and not use_smc
+        results: list[LocalAnswer | None] = [None] * len(allocations)
+        hit_flags = [False] * len(allocations)
+        sessions: list[_QuerySession] = []
+        keys: list[tuple | None] = [None] * len(allocations)
+        # key -> (first fresh index, aliased later indices): duplicates of a
+        # release produced earlier in this very batch are reuse as well.
+        pending: dict[tuple, tuple[int, list[int]]] = {}
+        fresh: list[int] = []
+        for index, allocation in enumerate(allocations):
             if allocation.provider_id != self.provider_id:
                 raise ProtocolError(
                     f"provider {self.provider_id} received an allocation addressed "
@@ -288,20 +503,93 @@ class DataProvider:
                     f"provider {self.provider_id} received an allocation for unknown "
                     f"query {allocation.query_id}"
                 )
-            covering_positions = session.covering_positions
-            plan = _AnswerPlan(
-                allocation=allocation,
-                session=session,
-                exact=int(covering_positions.size) < self.n_min,
-                needed_positions=covering_positions,
+            sessions.append(session)
+            if use_cache:
+                key = answer_key(session.query, budget, allocation.sample_size)
+                keys[index] = key
+                cached = cache.get(key, epoch=self._layout_epoch)
+                if cached is not None:
+                    message, report = cached
+                    results[index] = LocalAnswer(
+                        message=replace(message, query_id=allocation.query_id),
+                        report=report,
+                    )
+                    hit_flags[index] = True
+                    continue
+                owner = pending.get(key)
+                if owner is not None:
+                    owner[1].append(index)
+                    hit_flags[index] = True
+                    continue
+                pending[key] = (index, [])
+            fresh.append(index)
+        if fresh:
+            self._materialize_sessions([sessions[index] for index in fresh])
+            plans: list[_AnswerPlan] = []
+            approx_plans: list[_AnswerPlan] = []
+            for index in fresh:
+                session = sessions[index]
+                plan = _AnswerPlan(
+                    allocation=allocations[index],
+                    session=session,
+                    exact=int(session.covering_positions.size) < self.n_min,
+                    needed_positions=session.covering_positions,
+                )
+                plans.append(plan)
+                if not plan.exact:
+                    approx_plans.append(plan)
+            if approx_plans:
+                self._select_clusters(approx_plans, budget.epsilon_sampling)
+            values_list = self._needed_values(plans)
+            answers = self._assemble_answers(plans, values_list, budget, use_smc)
+            for index, answer in zip(fresh, answers):
+                results[index] = answer
+                if use_cache:
+                    key = keys[index]
+                    cache.put(
+                        key,
+                        (answer.message, answer.report),
+                        epoch=self._layout_epoch,
+                        epsilon=budget.epsilon_sampling + budget.epsilon_estimation,
+                    )
+                    for aliased in pending[key][1]:
+                        results[aliased] = LocalAnswer(
+                            message=replace(
+                                answer.message,
+                                query_id=allocations[aliased].query_id,
+                            ),
+                            report=answer.report,
+                        )
+        if reuse_out is not None:
+            reuse_out.extend(hit_flags)
+        if any(result is None for result in results):
+            raise ProtocolError(
+                "internal error: a query of the batch produced no local answer"
             )
-            plans.append(plan)
-            if not plan.exact:
-                approx_plans.append(plan)
-        if approx_plans:
-            self._select_clusters(approx_plans, budget.epsilon_sampling)
-        values_list = self._needed_values(plans)
-        return self._assemble_answers(plans, values_list, budget, use_smc)
+        return results
+
+    def _materialize_sessions(self, sessions: Sequence[_QuerySession]) -> None:
+        """Fill the covering sets/proportions of lazily opened sessions.
+
+        The one vectorised metadata pass shared by both protocol steps: the
+        summary phase materialises its fresh (cache-missing) queries here,
+        and the answer phase calls it again for sessions whose summary was
+        a cache hit but whose answer needs a fresh release.
+        """
+        lazy = [session for session in sessions if session.covering_positions is None]
+        if not lazy:
+            return
+        ranges_list = [session.query.range_tuples() for session in lazy]
+        positions_list = self.metadata.covering_positions_batch(ranges_list)
+        proportions_list = self.metadata.proportions_at_positions_batch(
+            positions_list, ranges_list
+        )
+        for session, positions, proportions in zip(lazy, positions_list, proportions_list):
+            session.covering_positions = positions
+            session.proportions = proportions
+            session.proportions_sum = (
+                float(proportions.sum()) if positions.size else 0.0
+            )
 
     def _select_clusters(
         self, plans: Sequence[_AnswerPlan], epsilon_sampling: float

@@ -39,6 +39,37 @@ class Workload:
     def __iter__(self) -> Iterator[RangeQuery]:
         return iter(self.queries)
 
+    def repeated(
+        self, total: int, *, rng: RngLike = None, name: str | None = None
+    ) -> "Workload":
+        """Repeated-predicate workload: this workload's queries cycled to ``total``.
+
+        Models query locality — dashboards and monitoring traffic re-issue a
+        small pool of predicates over and over — which is the regime the
+        cross-query release cache (:mod:`repro.cache`) is built for.
+
+        Parameters
+        ----------
+        total:
+            Length of the returned workload; every unique query appears
+            ``total // len(self)`` or one more times (round-robin), so each
+            predicate is guaranteed at least once when ``total >= len(self)``.
+        rng:
+            Optional seed-like input; when given the repeated sequence is
+            shuffled, interleaving the repetitions like arrival order would.
+        name:
+            Optional name; defaults to ``"<name>-xN"``.
+        """
+        if total < 1:
+            raise WorkloadError(f"total must be >= 1, got {total}")
+        queries = [self.queries[index % len(self.queries)] for index in range(total)]
+        if rng is not None:
+            generator = ensure_rng(rng)
+            order = generator.permutation(total)
+            queries = [queries[int(position)] for position in order]
+        label = name or f"{self.name}-x{total}"
+        return Workload(name=label, queries=tuple(queries))
+
 
 @dataclass
 class WorkloadGenerator:

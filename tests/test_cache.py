@@ -1,0 +1,147 @@
+"""Unit tests for the release-cache store, keys, and policy.
+
+The store is exercised directly (no federation): LRU capacity, TTL by
+protocol round, layout-epoch staleness, epsilon-aware admission, stats
+accounting, and the non-mutating peek used by the reuse planner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.key import answer_key, query_fingerprint, summary_key
+from repro.cache.store import CacheStats, ReleaseCache
+from repro.config import CacheConfig
+from repro.core.accounting import QueryBudget
+from repro.errors import ConfigurationError
+from repro.query.model import RangeQuery
+
+
+def _cache(**kwargs) -> ReleaseCache:
+    return ReleaseCache(CacheConfig(enabled=True, **kwargs))
+
+
+BUDGET = QueryBudget(0.1, 0.1, 0.8, 1e-3)
+
+
+class TestKeys:
+    def test_fingerprint_is_predicate_order_independent(self):
+        first = RangeQuery.count({"age": (10, 20), "dept": (1, 3)})
+        second = RangeQuery.count({"dept": (1, 3), "age": (10, 20)})
+        assert query_fingerprint(first) == query_fingerprint(second)
+
+    def test_fingerprint_separates_aggregations_and_ranges(self):
+        count = RangeQuery.count({"age": (10, 20)})
+        assert query_fingerprint(count) != query_fingerprint(
+            RangeQuery.sum({"age": (10, 20)})
+        )
+        assert query_fingerprint(count) != query_fingerprint(
+            RangeQuery.count({"age": (10, 21)})
+        )
+
+    def test_summary_key_is_epsilon_aware(self):
+        query = RangeQuery.count({"age": (10, 20)})
+        assert summary_key(query, 0.1) != summary_key(query, 0.2)
+        assert summary_key(query, 0.1) == summary_key(query, 0.1)
+
+    def test_answer_key_includes_sample_size_and_budget(self):
+        query = RangeQuery.count({"age": (10, 20)})
+        assert answer_key(query, BUDGET, 3) != answer_key(query, BUDGET, 4)
+        other = QueryBudget(0.1, 0.2, 0.7, 1e-3)
+        assert answer_key(query, BUDGET, 3) != answer_key(query, other, 3)
+
+
+class TestReleaseCacheStore:
+    def test_disabled_cache_is_a_no_op(self):
+        cache = ReleaseCache(CacheConfig(enabled=False))
+        cache.put("k", "v", epoch=0, epsilon=1.0)
+        assert cache.get("k", epoch=0) is None
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_hit_returns_stored_value(self):
+        cache = _cache()
+        cache.put("k", ("release",), epoch=0, epsilon=1.0)
+        assert cache.get("k", epoch=0) == ("release",)
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 1.0
+
+    def test_lru_eviction_beyond_capacity(self):
+        cache = _cache(max_entries=2)
+        cache.put("a", 1, epoch=0, epsilon=1.0)
+        cache.put("b", 2, epoch=0, epsilon=1.0)
+        assert cache.get("a", epoch=0) == 1  # refresh "a": "b" is now LRU
+        cache.put("c", 3, epoch=0, epsilon=1.0)
+        assert cache.get("b", epoch=0) is None
+        assert cache.get("a", epoch=0) == 1
+        assert cache.get("c", epoch=0) == 3
+        assert cache.stats.evicted_capacity == 1
+
+    def test_stale_epoch_evicts_and_misses(self):
+        cache = _cache()
+        cache.put("k", 1, epoch=0, epsilon=1.0)
+        assert cache.get("k", epoch=1) is None
+        assert cache.stats.evicted_stale == 1
+        # The stale entry is gone even for its original epoch.
+        assert cache.get("k", epoch=0) is None
+
+    def test_purge_stale_drops_old_epochs_eagerly(self):
+        cache = _cache()
+        cache.put("a", 1, epoch=0, epsilon=1.0)
+        cache.put("b", 2, epoch=1, epsilon=1.0)
+        assert cache.purge_stale(1) == 1
+        assert len(cache) == 1
+        assert cache.get("b", epoch=1) == 2
+
+    def test_ttl_expires_after_configured_rounds(self):
+        cache = _cache(ttl_rounds=2)
+        cache.advance_round()
+        cache.put("k", 1, epoch=0, epsilon=1.0)
+        cache.advance_round()
+        assert cache.get("k", epoch=0) == 1  # age 1 < 2
+        cache.advance_round()
+        assert cache.get("k", epoch=0) is None  # age 2 >= 2
+        assert cache.stats.evicted_expired == 1
+
+    def test_epsilon_admission_floor(self):
+        cache = _cache(min_epsilon=0.5)
+        cache.put("low", 1, epoch=0, epsilon=0.4)
+        cache.put("high", 2, epoch=0, epsilon=0.5)
+        assert cache.get("low", epoch=0) is None
+        assert cache.get("high", epoch=0) == 2
+        assert cache.stats.rejected == 1
+
+    def test_peek_does_not_mutate_or_count(self):
+        cache = _cache(ttl_rounds=1)
+        cache.put("k", 1, epoch=0, epsilon=1.0)
+        assert cache.peek("k", epoch=0) == 1
+        # One round ahead the entry will have expired — peek predicts that
+        # without evicting it.
+        assert cache.peek("k", epoch=0, rounds_ahead=1) is None
+        assert len(cache) == 1
+        assert cache.stats.lookups == 0
+
+    def test_clear_preserves_stats(self):
+        cache = _cache()
+        cache.put("k", 1, epoch=0, epsilon=1.0)
+        assert cache.get("k", epoch=0) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_stats_merge(self):
+        first = CacheStats(lookups=2, hits=1, misses=1)
+        second = CacheStats(lookups=3, hits=3, insertions=4)
+        merged = CacheStats.merged([first, second])
+        assert merged.lookups == 5
+        assert merged.hits == 4
+        assert merged.insertions == 4
+        assert merged.hit_rate == pytest.approx(4 / 5)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(ttl_rounds=0)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(min_epsilon=-0.1)

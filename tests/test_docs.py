@@ -1,0 +1,55 @@
+"""Documentation guards, mirroring the CI docs job locally.
+
+* every intra-repo markdown link must resolve (``tools/check_markdown_links.py``),
+* every ``>>>`` example in README and docs/ must run and produce its shown
+  output (``python -m doctest`` semantics, default flags).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOCTESTED_PAGES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "protocol.md",
+]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_markdown_links", REPO_ROOT / "tools" / "check_markdown_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_markdown_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_intra_repo_markdown_links_resolve():
+    checker = _load_checker()
+    broken = checker.check_links(REPO_ROOT)
+    assert broken == [], "broken intra-repo markdown links:\n" + "\n".join(broken)
+
+
+def test_docs_pages_exist():
+    for page in DOCTESTED_PAGES:
+        assert page.exists(), f"missing documentation page: {page}"
+
+
+@pytest.mark.parametrize("page", DOCTESTED_PAGES, ids=lambda p: p.name)
+def test_doc_code_blocks_run(page):
+    # Same semantics as CI's `python -m doctest <page>`: default flags, the
+    # file treated as text, examples sharing one namespace per file.
+    failures, attempted = doctest.testfile(
+        str(page), module_relative=False, verbose=False
+    )
+    assert attempted > 0, f"{page.name} has no doctested examples"
+    assert failures == 0, f"{failures} doctest failure(s) in {page.name}"

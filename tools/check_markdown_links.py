@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for inline links ``[text](target)`` and
+reference definitions ``[label]: target``, resolves relative targets against
+the linking file (targets starting with ``/`` resolve against the repo
+root), and reports targets that do not exist on disk.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are out of
+scope — this guard is about the repo's own files moving or being renamed.
+
+Used by the CI docs job and mirrored by ``tests/test_docs.py``:
+
+    python tools/check_markdown_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline [text](target) — target ends at the first closing paren or space
+# (markdown titles like [t](x "title") carry a space before the title).
+_INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "node_modules", ".venv"}
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks: links inside code samples are not links."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _targets(text: str) -> list[str]:
+    stripped = _strip_code_blocks(text)
+    return _INLINE.findall(stripped) + _REFERENCE.findall(stripped)
+
+
+def check_links(root: Path) -> list[str]:
+    """Return a list of ``file: target`` strings for every broken link."""
+    broken: list[str] = []
+    for markdown in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in markdown.parts):
+            continue
+        for target in _targets(markdown.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = markdown.parent / path_part
+            if not resolved.exists():
+                broken.append(f"{markdown.relative_to(root)}: {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    broken = check_links(root)
+    if broken:
+        print(f"{len(broken)} broken intra-repo markdown link(s):")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
