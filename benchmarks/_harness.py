@@ -1,0 +1,72 @@
+"""Shared recorder for the ``BENCH_*.json`` trajectory files.
+
+Every benchmark that records machine-readable numbers appends entries to
+``benchmarks/results/BENCH_<name>.json`` through :func:`record_bench`, so
+the files share one schema and stay comparable across commits::
+
+    {
+      "bench": "<name>",
+      "schema_version": 1,
+      "entries": [
+        {
+          "timestamp": "...",            # UTC, seconds precision
+          "machine": {"python": ..., "platform": ..., "machine": ..., "cpus": ...},
+          "params": {...},               # workload shape: sizes, counts, seeds
+          "metrics": {...}               # measured numbers: seconds, qps, speedups
+        },
+        ...
+      ]
+    }
+
+The files are git-tracked on purpose: committing the updated history
+alongside a change is what builds the trajectory, so a dirty tree after a
+bench run is expected.  Entries written by pre-harness revisions of a file
+are preserved verbatim (they lack the ``params`` / ``metrics`` nesting).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCHEMA_VERSION = 1
+
+
+def machine_info() -> dict[str, Any]:
+    """The environment fingerprint attached to every entry."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def record_bench(
+    name: str,
+    *,
+    params: Mapping[str, Any],
+    metrics: Mapping[str, Any],
+) -> dict[str, Any]:
+    """Append one entry to ``results/BENCH_<name>.json`` and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    history: dict[str, Any] = {"bench": name, "entries": []}
+    if path.exists():
+        history = json.loads(path.read_text())
+    history["schema_version"] = SCHEMA_VERSION
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_info(),
+        "params": dict(params),
+        "metrics": dict(metrics),
+    }
+    history.setdefault("entries", []).append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return entry

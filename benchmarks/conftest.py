@@ -24,10 +24,23 @@ import pytest
 from repro.experiments.scenarios import adult_scenario, amazon_scenario
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_DIR = Path(__file__).parent
 
 ADULT_ROWS = int(os.environ.get("REPRO_BENCH_ADULT_ROWS", "200000"))
 AMAZON_ROWS = int(os.environ.get("REPRO_BENCH_AMAZON_ROWS", "400000"))
 QUERIES_PER_POINT = int(os.environ.get("REPRO_BENCH_QUERIES_PER_POINT", "6"))
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every test collected from this directory as ``bench``.
+
+    The marker lets the CI ``bench-smoke`` job select exactly the benchmark
+    suite (``-m bench``) and run it at tiny, timing-gate-free sizes so the
+    kernels stay exercised on every push without timing noise.
+    """
+    for item in items:
+        if Path(item.fspath).parent == BENCH_DIR:
+            item.add_marker(pytest.mark.bench)
 
 
 def _write_result(name: str, text: str) -> None:

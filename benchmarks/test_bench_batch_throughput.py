@@ -6,26 +6,20 @@ sequential per-query loop (``system.execute`` per query) and once as a single
 batch path must be at least 2x faster; its results are also checked to be
 bit-identical to the sequential loop under the same seed.
 
-Each run appends an entry to ``results/BENCH_batch_throughput.json`` so the
-performance trajectory across commits can be tracked.  The file is
-git-tracked on purpose: committing the updated history alongside a change is
-what builds the trajectory, so a dirty tree after a bench run is expected.
+Each run appends an entry to ``results/BENCH_batch_throughput.json`` through
+the shared harness (see :mod:`_harness` for the schema) so the performance
+trajectory across commits can be tracked.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import time
-from datetime import datetime, timezone
-from pathlib import Path
+
+from _harness import record_bench
 
 from repro.experiments.scenarios import adult_scenario
 from repro.query.model import Aggregation
-
-RESULTS_DIR = Path(__file__).parent / "results"
-BENCH_JSON = RESULTS_DIR / "BENCH_batch_throughput.json"
 
 NUM_QUERIES = 16
 NUM_ROWS = 100_000
@@ -45,15 +39,6 @@ def _workload(scenario):
     return list(
         generator.generate(NUM_QUERIES, 3, Aggregation.COUNT, accept_batch=accept_batch)
     )
-
-
-def _record(entry: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    history = {"bench": "batch_throughput", "entries": []}
-    if BENCH_JSON.exists():
-        history = json.loads(BENCH_JSON.read_text())
-    history["entries"].append(entry)
-    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def test_batch_throughput_vs_sequential(benchmark):
@@ -94,18 +79,19 @@ def test_batch_throughput_vs_sequential(benchmark):
     batch_qps = NUM_QUERIES / best_batch
     speedup = batch_qps / sequential_qps
 
-    _record(
-        {
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    record_bench(
+        "batch_throughput",
+        params={
             "num_queries": NUM_QUERIES,
             "federation_rows": NUM_ROWS,
             "num_providers": system.num_providers,
+            "reps": REPS,
+        },
+        metrics={
             "sequential_qps": round(sequential_qps, 1),
             "batch_qps": round(batch_qps, 1),
             "speedup": round(speedup, 2),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        }
+        },
     )
     print(
         f"\nbatch throughput: {batch_qps:.0f} q/s vs sequential {sequential_qps:.0f} q/s "

@@ -13,18 +13,16 @@ cache off and on — and records both axes of the win:
 Correctness gate: the cache-off run is asserted bit-identical to the plain
 batch engine (the PR-1 path) under the same seed before anything is timed.
 
-Each run appends an entry to ``results/BENCH_cache_hit_rate.json`` so the
-reuse trajectory across commits can be tracked; the file is git-tracked on
-purpose, so a dirty tree after a bench run is expected.
+Each run appends an entry to ``results/BENCH_cache_hit_rate.json`` through
+the shared harness (see :mod:`_harness` for the schema) so the reuse
+trajectory across commits can be tracked.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import platform
-from datetime import datetime, timezone
-from pathlib import Path
+
+from _harness import record_bench
 
 from repro.config import CacheConfig
 from repro.experiments.scenarios import adult_scenario
@@ -32,9 +30,6 @@ from repro.experiments.workload_locality import (
     format_locality_table,
     run_workload_locality,
 )
-
-RESULTS_DIR = Path(__file__).parent / "results"
-BENCH_JSON = RESULTS_DIR / "BENCH_cache_hit_rate.json"
 
 NUM_ROWS = 100_000
 NUM_UNIQUE = 8
@@ -48,15 +43,6 @@ MIN_SPEEDUP = float(
         os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"),
     )
 )
-
-
-def _record(entry: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    history = {"bench": "cache_hit_rate", "entries": []}
-    if BENCH_JSON.exists():
-        history = json.loads(BENCH_JSON.read_text())
-    history["entries"].append(entry)
-    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def test_cache_hit_rate_and_budget_savings(benchmark, write_result):
@@ -98,21 +84,21 @@ def test_cache_hit_rate_and_budget_savings(benchmark, write_result):
         f"{result.warm_speedup:.2f}x"
     )
 
-    _record(
-        {
-            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    record_bench(
+        "cache_hit_rate",
+        params={
             "federation_rows": NUM_ROWS,
             "num_unique": NUM_UNIQUE,
             "num_queries": result.num_queries,
             "rounds": ROUNDS,
+        },
+        metrics={
             "warm_speedup": round(result.warm_speedup, 2),
             "warm_answer_hit_rate": round(result.warm_answer_hit_rate, 3),
             "epsilon_charged_off": round(result.epsilon_charged_off, 3),
             "epsilon_charged_on": round(result.epsilon_charged_on, 3),
             "epsilon_saved": round(result.epsilon_saved, 3),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        }
+        },
     )
 
     # Steady-state hot-loop measurement: a fully warmed cache-on batch.

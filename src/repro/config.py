@@ -27,12 +27,15 @@ __all__ = [
     "NetworkConfig",
     "SMCConfig",
     "ParallelismConfig",
+    "ExecutionConfig",
     "CacheConfig",
     "SystemConfig",
     "DEFAULT_PRIVACY",
     "DEFAULT_SAMPLING",
     "DEFAULT_NETWORK",
     "DEFAULT_SMC",
+    "DEFAULT_EXECUTION",
+    "DENSE_EXECUTION",
     "DEFAULT_CACHE",
     "DEFAULT_SYSTEM",
 ]
@@ -219,13 +222,31 @@ class ParallelismConfig:
     """Aggregator-side fan-out across providers during batch execution.
 
     When enabled, the aggregator dispatches the per-provider batch phases
-    (summary preparation and local answering) to a thread pool.  Each provider
+    (summary preparation and local answering) to a worker pool.  Each provider
     owns its own RNG derivation tree, so results are bit-identical with and
     without parallelism; only wall-clock changes.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; disabled means strictly sequential fan-out.
+    max_workers:
+        Pool size cap (``None`` means one worker per provider).
+    backend:
+        ``"thread"`` (default) runs the per-provider phases on a thread
+        pool inside the aggregator process — cheap, but mask/reduction
+        kernels still contend for the GIL between numpy calls.
+        ``"process"`` hosts each provider in a persistent worker process:
+        the provider's column buffers are exported once into
+        :mod:`multiprocessing.shared_memory` and only the compact protocol
+        messages cross process boundaries per batch, so multi-provider
+        federations scale past the GIL.  Both backends are bit-identical
+        to sequential execution under the same seed.
     """
 
     enabled: bool = False
     max_workers: int | None = None
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.max_workers is not None:
@@ -233,12 +254,67 @@ class ParallelismConfig:
                 self.max_workers >= 1,
                 f"max_workers must be >= 1, got {self.max_workers}",
             )
+        _require(
+            self.backend in ("thread", "process"),
+            f'backend must be "thread" or "process", got {self.backend!r}',
+        )
 
     def resolve_workers(self, num_providers: int) -> int:
         """Number of pool workers to use for ``num_providers`` providers."""
         if self.max_workers is None:
             return max(1, num_providers)
         return max(1, min(self.max_workers, num_providers))
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Kernel-level policy of the exact execution engine.
+
+    Controls how the vectorised ``Q(C)`` kernels of
+    :class:`~repro.storage.layout.ClusterLayout` evaluate a batch.  Every
+    combination of switches returns bit-identical values (integer sums are
+    exact under reordering); the knobs trade work and peak memory only.
+
+    Attributes
+    ----------
+    prune:
+        Intersect query bounds with the per-cluster zone maps first: clusters
+        that cannot overlap a query are skipped outright and clusters fully
+        inside a query's box short-circuit to their precomputed segment sum —
+        no row is touched in either case.  Only straddling (partially
+        overlapping) clusters fall back to row evaluation.
+    sorted_bisect:
+        For clusters whose rows are sorted on a dimension and whose only
+        straddling dimension is that one, answer with two binary searches
+        over the sorted column plus a measure prefix-sum difference —
+        ``O(log rows)`` instead of a row scan.
+    max_kernel_bytes:
+        Peak-temporary budget of the row-evaluation kernels.  Batches whose
+        dense intermediates would exceed it are evaluated tile by tile
+        (query blocks × segment-aligned row chunks).  ``None`` disables
+        tiling.  A single (query, cluster) pair is never split, so the hard
+        peak is ``max(max_kernel_bytes, bytes_per_row * largest_cluster)``.
+    """
+
+    prune: bool = True
+    sorted_bisect: bool = True
+    max_kernel_bytes: int | None = 64 * 2**20
+
+    def __post_init__(self) -> None:
+        if self.max_kernel_bytes is not None:
+            _require(
+                self.max_kernel_bytes >= 4096,
+                f"max_kernel_bytes must be >= 4096, got {self.max_kernel_bytes}",
+            )
+
+    @classmethod
+    def dense(cls) -> "ExecutionConfig":
+        """The reference engine: dense evaluation, no pruning, no tiling."""
+        return cls(prune=False, sorted_bisect=False, max_kernel_bytes=None)
+
+    def with_max_kernel_bytes(self, max_kernel_bytes: int | None) -> "ExecutionConfig":
+        """Return a copy with a different kernel memory budget."""
+        return replace(self, max_kernel_bytes=max_kernel_bytes)
 
 
 @dataclass(frozen=True)
@@ -302,6 +378,7 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     smc: SMCConfig = field(default_factory=SMCConfig)
     parallelism: ParallelismConfig = field(default_factory=ParallelismConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     use_smc_for_result: bool = False
     seed: int | None = None
@@ -324,10 +401,20 @@ class SystemConfig:
         """Return a copy with a different summary-cache policy."""
         return replace(self, cache=cache)
 
+    def with_execution(self, execution: ExecutionConfig) -> "SystemConfig":
+        """Return a copy with a different kernel execution policy."""
+        return replace(self, execution=execution)
+
+    def with_parallelism(self, parallelism: ParallelismConfig) -> "SystemConfig":
+        """Return a copy with a different provider fan-out policy."""
+        return replace(self, parallelism=parallelism)
+
 
 DEFAULT_PRIVACY = PrivacyConfig()
 DEFAULT_SAMPLING = SamplingConfig()
 DEFAULT_NETWORK = NetworkConfig()
 DEFAULT_SMC = SMCConfig()
+DEFAULT_EXECUTION = ExecutionConfig()
+DENSE_EXECUTION = ExecutionConfig.dense()
 DEFAULT_CACHE = CacheConfig()
 DEFAULT_SYSTEM = SystemConfig()

@@ -84,6 +84,7 @@ class FederatedAQPSystem:
         total_delta: float = 1.0,
         clustering_policy: str = "sequential",
         sort_by: str | None = None,
+        intra_sort_by: str | None = None,
     ) -> "FederatedAQPSystem":
         """Build a system with one provider per partition table.
 
@@ -100,7 +101,7 @@ class FederatedAQPSystem:
         total_epsilon, total_delta:
             When ``total_epsilon`` is given, an end-user budget ``(xi, psi)``
             is installed and every executed query is charged against it.
-        clustering_policy, sort_by:
+        clustering_policy, sort_by, intra_sort_by:
             Forwarded to each :class:`~repro.federation.provider.DataProvider`.
 
         Returns
@@ -119,7 +120,9 @@ class FederatedAQPSystem:
                 n_min=threshold,
                 clustering_policy=clustering_policy,
                 sort_by=sort_by,
+                intra_sort_by=intra_sort_by,
                 cache_config=cfg.cache,
+                execution_config=cfg.execution,
                 rng=derive_rng(cfg.seed, "provider", index),
             )
             for index, partition in enumerate(partitions)
@@ -143,6 +146,24 @@ class FederatedAQPSystem:
             table, cfg.num_providers, rng=derive_rng(cfg.seed, "partition")
         )
         return cls.from_partitions(partitions, config=cfg, **kwargs)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release process-backend workers and shared memory (idempotent).
+
+        Only needed when :class:`~repro.config.ParallelismConfig` uses the
+        ``"process"`` backend; a no-op otherwise.  The system remains usable
+        after ``close()`` — the next process-backed batch simply rebuilds
+        the worker pool.
+        """
+        self.aggregator.close()
+
+    def __enter__(self) -> "FederatedAQPSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- query execution -------------------------------------------------------
 

@@ -45,6 +45,9 @@ def run_dimension_analysis(
     """Run the sweep and return one point per (aggregation, n)."""
     rate = scenario.default_sampling_rate if sampling_rate is None else sampling_rate
     accept_batch = scenario.batch_acceptance_predicate(min_selectivity=min_selectivity)
+    # One fresh federation per sweep: the sweep's draws depend only on the
+    # scenario seed, not on what ran against the shared system before.
+    system = scenario.fresh_system()
     points: list[DimensionPoint] = []
     for aggregation in aggregations:
         for n in dimension_counts:
@@ -53,7 +56,7 @@ def run_dimension_analysis(
                 queries_per_point, n, aggregation, accept_batch=accept_batch
             )
             stats = evaluate_workload(
-                scenario.system, list(workload), sampling_rate=rate
+                system, list(workload), sampling_rate=rate
             )
             points.append(
                 DimensionPoint(

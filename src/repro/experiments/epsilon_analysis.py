@@ -47,6 +47,9 @@ def run_epsilon_analysis(
     """Run the sweep and return one point per (aggregation, epsilon)."""
     rate = scenario.default_sampling_rate if sampling_rate is None else sampling_rate
     accept_batch = scenario.batch_acceptance_predicate(min_selectivity=min_selectivity)
+    # One fresh federation per sweep: the sweep's draws depend only on the
+    # scenario seed, not on what ran against the shared system before.
+    system = scenario.fresh_system()
     points: list[EpsilonPoint] = []
     for aggregation in aggregations:
         generator = scenario.workload_generator(seed=seed)
@@ -55,7 +58,7 @@ def run_epsilon_analysis(
         )
         for epsilon in epsilons:
             stats = evaluate_workload(
-                scenario.system,
+                system,
                 list(workload),
                 sampling_rate=rate,
                 epsilon=epsilon,

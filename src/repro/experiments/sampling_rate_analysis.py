@@ -48,6 +48,9 @@ def run_sampling_rate_analysis(
 ) -> list[SamplingRatePoint]:
     """Run the sweep and return one point per (aggregation, sr)."""
     accept_batch = scenario.batch_acceptance_predicate(min_selectivity=min_selectivity)
+    # One fresh federation per sweep: the sweep's draws depend only on the
+    # scenario seed, not on what ran against the shared system before.
+    system = scenario.fresh_system()
     points: list[SamplingRatePoint] = []
     for aggregation in aggregations:
         generator = scenario.workload_generator(seed=seed)
@@ -56,7 +59,7 @@ def run_sampling_rate_analysis(
         )
         for rate in sampling_rates:
             stats = evaluate_workload(
-                scenario.system, list(workload), sampling_rate=rate
+                system, list(workload), sampling_rate=rate
             )
             points.append(
                 SamplingRatePoint(

@@ -15,7 +15,9 @@ from ..config import PrivacyConfig, SamplingConfig, SystemConfig
 from ..core.system import FederatedAQPSystem
 from ..datasets.adult import ADULT_TENSOR_DIMENSIONS, AdultSyntheticGenerator
 from ..datasets.amazon import AMAZON_TENSOR_DIMENSIONS, AmazonReviewSyntheticGenerator
+from ..federation.provider import DataProvider
 from ..storage.table import Table
+from ..utils.rng import derive_rng
 from ..workloads.generator import WorkloadGenerator
 
 __all__ = ["DatasetScenario", "adult_scenario", "amazon_scenario", "build_system"]
@@ -30,6 +32,39 @@ class DatasetScenario:
     system: FederatedAQPSystem
     queryable_dimensions: tuple[str, ...]
     default_sampling_rate: float
+
+    def fresh_system(self) -> FederatedAQPSystem:
+        """A new, identically-seeded federation over this scenario's data.
+
+        The shared :attr:`system` accumulates RNG history from everything
+        executed against it — including variable-round benchmark loops — so
+        analyses that run on it are not reproducible across processes.  The
+        experiment runners execute on a fresh system instead, making their
+        draw sequences a function of the scenario seed alone.
+
+        Providers are rebuilt from the existing providers' own partitions
+        and settings (clustering policy, sort keys, ``n_min``, cache and
+        execution configs), so the fresh federation matches
+        :attr:`system` exactly even for scenarios built with non-default
+        provider options.
+        """
+        config = self.system.config
+        providers = [
+            DataProvider(
+                provider_id=provider.provider_id,
+                table=provider.table,
+                cluster_size=provider.cluster_size,
+                n_min=provider.n_min,
+                clustering_policy=provider.clustering_policy,
+                sort_by=provider.sort_by,
+                intra_sort_by=provider.intra_sort_by,
+                cache_config=provider.cache_config,
+                execution_config=provider.execution_config,
+                rng=derive_rng(config.seed, "provider", index),
+            )
+            for index, provider in enumerate(self.system.providers)
+        ]
+        return FederatedAQPSystem(providers=providers, config=config, rng=config.seed)
 
     def workload_generator(self, seed: int = 0) -> WorkloadGenerator:
         """A workload generator over this scenario's queryable dimensions."""

@@ -10,9 +10,14 @@ single Laplace noise calibrated with the maximum smooth sensitivity).
 :meth:`Aggregator.execute_batch` amortises the summary / allocation /
 estimate phases across a whole workload: each provider is contacted once per
 phase with every query of the batch, and the per-provider work can optionally
-fan out to a thread pool (:class:`~repro.config.ParallelismConfig`).  The
-single-query :meth:`execute_query` is a batch of one, so both paths share one
-implementation and produce bit-identical results for the same seed.
+fan out to a thread pool or to persistent per-provider worker processes over
+shared-memory column buffers (:class:`~repro.config.ParallelismConfig`; see
+:mod:`repro.federation.procpool` for the process backend).  The single-query
+:meth:`execute_query` is a batch of one, so both paths share one
+implementation and produce bit-identical results for the same seed.  An
+aggregator using the process backend owns worker processes and shared
+blocks — release them with :meth:`Aggregator.close` (or use the aggregator
+as a context manager).
 
 When the providers' release caches are enabled
 (:class:`~repro.config.CacheConfig`), the aggregator additionally tracks
@@ -41,6 +46,7 @@ from ..utils.rng import RngLike, derive_rng
 from ..utils.timing import Stopwatch
 from .messages import AllocationMessage, EstimateMessage, QueryRequest, SummaryMessage
 from .network import SimulatedNetwork
+from .procpool import ProviderProcessPool
 from .provider import DataProvider, LocalAnswer
 from .smc import SMCSimulator
 
@@ -104,6 +110,44 @@ class Aggregator:
             raise ProtocolError("an aggregator needs at least one provider")
         self._rng = derive_rng(self.rng, "aggregator")
         self._next_query_id = 0
+        self._process_pool: ProviderProcessPool | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the process-backend workers and shared blocks (idempotent).
+
+        A no-op for the sequential and thread backends; safe to call always.
+        """
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
+
+    def __enter__(self) -> "Aggregator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def _use_process_backend(self) -> bool:
+        parallelism = self.config.parallelism
+        return parallelism.enabled and parallelism.backend == "process"
+
+    def _ensure_process_pool(self) -> ProviderProcessPool:
+        if self._process_pool is not None and self._process_pool.layout_epochs != tuple(
+            provider.layout_epoch for provider in self.providers
+        ):
+            # A provider re-clustered since the workers snapshotted their
+            # layouts; rebuild the pool so workers can never serve releases
+            # of a layout that no longer exists.
+            self._process_pool.close()
+            self._process_pool = None
+        if self._process_pool is None:
+            self._process_pool = ProviderProcessPool(
+                self.providers, self.config.parallelism
+            )
+        return self._process_pool
 
     # -- public API -------------------------------------------------------------
 
@@ -175,9 +219,20 @@ class Aggregator:
                 ]
         finally:
             # Providers must never accumulate per-query state, even when a
-            # phase fails between summary and answer.
+            # phase fails between summary and answer.  With the process
+            # backend the sessions live in the workers, so the release is
+            # routed there too (the parent call is then a cheap no-op).
+            query_ids = [request.query_id for request in requests]
             for provider in self.providers:
-                provider.forget_batch([request.query_id for request in requests])
+                provider.forget_batch(query_ids)
+            if self._process_pool is not None:
+                try:
+                    self._process_pool.forget_batch(query_ids)
+                except ProtocolError:
+                    # A dead or torn-down pool holds no sessions to leak;
+                    # don't let the cleanup mask the phase's own exception.
+                    self._process_pool.close()
+                    self._process_pool = None
 
         phase_seconds = stopwatch.as_dict()
         clusters_available = sum(provider.num_clusters for provider in self.providers)
@@ -347,7 +402,12 @@ class Aggregator:
             )
             return messages, reuse
 
-        outcomes = self._map_providers(collect)
+        if self._use_process_backend:
+            outcomes = self._ensure_process_pool().summary_batch(
+                requests, budget.epsilon_allocation
+            )
+        else:
+            outcomes = self._map_providers(collect)
         summaries = [messages for messages, _ in outcomes]
         reuse_flags = [reuse for _, reuse in outcomes]
         for provider_summaries in summaries:
@@ -420,7 +480,12 @@ class Aggregator:
             )
             return local_answers, reuse
 
-        outcomes = self._map_providers(collect)
+        if self._use_process_backend:
+            outcomes = self._ensure_process_pool().answer_batch(
+                allocations, budget, use_smc
+            )
+        else:
+            outcomes = self._map_providers(collect)
         answers = [local_answers for local_answers, _ in outcomes]
         reuse_flags = [reuse for _, reuse in outcomes]
         for provider_answers in answers:

@@ -1,0 +1,364 @@
+"""Process-parallel provider fan-out over shared-memory column buffers.
+
+The thread backend of :class:`~repro.config.ParallelismConfig` overlaps the
+per-provider batch phases inside one process; numpy releases the GIL inside
+its kernels but the Python glue between them still serialises, which caps
+multi-provider scaling.  The ``"process"`` backend lifts that ceiling by
+hosting each provider in a persistent worker process:
+
+* at pool construction every provider's **table columns are exported once**
+  into :mod:`multiprocessing.shared_memory` blocks.  The worker attaches the
+  same blocks and rebuilds its clustered table, metadata, and layout from
+  them — the raw rows are never pickled and exist once in memory;
+* per batch, only the compact protocol messages (requests, allocations,
+  summaries, estimates) cross the process boundary, so the fan-out is
+  zero-copy with respect to the data;
+* each worker's provider draws from the same RNG stream the in-process
+  provider would have drawn from (the parent's generator state is shipped at
+  construction and synchronised back after every stateful call), so
+  process-parallel execution is **bit-identical** to sequential and thread
+  execution under the same seed.
+
+Per-query protocol state (the summary→answer sessions) lives in the worker,
+which is why all stateful provider calls — summaries, answers, forgets —
+must route through the pool while it is active; the parent provider objects
+stay valid for stateless reads (exact baselines, metadata sizes).  Release
+caches likewise live worker-side: hits still happen and reuse flags (and
+therefore per-query charges) are reported, but the parent-side
+:meth:`cache.stats` of a process-backed federation stays empty and the
+:class:`~repro.cache.planner.ReusePlanner`'s pre-execution admission bound
+cannot see worker-side entries — it stays at the (sound, conservative)
+full price, so a nearly exhausted budget may refuse a batch the thread
+backend would have admitted as fully cached.
+
+The pool must be closed (:meth:`ProviderProcessPool.close`, or via the
+owning aggregator/system ``close()`` / context manager) to terminate the
+workers and unlink the shared-memory blocks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+__all__ = ["ProviderProcessPool"]
+
+
+@dataclass(frozen=True)
+class _ColumnSpec:
+    """One shared-memory-backed table column."""
+
+    name: str
+    shm_name: str
+    dtype: str
+    length: int
+
+
+@dataclass(frozen=True)
+class _ProviderSpec:
+    """Everything a worker needs to rebuild one provider, minus the rows."""
+
+    provider_id: str
+    cluster_size: int
+    n_min: int
+    clustering_policy: str
+    sort_by: str | None
+    intra_sort_by: str | None
+    cache_config: object
+    execution_config: object
+    schema: object
+    columns: tuple[_ColumnSpec, ...]
+    rng_state: dict
+
+
+def _export_table(table) -> tuple[tuple[_ColumnSpec, ...], list[shared_memory.SharedMemory]]:
+    """Copy a table's columns into fresh shared-memory blocks (parent side)."""
+    specs: list[_ColumnSpec] = []
+    blocks: list[shared_memory.SharedMemory] = []
+    for name in table.schema.column_names:
+        array = table.column(name)
+        block = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[:] = array
+        specs.append(
+            _ColumnSpec(
+                name=name,
+                shm_name=block.name,
+                dtype=array.dtype.str,
+                length=int(array.size),
+            )
+        )
+        blocks.append(block)
+    return tuple(specs), blocks
+
+
+def _attach_table(schema, specs: Sequence[_ColumnSpec]):
+    """Rebuild a table over the parent's shared blocks (worker side)."""
+    from ..storage.table import Table
+
+    blocks: list[shared_memory.SharedMemory] = []
+    columns: dict[str, np.ndarray] = {}
+    for spec in specs:
+        # Attaching re-registers the name with the (shared) resource
+        # tracker; registration is a set-add, and only the creating parent
+        # unregisters at unlink time, so the bookkeeping stays balanced.
+        block = shared_memory.SharedMemory(name=spec.shm_name)
+        blocks.append(block)
+        columns[spec.name] = np.ndarray(
+            (spec.length,), dtype=np.dtype(spec.dtype), buffer=block.buf
+        )
+    # Table normalisation keeps already-contiguous int64 arrays as-is, so the
+    # columns remain views over the shared blocks — no copy.
+    return Table(schema, columns), blocks
+
+
+def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
+    """Worker loop: host the assigned providers, serve phase calls over the pipe."""
+    from .provider import DataProvider
+
+    blocks: list[shared_memory.SharedMemory] = []
+    providers: dict[str, DataProvider] = {}
+    try:
+        for spec in provider_specs:
+            table, table_blocks = _attach_table(spec.schema, spec.columns)
+            blocks.extend(table_blocks)
+            provider = DataProvider(
+                provider_id=spec.provider_id,
+                table=table,
+                cluster_size=spec.cluster_size,
+                n_min=spec.n_min,
+                clustering_policy=spec.clustering_policy,
+                sort_by=spec.sort_by,
+                intra_sort_by=spec.intra_sort_by,
+                cache_config=spec.cache_config,
+                execution_config=spec.execution_config,
+                rng=0,
+            )
+            # Adopt the parent provider's exact stream position so the worker
+            # draws precisely what the in-process provider would have drawn.
+            provider._rng.bit_generator.state = spec.rng_state
+            providers[spec.provider_id] = provider
+        conn.send(("ready", None))
+        while True:
+            command = conn.recv()
+            method = command[0]
+            if method == "close":
+                break
+            try:
+                provider = providers[command[1]]
+                if method == "summary":
+                    _, _, requests, epsilon = command
+                    reuse: list[bool] = []
+                    messages = provider.prepare_summary_batch(
+                        requests, epsilon, reuse_out=reuse
+                    )
+                    conn.send(
+                        ("ok", (messages, reuse, provider._rng.bit_generator.state))
+                    )
+                elif method == "answer":
+                    _, _, allocations, budget, use_smc = command
+                    reuse = []
+                    answers = provider.answer_batch(
+                        allocations, budget, use_smc=use_smc, reuse_out=reuse
+                    )
+                    conn.send(
+                        ("ok", (answers, reuse, provider._rng.bit_generator.state))
+                    )
+                elif method == "forget":
+                    provider.forget_batch(command[2])
+                    conn.send(("ok", None))
+                else:
+                    conn.send(("error", f"unknown worker method {method!r}"))
+            except Exception as error:  # noqa: BLE001 - forwarded to the parent
+                import traceback
+
+                conn.send(("error", f"{error}\n{traceback.format_exc()}"))
+    finally:
+        for block in blocks:
+            block.close()
+        conn.close()
+
+
+class ProviderProcessPool:
+    """Persistent per-provider worker processes behind one aggregator.
+
+    Providers are assigned round-robin to ``parallelism.resolve_workers``
+    worker processes (one provider per worker by default).  Calls preserve
+    provider order; replies on a shared worker pipe arrive in send order.
+    """
+
+    def __init__(self, providers: Sequence, parallelism) -> None:
+        self._providers = list(providers)
+        self._blocks: list[shared_memory.SharedMemory] = []
+        self._conns = []
+        self._processes = []
+        self._closed = False
+        # Layout versions the worker snapshots were taken at; the owning
+        # aggregator rebuilds the pool when any provider re-clusters.
+        self.layout_epochs = tuple(provider.layout_epoch for provider in self._providers)
+        context = mp.get_context()
+        num_workers = parallelism.resolve_workers(len(self._providers))
+        self._worker_of = [index % num_workers for index in range(len(self._providers))]
+        specs_per_worker: list[list[_ProviderSpec]] = [[] for _ in range(num_workers)]
+        for index, provider in enumerate(self._providers):
+            columns, blocks = _export_table(provider.table)
+            self._blocks.extend(blocks)
+            specs_per_worker[self._worker_of[index]].append(
+                _ProviderSpec(
+                    provider_id=provider.provider_id,
+                    cluster_size=provider.cluster_size,
+                    n_min=provider.n_min,
+                    clustering_policy=provider.clustering_policy,
+                    sort_by=provider.sort_by,
+                    intra_sort_by=provider.intra_sort_by,
+                    cache_config=provider.cache_config,
+                    execution_config=provider.execution_config,
+                    schema=provider.table.schema,
+                    columns=columns,
+                    rng_state=provider._rng.bit_generator.state,
+                )
+            )
+        try:
+            for worker_specs in specs_per_worker:
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main, args=(child_conn, worker_specs), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._processes.append(process)
+            for conn in self._conns:
+                status, _ = conn.recv()
+                if status != "ready":  # pragma: no cover - defensive
+                    raise ProtocolError("provider worker failed to initialise")
+        except BaseException:
+            self.close()
+            raise
+
+    # -- phase calls -------------------------------------------------------
+
+    def summary_batch(self, requests, epsilon_allocation: float):
+        """Run ``prepare_summary_batch`` on every provider's worker."""
+        return self._call(
+            [
+                ("summary", provider.provider_id, requests, epsilon_allocation)
+                for provider in self._providers
+            ],
+            sync_rng=True,
+        )
+
+    def answer_batch(self, allocations_per_provider, budget, use_smc: bool):
+        """Run ``answer_batch`` on every provider's worker."""
+        return self._call(
+            [
+                ("answer", provider.provider_id, allocations, budget, use_smc)
+                for provider, allocations in zip(self._providers, allocations_per_provider)
+            ],
+            sync_rng=True,
+        )
+
+    def forget_batch(self, query_ids) -> None:
+        """Drop the per-query worker sessions (idempotent)."""
+        self._call(
+            [
+                ("forget", provider.provider_id, list(query_ids))
+                for provider in self._providers
+            ],
+            sync_rng=False,
+        )
+
+    def _call(self, commands, *, sync_rng: bool):
+        if self._closed:
+            raise ProtocolError("provider process pool is closed")
+        results = [None] * len(commands)
+        errors: list[str] = []
+        try:
+            order_per_conn: dict[int, list[int]] = {}
+            for index, command in enumerate(commands):
+                worker = self._worker_of[index]
+                self._conns[worker].send(command)
+                order_per_conn.setdefault(worker, []).append(index)
+            # Drain every expected reply before raising: leaving queued
+            # replies behind would desynchronise the per-connection
+            # send/recv pairing and corrupt every later call on the pool.
+            for worker, indices in order_per_conn.items():
+                conn = self._conns[worker]
+                for index in indices:
+                    status, payload = conn.recv()
+                    if status != "ok":
+                        errors.append(f"{commands[index][1]!r}: {payload}")
+                    else:
+                        results[index] = payload
+        except (EOFError, BrokenPipeError, OSError) as error:
+            # A worker died (crash, OOM kill): the pipe protocol cannot be
+            # resynchronised, so tear the whole pool down.  The owning
+            # aggregator rebuilds it on the next process-backed batch —
+            # mirror the streams that did advance first, so the rebuild
+            # snapshots current state.
+            if sync_rng:
+                self._mirror_rng_states(results)
+            self.close()
+            raise ProtocolError(f"provider worker died: {error!r}") from error
+        if sync_rng:
+            # Mirror the workers' stream positions onto the parent providers
+            # so the two views of the federation never diverge — including
+            # for providers that succeeded in a partially failed call, whose
+            # workers have already consumed their draws.
+            self._mirror_rng_states(results)
+            results = [
+                None if payload is None else (payload[0], payload[1])
+                for payload in results
+            ]
+        if errors:
+            raise ProtocolError("provider worker failed: " + "; ".join(errors))
+        return results
+
+    def _mirror_rng_states(self, results) -> None:
+        for index, payload in enumerate(results):
+            if payload is not None:
+                self._providers[index]._rng.bit_generator.state = payload[2]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Terminate the workers and unlink every shared block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._conns = []
+        self._processes = []
+        self._blocks = []
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass

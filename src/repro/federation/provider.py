@@ -49,7 +49,7 @@ import numpy as np
 
 from ..cache.key import answer_key, summary_key
 from ..cache.store import ReleaseCache
-from ..config import CacheConfig
+from ..config import CacheConfig, ExecutionConfig
 from ..core.accounting import QueryBudget
 from ..core.result import ProviderReport
 from ..core.sensitivity import (
@@ -147,6 +147,14 @@ class DataProvider:
     cache_config:
         Release-cache policy (:class:`~repro.config.CacheConfig`); ``None``
         or a disabled config keeps the provider on the plain protocol path.
+    intra_sort_by:
+        Optionally sort each cluster's rows by this dimension at build time
+        (cluster membership unchanged) so the layout's bisection kernels
+        apply; see :meth:`repro.storage.clustered_table.ClusteredTable.from_table`.
+    execution_config:
+        Kernel policy (:class:`~repro.config.ExecutionConfig`) for the
+        exact ``Q(C)`` evaluation; ``None`` uses the library default
+        (pruned, sorted-bisect, 64 MiB kernel budget).
     """
 
     provider_id: str
@@ -156,6 +164,8 @@ class DataProvider:
     clustering_policy: str = "sequential"
     sort_by: str | None = None
     cache_config: CacheConfig | None = None
+    intra_sort_by: str | None = None
+    execution_config: ExecutionConfig | None = None
     rng: RngLike = None
     clustered: ClusteredTable = field(init=False, repr=False)
     metadata: MetadataStore = field(init=False, repr=False)
@@ -176,9 +186,12 @@ class DataProvider:
             self.cluster_size,
             policy=self.clustering_policy,
             sort_by=self.sort_by,
+            intra_sort_by=self.intra_sort_by,
         )
         self.metadata = build_metadata(self.clustered)
-        self._executor = ExactExecutor(self.clustered, self.metadata)
+        self._executor = ExactExecutor(
+            self.clustered, self.metadata, execution=self.execution_config
+        )
 
     # -- offline properties --------------------------------------------------
 
@@ -675,7 +688,7 @@ class DataProvider:
             for plan in plans
         ]
         values_list = self.clustered.layout().query_cluster_values(
-            batch, positions_per_query
+            batch, positions_per_query, execution=self.execution_config
         )
         values: list[np.ndarray] = []
         for plan, unique_values in zip(plans, values_list):

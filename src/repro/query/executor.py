@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..config import ExecutionConfig
 from ..storage.cluster import Cluster
 from ..storage.clustered_table import ClusteredTable
 from ..storage.metadata import MetadataStore
@@ -89,9 +90,15 @@ class ExactExecutor:
     covering set, not from pruning alone.
     """
 
-    def __init__(self, clustered: ClusteredTable, metadata: MetadataStore | None = None) -> None:
+    def __init__(
+        self,
+        clustered: ClusteredTable,
+        metadata: MetadataStore | None = None,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
         self._clustered = clustered
         self._metadata = metadata
+        self._execution = execution
 
     @property
     def clustered_table(self) -> ClusteredTable:
@@ -137,7 +144,9 @@ class ExactExecutor:
                 np.array([position_of[cluster_id] for cluster_id in ids], dtype=np.int64)
                 for ids in covering_lists
             ]
-        values_list = layout.query_cluster_values(batch, covering_positions)
+        values_list = layout.query_cluster_values(
+            batch, covering_positions, execution=self._execution
+        )
         return [
             ExactExecution(
                 value=int(values.sum()),

@@ -58,6 +58,7 @@ class ClusteredTable:
         *,
         policy: str = "sequential",
         sort_by: str | None = None,
+        intra_sort_by: str | None = None,
     ) -> "ClusteredTable":
         """Split ``table`` into clusters of at most ``cluster_size`` rows.
 
@@ -66,11 +67,21 @@ class ClusteredTable:
         policy:
             ``"sequential"`` (keep row order) or ``"sorted"`` (sort by
             ``sort_by``, defaulting to the first dimension, before splitting).
+        intra_sort_by:
+            Optionally sort the rows *within* each cluster by this dimension
+            after splitting.  Cluster membership — and therefore metadata,
+            proportions, sampling, and every query answer — is unchanged
+            (``Q(C)`` sums the same row multiset); the only effect is that
+            the layout's bisection kernels can answer predicates straddling
+            a cluster on this dimension in ``O(log rows)``.  The
+            ``"sorted"`` policy already yields clusters sorted on its key.
         """
         if cluster_size < 1:
             raise StorageError(f"cluster_size must be >= 1, got {cluster_size}")
         if policy not in ("sequential", "sorted"):
             raise StorageError(f"unknown clustering policy: {policy!r}")
+        if intra_sort_by is not None:
+            table.schema.dimension(intra_sort_by)
         working = table
         if policy == "sorted":
             key = sort_by or table.schema.dimension_names[0]
@@ -81,6 +92,8 @@ class ClusteredTable:
             chunk = working.slice(start, start + cluster_size)
             if chunk.num_rows == 0 and clusters:
                 break
+            if intra_sort_by is not None and chunk.num_rows > 1:
+                chunk = chunk.take(np.argsort(chunk.column(intra_sort_by), kind="stable"))
             clusters.append(Cluster(cluster_id=cluster_id, rows=chunk, nominal_size=cluster_size))
         if not clusters:
             clusters.append(

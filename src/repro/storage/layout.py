@@ -3,9 +3,26 @@
 A :class:`ClusterLayout` concatenates every cluster's columns into one
 contiguous array per column and remembers the per-cluster segment offsets.
 That is the substrate the batch query engine runs on: evaluating ``Q(C)``
-for many ``(query, cluster)`` pairs becomes one boolean-mask pass over the
-contiguous columns followed by a segmented reduction (``np.add.reduceat``)
+for many ``(query, cluster)`` pairs becomes boolean-mask passes over the
+contiguous columns followed by segmented reductions (``np.add.reduceat``)
 instead of a Python loop over clusters.
+
+On top of the raw segments the layout precomputes three acceleration
+structures (all O(rows) to build, built once per layout):
+
+* **zone maps** — per-cluster per-dimension ``[min, max]``, so a batch
+  kernel can drop clusters a query cannot touch and short-circuit clusters a
+  query fully covers to the precomputed segment sum without reading a row;
+* **measure prefix sums** — ``measure_prefix[i]`` is the sum of the measure
+  over rows ``[0, i)``, which turns any intra-segment row range into one
+  subtraction;
+* **sorted-dimension detection** — dimensions whose values are
+  non-decreasing inside every segment can answer straddling predicates with
+  two binary searches plus a prefix difference (``O(log rows)``).
+
+How much of this machinery a kernel call uses is governed by
+:class:`~repro.config.ExecutionConfig`; every mode returns bit-identical
+int64 values because integer sums are exact under any evaluation order.
 
 The layout is a query-time acceleration structure only — clusters remain the
 unit of storage, sampling, and metadata, exactly as in the paper.
@@ -13,17 +30,25 @@ unit of storage, sampling, and metadata, exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from ..config import DEFAULT_EXECUTION, ExecutionConfig
 from ..errors import StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..query.batch import QueryBatch
 
-__all__ = ["ClusterLayout", "OPEN_LOW", "OPEN_HIGH"]
+__all__ = [
+    "ClusterLayout",
+    "KernelTelemetry",
+    "collect_kernel_telemetry",
+    "OPEN_LOW",
+    "OPEN_HIGH",
+]
 
 # Sentinel bounds for dimensions a query leaves unconstrained: comparisons
 # against any stored int64 value are always true, so unconstrained dimensions
@@ -33,6 +58,61 @@ __all__ = ["ClusterLayout", "OPEN_LOW", "OPEN_HIGH"]
 # kernel — keep a single definition.
 OPEN_LOW = np.iinfo(np.int64).min // 4
 OPEN_HIGH = np.iinfo(np.int64).max // 4
+
+
+@dataclass
+class KernelTelemetry:
+    """Work/memory counters of the layout kernels (opt-in, for tests/benches).
+
+    Enabled through :func:`collect_kernel_telemetry`; the kernels skip the
+    bookkeeping entirely when disabled.  Counters are process-global and not
+    thread-safe — collect from a single thread.
+
+    Attributes
+    ----------
+    pairs_total / pairs_pruned / pairs_covered / pairs_bisected / pairs_scanned:
+        Classification of every (query, cluster) pair a pruned kernel call
+        considered: dropped by the zone maps, short-circuited to the segment
+        sum, answered by sorted bisection, or row-evaluated.
+    rows_evaluated:
+        Rows actually read by the row-evaluation kernels (the dense engine
+        reads ``num_queries * num_rows``).
+    tiles:
+        Number of evaluation tiles the row kernels split their work into.
+    max_tile_bytes:
+        Largest estimated per-tile temporary footprint — bounded by
+        ``ExecutionConfig.max_kernel_bytes`` (up to one un-splittable
+        cluster row-range) when tiling is on.
+    """
+
+    pairs_total: int = 0
+    pairs_pruned: int = 0
+    pairs_covered: int = 0
+    pairs_bisected: int = 0
+    pairs_scanned: int = 0
+    rows_evaluated: int = 0
+    tiles: int = 0
+    max_tile_bytes: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+_telemetry: KernelTelemetry | None = None
+
+
+@contextmanager
+def collect_kernel_telemetry() -> Iterator[KernelTelemetry]:
+    """Context manager enabling kernel telemetry for the enclosed calls."""
+    global _telemetry
+    previous = _telemetry
+    _telemetry = KernelTelemetry()
+    try:
+        yield _telemetry
+    finally:
+        _telemetry = previous
 
 
 def _bounds_as(column: np.ndarray, lows: np.ndarray, highs: np.ndarray):
@@ -50,6 +130,30 @@ def _bounds_as(column: np.ndarray, lows: np.ndarray, highs: np.ndarray):
         np.clip(lows, info.min, info.max).astype(column.dtype),
         np.clip(highs, info.min, info.max).astype(column.dtype),
     )
+
+
+def _pair_tile_boundaries(lengths: np.ndarray, max_rows: int | None) -> np.ndarray:
+    """Split a flat pair list into tiles of at most ``max_rows`` total rows.
+
+    Returns tile boundary indices into the pair list (``[0, ..., n]``).
+    Every tile holds at least one pair, so a single pair longer than the
+    budget still forms its own tile — pairs are never split.
+    """
+    count = int(lengths.size)
+    if max_rows is None or count <= 1 or int(lengths.sum()) <= max_rows:
+        # Fast path: everything fits in one tile — skip the per-pair loop
+        # (the common case under the default 64 MiB budget).
+        return np.array([0, count], dtype=np.int64)
+    boundaries = [0]
+    running = 0
+    for index in range(count):
+        rows = int(lengths[index])
+        if running and running + rows > max_rows:
+            boundaries.append(index)
+            running = 0
+        running += rows
+    boundaries.append(count)
+    return np.array(boundaries, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -71,6 +175,17 @@ class ClusterLayout:
         Stored row count per cluster position.
     cluster_ids:
         Cluster identifier per position (position order == storage order).
+    zone_min / zone_max:
+        Per-dimension per-cluster value bounds (empty clusters carry
+        inverted sentinel bounds, classifying them as zero-valued covered
+        segments).  Derived, computed at construction.
+    segment_sums:
+        Measure total per cluster (``Q(C)`` of a fully covering query).
+    measure_prefix:
+        ``measure_prefix[i]`` = sum of ``measure[:i]`` (length ``rows + 1``).
+    sorted_dimensions:
+        Dimensions whose values are non-decreasing inside every segment —
+        eligible for bisection kernels.
     """
 
     columns: Mapping[str, np.ndarray]
@@ -78,6 +193,57 @@ class ClusterLayout:
     starts: np.ndarray
     cluster_rows: np.ndarray
     cluster_ids: tuple[int, ...]
+    zone_min: Mapping[str, np.ndarray] = field(init=False, repr=False, compare=False)
+    zone_max: Mapping[str, np.ndarray] = field(init=False, repr=False, compare=False)
+    segment_sums: np.ndarray = field(init=False, repr=False, compare=False)
+    measure_prefix: np.ndarray = field(init=False, repr=False, compare=False)
+    sorted_dimensions: frozenset[str] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        num_rows = int(self.measure.size)
+        num_clusters = int(self.cluster_rows.size)
+        nonempty = self.cluster_rows > 0
+        starts_nonempty = self.starts[nonempty]
+        # Segment sums: reduceat over the starts of the *non-empty* segments
+        # only.  Empty segments contribute no rows, so consecutive non-empty
+        # starts are exact segment boundaries and zero-length segments (which
+        # np.add.reduceat mis-handles) never reach the ufunc.
+        segment_sums = np.zeros(num_clusters, dtype=np.int64)
+        if num_rows and starts_nonempty.size:
+            segment_sums[nonempty] = np.add.reduceat(self.measure, starts_nonempty)
+        measure_prefix = np.zeros(num_rows + 1, dtype=np.int64)
+        if num_rows:
+            np.cumsum(self.measure, out=measure_prefix[1:])
+        zone_min: dict[str, np.ndarray] = {}
+        zone_max: dict[str, np.ndarray] = {}
+        sorted_dimensions: set[str] = set()
+        # Row positions where a new segment begins (for sortedness checks the
+        # comparison crossing a segment boundary is exempt).
+        boundary = np.zeros(max(num_rows - 1, 0), dtype=bool)
+        if num_rows > 1:
+            interior = self.starts[1:]
+            interior = interior[(interior > 0) & (interior < num_rows)]
+            boundary[interior - 1] = True
+        for name, column in self.columns.items():
+            # Inverted sentinels make empty clusters "fully covered" by any
+            # query box, so the kernels charge them their (zero) segment sum
+            # without ever reaching the row path.
+            low = np.full(num_clusters, OPEN_HIGH, dtype=np.int64)
+            high = np.full(num_clusters, OPEN_LOW, dtype=np.int64)
+            if num_rows and starts_nonempty.size:
+                low[nonempty] = np.minimum.reduceat(column, starts_nonempty)
+                high[nonempty] = np.maximum.reduceat(column, starts_nonempty)
+            zone_min[name] = low
+            zone_max[name] = high
+            if num_rows <= 1 or bool(
+                np.all((column[1:] >= column[:-1]) | boundary)
+            ):
+                sorted_dimensions.add(name)
+        object.__setattr__(self, "zone_min", zone_min)
+        object.__setattr__(self, "zone_max", zone_max)
+        object.__setattr__(self, "segment_sums", segment_sums)
+        object.__setattr__(self, "measure_prefix", measure_prefix)
+        object.__setattr__(self, "sorted_dimensions", frozenset(sorted_dimensions))
 
     @classmethod
     def from_clusters(cls, clusters: Sequence) -> "ClusterLayout":
@@ -133,21 +299,32 @@ class ClusterLayout:
         analysis of a cluster subset).  The engine hot path does not copy
         sub-layouts — it uses :meth:`query_cluster_values`, which restricts
         each query to its own cluster positions without materialising.
+
+        Rows are copied segment by segment with contiguous slice assignments
+        (no per-row index array is materialised).
         """
         positions = np.asarray(positions, dtype=np.int64)
         if positions.size == 0:
             raise StorageError("gather needs at least one cluster position")
-        row_chunks = [
-            np.arange(self.starts[p], self.starts[p] + self.cluster_rows[p])
-            for p in positions
-        ]
-        rows = np.concatenate(row_chunks) if row_chunks else np.empty(0, dtype=np.int64)
         cluster_rows = self.cluster_rows[positions]
         starts = np.zeros(positions.size, dtype=np.int64)
         np.cumsum(cluster_rows[:-1], out=starts[1:])
+        total = int(cluster_rows.sum())
+
+        def _gather_column(source: np.ndarray) -> np.ndarray:
+            out = np.empty(total, dtype=source.dtype)
+            for target_start, position, rows in zip(
+                starts.tolist(), positions.tolist(), cluster_rows.tolist()
+            ):
+                source_start = int(self.starts[position])
+                out[target_start : target_start + rows] = source[
+                    source_start : source_start + rows
+                ]
+            return out
+
         return ClusterLayout(
-            columns={name: column[rows] for name, column in self.columns.items()},
-            measure=self.measure[rows],
+            columns={name: _gather_column(column) for name, column in self.columns.items()},
+            measure=_gather_column(self.measure),
             starts=starts,
             cluster_rows=cluster_rows,
             cluster_ids=tuple(self.cluster_ids[int(p)] for p in positions),
@@ -155,97 +332,325 @@ class ClusterLayout:
 
     # -- vectorised evaluation ---------------------------------------------
 
-    def row_masks(self, batch: "QueryBatch") -> np.ndarray:
+    def row_masks(
+        self, batch: "QueryBatch", *, execution: ExecutionConfig | None = None
+    ) -> np.ndarray:
         """Boolean ``(num_queries, num_rows)`` selection masks for a batch.
 
         One broadcast comparison per queried dimension per bound; dimensions a
         query does not constrain use open sentinel bounds and stay all-true.
+        The result matrix is always fully materialised (it is the API), but
+        the comparison temporaries are evaluated in query tiles sized to
+        ``execution.max_kernel_bytes``.
         """
+        execution = execution or DEFAULT_EXECUTION
         num_queries = len(batch)
         masks = np.ones((num_queries, self.num_rows), dtype=bool)
         if self.num_rows == 0:
             return masks
-        for name, (lows, highs) in batch.bounds(OPEN_LOW, OPEN_HIGH).items():
-            if name not in self.columns:
-                raise StorageError(f"layout has no column {name!r}")
-            column = self.columns[name]
-            lows, highs = _bounds_as(column, lows, highs)
-            np.logical_and(masks, column[None, :] >= lows[:, None], out=masks)
-            np.logical_and(masks, column[None, :] <= highs[:, None], out=masks)
+        bounds = self._checked_bounds(batch)
+        query_tile = self._query_tile(num_queries, self.num_rows, execution, bounds)
+        for start in range(0, num_queries, query_tile):
+            stop = min(start + query_tile, num_queries)
+            self._fill_masks(masks[start:stop], bounds, slice(start, stop))
         return masks
 
-    def cluster_values(self, batch: "QueryBatch") -> np.ndarray:
+    def _checked_bounds(self, batch: "QueryBatch"):
+        bounds = batch.bounds(OPEN_LOW, OPEN_HIGH)
+        for name in bounds:
+            if name not in self.columns:
+                raise StorageError(f"layout has no column {name!r}")
+        return bounds
+
+    def _fill_masks(
+        self,
+        out: np.ndarray,
+        bounds: Mapping[str, tuple[np.ndarray, np.ndarray]],
+        query_slice: slice,
+        row_slice: slice | None = None,
+    ) -> None:
+        """AND every dimension's range test into ``out`` (pre-set to True)."""
+        for name, (lows, highs) in bounds.items():
+            column = self.columns[name]
+            if row_slice is not None:
+                column = column[row_slice]
+            lows, highs = _bounds_as(column, lows[query_slice], highs[query_slice])
+            np.logical_and(out, column[None, :] >= lows[:, None], out=out)
+            np.logical_and(out, column[None, :] <= highs[:, None], out=out)
+
+    @staticmethod
+    def _bytes_per_cell(bounds) -> int:
+        """Rough per-(query, row) temporary footprint of the dense kernel.
+
+        One byte for the running mask, one for the comparison temporary, and
+        eight for the int64 contributions row.
+        """
+        return 10
+
+    def _query_tile(
+        self,
+        num_queries: int,
+        num_rows: int,
+        execution: ExecutionConfig,
+        bounds,
+    ) -> int:
+        budget = execution.max_kernel_bytes
+        if budget is None or num_rows == 0:
+            return num_queries
+        cells = max(1, budget // self._bytes_per_cell(bounds))
+        return int(min(num_queries, max(1, cells // num_rows)))
+
+    def cluster_values(
+        self, batch: "QueryBatch", *, execution: ExecutionConfig | None = None
+    ) -> np.ndarray:
         """Exact ``Q(C)`` for every (query, cluster) pair — ``(nq, nc)`` int64.
 
-        The per-cluster primitive of the paper, vectorised: mask rows per
-        query, multiply by the measure, and reduce each contiguous cluster
-        segment with ``np.add.reduceat``.
+        The per-cluster primitive of the paper, vectorised.  With
+        ``execution.prune`` the query boxes are intersected with the zone
+        maps first: non-overlapping pairs are zero, fully covered pairs are
+        the precomputed segment sums, sorted straddlers bisect, and only the
+        remaining straddling pairs are row-evaluated (tiled under the
+        kernel memory budget).  All modes are bit-identical.
         """
+        execution = execution or DEFAULT_EXECUTION
         num_queries = len(batch)
+        num_clusters = self.num_clusters
         if self.num_rows == 0:
-            return np.zeros((num_queries, self.num_clusters), dtype=np.int64)
-        masks = self.row_masks(batch)
-        contributions = masks * self.measure[None, :]
-        if np.all(self.cluster_rows > 0):
-            return np.add.reduceat(contributions, self.starts, axis=1)
-        # np.add.reduceat mis-handles zero-length segments (it returns the
-        # element at the segment start); fall back to a prefix-sum difference.
-        prefix = np.zeros((num_queries, self.num_rows + 1), dtype=np.int64)
-        np.cumsum(contributions, axis=1, out=prefix[:, 1:])
-        ends = self.starts + self.cluster_rows
-        return prefix[:, ends] - prefix[:, self.starts]
+            return np.zeros((num_queries, num_clusters), dtype=np.int64)
+        bounds = self._checked_bounds(batch)
+        if not execution.prune:
+            return self._cluster_values_dense(bounds, num_queries, execution)
+        overlap, covered, covered_per_dim = self._classify_zones(bounds, num_queries)
+        result = np.where(covered, self.segment_sums[None, :], np.int64(0))
+        straddle = overlap & ~covered
+        telemetry = _telemetry
+        if telemetry is not None:
+            telemetry.pairs_total += num_queries * num_clusters
+            telemetry.pairs_covered += int(covered.sum())
+            telemetry.pairs_pruned += int((~overlap & ~covered).sum())
+        if not straddle.any():
+            return result
+        if execution.sorted_bisect:
+            self._bisect_into(bounds, covered_per_dim, straddle, result)
+        pair_query, pair_positions = np.nonzero(straddle)
+        if pair_query.size:
+            values = self._pair_values(bounds, pair_query, pair_positions, execution)
+            result[pair_query, pair_positions] = values
+        return result
+
+    def _classify_zones(self, bounds, num_queries: int):
+        """Zone-map classification of every (query, cluster) pair.
+
+        Returns ``(overlap, covered, covered_per_dim)`` boolean matrices of
+        shape ``(num_queries, num_clusters)``.  ``covered_per_dim`` is kept
+        per dimension so the bisection kernel can recognise pairs straddling
+        on exactly one (sorted) dimension.
+        """
+        num_clusters = self.num_clusters
+        overlap = np.ones((num_queries, num_clusters), dtype=bool)
+        covered = np.ones((num_queries, num_clusters), dtype=bool)
+        covered_per_dim: dict[str, np.ndarray] = {}
+        for name, (lows, highs) in bounds.items():
+            zone_low = self.zone_min[name]
+            zone_high = self.zone_max[name]
+            overlap &= (zone_high >= lows[:, None]) & (zone_low <= highs[:, None])
+            covered_dim = (zone_low >= lows[:, None]) & (zone_high <= highs[:, None])
+            covered &= covered_dim
+            covered_per_dim[name] = covered_dim
+        return overlap, covered, covered_per_dim
+
+    def _bisect_segment_sums(
+        self,
+        name: str,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        pair_query: np.ndarray,
+        pair_positions: np.ndarray,
+    ) -> np.ndarray:
+        """Exact per-pair sums via binary search over a sorted dimension.
+
+        For each (query, cluster) pair, two ``np.searchsorted`` calls over
+        the cluster's sorted segment of ``name`` locate the matching row
+        range and the measure prefix difference gives its exact sum.
+        """
+        column = self.columns[name]
+        prefix = self.measure_prefix
+        values = np.empty(pair_query.size, dtype=np.int64)
+        for slot, (query, position) in enumerate(
+            zip(pair_query.tolist(), pair_positions.tolist())
+        ):
+            start = int(self.starts[position])
+            stop = start + int(self.cluster_rows[position])
+            segment = column[start:stop]
+            low_row = start + int(np.searchsorted(segment, lows[query], side="left"))
+            high_row = start + int(np.searchsorted(segment, highs[query], side="right"))
+            values[slot] = prefix[high_row] - prefix[low_row]
+        if _telemetry is not None:
+            _telemetry.pairs_bisected += int(pair_query.size)
+        return values
+
+    def _bisect_into(
+        self,
+        bounds,
+        covered_per_dim: Mapping[str, np.ndarray],
+        straddle: np.ndarray,
+        result: np.ndarray,
+    ) -> None:
+        """Answer straddling pairs sorted on their only straddling dimension.
+
+        A pair is eligible for dimension ``d`` when the cluster is sorted on
+        ``d`` and fully covered on every *other* constrained dimension — the
+        row predicate then reduces to the ``d`` range, so two binary
+        searches over the segment plus a measure-prefix difference give the
+        exact sum.  Eligible pairs are cleared from ``straddle``.
+        """
+        for name in bounds:
+            if name not in self.sorted_dimensions:
+                continue
+            eligible = straddle.copy()
+            for other, covered_dim in covered_per_dim.items():
+                if other != name:
+                    eligible &= covered_dim
+            if not eligible.any():
+                continue
+            lows, highs = bounds[name]
+            pair_query, pair_positions = np.nonzero(eligible)
+            result[pair_query, pair_positions] = self._bisect_segment_sums(
+                name, lows, highs, pair_query, pair_positions
+            )
+            straddle &= ~eligible
+            if not straddle.any():
+                return
+
+    def _cluster_values_dense(
+        self, bounds, num_queries: int, execution: ExecutionConfig
+    ) -> np.ndarray:
+        """Dense reference kernel, tiled to the kernel memory budget."""
+        num_rows = self.num_rows
+        num_clusters = self.num_clusters
+        nonempty = self.cluster_rows > 0
+        telemetry = _telemetry
+        result = np.zeros((num_queries, num_clusters), dtype=np.int64)
+        cells = None
+        budget = execution.max_kernel_bytes
+        if budget is not None:
+            cells = max(1, budget // self._bytes_per_cell(bounds))
+        query_tile = self._query_tile(num_queries, num_rows, execution, bounds)
+        # Row chunks: runs of whole segments.  With no budget (or one large
+        # enough) a single chunk covers every row; a single segment larger
+        # than the budget still forms its own chunk — segments are never
+        # split, so the hard peak is one segment's rows per query row.
+        chunk_rows = num_rows if cells is None else max(1, cells // query_tile)
+        chunk_bounds = self._segment_chunks(chunk_rows)
+        for q_start in range(0, num_queries, query_tile):
+            q_stop = min(q_start + query_tile, num_queries)
+            query_slice = slice(q_start, q_stop)
+            for c_start, c_stop in chunk_bounds:
+                row_start = int(self.starts[c_start])
+                row_stop = (
+                    num_rows
+                    if c_stop >= num_clusters
+                    else int(self.starts[c_stop])
+                )
+                if row_stop == row_start:
+                    continue
+                row_slice = slice(row_start, row_stop)
+                masks = np.ones((q_stop - q_start, row_stop - row_start), dtype=bool)
+                self._fill_masks(masks, bounds, query_slice, row_slice)
+                contributions = masks * self.measure[None, row_slice]
+                chunk_nonempty = nonempty[c_start:c_stop]
+                chunk_starts = self.starts[c_start:c_stop][chunk_nonempty] - row_start
+                if chunk_starts.size:
+                    result[query_slice, c_start:c_stop][:, chunk_nonempty] = (
+                        np.add.reduceat(contributions, chunk_starts, axis=1)
+                    )
+                if telemetry is not None:
+                    telemetry.tiles += 1
+                    telemetry.rows_evaluated += masks.size
+                    telemetry.max_tile_bytes = max(
+                        telemetry.max_tile_bytes,
+                        masks.size * self._bytes_per_cell(bounds),
+                    )
+        return result
+
+    def _segment_chunks(self, chunk_rows: int) -> list[tuple[int, int]]:
+        """Consecutive segment runs totalling at most ``chunk_rows`` rows each.
+
+        Every chunk holds at least one segment; a single segment longer than
+        ``chunk_rows`` forms its own chunk (segments are never split so the
+        segmented reduction stays one ``reduceat`` per chunk).
+        """
+        boundaries = _pair_tile_boundaries(
+            self.cluster_rows, None if chunk_rows >= self.num_rows else chunk_rows
+        )
+        return [
+            (int(boundaries[index]), int(boundaries[index + 1]))
+            for index in range(boundaries.size - 1)
+        ]
 
     def query_cluster_values(
         self,
         batch: "QueryBatch",
         positions_per_query: Sequence[np.ndarray],
+        *,
+        execution: ExecutionConfig | None = None,
     ) -> list[np.ndarray]:
         """Exact ``Q(C)`` for each query's own cluster positions, in one pass.
 
         Unlike :meth:`cluster_values`, which evaluates every query against
-        every cluster of the layout, this kernel touches exactly the rows of
-        the (query, cluster) pairs requested: per-query bounds are expanded
-        to per-row bounds with ``np.repeat``, so one boolean-mask pass plus
-        one ``np.add.reduceat`` serves all pairs regardless of how different
-        the queries' cluster sets are.  Total work equals the sum of the
-        requested cluster sizes — the same rows a per-query loop would scan.
+        every cluster of the layout, this kernel touches exactly the
+        (query, cluster) pairs requested.  With ``execution.prune`` each
+        requested pair is first classified against the zone maps (skip /
+        segment-sum / bisect), so only genuinely straddling pairs reach the
+        row kernel; the row kernel expands per-query bounds to per-row
+        bounds with ``np.repeat`` and serves all pairs with boolean masks
+        plus one segmented reduction per tile.
         """
+        execution = execution or DEFAULT_EXECUTION
         num_queries = len(batch)
         if len(positions_per_query) != num_queries:
             raise StorageError("positions_per_query must align with the batch")
         pair_counts = np.array([len(p) for p in positions_per_query], dtype=np.int64)
-        if int(pair_counts.sum()) == 0:
+        total_pairs = int(pair_counts.sum())
+        if total_pairs == 0:
             return [np.zeros(0, dtype=np.int64) for _ in range(num_queries)]
+        bounds = self._checked_bounds(batch)
         pair_query = np.repeat(np.arange(num_queries, dtype=np.int64), pair_counts)
         pair_positions = np.concatenate(
             [np.asarray(p, dtype=np.int64) for p in positions_per_query]
         )
-        lengths = self.cluster_rows[pair_positions]
-        offsets = np.zeros(lengths.size, dtype=np.int64)
-        np.cumsum(lengths[:-1], out=offsets[1:])
-        total = int(lengths.sum())
-        if total == 0:
-            pair_values = np.zeros(lengths.size, dtype=np.int64)
+        telemetry = _telemetry
+        if not execution.prune:
+            pair_values = self._pair_values(bounds, pair_query, pair_positions, execution)
         else:
-            rows = (
-                np.repeat(self.starts[pair_positions] - offsets, lengths)
-                + np.arange(total, dtype=np.int64)
-            )
-            mask = np.ones(total, dtype=bool)
-            for name, (lows, highs) in batch.bounds(OPEN_LOW, OPEN_HIGH).items():
-                column = self.columns[name][rows]
-                lows, highs = _bounds_as(column, lows, highs)
-                row_lows = np.repeat(lows[pair_query], lengths)
-                row_highs = np.repeat(highs[pair_query], lengths)
-                np.logical_and(mask, column >= row_lows, out=mask)
-                np.logical_and(mask, column <= row_highs, out=mask)
-            contributions = self.measure[rows] * mask
-            if np.all(lengths > 0):
-                pair_values = np.add.reduceat(contributions, offsets)
-            else:
-                prefix = np.zeros(total + 1, dtype=np.int64)
-                np.cumsum(contributions, out=prefix[1:])
-                pair_values = prefix[offsets + lengths] - prefix[offsets]
+            overlap = np.ones(total_pairs, dtype=bool)
+            covered = np.ones(total_pairs, dtype=bool)
+            covered_per_dim: dict[str, np.ndarray] = {}
+            for name, (lows, highs) in bounds.items():
+                zone_low = self.zone_min[name][pair_positions]
+                zone_high = self.zone_max[name][pair_positions]
+                query_lows = lows[pair_query]
+                query_highs = highs[pair_query]
+                overlap &= (zone_high >= query_lows) & (zone_low <= query_highs)
+                covered_dim = (zone_low >= query_lows) & (zone_high <= query_highs)
+                covered &= covered_dim
+                covered_per_dim[name] = covered_dim
+            pair_values = np.zeros(total_pairs, dtype=np.int64)
+            pair_values[covered] = self.segment_sums[pair_positions[covered]]
+            straddle = overlap & ~covered
+            if telemetry is not None:
+                telemetry.pairs_total += total_pairs
+                telemetry.pairs_covered += int(covered.sum())
+                telemetry.pairs_pruned += int((~overlap & ~covered).sum())
+            if execution.sorted_bisect and straddle.any():
+                self._bisect_pairs(
+                    bounds, covered_per_dim, straddle, pair_query, pair_positions, pair_values
+                )
+            remaining = np.flatnonzero(straddle)
+            if remaining.size:
+                pair_values[remaining] = self._pair_values(
+                    bounds, pair_query[remaining], pair_positions[remaining], execution
+                )
         boundaries = np.zeros(num_queries + 1, dtype=np.int64)
         np.cumsum(pair_counts, out=boundaries[1:])
         return [
@@ -253,7 +658,115 @@ class ClusterLayout:
             for index in range(num_queries)
         ]
 
+    def _bisect_pairs(
+        self,
+        bounds,
+        covered_per_dim: Mapping[str, np.ndarray],
+        straddle: np.ndarray,
+        pair_query: np.ndarray,
+        pair_positions: np.ndarray,
+        pair_values: np.ndarray,
+    ) -> None:
+        """Flat-pair form of :meth:`_bisect_into` (same eligibility rule)."""
+        for name in bounds:
+            if name not in self.sorted_dimensions:
+                continue
+            eligible = straddle.copy()
+            for other, covered_dim in covered_per_dim.items():
+                if other != name:
+                    eligible &= covered_dim
+            if not eligible.any():
+                continue
+            lows, highs = bounds[name]
+            indices = np.flatnonzero(eligible)
+            pair_values[indices] = self._bisect_segment_sums(
+                name, lows, highs, pair_query[indices], pair_positions[indices]
+            )
+            straddle &= ~eligible
+            if not straddle.any():
+                return
+
+    def _pair_values(
+        self,
+        bounds,
+        pair_query: np.ndarray,
+        pair_positions: np.ndarray,
+        execution: ExecutionConfig,
+    ) -> np.ndarray:
+        """Row-evaluate arbitrary (query, cluster) pairs, tiled to the budget.
+
+        The flattened kernel: per-query bounds are expanded to per-row bounds
+        with ``np.repeat``, one boolean-mask pass plus one ``np.add.reduceat``
+        serves every pair of a tile.  Total work equals the sum of the
+        requested cluster sizes — the same rows a per-query loop would scan.
+        """
+        lengths = self.cluster_rows[pair_positions]
+        num_pairs = int(lengths.size)
+        values = np.zeros(num_pairs, dtype=np.int64)
+        bytes_per_row = self._bytes_per_pair_row(bounds)
+        max_rows = None
+        if execution.max_kernel_bytes is not None:
+            max_rows = max(1, execution.max_kernel_bytes // bytes_per_row)
+        telemetry = _telemetry
+        tile_bounds = _pair_tile_boundaries(lengths, max_rows)
+        for tile_index in range(tile_bounds.size - 1):
+            tile = slice(int(tile_bounds[tile_index]), int(tile_bounds[tile_index + 1]))
+            tile_lengths = lengths[tile]
+            total = int(tile_lengths.sum())
+            if total == 0:
+                continue
+            tile_positions = pair_positions[tile]
+            tile_queries = pair_query[tile]
+            offsets = np.zeros(tile_lengths.size, dtype=np.int64)
+            np.cumsum(tile_lengths[:-1], out=offsets[1:])
+            rows = (
+                np.repeat(self.starts[tile_positions] - offsets, tile_lengths)
+                + np.arange(total, dtype=np.int64)
+            )
+            mask = np.ones(total, dtype=bool)
+            for name, (lows, highs) in bounds.items():
+                column = self.columns[name][rows]
+                dim_lows, dim_highs = _bounds_as(column, lows, highs)
+                row_lows = np.repeat(dim_lows[tile_queries], tile_lengths)
+                row_highs = np.repeat(dim_highs[tile_queries], tile_lengths)
+                np.logical_and(mask, column >= row_lows, out=mask)
+                np.logical_and(mask, column <= row_highs, out=mask)
+            contributions = self.measure[rows] * mask
+            # reduceat over non-empty pair offsets only: zero-length pairs
+            # keep their zero and never reach the ufunc (which would
+            # otherwise return the element at the segment start).
+            tile_nonempty = tile_lengths > 0
+            red_offsets = offsets[tile_nonempty]
+            tile_values = np.zeros(tile_lengths.size, dtype=np.int64)
+            if red_offsets.size:
+                tile_values[tile_nonempty] = np.add.reduceat(contributions, red_offsets)
+            values[tile] = tile_values
+            if telemetry is not None:
+                telemetry.tiles += 1
+                telemetry.rows_evaluated += total
+                telemetry.pairs_scanned += int(tile_nonempty.sum())
+                telemetry.max_tile_bytes = max(
+                    telemetry.max_tile_bytes, total * bytes_per_row
+                )
+        return values
+
+    def _bytes_per_pair_row(self, bounds) -> int:
+        """Per-row temporary footprint estimate of the flattened pair kernel.
+
+        Row index (8) + mask (1) + int64 contributions (8) + per constrained
+        dimension a gathered column copy, two repeated bound rows, and a
+        comparison temporary.
+        """
+        per_dim = 0
+        for name in bounds:
+            itemsize = int(self.columns[name].itemsize)
+            per_dim += 3 * itemsize + 1
+        return 17 + per_dim
+
     def memory_bytes(self) -> int:
         """Approximate footprint of the contiguous arrays."""
         total = self.measure.nbytes + self.starts.nbytes + self.cluster_rows.nbytes
+        total += self.segment_sums.nbytes + self.measure_prefix.nbytes
+        total += sum(array.nbytes for array in self.zone_min.values())
+        total += sum(array.nbytes for array in self.zone_max.values())
         return int(total + sum(column.nbytes for column in self.columns.values()))

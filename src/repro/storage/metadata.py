@@ -171,6 +171,11 @@ class DenseDimensionIndex:
     for covering-set identification.  This is a query-time acceleration of the
     same information Algorithm 1 stores; the serialised-size accounting keeps
     using the sparse per-cluster representation.
+
+    ``rows_geq`` is stored as int32 — counts are bounded by the cluster size,
+    and the batched fancy-indexing passes are memory-bound, so halving the
+    element width halves the gather traffic (the count arithmetic is exact in
+    either width; proportions divide in float64 regardless).
     """
 
     domain_low: int
@@ -184,7 +189,7 @@ class DenseDimensionIndex:
         low_clipped = max(low, self.domain_low)
         high_clipped = min(high, self.domain_high)
         if low_clipped > high_clipped:
-            return np.zeros(cluster_positions.size, dtype=np.int64)
+            return np.zeros(cluster_positions.size, dtype=self.rows_geq.dtype)
         low_col = low_clipped - self.domain_low
         high_col = high_clipped + 1 - self.domain_low
         return (
@@ -444,7 +449,7 @@ def _dense_index(
     for name in names:
         dimension = clustered.schema.dimension(name)
         domain = dimension.domain_size
-        rows_geq = np.zeros((num_clusters, domain + 1), dtype=np.int64)
+        rows_geq = np.zeros((num_clusters, domain + 1), dtype=np.int32)
         v_min = np.full(num_clusters, dimension.high + 1, dtype=np.int64)
         v_max = np.full(num_clusters, dimension.low - 1, dtype=np.int64)
         for position, cluster in enumerate(clustered):

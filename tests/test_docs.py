@@ -20,6 +20,7 @@ DOCTESTED_PAGES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "protocol.md",
+    REPO_ROOT / "docs" / "performance.md",
 ]
 
 
