@@ -17,6 +17,7 @@ from .config import (
     NetworkConfig,
     PrivacyConfig,
     SamplingConfig,
+    ServiceConfig,
     SMCConfig,
     SystemConfig,
 )
@@ -27,6 +28,7 @@ from .core import FederatedAQPSystem, QueryResult
 from .cache import CacheStats, ReleaseCache, ReusePlanner
 from .errors import ReproError
 from .query import Aggregation, Interval, RangeQuery, parse_query
+from .service import SessionScheduler, TenantAnswer, TenantRegistry
 from .storage import ClusteredTable, Dimension, Schema, Table, build_count_tensor
 
 __version__ = "1.0.0"
@@ -45,9 +47,13 @@ __all__ = [
     "NetworkConfig",
     "SMCConfig",
     "CacheConfig",
+    "ServiceConfig",
     "CacheStats",
     "ReleaseCache",
     "ReusePlanner",
+    "TenantRegistry",
+    "SessionScheduler",
+    "TenantAnswer",
     "Schema",
     "Dimension",
     "Table",

@@ -19,12 +19,15 @@ by peeking (never mutating) the providers' release caches:
 
 The preview uses :meth:`~repro.cache.store.ReleaseCache.peek` with one round
 of TTL look-ahead so an entry cannot be counted here and expire under the
-batch's own clock tick.  (The one deliberately unguarded corner is LRU
+batch's own clock tick.  (Two deliberately unguarded corners remain: LRU
 eviction *within* the admitted batch under a pathologically small
-``max_entries`` — the actual cost can then exceed this preview.  Because the
-releases have already happened by charging time, the accountant records the
-full actual spend even if it overdraws the wallet; the ledger stays honest
-and the next fresh batch is refused at admission.)
+``max_entries``, and TTL expiry when more than one protocol round elapses
+between pricing and execution — the serving layer's chunked drains advance
+the round once per chunk, so a small ``ttl_rounds`` can expire an entry that
+was counted here.  In both, the actual cost can exceed this preview; because
+the releases have already happened by charging time, the accountant records
+the full actual spend even if it overdraws the wallet — the ledger stays
+honest and the next fresh batch is refused at admission.)
 """
 
 from __future__ import annotations
@@ -96,6 +99,17 @@ class ReusePlan:
     def upper_bound_delta(self) -> float:
         """Sound upper bound of the batch's total delta charge."""
         return sum(preview.max_delta for preview in self.previews)
+
+    @property
+    def upper_bound(self) -> tuple[float, float]:
+        """The batch charge bound as one ``(epsilon, delta)`` pair.
+
+        This is the price admission control reserves for the batch — the
+        serving layer's :class:`~repro.service.scheduler.SessionScheduler`
+        holds exactly this against the tenant's budget until the actual
+        (reuse-discounted) charge is known.
+        """
+        return (self.upper_bound_epsilon, self.upper_bound_delta)
 
     def must_release(self) -> tuple[int, ...]:
         """Indices of the queries that may need at least one fresh release."""

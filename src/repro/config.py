@@ -29,6 +29,7 @@ __all__ = [
     "ParallelismConfig",
     "ExecutionConfig",
     "CacheConfig",
+    "ServiceConfig",
     "SystemConfig",
     "DEFAULT_PRIVACY",
     "DEFAULT_SAMPLING",
@@ -37,6 +38,7 @@ __all__ = [
     "DEFAULT_EXECUTION",
     "DENSE_EXECUTION",
     "DEFAULT_CACHE",
+    "DEFAULT_SERVICE",
     "DEFAULT_SYSTEM",
 ]
 
@@ -368,6 +370,80 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class ServiceConfig:
+    """Multi-tenant serving-layer policy (see :mod:`repro.service`).
+
+    Controls how the :class:`~repro.service.scheduler.SessionScheduler`
+    multiplexes per-tenant submissions onto the batched engine.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Upper bound on the number of queries coalesced into one shared
+        :class:`~repro.query.batch.QueryBatch`.  Larger batches amortise the
+        metadata pass and provider round-trips over more tenants; the cap
+        bounds per-batch latency and peak kernel footprint.
+    max_pending:
+        Bound of the submission queue.  Applies separately to the admitted
+        pending queue and to the deferred park, so parked never-affordable
+        work cannot starve other tenants' admissible submissions.  A full
+        queue makes ``submit`` raise
+        :class:`~repro.errors.ServiceOverloadedError` — load-shedding
+        backpressure instead of unbounded memory growth.
+    max_in_flight_batches:
+        Depth of the dispatch pipeline: how many coalesced batches may be
+        queued on the dispatcher worker at once.  Batch *execution* is FIFO
+        on that single worker (the federation's providers are a shared,
+        stateful resource; intra-batch parallelism comes from
+        :class:`ParallelismConfig`); the look-ahead lets settlement —
+        wallet charging and answer routing — of completed batches overlap
+        the execution of later ones.
+    admission:
+        What to do with a submission whose priced upper bound does not fit
+        the tenant's remaining budget: ``"reject"`` raises
+        :class:`~repro.errors.AdmissionError` at submit time; ``"defer"``
+        parks the submission and re-prices it on later drains (a workload
+        can become affordable once its predicates are served by the release
+        caches — with the caches disabled the price can never drop, so
+        unaffordable work is rejected even under ``"defer"``).
+    compute_exact:
+        Also run the exact plain-text baselines for served queries (off by
+        default: serving traffic wants throughput, not error measurement).
+    """
+
+    max_batch_size: int = 64
+    max_pending: int = 1024
+    max_in_flight_batches: int = 2
+    admission: str = "reject"
+    compute_exact: bool = False
+
+    def __post_init__(self) -> None:
+        _require(
+            self.max_batch_size >= 1,
+            f"max_batch_size must be >= 1, got {self.max_batch_size}",
+        )
+        _require(
+            self.max_pending >= 1, f"max_pending must be >= 1, got {self.max_pending}"
+        )
+        _require(
+            self.max_in_flight_batches >= 1,
+            f"max_in_flight_batches must be >= 1, got {self.max_in_flight_batches}",
+        )
+        _require(
+            self.admission in ("reject", "defer"),
+            f'admission must be "reject" or "defer", got {self.admission!r}',
+        )
+
+    def with_admission(self, admission: str) -> "ServiceConfig":
+        """Return a copy with a different admission policy."""
+        return replace(self, admission=admission)
+
+    def with_max_batch_size(self, max_batch_size: int) -> "ServiceConfig":
+        """Return a copy with a different coalescing cap."""
+        return replace(self, max_batch_size=max_batch_size)
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration of the federated AQP system."""
 
@@ -380,6 +456,7 @@ class SystemConfig:
     parallelism: ParallelismConfig = field(default_factory=ParallelismConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
     use_smc_for_result: bool = False
     seed: int | None = None
 
@@ -409,6 +486,10 @@ class SystemConfig:
         """Return a copy with a different provider fan-out policy."""
         return replace(self, parallelism=parallelism)
 
+    def with_service(self, service: ServiceConfig) -> "SystemConfig":
+        """Return a copy with a different serving-layer policy."""
+        return replace(self, service=service)
+
 
 DEFAULT_PRIVACY = PrivacyConfig()
 DEFAULT_SAMPLING = SamplingConfig()
@@ -417,4 +498,5 @@ DEFAULT_SMC = SMCConfig()
 DEFAULT_EXECUTION = ExecutionConfig()
 DENSE_EXECUTION = ExecutionConfig.dense()
 DEFAULT_CACHE = CacheConfig()
+DEFAULT_SERVICE = ServiceConfig()
 DEFAULT_SYSTEM = SystemConfig()

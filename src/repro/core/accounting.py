@@ -15,12 +15,12 @@ so the whole query costs exactly ``(epsilon, delta)`` to the end user.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..config import PrivacyConfig
 from ..dp.accountant import PrivacyAccountant
 from ..dp.composition import PrivacySpend, parallel_composition, sequential_composition
-from ..errors import PrivacyError
+from ..errors import BudgetExhaustedError, PrivacyError
 
 __all__ = ["QueryBudget", "split_query_budget", "query_spend", "EndUserBudget"]
 
@@ -110,9 +110,23 @@ class EndUserBudget:
     per-query actuals computed by the aggregator — including a full zero
     for a fully reused query, which is still recorded in the ledger for
     auditability).
+
+    Reservations
+    ------------
+    Admission control over *concurrent* work needs to hold budget aside
+    between pricing and charging: two submissions that are each affordable
+    alone must not both be admitted when only one fits.
+    :meth:`reserve` earmarks an upper bound against the wallet (raising
+    :class:`~repro.errors.BudgetExhaustedError` when it does not fit on top
+    of spends and earlier reservations), :meth:`release` returns it once the
+    actual charge has been recorded, and :meth:`can_admit` is the
+    reservation-aware affordability check.  Reservations never enter the
+    ledger — only actual charges do.
     """
 
     accountant: PrivacyAccountant
+    reserved_epsilon: float = field(default=0.0, init=False)
+    reserved_delta: float = field(default=0.0, init=False)
 
     @classmethod
     def create(cls, xi: float, psi: float) -> "EndUserBudget":
@@ -147,6 +161,41 @@ class EndUserBudget:
     def can_afford_spend(self, epsilon: float, delta: float) -> bool:
         """True when charging ``(epsilon, delta)`` would not overdraw."""
         return self.accountant.can_afford(epsilon, delta)
+
+    # -- admission reservations ------------------------------------------------
+
+    def can_admit(self, epsilon: float, delta: float) -> bool:
+        """Reservation-aware affordability: fits on top of held reservations."""
+        return self.accountant.can_afford(
+            self.reserved_epsilon + epsilon, self.reserved_delta + delta
+        )
+
+    def reserve(self, epsilon: float, delta: float) -> None:
+        """Earmark ``(epsilon, delta)`` for admitted-but-uncharged work.
+
+        Raises
+        ------
+        BudgetExhaustedError
+            When the reservation does not fit the remaining budget on top of
+            the reservations already held.  Nothing is recorded on failure.
+        """
+        if epsilon < 0 or delta < 0:
+            raise PrivacyError(
+                f"reservation must be non-negative, got ({epsilon}, {delta})"
+            )
+        if not self.can_admit(epsilon, delta):
+            raise BudgetExhaustedError(
+                f"reserving ({epsilon}, {delta}) on top of held reservations "
+                f"({self.reserved_epsilon}, {self.reserved_delta}) would exceed the "
+                f"remaining budget ({self.remaining_epsilon}, {self.remaining_delta})"
+            )
+        self.reserved_epsilon += epsilon
+        self.reserved_delta += delta
+
+    def release(self, epsilon: float, delta: float) -> None:
+        """Return a reservation taken with :meth:`reserve` (clamped at zero)."""
+        self.reserved_epsilon = max(0.0, self.reserved_epsilon - epsilon)
+        self.reserved_delta = max(0.0, self.reserved_delta - delta)
 
     def can_afford_queries(
         self, budget: QueryBudget, num_providers: int, count: int

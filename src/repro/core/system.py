@@ -212,6 +212,7 @@ class FederatedAQPSystem:
         epsilon: float | None = None,
         use_smc: bool | None = None,
         compute_exact: bool = True,
+        seed_tokens: Sequence[tuple[int, ...] | None] | None = None,
     ) -> BatchResult:
         """Answer a whole workload with one batched protocol pass.
 
@@ -240,6 +241,12 @@ class FederatedAQPSystem:
             :meth:`execute`).
         compute_exact:
             Also run the exact baselines so results carry relative errors.
+        seed_tokens:
+            Optional per-query noise-stream keys, aligned with ``queries``
+            (see :meth:`Aggregator.execute_batch
+            <repro.federation.aggregator.Aggregator.execute_batch>`).  Used
+            by :mod:`repro.service` to make answers independent of how
+            tenants' submissions were coalesced.
 
         Returns
         -------
@@ -289,6 +296,7 @@ class FederatedAQPSystem:
                 budget,
                 sampling_rate=sampling_rate,
                 use_smc=use_smc,
+                seed_tokens=seed_tokens,
             )
         if self.end_user_budget is not None:
             # Charge only after the protocol ran to completion: a batch that

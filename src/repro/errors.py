@@ -28,6 +28,10 @@ __all__ = [
     "WorkloadError",
     "AttackError",
     "ExperimentError",
+    "ServiceError",
+    "UnknownTenantError",
+    "AdmissionError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -103,3 +107,20 @@ class AttackError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was mis-configured or failed."""
+
+
+class ServiceError(ReproError):
+    """A multi-tenant serving-layer operation failed."""
+
+
+class UnknownTenantError(ServiceError):
+    """A submission referenced a tenant id the registry does not hold."""
+
+
+class AdmissionError(ServiceError):
+    """Admission control refused a submission that cannot fit the tenant's
+    remaining privacy budget."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Backpressure: the scheduler's bounded submission queue is full."""

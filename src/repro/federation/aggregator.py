@@ -171,6 +171,7 @@ class Aggregator:
         *,
         sampling_rate: float | None = None,
         use_smc: bool | None = None,
+        seed_tokens: Sequence[tuple[int, ...] | None] | None = None,
     ) -> list[FederatedAnswer]:
         """Run the full protocol for a workload and return per-query answers.
 
@@ -179,9 +180,21 @@ class Aggregator:
         one allocation solve per query, one answering round-trip per provider,
         and one combination per query.  Session state is always released —
         even when a phase raises — so providers cannot leak per-query state.
+
+        ``seed_tokens`` (aligned with ``queries`` when given) pins each
+        query's provider-side noise streams to a caller-chosen key instead of
+        the providers' positional root streams — see
+        :attr:`~repro.federation.messages.QueryRequest.seed_material`.  The
+        multi-tenant scheduler passes per-``(tenant, sequence)`` tokens so
+        coalescing never changes a tenant's answers.
         """
         if not queries:
             return []
+        if seed_tokens is not None and len(seed_tokens) != len(queries):
+            raise ProtocolError(
+                f"seed_tokens must align with queries: got {len(seed_tokens)} tokens "
+                f"for {len(queries)} queries"
+            )
         rate = self.config.sampling.sampling_rate if sampling_rate is None else sampling_rate
         if not 0 < rate < 1:
             raise ProtocolError(f"sampling_rate must be in (0, 1), got {rate}")
@@ -191,7 +204,12 @@ class Aggregator:
         first_id = self._next_query_id
         self._next_query_id += num_queries
         requests = [
-            QueryRequest(query_id=first_id + index, query=query, sampling_rate=rate)
+            QueryRequest(
+                query_id=first_id + index,
+                query=query,
+                sampling_rate=rate,
+                seed_material=None if seed_tokens is None else seed_tokens[index],
+            )
             for index, query in enumerate(queries)
         ]
         accounting = [_QueryAccounting() for _ in requests]

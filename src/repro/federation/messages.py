@@ -26,15 +26,33 @@ _HEADER_BYTES = 16
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """Aggregator -> provider: the query and the requested sampling rate."""
+    """Aggregator -> provider: the query and the requested sampling rate.
+
+    ``seed_material`` optionally pins the query's noise stream: when set, the
+    provider derives the per-query session RNG from its own stable stream key
+    plus this material instead of drawing positionally from its root stream.
+    The serving layer (:mod:`repro.service`) uses it to key each query's
+    randomness by ``(tenant, tenant-local sequence)`` so answers do not depend
+    on how tenants' submissions were coalesced into batches.
+    """
 
     query_id: int
     query: RangeQuery
     sampling_rate: float
+    seed_material: tuple[int, ...] | None = None
 
     def payload_bytes(self) -> int:
-        """Approximate serialised size: header + one interval per dimension."""
-        return _HEADER_BYTES + 2 * _SCALAR_BYTES * self.query.num_dimensions + _SCALAR_BYTES
+        """Approximate serialised size: header + one interval per dimension.
+
+        Seed material is counted one byte per element: the elements are the
+        tenant id's UTF-8 bytes plus one small sequence integer.
+        """
+        return (
+            _HEADER_BYTES
+            + 2 * _SCALAR_BYTES * self.query.num_dimensions
+            + _SCALAR_BYTES
+            + len(self.seed_material or ())
+        )
 
 
 @dataclass(frozen=True)

@@ -75,6 +75,7 @@ class _ProviderSpec:
     schema: object
     columns: tuple[_ColumnSpec, ...]
     rng_state: dict
+    stream_entropy: tuple[int, ...]
 
 
 def _export_table(table) -> tuple[tuple[_ColumnSpec, ...], list[shared_memory.SharedMemory]]:
@@ -141,8 +142,11 @@ def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
                 rng=0,
             )
             # Adopt the parent provider's exact stream position so the worker
-            # draws precisely what the in-process provider would have drawn.
+            # draws precisely what the in-process provider would have drawn,
+            # and its keyed-stream entropy so seed_material-pinned queries
+            # land on identical noise streams in every backend.
             provider._rng.bit_generator.state = spec.rng_state
+            provider._stream_entropy = spec.stream_entropy
             providers[spec.provider_id] = provider
         conn.send(("ready", None))
         while True:
@@ -222,6 +226,7 @@ class ProviderProcessPool:
                     schema=provider.table.schema,
                     columns=columns,
                     rng_state=provider._rng.bit_generator.state,
+                    stream_entropy=provider._stream_entropy,
                 )
             )
         try:

@@ -175,6 +175,17 @@ class DataProvider:
         if self.n_min < 1:
             raise ProtocolError(f"n_min must be >= 1, got {self.n_min}")
         self._rng = derive_rng(self.rng, "provider", self.provider_id)
+        # Stable entropy prefix of the *keyed* per-query streams (requests
+        # carrying ``seed_material``).  Derived once at construction — after
+        # the root-stream derivation above, so existing positional draws are
+        # unchanged — and copied verbatim into process-backend workers, which
+        # rebuild providers from a placeholder seed.
+        self._stream_entropy: tuple[int, ...] = tuple(
+            int(value)
+            for value in derive_rng(self.rng, "stream", self.provider_id).integers(
+                0, 2**32, size=4
+            )
+        )
         self.cache = ReleaseCache(self.cache_config or CacheConfig())
         self._layout_epoch = 0
         self._build_layout()
@@ -290,6 +301,20 @@ class DataProvider:
 
     # -- protocol step 1: noisy summary ---------------------------------------
 
+    def _keyed_stream(self, seed_material: Sequence[int]) -> np.random.Generator:
+        """Per-query generator keyed by ``seed_material`` (order-independent).
+
+        The stream depends only on the provider's stable entropy (fixed at
+        construction from the system seed) and the caller-supplied material —
+        never on how many draws the root stream has served — so the same
+        ``(seed, material)`` pair yields the same noise in any batch, any
+        interleaving, and any parallelism backend.
+        """
+        entropy = list(self._stream_entropy) + [
+            int(part) & 0xFFFFFFFF for part in seed_material
+        ]
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
     def prepare_summary(self, request: QueryRequest, epsilon_allocation: float) -> SummaryMessage:
         """Release the DP summary ``(Ñ^Q, ~Avg(R̂))`` for the allocation phase."""
         return self.prepare_summary_batch([request], epsilon_allocation)[0]
@@ -367,11 +392,30 @@ class DataProvider:
         # batch and sequential execution on identical streams.  Cache hits
         # keep their (otherwise untouched) child stream: it seeds the
         # answer-phase randomness if the answer later misses.
-        child_seeds = self._rng.integers(0, 2**63, size=len(requests))
+        #
+        # Requests carrying ``seed_material`` opt out of the positional draw:
+        # their child stream is keyed by (provider stream entropy, material),
+        # so it is identical however the surrounding batch is composed — the
+        # property the multi-tenant scheduler's coalescing relies on.  The
+        # root stream is not consumed for them, keeping positional traffic
+        # unaffected by how much keyed traffic ran before it.
+        positional = [
+            index
+            for index, request in enumerate(requests)
+            if request.seed_material is None
+        ]
+        child_seeds: dict[int, int] = {}
+        if positional:
+            draws = self._rng.integers(0, 2**63, size=len(positional))
+            child_seeds = {
+                index: int(draws[slot]) for slot, index in enumerate(positional)
+            }
         for index, (request, query) in enumerate(zip(requests, queries)):
-            self._sessions[request.query_id] = _QuerySession(
-                query=query, rng=np.random.default_rng(int(child_seeds[index]))
-            )
+            if request.seed_material is None:
+                rng = np.random.default_rng(child_seeds[index])
+            else:
+                rng = self._keyed_stream(request.seed_material)
+            self._sessions[request.query_id] = _QuerySession(query=query, rng=rng)
         self._materialize_sessions(
             [self._sessions[requests[index].query_id] for index in fresh]
         )

@@ -64,6 +64,19 @@ class QueryBatch:
         """Per-query plain ``{dimension: (low, high)}`` mappings."""
         return [query.range_tuples() for query in self.queries]
 
+    def chunked(self, size: int) -> Iterator["QueryBatch"]:
+        """Split the batch into consecutive sub-batches of at most ``size``.
+
+        The multi-tenant scheduler coalesces pending submissions into one
+        long canonical sequence and then chunks it to the configured
+        ``max_batch_size``; order is preserved, every query appears exactly
+        once, and the last chunk may be short.
+        """
+        if size < 1:
+            raise QueryError(f"chunk size must be >= 1, got {size}")
+        for start in range(0, len(self.queries), size):
+            yield QueryBatch(self.queries[start : start + size])
+
     # -- vectorised form ---------------------------------------------------
 
     @property

@@ -9,6 +9,7 @@ or ``SUM(Measure)``) plus one inclusive interval per queried dimension
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -16,6 +17,8 @@ from ..errors import QueryError
 from ..storage.schema import Schema
 
 __all__ = ["Aggregation", "Interval", "RangeQuery"]
+
+_MEASURE_NAME_RE = re.compile(r"\w+")
 
 
 class Aggregation(enum.Enum):
@@ -69,15 +72,29 @@ class RangeQuery:
     ranges:
         Mapping from dimension name to its inclusive interval.  Dimensions not
         mentioned are unconstrained.
+    measure:
+        Name of the summed column as written in the SQL text.  Tables carry a
+        single measure, so the name is presentational: it round-trips through
+        :meth:`to_sql` / :func:`repro.query.parser.parse_query` but does not
+        change what is computed.  Normalised to ``"measure"`` for SUM queries
+        and ``None`` for COUNT queries.
     """
 
     aggregation: Aggregation
     ranges: Mapping[str, Interval]
+    measure: str | None = None
 
     def __post_init__(self) -> None:
         if not self.ranges:
             raise QueryError("a range query must constrain at least one dimension")
         object.__setattr__(self, "ranges", _normalise_ranges(self.ranges))
+        if self.aggregation is Aggregation.SUM:
+            measure = self.measure or "measure"
+            if not _MEASURE_NAME_RE.fullmatch(measure):
+                raise QueryError(f"invalid measure column name: {self.measure!r}")
+            object.__setattr__(self, "measure", measure)
+        else:
+            object.__setattr__(self, "measure", None)
 
     # -- constructors -----------------------------------------------------
 
@@ -87,9 +104,14 @@ class RangeQuery:
         return cls(Aggregation.COUNT, _normalise_ranges(ranges))
 
     @classmethod
-    def sum(cls, ranges: Mapping[str, tuple[int, int] | Interval]) -> "RangeQuery":
+    def sum(
+        cls,
+        ranges: Mapping[str, tuple[int, int] | Interval],
+        *,
+        measure: str | None = None,
+    ) -> "RangeQuery":
         """Build a SUM(Measure) query from ``{dimension: (low, high)}``."""
-        return cls(Aggregation.SUM, _normalise_ranges(ranges))
+        return cls(Aggregation.SUM, _normalise_ranges(ranges), measure=measure)
 
     # -- accessors ---------------------------------------------------------
 
@@ -147,11 +169,13 @@ class RangeQuery:
             clipped[name] = Interval(
                 max(interval.low, dimension.low), min(interval.high, dimension.high)
             )
-        return RangeQuery(self.aggregation, clipped)
+        return RangeQuery(self.aggregation, clipped, measure=self.measure)
 
     def to_sql(self, table_name: str = "T") -> str:
         """Render the query as the SQL text form used in the paper."""
-        select = "COUNT(*)" if self.aggregation is Aggregation.COUNT else "SUM(measure)"
+        select = (
+            "COUNT(*)" if self.aggregation is Aggregation.COUNT else f"SUM({self.measure})"
+        )
         predicates = [
             f"{interval.low} <= {name} AND {name} <= {interval.high}"
             for name, interval in self.ranges.items()

@@ -31,7 +31,7 @@ _UNBOUNDED_LOW = -(2**62)
 _UNBOUNDED_HIGH = 2**62
 
 _SELECT_RE = re.compile(
-    r"^\s*select\s+(?P<agg>count\s*\(\s*\*\s*\)|sum\s*\(\s*[\w]+\s*\))\s+"
+    r"^\s*select\s+(?P<agg>count\s*\(\s*\*\s*\)|sum\s*\(\s*(?P<measure>[\w]+)\s*\))\s+"
     r"from\s+(?P<table>[\w\.]+)\s+where\s+(?P<where>.+?)\s*;?\s*$",
     re.IGNORECASE | re.DOTALL,
 )
@@ -59,6 +59,7 @@ def parse_query(sql: str) -> tuple[RangeQuery, str]:
         raise QueryParseError(f"cannot parse query: {sql!r}")
     aggregation_text = re.sub(r"\s+", "", match.group("agg").lower())
     aggregation = Aggregation.COUNT if aggregation_text.startswith("count") else Aggregation.SUM
+    measure = match.group("measure") if aggregation is Aggregation.SUM else None
     table_name = match.group("table")
     bounds = _parse_where(match.group("where"))
     ranges = {
@@ -66,7 +67,7 @@ def parse_query(sql: str) -> tuple[RangeQuery, str]:
                       high if high is not None else _UNBOUNDED_HIGH)
         for dim, (low, high) in bounds.items()
     }
-    return RangeQuery(aggregation, ranges), table_name
+    return RangeQuery(aggregation, ranges, measure=measure), table_name
 
 
 def _split_top_level_and(where: str) -> list[str]:

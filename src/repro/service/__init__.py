@@ -1,0 +1,31 @@
+"""Multi-tenant serving layer over the federated AQP engine.
+
+The paper's protocol serves one analyst; the serving layer turns the
+batched engine into a front-end for many concurrent tenants with isolated
+privacy budgets:
+
+* :mod:`repro.service.tenants` — :class:`~repro.service.tenants.TenantRegistry`,
+  mapping tenant ids to isolated
+  :class:`~repro.core.accounting.EndUserBudget`s and per-tenant noise-stream
+  sequences;
+* :mod:`repro.service.scheduler` —
+  :class:`~repro.service.scheduler.SessionScheduler`, which admits
+  submissions against per-tenant budgets (priced by the
+  :class:`~repro.cache.planner.ReusePlanner` upper bound), coalesces them
+  across tenants into shared query batches, dispatches with bounded
+  backpressure, and settles exact per-tenant charges.
+
+See ``docs/serving.md`` for the design and the isolation guarantees.
+"""
+
+from .scheduler import ServiceStats, SessionScheduler, SubmissionReceipt, TenantAnswer
+from .tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "Tenant",
+    "TenantRegistry",
+    "SessionScheduler",
+    "SubmissionReceipt",
+    "TenantAnswer",
+    "ServiceStats",
+]

@@ -1,0 +1,573 @@
+"""Concurrent session scheduler: many tenants, one batched federation pass.
+
+The protocol answers one analyst's workload at a time; a serving deployment
+faces many concurrent tenants.  :class:`SessionScheduler` multiplexes them
+onto one :class:`~repro.core.system.FederatedAQPSystem`:
+
+* **Submission** — :meth:`SessionScheduler.submit` accepts a per-tenant list
+  of queries, prices it with the :class:`~repro.cache.planner.ReusePlanner`'s
+  sound upper bound, and admits it only when the bound fits the tenant's
+  remaining budget (reserving the bound until the actual charge is known).
+  Unaffordable work is rejected (:class:`~repro.errors.AdmissionError`) or
+  deferred for re-pricing, per :class:`~repro.config.ServiceConfig`; a full
+  pending queue sheds load with
+  :class:`~repro.errors.ServiceOverloadedError` (backpressure).
+* **Coalescing** — :meth:`SessionScheduler.drain` flattens the pending
+  submissions in *canonical order* — ``(tenant_id, tenant-local submission
+  sequence)``, independent of arrival interleaving — and chunks the combined
+  workload into shared :class:`~repro.query.batch.QueryBatch`es of at most
+  ``max_batch_size`` queries, amortising the metadata pass and the provider
+  round-trips across tenants.
+* **Dispatch** — batches execute FIFO on one dispatcher worker (the
+  federation's providers are a shared, stateful resource; intra-batch
+  parallelism comes from :class:`~repro.config.ParallelismConfig`'s
+  thread/process fan-out), with up to ``max_in_flight_batches`` batches in
+  the pipeline so result routing overlaps the next batch's execution.
+* **Settlement** — per-query actual charges come back from the engine
+  (reuse-discounted, zero for fully cached queries), are grouped per
+  submission, charged atomically to the owning tenant's wallet, and returned
+  as :class:`TenantAnswer`s.
+
+Determinism: every query's provider noise streams are keyed by
+``(tenant, tenant-local sequence)`` (see
+:meth:`~repro.service.tenants.Tenant.next_seed_token`), and coalescing order
+is canonical — so under a fixed system seed, a tenant's answers are
+bit-identical however its submissions interleave with other tenants', and
+identical to running the tenant's workload alone, across the serial, thread,
+and process backends.  (With the release caches enabled, *charges* can
+additionally drop when another tenant's traffic already released a repeated
+predicate — that cross-tenant reuse is what keeps fleet-wide epsilon spend
+sublinear in tenant count on overlapping workloads.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import ServiceConfig
+from ..core.accounting import query_spend, split_query_budget
+from ..core.result import BatchResult, QueryResult
+from ..core.system import FederatedAQPSystem
+from ..errors import AdmissionError, ServiceError, ServiceOverloadedError
+from ..query.batch import QueryBatch
+from ..query.model import RangeQuery
+from .tenants import Tenant, TenantRegistry
+
+__all__ = ["SubmissionReceipt", "TenantAnswer", "ServiceStats", "SessionScheduler"]
+
+
+@dataclass(frozen=True)
+class SubmissionReceipt:
+    """What :meth:`SessionScheduler.submit` hands back immediately.
+
+    ``status`` is ``"queued"`` for admitted work (its budget bound is
+    reserved) or ``"deferred"`` for parked work awaiting re-pricing.
+    """
+
+    submission_id: int
+    tenant_id: str
+    num_queries: int
+    status: str
+    bound_epsilon: float
+    bound_delta: float
+
+
+@dataclass(frozen=True)
+class TenantAnswer:
+    """One completed submission routed back to its tenant.
+
+    ``epsilon_charged`` / ``delta_charged`` are the *exact* amounts debited
+    from this tenant's wallet for this submission — the sum of the per-query
+    actuals after reuse, never more than the bound reserved at admission
+    (barring the documented LRU-eviction corner, where the ledger still
+    records the true spend).
+    """
+
+    tenant_id: str
+    submission_id: int
+    results: tuple[QueryResult, ...]
+    epsilon_charged: float
+    delta_charged: float
+
+    @property
+    def num_queries(self) -> int:
+        """Number of answered queries in the submission."""
+        return len(self.results)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """The per-query DP answers, in submission order."""
+        return tuple(result.value for result in self.results)
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative serving-layer counters (monotone; read anytime)."""
+
+    submissions_accepted: int = 0
+    submissions_rejected: int = 0
+    submissions_deferred: int = 0
+    queries_accepted: int = 0
+    batches_dispatched: int = 0
+    queries_dispatched: int = 0
+    cross_tenant_batches: int = 0
+    answers_delivered: int = 0
+    epsilon_charged: float = 0.0
+    delta_charged: float = 0.0
+    epsilon_by_tenant: dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    max_pending_seen: int = 0
+
+    def _note_charge(self, tenant_id: str, epsilon: float, delta: float) -> None:
+        self.epsilon_charged += epsilon
+        self.delta_charged += delta
+        self.epsilon_by_tenant[tenant_id] = (
+            self.epsilon_by_tenant.get(tenant_id, 0.0) + epsilon
+        )
+
+
+@dataclass
+class _Submission:
+    """Internal bookkeeping of one accepted or deferred submission."""
+
+    submission_id: int
+    tenant: Tenant
+    order: int  # tenant-local submission sequence: the canonical sort key
+    queries: tuple[RangeQuery, ...]
+    seed_tokens: tuple[tuple[int, ...], ...]
+    bound_epsilon: float = 0.0
+    bound_delta: float = 0.0
+    reserved: bool = False
+
+
+class SessionScheduler:
+    """Multiplexes per-tenant submissions onto one federated system.
+
+    Parameters
+    ----------
+    system:
+        The federation to serve.  Must not carry its own end-user budget —
+        wallets live in the registry, one per tenant.
+    registry:
+        The tenant registry; tenants must be registered before submitting.
+    config:
+        Serving policy; defaults to the system's
+        :attr:`~repro.config.SystemConfig.service`.
+    """
+
+    def __init__(
+        self,
+        system: FederatedAQPSystem,
+        registry: TenantRegistry,
+        *,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        if system.end_user_budget is not None:
+            raise ServiceError(
+                "a served system must not hold its own end-user budget; "
+                "per-tenant budgets live in the TenantRegistry"
+            )
+        self.system = system
+        self.registry = registry
+        self.config = config or system.config.service
+        self.stats = ServiceStats()
+        # ``_lock`` guards the queues, the wallets (reserve / charge /
+        # release), and the stats; ``_drain_lock`` serialises whole drains —
+        # the federation's providers hold mutable protocol state, so two
+        # dispatch pipelines must never interleave on them.
+        self._lock = threading.Lock()
+        self._drain_lock = threading.Lock()
+        self._pending: list[_Submission] = []
+        self._deferred: list[_Submission] = []
+        self._next_submission_id = 0
+        self._query_budget = split_query_budget(system.config.privacy)
+
+    # -- admission --------------------------------------------------------------
+
+    def _price(self, queries: Sequence[RangeQuery]) -> tuple[float, float]:
+        """Sound upper bound of a submission's charge.
+
+        With the release caches enabled the :class:`ReusePlanner` lowers the
+        bound to zero for queries guaranteed to be served by post-processing;
+        otherwise every query is bounded at its full federation spend.
+        """
+        if self.system.config.cache.enabled:
+            plan = self.system.aggregator.plan_reuse(queries, self._query_budget)
+            return plan.upper_bound
+        spend = query_spend(self._query_budget, self.system.num_providers)
+        return (len(queries) * spend.epsilon, len(queries) * spend.delta)
+
+    def submit(
+        self, tenant_id: str, queries: Sequence[RangeQuery | str]
+    ) -> SubmissionReceipt:
+        """Accept (or defer, or refuse) one tenant's workload.
+
+        Parameters
+        ----------
+        tenant_id:
+            A registered tenant.
+        queries:
+            The workload: :class:`RangeQuery` objects or SQL texts.
+
+        Returns
+        -------
+        SubmissionReceipt
+            Queued or deferred acknowledgement; answers arrive from
+            :meth:`drain`.
+
+        Raises
+        ------
+        UnknownTenantError
+            Unregistered ``tenant_id``.
+        ServiceOverloadedError
+            The bounded pending queue (or, for deferrals, the separately
+            bounded deferred park) is full — backpressure: retry after a
+            drain, or :meth:`discard_deferred`.
+        AdmissionError
+            The priced bound does not fit the tenant's remaining budget and
+            the submission cannot be deferred — because the policy is
+            ``"reject"``, or because the release caches are disabled, in
+            which case the price can never drop and parking the work would
+            only wedge the queue.  Atomic: nothing is queued, reserved, or
+            charged.
+        """
+        if not queries:
+            raise ServiceError("a submission must contain at least one query")
+        tenant = self.registry.get(tenant_id)
+        with self._lock:
+            # Cheap shed before any pricing work: when both queues are full
+            # no submission can be accepted whatever it prices at.
+            if (
+                len(self._pending) >= self.config.max_pending
+                and len(self._deferred) >= self.config.max_pending
+            ):
+                raise ServiceOverloadedError(
+                    f"pending queue and deferred park are both full "
+                    f"({self.config.max_pending} submissions each); drain first"
+                )
+        range_queries = tuple(self.system._coerce_query(query) for query in queries)
+        # Pricing peeks the release caches and may solve allocations — keep
+        # it off the queue/wallet lock so concurrent settlement is never
+        # blocked behind it.  The bound tolerates cache-state races by
+        # design (see the planner's documented eviction corner); the
+        # affordability check is re-taken under the lock before reserving.
+        bound_epsilon, bound_delta = self._price(range_queries)
+        with self._lock:
+            affordable = tenant.budget.can_admit(bound_epsilon, bound_delta)
+            defer = (
+                not affordable
+                and self.config.admission == "defer"
+                and self.system.config.cache.enabled
+            )
+            if not affordable and not defer:
+                self.stats.submissions_rejected += 1
+                raise AdmissionError(
+                    f"tenant {tenant_id!r}: bound ({bound_epsilon}, {bound_delta}) "
+                    f"exceeds remaining budget "
+                    f"({tenant.remaining_epsilon}, {tenant.remaining_delta})"
+                )
+            # Pending and deferred are bounded separately: a tenant parking
+            # never-affordable work can fill the deferred park, but it cannot
+            # starve other tenants' admissible submissions.
+            if affordable and len(self._pending) >= self.config.max_pending:
+                raise ServiceOverloadedError(
+                    f"pending queue is full ({self.config.max_pending} submissions); "
+                    "drain before submitting more"
+                )
+            if defer and len(self._deferred) >= self.config.max_pending:
+                raise ServiceOverloadedError(
+                    f"deferred park is full ({self.config.max_pending} submissions); "
+                    "drain (after budgets or caches changed) or discard_deferred()"
+                )
+            submission = _Submission(
+                submission_id=self._next_submission_id,
+                tenant=tenant,
+                order=tenant.sequence,
+                queries=range_queries,
+                seed_tokens=tuple(tenant.next_seed_token() for _ in range_queries),
+                bound_epsilon=bound_epsilon,
+                bound_delta=bound_delta,
+            )
+            self._next_submission_id += 1
+            if affordable:
+                tenant.budget.reserve(bound_epsilon, bound_delta)
+                submission.reserved = True
+                self._pending.append(submission)
+                self.stats.submissions_accepted += 1
+                self.stats.queries_accepted += len(range_queries)
+                status = "queued"
+            else:
+                self._deferred.append(submission)
+                self.stats.submissions_deferred += 1
+                status = "deferred"
+            self.stats.max_pending_seen = max(
+                self.stats.max_pending_seen, len(self._pending) + len(self._deferred)
+            )
+            return SubmissionReceipt(
+                submission_id=submission.submission_id,
+                tenant_id=tenant_id,
+                num_queries=len(range_queries),
+                status=status,
+                bound_epsilon=bound_epsilon,
+                bound_delta=bound_delta,
+            )
+
+    @property
+    def num_pending(self) -> int:
+        """Admitted-but-undispatched submissions (deferred ones included)."""
+        with self._lock:
+            return len(self._pending) + len(self._deferred)
+
+    @property
+    def num_deferred(self) -> int:
+        """Submissions parked by admission control, awaiting re-pricing."""
+        with self._lock:
+            return len(self._deferred)
+
+    def discard_deferred(self, tenant_id: str | None = None) -> int:
+        """Drop parked submissions (all of them, or one tenant's).
+
+        Deferred work holds no reservation, so discarding it only frees the
+        park.  Returns the number of submissions dropped.
+        """
+        with self._lock:
+            kept = [
+                submission
+                for submission in self._deferred
+                if tenant_id is not None and submission.tenant.tenant_id != tenant_id
+            ]
+            dropped = len(self._deferred) - len(kept)
+            self._deferred = kept
+            return dropped
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def drain(self) -> list[TenantAnswer]:
+        """Coalesce, execute, and settle everything pending.
+
+        Deferred submissions are re-priced first (in canonical order) and
+        admitted when they now fit — a workload whose predicates were
+        released by other tenants' traffic since it was parked prices lower
+        on re-admission.  The admitted set is then flattened canonically,
+        chunked to ``max_batch_size``, executed FIFO with a bounded
+        dispatch pipeline (settlement of completed batches overlaps the
+        execution of later ones), and charged per submission.
+
+        Drains serialise on an internal lock: the federation's providers
+        hold mutable protocol state, so only one dispatch pipeline runs at
+        a time; :meth:`submit` stays concurrent with a running drain.
+
+        If a batch fails mid-drain, the queries that *did* complete have
+        already released their noise — their actual charges are recorded
+        against the owning tenants before the exception propagates (the
+        ledger never under-reports real privacy loss); unexecuted work
+        only has its reservation returned.
+
+        Returns
+        -------
+        list of TenantAnswer
+            One answer per completed submission, in canonical
+            ``(tenant_id, submission order)`` order.  Deferred submissions
+            that still cannot fit stay parked and are not in the list.
+        """
+        with self._drain_lock:
+            admitted = self._admit_for_drain()
+            if not admitted:
+                return []
+            return self._run_pipeline(admitted)
+
+    def _admit_for_drain(self) -> list[_Submission]:
+        """Re-price the deferred park and collect the admitted set (locked)."""
+        with self._lock:
+            still_deferred: list[_Submission] = []
+            for submission in sorted(
+                self._deferred, key=lambda s: (s.tenant.tenant_id, s.order)
+            ):
+                bound_epsilon, bound_delta = self._price(submission.queries)
+                if submission.tenant.budget.can_admit(bound_epsilon, bound_delta):
+                    submission.tenant.budget.reserve(bound_epsilon, bound_delta)
+                    submission.bound_epsilon = bound_epsilon
+                    submission.bound_delta = bound_delta
+                    submission.reserved = True
+                    self._pending.append(submission)
+                    self.stats.submissions_accepted += 1
+                    self.stats.queries_accepted += len(submission.queries)
+                else:
+                    still_deferred.append(submission)
+            self._deferred = still_deferred
+            admitted = sorted(
+                self._pending, key=lambda s: (s.tenant.tenant_id, s.order)
+            )
+            self._pending = []
+            return admitted
+
+    def _run_pipeline(self, admitted: Sequence[_Submission]) -> list[TenantAnswer]:
+        """Flatten canonically, chunk, execute FIFO, settle as batches land.
+
+        One dispatcher worker keeps provider state and FIFO order sound;
+        up to ``max_in_flight_batches`` batches queue ahead of it, so the
+        main thread settles (charges wallets, routes answers) for batch
+        ``i`` while the dispatcher executes batch ``i+1``.
+        """
+        flat_queries: list[RangeQuery] = []
+        flat_tokens: list[tuple[int, ...]] = []
+        flat_tenants: list[str] = []
+        offsets = [0]
+        for submission in admitted:
+            flat_queries.extend(submission.queries)
+            flat_tokens.extend(submission.seed_tokens)
+            flat_tenants.extend([submission.tenant.tenant_id] * len(submission.queries))
+            offsets.append(offsets[-1] + len(submission.queries))
+        combined = QueryBatch(tuple(flat_queries))
+        chunks: list[tuple[QueryBatch, list[tuple[int, ...]], set[str]]] = []
+        start = 0
+        for chunk in combined.chunked(self.config.max_batch_size):
+            stop = start + len(chunk)
+            chunks.append(
+                (chunk, flat_tokens[start:stop], set(flat_tenants[start:stop]))
+            )
+            start = stop
+
+        def run(chunk: QueryBatch, tokens: list[tuple[int, ...]]) -> BatchResult:
+            return self.system.execute_batch(
+                chunk.queries,
+                compute_exact=self.config.compute_exact,
+                seed_tokens=tokens,
+            )
+
+        results_flat: list[QueryResult] = []
+        answers: list[TenantAnswer] = []
+        settled = 0  # submissions fully settled (canonical prefix)
+
+        def absorb(batch_result: BatchResult) -> None:
+            nonlocal settled
+            results_flat.extend(batch_result.results)
+            with self._lock:
+                self.stats.wall_seconds += batch_result.wall_seconds
+                while settled < len(admitted) and len(results_flat) >= offsets[settled + 1]:
+                    submission = admitted[settled]
+                    answers.append(
+                        self._settle_submission(
+                            submission,
+                            tuple(results_flat[offsets[settled] : offsets[settled + 1]]),
+                        )
+                    )
+                    settled += 1
+
+        in_flight: deque[Future[BatchResult]] = deque()
+        try:
+            with ThreadPoolExecutor(max_workers=1) as dispatcher:
+                try:
+                    for chunk, tokens, tenants in chunks:
+                        while len(in_flight) >= self.config.max_in_flight_batches:
+                            absorb(in_flight.popleft().result())
+                        in_flight.append(dispatcher.submit(run, chunk, tokens))
+                        self.stats.batches_dispatched += 1
+                        self.stats.queries_dispatched += len(chunk)
+                        if len(tenants) > 1:
+                            self.stats.cross_tenant_batches += 1
+                    while in_flight:
+                        absorb(in_flight.popleft().result())
+                except BaseException:
+                    # Stop the pipeline: queued batches are cancelled; one
+                    # may already be running on the dispatcher — if it
+                    # completes, its releases happened too and must be
+                    # absorbed before the accounting below.
+                    for future in in_flight:
+                        future.cancel()
+                    for future in in_flight:
+                        if not future.cancelled():
+                            try:
+                                absorb(future.result())
+                            except BaseException:
+                                pass
+                    raise
+        except BaseException:
+            self._abort(admitted, offsets, results_flat, settled)
+            raise
+        return answers
+
+    def _settle_submission(
+        self, submission: _Submission, results: tuple[QueryResult, ...]
+    ) -> TenantAnswer:
+        """Charge one completed submission's actuals (caller holds the lock)."""
+        tenant = submission.tenant
+        charges = [
+            (
+                result.epsilon_spent,
+                result.delta_spent,
+                f"{tenant.tenant_id}/{submission.submission_id}: "
+                + result.query.to_sql(),
+            )
+            for result in results
+        ]
+        # The noisy releases already happened; record the true actuals
+        # unconditionally (same rationale as the system facade) and only
+        # then hand the admission reservation back.
+        total = tenant.budget.charge_spends(charges, enforce=False)
+        tenant.budget.release(submission.bound_epsilon, submission.bound_delta)
+        submission.reserved = False
+        self.stats._note_charge(tenant.tenant_id, total.epsilon, total.delta)
+        self.stats.answers_delivered += 1
+        return TenantAnswer(
+            tenant_id=tenant.tenant_id,
+            submission_id=submission.submission_id,
+            results=results,
+            epsilon_charged=total.epsilon,
+            delta_charged=total.delta,
+        )
+
+    def _abort(
+        self,
+        admitted: Sequence[_Submission],
+        offsets: Sequence[int],
+        results_flat: Sequence[QueryResult],
+        settled: int,
+    ) -> None:
+        """Account a failed drain honestly before the exception propagates.
+
+        Queries that completed before the failure released real noise: their
+        actual spends are charged to the owning tenants (a partially
+        answered submission is charged for exactly its answered prefix —
+        under-reporting real privacy loss is never an option).  Every
+        unsettled reservation is returned; completed-but-unsettled answers
+        are discarded, since their submissions never finish.
+        """
+        with self._lock:
+            for index in range(settled, len(admitted)):
+                submission = admitted[index]
+                tenant = submission.tenant
+                answered = results_flat[offsets[index] : offsets[index + 1]]
+                if answered:
+                    charges = [
+                        (
+                            result.epsilon_spent,
+                            result.delta_spent,
+                            f"{tenant.tenant_id}/{submission.submission_id} "
+                            "(failed drain): " + result.query.to_sql(),
+                        )
+                        for result in answered
+                    ]
+                    total = tenant.budget.charge_spends(charges, enforce=False)
+                    self.stats._note_charge(
+                        tenant.tenant_id, total.epsilon, total.delta
+                    )
+                if submission.reserved:
+                    tenant.budget.release(
+                        submission.bound_epsilon, submission.bound_delta
+                    )
+                    submission.reserved = False
+
+    # -- convenience ------------------------------------------------------------
+
+    def serve(
+        self, submissions: Sequence[tuple[str, Sequence[RangeQuery | str]]]
+    ) -> list[TenantAnswer]:
+        """Submit many ``(tenant_id, queries)`` pairs and drain once."""
+        for tenant_id, queries in submissions:
+            self.submit(tenant_id, queries)
+        return self.drain()

@@ -1,0 +1,117 @@
+"""Tenant registry: isolated per-tenant budgets and noise-stream identities.
+
+A *tenant* is one end user of the serving layer.  Each tenant owns
+
+* an isolated :class:`~repro.core.accounting.EndUserBudget` ``(xi, psi)`` —
+  one tenant exhausting its wallet never touches another tenant's headroom,
+* a monotonically increasing *query sequence*.  Query ``k`` of tenant ``T``
+  is answered with provider noise streams keyed by ``(T, k)`` (see
+  :attr:`~repro.federation.messages.QueryRequest.seed_material`), so under a
+  fixed system seed a tenant's answers are bit-identical whether its
+  submissions ran alone or coalesced with arbitrary other tenants' traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.accounting import EndUserBudget
+from ..errors import ServiceError, UnknownTenantError
+
+__all__ = ["Tenant", "TenantRegistry"]
+
+
+@dataclass
+class Tenant:
+    """One registered tenant: identity, wallet, and stream sequence."""
+
+    tenant_id: str
+    budget: EndUserBudget
+    sequence: int = 0
+
+    def next_seed_token(self) -> tuple[int, ...]:
+        """Allocate the noise-stream key of this tenant's next query.
+
+        The token is the tenant id's UTF-8 bytes followed by the tenant-local
+        sequence number — collision-free across tenants (the final element is
+        always the sequence, everything before it the id bytes) and
+        independent of every other tenant's activity.
+        """
+        token = tuple(self.tenant_id.encode("utf-8")) + (self.sequence,)
+        self.sequence += 1
+        return token
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """Epsilon still available to this tenant."""
+        return self.budget.remaining_epsilon
+
+    @property
+    def remaining_delta(self) -> float:
+        """Delta still available to this tenant."""
+        return self.budget.remaining_delta
+
+
+@dataclass
+class TenantRegistry:
+    """Maps tenant ids to isolated end-user budgets.
+
+    The registry is the serving layer's source of truth for *who* may spend
+    *how much*: the scheduler prices every submission against the submitting
+    tenant's own wallet and charges the actual (reuse-discounted) cost back
+    to it, so the fleet-wide epsilon spend is simply the sum of the
+    per-tenant ledgers — auditable tenant by tenant.
+    """
+
+    _tenants: dict[str, Tenant] = field(default_factory=dict)
+
+    def register(
+        self, tenant_id: str, *, total_epsilon: float, total_delta: float = 1.0
+    ) -> Tenant:
+        """Register a new tenant with budget ``(total_epsilon, total_delta)``.
+
+        Raises
+        ------
+        ServiceError
+            When the id is empty or already registered (re-registration
+            would silently reset a wallet).
+        """
+        if not tenant_id:
+            raise ServiceError("tenant_id must be a non-empty string")
+        if tenant_id in self._tenants:
+            raise ServiceError(f"tenant {tenant_id!r} is already registered")
+        tenant = Tenant(
+            tenant_id=tenant_id,
+            budget=EndUserBudget.create(total_epsilon, total_delta),
+        )
+        self._tenants[tenant_id] = tenant
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        """Look a tenant up, raising :class:`UnknownTenantError` when absent."""
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise UnknownTenantError(
+                f"unknown tenant {tenant_id!r}; registered: {sorted(self._tenants)}"
+            )
+        return tenant
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self._tenants.values())
+
+    @property
+    def tenant_ids(self) -> tuple[str, ...]:
+        """Registered tenant ids in registration order."""
+        return tuple(self._tenants)
+
+    def remaining_budget(self, tenant_id: str) -> tuple[float, float]:
+        """The tenant's remaining ``(epsilon, delta)``."""
+        tenant = self.get(tenant_id)
+        return (tenant.remaining_epsilon, tenant.remaining_delta)

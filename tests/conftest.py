@@ -2,8 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import settings
+
+    # Derandomised by default so the property suite is reproducible in CI and
+    # across machines; a fixed profile name lets the CI job (or a local
+    # deep-fuzz run) pick a different one via HYPOTHESIS_PROFILE.
+    settings.register_profile("repro", derandomize=True, max_examples=50)
+    settings.register_profile("ci", derandomize=True, max_examples=100)
+    settings.register_profile("deep", max_examples=1000)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
 
 from repro.config import PrivacyConfig, SamplingConfig, SystemConfig
 from repro.core.system import FederatedAQPSystem

@@ -21,6 +21,7 @@ DOCTESTED_PAGES = [
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "protocol.md",
     REPO_ROOT / "docs" / "performance.md",
+    REPO_ROOT / "docs" / "serving.md",
 ]
 
 

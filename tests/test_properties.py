@@ -1,0 +1,256 @@
+"""Property-based invariants (hypothesis): query algebra, budgets, cache keys.
+
+Three families of properties the system's correctness arguments lean on:
+
+* **Interval / RangeQuery algebra** — normalisation is canonical, containment
+  and intersection agree with their arithmetic definitions, and the SQL text
+  form round-trips exactly through the parser (including ``SUM(<column>)``
+  measure names).
+* **Budget accounting** — wallets never go negative, a charge succeeds
+  exactly when the affordability check says so, failed (enforced) charges
+  leave no trace, and admission reservations compose with spends.
+* **Cache-key canonicalisation** — semantically equal queries map to equal
+  release keys however their range mappings were built, and distinct
+  predicates or budgets never collide.
+
+The suite runs under the derandomised ``repro``/``ci`` profiles registered in
+``conftest.py`` so CI failures are reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.key import answer_key, query_fingerprint, summary_key
+from repro.config import PrivacyConfig
+from repro.core.accounting import EndUserBudget, split_query_budget
+from repro.dp.accountant import PrivacyAccountant
+from repro.errors import BudgetExhaustedError
+from repro.query.model import Aggregation, Interval, RangeQuery
+from repro.query.parser import parse_query
+
+# -- strategies -----------------------------------------------------------------
+
+# Safe SQL identifiers: no keywords (and / between / select ...), no digits-only
+# tokens, stable across the grammar's case-insensitive matching.
+DIMENSION_NAMES = ("age", "hours", "dept", "income", "d0", "d1", "d2")
+MEASURE_NAMES = ("measure", "revenue", "amount", "m1")
+
+intervals = st.builds(
+    lambda low, width: Interval(low, low + width),
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=0, max_value=500),
+)
+
+points = st.integers(min_value=-1600, max_value=1600)
+
+
+@st.composite
+def range_queries(draw):
+    names = draw(
+        st.lists(
+            st.sampled_from(DIMENSION_NAMES), min_size=1, max_size=4, unique=True
+        )
+    )
+    ranges = {name: draw(intervals) for name in names}
+    aggregation = draw(st.sampled_from(list(Aggregation)))
+    measure = (
+        draw(st.sampled_from(MEASURE_NAMES))
+        if aggregation is Aggregation.SUM
+        else None
+    )
+    return RangeQuery(aggregation, ranges, measure=measure)
+
+
+small_spends = st.tuples(
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=0.01, allow_nan=False, allow_infinity=False),
+)
+
+
+# -- interval / query algebra ----------------------------------------------------
+
+
+@given(intervals)
+def test_interval_width_and_endpoints(interval):
+    assert interval.width == interval.high - interval.low + 1 >= 1
+    assert interval.contains(interval.low) and interval.contains(interval.high)
+    assert not interval.contains(interval.low - 1)
+    assert not interval.contains(interval.high + 1)
+
+
+@given(intervals, points)
+def test_interval_contains_matches_arithmetic(interval, value):
+    assert interval.contains(value) == (interval.low <= value <= interval.high)
+
+
+@given(intervals, intervals)
+def test_interval_intersection_symmetric_and_arithmetic(a, b):
+    expected = max(a.low, b.low) <= min(a.high, b.high)
+    assert a.intersects(b) == b.intersects(a) == expected
+
+
+@given(intervals, intervals, points)
+def test_common_point_implies_intersection(a, b, value):
+    if a.contains(value) and b.contains(value):
+        assert a.intersects(b)
+
+
+@given(range_queries())
+def test_range_normalisation_is_canonical(query):
+    # Tuple-built, Interval-built, and reversed-insertion-order queries are
+    # all the same query.
+    from_tuples = RangeQuery(
+        query.aggregation,
+        {name: interval.as_tuple() for name, interval in query.ranges.items()},
+        measure=query.measure,
+    )
+    reversed_order = RangeQuery(
+        query.aggregation,
+        dict(reversed(list(query.ranges.items()))),
+        measure=query.measure,
+    )
+    assert from_tuples == query
+    assert reversed_order == query
+    assert all(isinstance(interval, Interval) for interval in query.ranges.values())
+
+
+# -- SQL round-trip --------------------------------------------------------------
+
+
+@given(range_queries())
+def test_sql_round_trip_is_exact(query):
+    parsed, table = parse_query(query.to_sql())
+    assert parsed == query
+    assert table == "T"
+    # The rendered text is a fixed point: parse -> render reproduces itself.
+    assert parsed.to_sql() == query.to_sql()
+
+
+@given(range_queries())
+def test_sum_measure_survives_round_trip(query):
+    if query.aggregation is Aggregation.SUM:
+        assert f"SUM({query.measure})" in query.to_sql()
+        assert parse_query(query.to_sql())[0].measure == query.measure
+    else:
+        assert query.measure is None
+        assert "COUNT(*)" in query.to_sql()
+
+
+# -- budget accounting -----------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+    st.lists(small_spends, min_size=1, max_size=12),
+)
+def test_accountant_never_overdraws_and_failures_leave_no_trace(total, charges):
+    accountant = PrivacyAccountant(total_epsilon=total, total_delta=0.05)
+    for epsilon, delta in charges:
+        affordable = accountant.can_afford(epsilon, delta)
+        before = (accountant.spent.epsilon, accountant.spent.delta, len(accountant))
+        if affordable:
+            accountant.charge(epsilon, delta)
+        else:
+            with pytest.raises(BudgetExhaustedError):
+                accountant.charge(epsilon, delta)
+            assert (
+                accountant.spent.epsilon,
+                accountant.spent.delta,
+                len(accountant),
+            ) == before
+        assert accountant.remaining_epsilon >= 0.0
+        assert accountant.remaining_delta >= 0.0
+        assert accountant.spent.epsilon <= total + 1e-9
+
+
+@given(st.lists(small_spends, min_size=1, max_size=8))
+def test_charge_many_is_atomic(charges):
+    total = sum(epsilon for epsilon, _ in charges)
+    tight = PrivacyAccountant(total_epsilon=max(0.0, total - 0.5), total_delta=1.0)
+    labelled = [(epsilon, delta, "q") for epsilon, delta in charges]
+    if tight.can_afford(total, sum(delta for _, delta in charges)):
+        tight.charge_many(labelled)
+        assert len(tight) == len(charges)
+    else:
+        with pytest.raises(BudgetExhaustedError):
+            tight.charge_many(labelled)
+        assert len(tight) == 0
+        assert tight.spent.epsilon == 0.0
+
+
+@given(st.lists(small_spends, min_size=1, max_size=8))
+def test_reservations_compose_with_spends(reservations):
+    budget = EndUserBudget.create(4.0, 0.05)
+    held: list[tuple[float, float]] = []
+    for epsilon, delta in reservations:
+        if budget.can_admit(epsilon, delta):
+            budget.reserve(epsilon, delta)
+            held.append((epsilon, delta))
+        else:
+            with pytest.raises(BudgetExhaustedError):
+                budget.reserve(epsilon, delta)
+        # Reservations never exceed what the wallet could actually pay.
+        assert budget.reserved_epsilon <= 4.0 + 1e-9
+        assert budget.reserved_delta <= 0.05 + 1e-9
+    for epsilon, delta in held:
+        budget.release(epsilon, delta)
+    assert budget.reserved_epsilon == pytest.approx(0.0, abs=1e-12)
+    assert budget.reserved_delta == pytest.approx(0.0, abs=1e-12)
+
+
+def test_charges_never_exceed_admission_bounds():
+    # The per-query actual charge is bounded by the full per-query spend the
+    # admission check prices with — phase discounts only ever subtract.
+    privacy = PrivacyConfig(epsilon=1.0, delta=1e-3)
+    budget = split_query_budget(privacy)
+    full = budget.epsilon_total
+    for summary_hit in (False, True):
+        for answer_hit in (False, True):
+            from repro.federation.aggregator import Aggregator
+
+            epsilon, delta = Aggregator._query_charge(
+                budget, [summary_hit], [answer_hit]
+            )
+            assert 0.0 <= epsilon <= full + 1e-12
+            assert 0.0 <= delta <= budget.delta
+
+
+# -- cache-key canonicalisation --------------------------------------------------
+
+
+@given(range_queries(), st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+def test_equal_queries_make_equal_keys(query, epsilon_allocation):
+    shuffled = RangeQuery(
+        query.aggregation,
+        dict(reversed(list(query.ranges.items()))),
+        measure=query.measure,
+    )
+    assert query_fingerprint(shuffled) == query_fingerprint(query)
+    assert summary_key(shuffled, epsilon_allocation) == summary_key(
+        query, epsilon_allocation
+    )
+    budget = split_query_budget(PrivacyConfig())
+    assert answer_key(shuffled, budget, 5) == answer_key(query, budget, 5)
+
+
+@given(range_queries(), range_queries())
+def test_distinct_predicates_never_collide(a, b):
+    same_semantics = a.aggregation == b.aggregation and dict(a.ranges) == dict(
+        b.ranges
+    )
+    assert (query_fingerprint(a) == query_fingerprint(b)) == same_semantics
+
+
+@given(range_queries())
+def test_keys_distinguish_budgets_and_sample_sizes(query):
+    assert summary_key(query, 0.1) != summary_key(query, 0.2)
+    budget = split_query_budget(PrivacyConfig())
+    assert answer_key(query, budget, 5) != answer_key(query, budget, 6)
+    other = split_query_budget(PrivacyConfig(epsilon=2.0))
+    assert answer_key(query, budget, 5) != answer_key(query, other, 5)

@@ -1,0 +1,471 @@
+"""Multi-tenant serving layer: scheduling, isolation, determinism, admission.
+
+The load-bearing guarantees under test:
+
+* **Interleaving invariance** — under a fixed seed, a tenant's answers are
+  bit-identical whether its submissions run alone or coalesced with other
+  tenants' traffic, in any submission order, across the serial, thread, and
+  process provider backends (per-tenant noise streams + canonical
+  coalescing order).
+* **Budget isolation** — tenants hold separate wallets; admission prices
+  with the reuse planner's sound bound, reserves it, and settles exact
+  actuals; one tenant exhausting its budget never affects another.
+* **Budget-exhaustion edges** — at exactly zero remaining budget a fully
+  cached workload is admitted and charged zero; a partially cached workload
+  is rejected atomically (nothing queued, reserved, or charged).
+* **Backpressure** — the bounded pending queue sheds load instead of
+  growing without bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ParallelismConfig,
+    PrivacyConfig,
+    ServiceConfig,
+    SystemConfig,
+)
+from repro.core.system import FederatedAQPSystem
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownTenantError,
+)
+from repro.query.model import RangeQuery
+from repro.service import SessionScheduler, TenantRegistry
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+
+QA = RangeQuery.count({"age": (10, 60)})
+QB = RangeQuery.count({"hours": (5, 30)})
+QC = RangeQuery.sum({"age": (0, 40)})
+QD = RangeQuery.count({"age": (20, 80), "hours": (0, 20)})
+
+
+def make_table() -> Table:
+    rng = np.random.default_rng(123)
+    n = 2000
+    schema = Schema((Dimension("age", 0, 99), Dimension("hours", 0, 49)))
+    return Table(
+        schema,
+        {"age": rng.integers(0, 100, n), "hours": rng.integers(0, 50, n)},
+    )
+
+
+def make_system(
+    *, backend: str | None = None, cache: bool = False, seed: int = 7
+) -> FederatedAQPSystem:
+    config = SystemConfig(cluster_size=100, num_providers=4, seed=seed)
+    if backend is not None:
+        config = config.with_parallelism(
+            ParallelismConfig(enabled=True, backend=backend)
+        )
+    if cache:
+        config = config.with_cache(CacheConfig(enabled=True))
+    return FederatedAQPSystem.from_table(make_table(), config=config)
+
+
+def registry_for(*tenant_ids: str, epsilon: float = 50.0) -> TenantRegistry:
+    registry = TenantRegistry()
+    for tenant_id in tenant_ids:
+        registry.register(tenant_id, total_epsilon=epsilon, total_delta=0.5)
+    return registry
+
+
+# -- determinism under interleaving ----------------------------------------------
+
+TENANT_WORKLOADS = {
+    "alice": [[QA, QC], [QD]],
+    "bob": [[QB], [QC, QA]],
+    "carol": [[QD, QB, QC]],
+}
+
+
+def _serve_interleaved(backend, order):
+    """All tenants through one scheduler, submissions in the given order."""
+    system = make_system(backend=backend)
+    try:
+        scheduler = SessionScheduler(
+            system,
+            registry_for(*TENANT_WORKLOADS),
+            config=ServiceConfig(max_batch_size=4),
+        )
+        for tenant_id, submission_index in order:
+            scheduler.submit(tenant_id, TENANT_WORKLOADS[tenant_id][submission_index])
+        answers = scheduler.drain()
+    finally:
+        system.close()
+    per_tenant: dict[str, list[tuple[float, ...]]] = {}
+    charges: dict[str, float] = {}
+    for answer in answers:
+        per_tenant.setdefault(answer.tenant_id, []).append(answer.values)
+        charges[answer.tenant_id] = (
+            charges.get(answer.tenant_id, 0.0) + answer.epsilon_charged
+        )
+    return per_tenant, charges
+
+
+def _serve_serially(backend):
+    """Each tenant alone on a fresh identical system."""
+    per_tenant: dict[str, list[tuple[float, ...]]] = {}
+    charges: dict[str, float] = {}
+    for tenant_id, submissions in TENANT_WORKLOADS.items():
+        system = make_system(backend=backend)
+        try:
+            scheduler = SessionScheduler(system, registry_for(tenant_id))
+            for queries in submissions:
+                scheduler.submit(tenant_id, queries)
+            answers = scheduler.drain()
+        finally:
+            system.close()
+        per_tenant[tenant_id] = [answer.values for answer in answers]
+        charges[tenant_id] = sum(answer.epsilon_charged for answer in answers)
+    return per_tenant, charges
+
+
+ROUND_ROBIN = [
+    ("alice", 0),
+    ("bob", 0),
+    ("carol", 0),
+    ("alice", 1),
+    ("bob", 1),
+]
+SCRAMBLED = [
+    ("carol", 0),
+    ("bob", 0),
+    ("bob", 1),
+    ("alice", 0),
+    ("alice", 1),
+]
+
+
+@pytest.mark.parametrize("backend", [None, "thread", "process"])
+def test_interleaved_equals_serial_per_tenant(backend):
+    serial_values, serial_charges = _serve_serially(backend)
+    for order in (ROUND_ROBIN, SCRAMBLED):
+        values, charges = _serve_interleaved(backend, order)
+        assert values == serial_values
+        assert charges == serial_charges
+
+
+def test_backends_are_bit_identical_through_the_scheduler():
+    baseline, _ = _serve_interleaved(None, ROUND_ROBIN)
+    for backend in ("thread", "process"):
+        values, _ = _serve_interleaved(backend, ROUND_ROBIN)
+        assert values == baseline
+
+
+def test_coalescing_batches_cross_tenants():
+    system = make_system()
+    scheduler = SessionScheduler(
+        system,
+        registry_for("alice", "bob", "carol"),
+        config=ServiceConfig(max_batch_size=8),
+    )
+    scheduler.submit("bob", [QB, QC])
+    scheduler.submit("alice", [QA])
+    scheduler.submit("carol", [QD, QA])
+    answers = scheduler.drain()
+    assert scheduler.stats.batches_dispatched == 1
+    assert scheduler.stats.cross_tenant_batches == 1
+    assert scheduler.stats.queries_dispatched == 5
+    # Canonical routing: answers come back per submission in
+    # (tenant, submission order), each sized like its submission.
+    assert [(a.tenant_id, a.num_queries) for a in answers] == [
+        ("alice", 1),
+        ("bob", 2),
+        ("carol", 2),
+    ]
+
+
+def test_drain_respects_max_batch_size():
+    system = make_system()
+    scheduler = SessionScheduler(
+        system, registry_for("alice"), config=ServiceConfig(max_batch_size=2)
+    )
+    scheduler.submit("alice", [QA, QB, QC, QD, QA])
+    answers = scheduler.drain()
+    assert scheduler.stats.batches_dispatched == 3
+    assert answers[0].num_queries == 5
+
+
+# -- admission, isolation, and accounting ----------------------------------------
+
+
+def test_unknown_tenant_is_refused():
+    scheduler = SessionScheduler(make_system(), registry_for("alice"))
+    with pytest.raises(UnknownTenantError):
+        scheduler.submit("mallory", [QA])
+
+
+def test_system_with_own_budget_is_refused():
+    config = SystemConfig(cluster_size=100, num_providers=4, seed=7)
+    system = FederatedAQPSystem.from_partitions(
+        [make_table()], config=config, total_epsilon=5.0
+    )
+    with pytest.raises(ServiceError):
+        SessionScheduler(system, registry_for("alice"))
+
+
+def test_empty_submission_is_refused():
+    scheduler = SessionScheduler(make_system(), registry_for("alice"))
+    with pytest.raises(ServiceError):
+        scheduler.submit("alice", [])
+
+
+def test_backpressure_sheds_load():
+    scheduler = SessionScheduler(
+        make_system(), registry_for("alice"), config=ServiceConfig(max_pending=2)
+    )
+    scheduler.submit("alice", [QA])
+    scheduler.submit("alice", [QB])
+    with pytest.raises(ServiceOverloadedError):
+        scheduler.submit("alice", [QC])
+    scheduler.drain()
+    scheduler.submit("alice", [QC])  # queue drained: accepted again
+
+
+def test_budget_isolation_between_tenants():
+    registry = TenantRegistry()
+    registry.register("poor", total_epsilon=1.0, total_delta=0.01)
+    registry.register("rich", total_epsilon=100.0, total_delta=0.5)
+    scheduler = SessionScheduler(make_system(), registry)
+    scheduler.submit("poor", [QA])
+    scheduler.drain()
+    assert registry.remaining_budget("poor")[0] == pytest.approx(0.0)
+    with pytest.raises(AdmissionError):
+        scheduler.submit("poor", [QB])
+    # The sibling tenant is untouched by the rejection and keeps serving.
+    receipt = scheduler.submit("rich", [QB, QC])
+    assert receipt.status == "queued"
+    answers = scheduler.drain()
+    assert len(answers) == 1 and answers[0].tenant_id == "rich"
+    assert registry.remaining_budget("rich")[0] == pytest.approx(98.0)
+
+
+def test_rejection_is_atomic():
+    registry = TenantRegistry()
+    registry.register("alice", total_epsilon=1.5, total_delta=0.01)
+    scheduler = SessionScheduler(make_system(), registry)
+    tenant = registry.get("alice")
+    with pytest.raises(AdmissionError):
+        scheduler.submit("alice", [QA, QB])  # needs 2.0
+    assert scheduler.num_pending == 0
+    assert tenant.budget.reserved_epsilon == 0.0
+    assert len(tenant.budget.accountant) == 0
+    assert tenant.sequence == 0  # no stream tokens consumed either
+    assert scheduler.stats.submissions_rejected == 1
+
+
+def test_reservations_gate_concurrent_submissions():
+    registry = TenantRegistry()
+    registry.register("alice", total_epsilon=1.0, total_delta=0.01)
+    scheduler = SessionScheduler(make_system(), registry)
+    scheduler.submit("alice", [QA])  # reserves the whole wallet
+    with pytest.raises(AdmissionError):
+        scheduler.submit("alice", [QB])  # individually affordable, jointly not
+    answers = scheduler.drain()
+    assert [a.epsilon_charged for a in answers] == [pytest.approx(1.0)]
+    # After settlement the reservation is gone and the wallet reads its
+    # true remaining value.
+    assert registry.get("alice").budget.reserved_epsilon == 0.0
+
+
+def test_charges_match_bounds_without_cache():
+    scheduler = SessionScheduler(make_system(), registry_for("alice"))
+    receipt = scheduler.submit("alice", [QA, QB, QC])
+    assert receipt.bound_epsilon == pytest.approx(3.0)
+    (answer,) = scheduler.drain()
+    assert answer.epsilon_charged == pytest.approx(receipt.bound_epsilon)
+    assert answer.delta_charged == pytest.approx(receipt.bound_delta)
+    assert scheduler.stats.epsilon_by_tenant["alice"] == pytest.approx(3.0)
+
+
+# -- budget-exhaustion edge cases (cache-aware admission) ------------------------
+
+
+def test_zero_budget_fully_cached_workload_succeeds():
+    system = make_system(cache=True)
+    registry = TenantRegistry()
+    registry.register("alice", total_epsilon=2.0, total_delta=0.01)
+    scheduler = SessionScheduler(system, registry)
+    first = scheduler.serve([("alice", [QA, QB])])[0]
+    assert first.epsilon_charged == pytest.approx(2.0)
+    assert registry.remaining_budget("alice")[0] == pytest.approx(0.0)
+    # Exactly zero budget left; the same predicates are now cached on every
+    # provider, so the repeat prices (and costs) zero — and is re-served
+    # byte-for-byte.
+    receipt = scheduler.submit("alice", [QA, QB])
+    assert receipt.status == "queued"
+    assert receipt.bound_epsilon == 0.0
+    (repeat,) = scheduler.drain()
+    assert repeat.epsilon_charged == 0.0
+    assert repeat.delta_charged == 0.0
+    assert repeat.values == first.values
+
+
+def test_zero_budget_partially_cached_workload_rejected_atomically():
+    system = make_system(cache=True)
+    registry = TenantRegistry()
+    registry.register("alice", total_epsilon=2.0, total_delta=0.01)
+    scheduler = SessionScheduler(system, registry)
+    scheduler.serve([("alice", [QA, QB])])
+    tenant = registry.get("alice")
+    ledger_before = len(tenant.budget.accountant)
+    sequence_before = tenant.sequence
+    # QC is fresh: the submission's bound is QC's full price, which no longer
+    # fits — the whole submission (cached queries included) is refused with
+    # no partial execution and no partial charge.
+    with pytest.raises(AdmissionError):
+        scheduler.submit("alice", [QA, QC])
+    assert len(tenant.budget.accountant) == ledger_before
+    assert tenant.budget.reserved_epsilon == 0.0
+    assert tenant.sequence == sequence_before
+    assert scheduler.num_pending == 0
+
+
+def test_deferred_submission_admitted_once_cache_makes_it_free():
+    system = make_system(cache=True)
+    registry = TenantRegistry()
+    registry.register("poor", total_epsilon=1e-9, total_delta=0.01)
+    registry.register("rich", total_epsilon=100.0, total_delta=0.5)
+    scheduler = SessionScheduler(
+        system, registry, config=ServiceConfig(admission="defer")
+    )
+    receipt = scheduler.submit("poor", [QA])
+    assert receipt.status == "deferred"
+    assert scheduler.drain() == []  # still unaffordable: stays parked
+    assert scheduler.num_deferred == 1
+    # Another tenant's traffic releases the predicate; on the next drain the
+    # parked submission re-prices to zero and completes free of charge.
+    scheduler.serve([("rich", [QA])])
+    assert scheduler.num_deferred == 1
+    answers = scheduler.drain()
+    assert [a.tenant_id for a in answers] == ["poor"]
+    assert answers[0].epsilon_charged == 0.0
+    assert scheduler.num_deferred == 0
+
+
+def test_defer_without_cache_rejects_outright():
+    # With the caches off a submission's price can never drop, so "defer"
+    # must not park work that would wedge the queue forever.
+    registry = TenantRegistry()
+    registry.register("alice", total_epsilon=1.0, total_delta=0.01)
+    scheduler = SessionScheduler(
+        make_system(cache=False),
+        registry,
+        config=ServiceConfig(admission="defer"),
+    )
+    with pytest.raises(AdmissionError):
+        scheduler.submit("alice", [QA, QB])
+    assert scheduler.num_deferred == 0
+
+
+def test_deferred_park_is_bounded_separately():
+    system = make_system(cache=True)
+    registry = TenantRegistry()
+    registry.register("poor", total_epsilon=1e-9, total_delta=0.01)
+    registry.register("rich", total_epsilon=100.0, total_delta=0.5)
+    scheduler = SessionScheduler(
+        system, registry, config=ServiceConfig(admission="defer", max_pending=2)
+    )
+    scheduler.submit("poor", [QA])
+    scheduler.submit("poor", [QB])
+    with pytest.raises(ServiceOverloadedError):
+        scheduler.submit("poor", [QC])  # park full
+    # The wedged park does not starve admissible tenants...
+    scheduler.submit("rich", [QA])
+    scheduler.submit("rich", [QB])
+    with pytest.raises(ServiceOverloadedError):
+        scheduler.submit("rich", [QC])  # ...until the pending bound itself
+    # and the park can be cleared explicitly.
+    assert scheduler.discard_deferred("poor") == 2
+    assert scheduler.num_deferred == 0
+
+
+def test_failed_drain_charges_completed_queries():
+    # Chunk 1 completes (noise released), chunk 2 blows up: the tenant owning
+    # chunk 1's queries must still be charged, reservations returned, and the
+    # exception propagated.
+    system = make_system()
+    registry = registry_for("alice", "bob")
+    scheduler = SessionScheduler(
+        system, registry, config=ServiceConfig(max_batch_size=2, max_in_flight_batches=1)
+    )
+    real_execute = system.execute_batch
+    calls = {"n": 0}
+
+    def flaky_execute(queries, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise RuntimeError("provider fell over")
+        return real_execute(queries, **kwargs)
+
+    system.execute_batch = flaky_execute
+    scheduler.submit("alice", [QA, QB])  # chunk 1 (completes)
+    scheduler.submit("bob", [QC, QD])  # chunk 2 (fails)
+    with pytest.raises(RuntimeError):
+        scheduler.drain()
+    alice = registry.get("alice")
+    bob = registry.get("bob")
+    # alice's two queries ran and are on her ledger; bob ran nothing.
+    assert alice.budget.accountant.spent.epsilon == pytest.approx(2.0)
+    assert bob.budget.accountant.spent.epsilon == 0.0
+    # No reservation survives the failed drain, and the queue is empty.
+    assert alice.budget.reserved_epsilon == 0.0
+    assert bob.budget.reserved_epsilon == 0.0
+    assert scheduler.num_pending == 0
+    # The service keeps serving afterwards.
+    system.execute_batch = real_execute
+    answers = scheduler.serve([("bob", [QA])])
+    assert len(answers) == 1
+
+
+# -- cross-tenant reuse keeps fleet-wide spend sublinear -------------------------
+
+
+def test_cross_tenant_reuse_prices_repeat_tenants_at_zero():
+    system = make_system(cache=True)
+    tenant_ids = [f"tenant-{index}" for index in range(6)]
+    registry = registry_for(*tenant_ids, epsilon=10.0)
+    scheduler = SessionScheduler(system, registry)
+    answers = scheduler.serve([(tenant_id, [QA, QB]) for tenant_id in tenant_ids])
+    # Canonical order puts tenant-0 first: it pays for the fresh releases;
+    # every later tenant re-serves them as post-processing.
+    total = sum(answer.epsilon_charged for answer in answers)
+    assert answers[0].epsilon_charged == pytest.approx(2.0)
+    assert total == pytest.approx(2.0)
+    for answer in answers[1:]:
+        assert answer.epsilon_charged == 0.0
+        assert answer.values == answers[0].values
+
+
+# -- configuration ----------------------------------------------------------------
+
+
+def test_service_config_validation():
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(max_batch_size=0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(max_pending=0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(max_in_flight_batches=0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(admission="drop")
+    assert ServiceConfig().with_admission("defer").admission == "defer"
+    assert ServiceConfig().with_max_batch_size(8).max_batch_size == 8
+    assert SystemConfig().service == ServiceConfig()
+
+
+def test_duplicate_tenant_registration_is_refused():
+    registry = registry_for("alice")
+    with pytest.raises(ServiceError):
+        registry.register("alice", total_epsilon=1.0)
+    assert "alice" in registry and len(registry) == 1
+    assert registry.tenant_ids == ("alice",)
