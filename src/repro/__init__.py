@@ -14,6 +14,7 @@ downstream user needs:
 
 from .config import (
     CacheConfig,
+    IngestConfig,
     NetworkConfig,
     PrivacyConfig,
     SamplingConfig,
@@ -27,6 +28,7 @@ from .core import FederatedAQPSystem, QueryResult
 # core/federation import cycle and must not be the module that enters it.
 from .cache import CacheStats, ReleaseCache, ReusePlanner
 from .errors import ReproError
+from .ingest import CompactionPolicy, Compactor, DeltaStore
 from .query import Aggregation, Interval, RangeQuery, parse_query
 from .service import SessionScheduler, TenantAnswer, TenantRegistry
 from .storage import ClusteredTable, Dimension, Schema, Table, build_count_tensor
@@ -48,6 +50,10 @@ __all__ = [
     "SMCConfig",
     "CacheConfig",
     "ServiceConfig",
+    "IngestConfig",
+    "DeltaStore",
+    "Compactor",
+    "CompactionPolicy",
     "CacheStats",
     "ReleaseCache",
     "ReusePlanner",

@@ -28,7 +28,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only (import cycle guard)
     from ..core.accounting import QueryBudget
     from ..query.model import RangeQuery
 
-__all__ = ["query_fingerprint", "summary_key", "answer_key"]
+__all__ = [
+    "query_fingerprint",
+    "summary_key",
+    "answer_key",
+    "key_query_ranges",
+    "key_delta_watermark",
+]
 
 
 def query_fingerprint(query: RangeQuery) -> tuple:
@@ -63,7 +69,13 @@ def summary_key(query: RangeQuery, epsilon_allocation: float) -> tuple:
     return ("summary", query_fingerprint(query), float(epsilon_allocation))
 
 
-def answer_key(query: RangeQuery, budget: QueryBudget, sample_size: int) -> tuple:
+def answer_key(
+    query: RangeQuery,
+    budget: QueryBudget,
+    sample_size: int,
+    *,
+    delta_watermark: int = 0,
+) -> tuple:
     """Key of a released local estimate.
 
     The estimate depends on the predicate, the sampling and estimation phase
@@ -72,6 +84,11 @@ def answer_key(query: RangeQuery, budget: QueryBudget, sample_size: int) -> tupl
     different Exponential-Mechanism sample, so it is part of the key.  When
     every provider's summary is served from cache the allocation solve is
     deterministic, which is what makes repeated workloads hit this key.
+
+    ``delta_watermark`` is the ingestion snapshot the answer was evaluated
+    at (:mod:`repro.ingest`): an answer that included delta rows is only
+    reusable at exactly the same watermark — more (or fewer) visible delta
+    rows change the released value's data, not just its noise.
     """
     return (
         "answer",
@@ -80,4 +97,23 @@ def answer_key(query: RangeQuery, budget: QueryBudget, sample_size: int) -> tupl
         float(budget.epsilon_estimation),
         float(budget.delta),
         int(sample_size),
+        int(delta_watermark),
     )
+
+
+def key_query_ranges(key: tuple) -> tuple:
+    """The ``((dimension, low, high), ...)`` ranges embedded in a release key.
+
+    Used by compaction-time cache retention to decide whether a cached
+    release could observe a re-clustered region of the table.
+    """
+    return key[1][1]
+
+
+def key_delta_watermark(key: tuple) -> int:
+    """The ingestion watermark embedded in a release key (0 for summaries).
+
+    Summary releases never read the delta buffer, so they carry no
+    watermark; answer keys embed the snapshot they were evaluated at.
+    """
+    return int(key[6]) if key[0] == "answer" else 0

@@ -245,6 +245,30 @@ class ReleaseCache:
         self.stats.evicted_stale += len(stale)
         return len(stale)
 
+    def rekey_epoch(self, new_epoch: int, retain) -> tuple[int, int]:
+        """Selective epoch migration: keep some entries servable across a bump.
+
+        Compaction (:mod:`repro.ingest`) bumps the provider's layout epoch —
+        which would lazily invalidate *every* cached release — but most
+        entries are still exactly what a fresh release would produce: a
+        query whose box cannot touch any re-clustered region sees identical
+        covering sets, proportions, and ``Q(C)`` values before and after the
+        fold.  ``retain(key)`` decides per entry; retained entries are
+        re-tagged to ``new_epoch`` (so the normal epoch check keeps serving
+        them), the rest are dropped as stale.
+
+        Returns ``(purged, retained)`` entry counts.
+        """
+        if not self.enabled:
+            return (0, 0)
+        stale = [key for key, entry in self._entries.items() if not retain(key)]
+        for key in stale:
+            del self._entries[key]
+        self.stats.evicted_stale += len(stale)
+        for entry in self._entries.values():
+            entry.epoch = new_epoch
+        return (len(stale), len(self._entries))
+
     def clear(self) -> None:
         """Drop every entry (stats are preserved)."""
         self._entries.clear()

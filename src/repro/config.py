@@ -30,6 +30,7 @@ __all__ = [
     "ExecutionConfig",
     "CacheConfig",
     "ServiceConfig",
+    "IngestConfig",
     "SystemConfig",
     "DEFAULT_PRIVACY",
     "DEFAULT_SAMPLING",
@@ -39,6 +40,7 @@ __all__ = [
     "DENSE_EXECUTION",
     "DEFAULT_CACHE",
     "DEFAULT_SERVICE",
+    "DEFAULT_INGEST",
     "DEFAULT_SYSTEM",
 ]
 
@@ -406,6 +408,12 @@ class ServiceConfig:
         can become affordable once its predicates are served by the release
         caches — with the caches disabled the price can never drop, so
         unaffordable work is rejected even under ``"defer"``).
+    max_pending_ingest:
+        Bound of the ingest request queue
+        (:meth:`~repro.service.scheduler.SessionScheduler.submit_ingest`).
+        A full queue raises :class:`~repro.errors.ServiceOverloadedError`,
+        the same load-shedding backpressure the query queues apply —
+        ingest bursts cannot grow memory without bound while drains lag.
     compute_exact:
         Also run the exact plain-text baselines for served queries (off by
         default: serving traffic wants throughput, not error measurement).
@@ -415,6 +423,7 @@ class ServiceConfig:
     max_pending: int = 1024
     max_in_flight_batches: int = 2
     admission: str = "reject"
+    max_pending_ingest: int = 256
     compute_exact: bool = False
 
     def __post_init__(self) -> None:
@@ -433,6 +442,10 @@ class ServiceConfig:
             self.admission in ("reject", "defer"),
             f'admission must be "reject" or "defer", got {self.admission!r}',
         )
+        _require(
+            self.max_pending_ingest >= 1,
+            f"max_pending_ingest must be >= 1, got {self.max_pending_ingest}",
+        )
 
     def with_admission(self, admission: str) -> "ServiceConfig":
         """Return a copy with a different admission policy."""
@@ -441,6 +454,57 @@ class ServiceConfig:
     def with_max_batch_size(self, max_batch_size: int) -> "ServiceConfig":
         """Return a copy with a different coalescing cap."""
         return replace(self, max_batch_size=max_batch_size)
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Streaming-ingestion policy (see :mod:`repro.ingest`).
+
+    Every data provider owns a :class:`~repro.ingest.delta.DeltaStore` — an
+    append buffer absorbing new rows while queries keep being answered from
+    epoch-pinned snapshots.  A :class:`~repro.ingest.compaction.CompactionPolicy`
+    built from this config decides when the buffered deltas are folded into
+    the clustered layout (incrementally: only the affected tail clusters are
+    re-clustered, the metadata index is patched in place, and only genuinely
+    stale release-cache entries are purged).
+
+    Attributes
+    ----------
+    auto_compact:
+        Fold deltas automatically as soon as the thresholds below trip (and
+        no per-query sessions are open).  Disabled, compaction only happens
+        through an explicit :meth:`~repro.federation.provider.DataProvider.compact`.
+    max_delta_rows:
+        Compact once the delta buffer holds at least this many rows.
+    max_delta_fraction:
+        Optional second trigger: compact once the delta holds more than this
+        fraction of the clustered rows (useful for small providers where an
+        absolute row threshold would let the unclustered share grow
+        unboundedly relative to the main table).
+    """
+
+    auto_compact: bool = True
+    max_delta_rows: int = 4096
+    max_delta_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.max_delta_rows >= 1,
+            f"max_delta_rows must be >= 1, got {self.max_delta_rows}",
+        )
+        if self.max_delta_fraction is not None:
+            _require(
+                0 < self.max_delta_fraction <= 1,
+                f"max_delta_fraction must be in (0, 1], got {self.max_delta_fraction}",
+            )
+
+    def with_auto_compact(self, auto_compact: bool) -> "IngestConfig":
+        """Return a copy with automatic compaction switched on or off."""
+        return replace(self, auto_compact=auto_compact)
+
+    def with_max_delta_rows(self, max_delta_rows: int) -> "IngestConfig":
+        """Return a copy with a different row-count compaction trigger."""
+        return replace(self, max_delta_rows=max_delta_rows)
 
 
 @dataclass(frozen=True)
@@ -457,6 +521,7 @@ class SystemConfig:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    ingest: IngestConfig = field(default_factory=IngestConfig)
     use_smc_for_result: bool = False
     seed: int | None = None
 
@@ -490,6 +555,10 @@ class SystemConfig:
         """Return a copy with a different serving-layer policy."""
         return replace(self, service=service)
 
+    def with_ingest(self, ingest: IngestConfig) -> "SystemConfig":
+        """Return a copy with a different streaming-ingestion policy."""
+        return replace(self, ingest=ingest)
+
 
 DEFAULT_PRIVACY = PrivacyConfig()
 DEFAULT_SAMPLING = SamplingConfig()
@@ -499,4 +568,5 @@ DEFAULT_EXECUTION = ExecutionConfig()
 DENSE_EXECUTION = ExecutionConfig.dense()
 DEFAULT_CACHE = CacheConfig()
 DEFAULT_SERVICE = ServiceConfig()
+DEFAULT_INGEST = IngestConfig()
 DEFAULT_SYSTEM = SystemConfig()

@@ -22,9 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from ..cache.store import CacheStats
 from ..config import SystemConfig
 from ..errors import BudgetExhaustedError, ProtocolError
+from ..ingest.delta import IngestReceipt
 from ..federation.aggregator import Aggregator
 from ..federation.network import SimulatedNetwork
 from ..federation.partitioning import partition_equal
@@ -123,6 +126,7 @@ class FederatedAQPSystem:
                 intra_sort_by=intra_sort_by,
                 cache_config=cfg.cache,
                 execution_config=cfg.execution,
+                ingest_config=cfg.ingest,
                 rng=derive_rng(cfg.seed, "provider", index),
             )
             for index, partition in enumerate(partitions)
@@ -336,6 +340,61 @@ class FederatedAQPSystem:
             for range_query, answer, exact_value in zip(range_queries, answers, exact_values)
         )
         return BatchResult(results=results, wall_seconds=timer.elapsed)
+
+    # -- streaming ingestion -----------------------------------------------------
+
+    def ingest(
+        self, rows: Table, *, provider_index: int | None = None
+    ) -> list[IngestReceipt | None]:
+        """Append rows to the federation while query service keeps running.
+
+        Parameters
+        ----------
+        rows:
+            The appended rows (provider schema).
+        provider_index:
+            Send every row to one provider; by default rows are dealt
+            round-robin by position across the federation (deterministic, so
+            repeated runs build identical partitions).
+
+        Returns
+        -------
+        list of IngestReceipt or None
+            One receipt per provider that received rows (federation order).
+            A receipt's ``compacted`` flag marks appends that tripped the
+            :class:`~repro.config.IngestConfig` compaction thresholds.
+        """
+        if provider_index is not None:
+            if not 0 <= provider_index < len(self.providers):
+                raise ProtocolError(
+                    f"provider_index must be in [0, {len(self.providers)}), "
+                    f"got {provider_index}"
+                )
+            partitions: list[Table | None] = [None] * len(self.providers)
+            partitions[provider_index] = rows
+        else:
+            assignment = np.arange(rows.num_rows) % len(self.providers)
+            partitions = [
+                rows.take(np.flatnonzero(assignment == index))
+                for index in range(len(self.providers))
+            ]
+        return self.aggregator.ingest(partitions)
+
+    def compact(self) -> list:
+        """Explicitly fold every provider's delta buffer (empty folds no-op).
+
+        Returns the per-provider
+        :class:`~repro.ingest.compaction.CompactionReport` list.  Normally
+        compaction triggers automatically through
+        :class:`~repro.config.IngestConfig`; this is the manual override
+        (e.g. before a planned burst of latency-sensitive traffic).
+        """
+        return [provider.compact() for provider in self.providers]
+
+    @property
+    def total_delta_rows(self) -> int:
+        """Ingested rows still buffered (unclustered) across providers."""
+        return sum(provider.delta_rows for provider in self.providers)
 
     def exact_baseline(self, query: RangeQuery | str) -> BaselineExecution:
         """Plain-text exact execution (the paper's "normal computation")."""

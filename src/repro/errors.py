@@ -32,6 +32,7 @@ __all__ = [
     "UnknownTenantError",
     "AdmissionError",
     "ServiceOverloadedError",
+    "IngestError",
 ]
 
 
@@ -124,3 +125,7 @@ class AdmissionError(ServiceError):
 
 class ServiceOverloadedError(ServiceError):
     """Backpressure: the scheduler's bounded submission queue is full."""
+
+
+class IngestError(ReproError):
+    """A streaming-ingestion operation (append, compaction) failed."""

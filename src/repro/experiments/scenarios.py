@@ -60,6 +60,7 @@ class DatasetScenario:
                 intra_sort_by=provider.intra_sort_by,
                 cache_config=provider.cache_config,
                 execution_config=provider.execution_config,
+                ingest_config=provider.ingest_config,
                 rng=derive_rng(config.seed, "provider", index),
             )
             for index, provider in enumerate(self.system.providers)

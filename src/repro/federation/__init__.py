@@ -12,6 +12,8 @@ from .aggregator import Aggregator
 from .messages import (
     AllocationMessage,
     EstimateMessage,
+    IngestAck,
+    IngestRequest,
     QueryRequest,
     SummaryMessage,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "SummaryMessage",
     "AllocationMessage",
     "EstimateMessage",
+    "IngestRequest",
+    "IngestAck",
     "partition_equal",
     "partition_skewed",
     "partition_by_dimension",

@@ -41,10 +41,19 @@ from ..core.allocation import AllocationProblem, solve_allocation
 from ..core.result import ExecutionTrace, ProviderReport
 from ..dp.mechanisms import LaplaceMechanism
 from ..errors import ProtocolError
+from ..ingest.delta import IngestReceipt, validate_rows
 from ..query.model import RangeQuery
+from ..storage.table import Table
 from ..utils.rng import RngLike, derive_rng
 from ..utils.timing import Stopwatch
-from .messages import AllocationMessage, EstimateMessage, QueryRequest, SummaryMessage
+from .messages import (
+    AllocationMessage,
+    EstimateMessage,
+    IngestAck,
+    IngestRequest,
+    QueryRequest,
+    SummaryMessage,
+)
 from .network import SimulatedNetwork
 from .procpool import ProviderProcessPool
 from .provider import DataProvider, LocalAnswer
@@ -111,6 +120,17 @@ class Aggregator:
         self._rng = derive_rng(self.rng, "aggregator")
         self._next_query_id = 0
         self._process_pool: ProviderProcessPool | None = None
+        for provider in self.providers:
+            # Eager invalidation: a provider re-clustering (rebuild_layout or
+            # compaction) immediately tears down the process-pool workers and
+            # their shared-memory snapshots of the dead layout, instead of
+            # waiting for the lazy epoch-tuple check on the next batch.
+            provider.subscribe_layout_change(self._on_provider_layout_change)
+
+    def _on_provider_layout_change(self, _provider: DataProvider) -> None:
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -298,6 +318,70 @@ class Aggregator:
                 )
             )
         return results
+
+    def ingest(
+        self, partitions: Sequence[Table | None]
+    ) -> list[IngestReceipt | None]:
+        """Route one batch of appended rows to each provider's delta store.
+
+        Parameters
+        ----------
+        partitions:
+            One table (or ``None`` / empty for "nothing") per provider, in
+            federation order.
+
+        Returns
+        -------
+        list of IngestReceipt or None
+            One receipt per provider that received rows, aligned with the
+            federation order.
+
+        Notes
+        -----
+        Each non-empty partition is charged to the simulated network under
+        the ``"ingest"`` traffic class (request scaling with the row count,
+        plus a constant-size ack), so Figure-1-style communication
+        accounting of the query protocol stays untouched.  With the process
+        backend active, the append is mirrored onto the provider's worker
+        first, keeping both views of the buffer in lockstep; a compaction
+        triggered by the append bumps the provider's layout epoch, which
+        eagerly tears the worker pool down for a rebuild on the folded
+        state.
+        """
+        if len(partitions) != len(self.providers):
+            raise ProtocolError(
+                f"ingest needs one partition per provider: got {len(partitions)} "
+                f"for {len(self.providers)} providers"
+            )
+        # All-or-nothing validation BEFORE any provider is touched: a bad
+        # partition must not leave the federation half-applied (a retry
+        # would duplicate the partitions that did land).
+        for provider, rows in zip(self.providers, partitions):
+            if rows is not None and rows.num_rows:
+                validate_rows(provider.table.schema, rows)
+        receipts: list[IngestReceipt | None] = []
+        for index, (provider, rows) in enumerate(zip(self.providers, partitions)):
+            if rows is None or rows.num_rows == 0:
+                receipts.append(None)
+                continue
+            request = IngestRequest(
+                provider_id=provider.provider_id,
+                num_rows=rows.num_rows,
+                num_columns=len(rows.schema.column_names),
+            )
+            self.network.send(request.payload_bytes(), message_class="ingest")
+            if self._process_pool is not None:
+                self._process_pool.ingest(index, rows)
+            receipt = provider.ingest_rows(rows)
+            ack = IngestAck(
+                provider_id=provider.provider_id,
+                delta_watermark=receipt.delta_watermark,
+                layout_epoch=receipt.layout_epoch,
+                compacted=receipt.compacted,
+            )
+            self.network.send(ack.payload_bytes(), message_class="ingest")
+            receipts.append(receipt)
+        return receipts
 
     def plan_reuse(
         self,

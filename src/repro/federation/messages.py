@@ -18,6 +18,8 @@ __all__ = [
     "SummaryMessage",
     "AllocationMessage",
     "EstimateMessage",
+    "IngestRequest",
+    "IngestAck",
 ]
 
 _SCALAR_BYTES = 8
@@ -98,6 +100,40 @@ class EstimateMessage:
     value: float
     smooth_sensitivity: float
     approximated: bool
+
+    def payload_bytes(self) -> int:
+        """Two scalars, one flag, and a header."""
+        return _HEADER_BYTES + 2 * _SCALAR_BYTES + 1
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """Ingest source -> provider: a batch of appended rows.
+
+    Unlike the query-path messages, ingest payloads scale with the data:
+    one scalar per cell crosses the (simulated) wire.  The simulated
+    network accounts them under the separate ``"ingest"`` traffic class so
+    Figure-1-style communication accounting of the query protocol stays
+    honest when ingestion runs alongside it.
+    """
+
+    provider_id: str
+    num_rows: int
+    num_columns: int
+
+    def payload_bytes(self) -> int:
+        """Header plus one scalar per (row, column) cell."""
+        return _HEADER_BYTES + _SCALAR_BYTES * self.num_rows * self.num_columns
+
+
+@dataclass(frozen=True)
+class IngestAck:
+    """Provider -> ingest source: the post-append snapshot coordinates."""
+
+    provider_id: str
+    delta_watermark: int
+    layout_epoch: int
+    compacted: bool
 
     def payload_bytes(self) -> int:
         """Two scalars, one flag, and a header."""

@@ -5,6 +5,13 @@ The simulator does not actually move bytes; it records every send and charges
 execution trace reports separately from wall-clock compute time.  This keeps
 the communication-volume effects visible (Figure 1 is entirely about them)
 while the whole federation runs in one process.
+
+Traffic is accounted per **message class**: the query protocol's messages
+(``"query"`` — requests, summaries, allocations, estimates, SMC exchanges)
+and the streaming-ingestion path's messages (``"ingest"`` — appended row
+batches and their acks) are counted separately, so the paper's
+communication-volume comparisons stay meaningful when ingest runs alongside
+query traffic.  The top-level counters remain the all-traffic totals.
 """
 
 from __future__ import annotations
@@ -14,16 +21,43 @@ from dataclasses import dataclass, field
 from ..config import NetworkConfig
 from ..errors import FederationError
 
-__all__ = ["NetworkStats", "SimulatedNetwork"]
+__all__ = ["NetworkStats", "SimulatedNetwork", "MESSAGE_CLASSES"]
+
+MESSAGE_CLASSES = ("query", "ingest")
+"""Traffic classes the simulated network accounts separately."""
 
 
 @dataclass
 class NetworkStats:
-    """Counters accumulated by a :class:`SimulatedNetwork`."""
+    """Counters accumulated by a :class:`SimulatedNetwork`.
+
+    ``messages`` / ``bytes_sent`` / ``simulated_seconds`` are all-traffic
+    totals; the ``ingest_*`` fields hold the ingest class's share, and the
+    ``query_*`` properties derive the query-protocol share as the
+    difference, so the split always sums back to the totals.
+    """
 
     messages: int = 0
     bytes_sent: int = 0
     simulated_seconds: float = 0.0
+    ingest_messages: int = 0
+    ingest_bytes_sent: int = 0
+    ingest_simulated_seconds: float = 0.0
+
+    @property
+    def query_messages(self) -> int:
+        """Messages carried for the query protocol (total minus ingest)."""
+        return self.messages - self.ingest_messages
+
+    @property
+    def query_bytes_sent(self) -> int:
+        """Bytes carried for the query protocol (total minus ingest)."""
+        return self.bytes_sent - self.ingest_bytes_sent
+
+    @property
+    def query_simulated_seconds(self) -> float:
+        """Simulated seconds spent on query-protocol traffic."""
+        return self.simulated_seconds - self.ingest_simulated_seconds
 
     def merge(self, other: "NetworkStats") -> "NetworkStats":
         """Return the element-wise sum of two stats objects."""
@@ -31,7 +65,25 @@ class NetworkStats:
             messages=self.messages + other.messages,
             bytes_sent=self.bytes_sent + other.bytes_sent,
             simulated_seconds=self.simulated_seconds + other.simulated_seconds,
+            ingest_messages=self.ingest_messages + other.ingest_messages,
+            ingest_bytes_sent=self.ingest_bytes_sent + other.ingest_bytes_sent,
+            ingest_simulated_seconds=self.ingest_simulated_seconds
+            + other.ingest_simulated_seconds,
         )
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form (for JSON benchmark records), split included."""
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "simulated_seconds": self.simulated_seconds,
+            "query_messages": self.query_messages,
+            "query_bytes_sent": self.query_bytes_sent,
+            "query_simulated_seconds": self.query_simulated_seconds,
+            "ingest_messages": self.ingest_messages,
+            "ingest_bytes_sent": self.ingest_bytes_sent,
+            "ingest_simulated_seconds": self.ingest_simulated_seconds,
+        }
 
 
 @dataclass
@@ -41,19 +93,31 @@ class SimulatedNetwork:
     config: NetworkConfig = field(default_factory=NetworkConfig)
     stats: NetworkStats = field(default_factory=NetworkStats)
 
-    def send(self, payload_bytes: int, *, copies: int = 1) -> float:
+    def send(
+        self, payload_bytes: int, *, copies: int = 1, message_class: str = "query"
+    ) -> float:
         """Record sending a payload (optionally to several recipients).
 
-        Returns the simulated transfer time in seconds for the whole send.
+        ``message_class`` selects the accounting bucket (``"query"`` or
+        ``"ingest"``); totals always accumulate.  Returns the simulated
+        transfer time in seconds for the whole send.
         """
         if payload_bytes < 0:
             raise FederationError(f"payload_bytes must be >= 0, got {payload_bytes}")
         if copies < 1:
             raise FederationError(f"copies must be >= 1, got {copies}")
+        if message_class not in MESSAGE_CLASSES:
+            raise FederationError(
+                f"message_class must be one of {MESSAGE_CLASSES}, got {message_class!r}"
+            )
         cost = copies * self.config.transfer_cost(payload_bytes)
         self.stats.messages += copies
         self.stats.bytes_sent += copies * payload_bytes
         self.stats.simulated_seconds += cost
+        if message_class == "ingest":
+            self.stats.ingest_messages += copies
+            self.stats.ingest_bytes_sent += copies * payload_bytes
+            self.stats.ingest_simulated_seconds += cost
         return cost
 
     def reset(self) -> NetworkStats:
@@ -68,4 +132,7 @@ class SimulatedNetwork:
             messages=self.stats.messages,
             bytes_sent=self.stats.bytes_sent,
             simulated_seconds=self.stats.simulated_seconds,
+            ingest_messages=self.stats.ingest_messages,
+            ingest_bytes_sent=self.stats.ingest_bytes_sent,
+            ingest_simulated_seconds=self.stats.ingest_simulated_seconds,
         )

@@ -72,10 +72,12 @@ class _ProviderSpec:
     intra_sort_by: str | None
     cache_config: object
     execution_config: object
+    ingest_config: object
     schema: object
     columns: tuple[_ColumnSpec, ...]
     rng_state: dict
     stream_entropy: tuple[int, ...]
+    delta_rows: object  # pending (uncompacted) delta Table, or None
 
 
 def _export_table(table) -> tuple[tuple[_ColumnSpec, ...], list[shared_memory.SharedMemory]]:
@@ -139,6 +141,7 @@ def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
                 intra_sort_by=spec.intra_sort_by,
                 cache_config=spec.cache_config,
                 execution_config=spec.execution_config,
+                ingest_config=spec.ingest_config,
                 rng=0,
             )
             # Adopt the parent provider's exact stream position so the worker
@@ -147,6 +150,12 @@ def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
             # land on identical noise streams in every backend.
             provider._rng.bit_generator.state = spec.rng_state
             provider._stream_entropy = spec.stream_entropy
+            if spec.delta_rows is not None:
+                # Mirror the parent's uncompacted delta buffer so worker-side
+                # snapshots pin the same watermark the parent would have.
+                # Workers never compact (auto_compact=False): compaction is a
+                # parent-side decision whose epoch bump rebuilds this pool.
+                provider.ingest_rows(spec.delta_rows, auto_compact=False)
             providers[spec.provider_id] = provider
         conn.send(("ready", None))
         while True:
@@ -174,6 +183,13 @@ def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
                     conn.send(
                         ("ok", (answers, reuse, provider._rng.bit_generator.state))
                     )
+                elif method == "ingest":
+                    # Append-only: the worker mirrors the parent's buffer so
+                    # later phases pin identical watermarks.  Compaction is
+                    # never triggered here — the parent compacts and the
+                    # resulting epoch bump tears this pool down.
+                    receipt = provider.ingest_rows(command[2], auto_compact=False)
+                    conn.send(("ok", receipt))
                 elif method == "forget":
                     provider.forget_batch(command[2])
                     conn.send(("ok", None))
@@ -223,10 +239,16 @@ class ProviderProcessPool:
                     intra_sort_by=provider.intra_sort_by,
                     cache_config=provider.cache_config,
                     execution_config=provider.execution_config,
+                    ingest_config=provider.ingest_config,
                     schema=provider.table.schema,
                     columns=columns,
                     rng_state=provider._rng.bit_generator.state,
                     stream_entropy=provider._stream_entropy,
+                    delta_rows=(
+                        provider.delta.rows_upto(provider.delta.watermark)
+                        if provider.delta.watermark
+                        else None
+                    ),
                 )
             )
         try:
@@ -278,6 +300,27 @@ class ProviderProcessPool:
             ],
             sync_rng=False,
         )
+
+    def ingest(self, provider_index: int, rows) -> None:
+        """Mirror an append onto one provider's worker (append-only).
+
+        The parent aggregator routes every ingest here *before* applying it
+        to its own provider object, so the two views of the delta buffer
+        advance in lockstep and any in-worker session keeps its pinned
+        snapshot semantics.
+        """
+        provider = self._providers[provider_index]
+        worker = self._worker_of[provider_index]
+        if self._closed:
+            raise ProtocolError("provider process pool is closed")
+        try:
+            self._conns[worker].send(("ingest", provider.provider_id, rows))
+            status, payload = self._conns[worker].recv()
+        except (EOFError, BrokenPipeError, OSError) as error:
+            self.close()
+            raise ProtocolError(f"provider worker died: {error!r}") from error
+        if status != "ok":
+            raise ProtocolError(f"provider worker failed: {payload}")
 
     def _call(self, commands, *, sync_rng: bool):
         if self._closed:

@@ -38,6 +38,13 @@ duplicate-free workload a cold cache is bit-identical to no cache under the
 same seed.  (A workload that repeats a predicate *within* one batch is
 served by reuse even when cold — the repeat aliases the first occurrence's
 release instead of drawing the independent noise the disabled cache would.)
+
+Ingestion: the provider also owns a :class:`~repro.ingest.delta.DeltaStore`
+(:meth:`DataProvider.ingest_rows`) absorbing appended rows without touching
+the clustered layout; every query session pins a ``(layout_epoch,
+delta_watermark)`` snapshot at summary time and answers the delta prefix it
+pinned exactly, and :meth:`DataProvider.compact` folds the buffer back into
+the clustering incrementally.  See ``docs/ingestion.md``.
 """
 
 from __future__ import annotations
@@ -47,9 +54,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..cache.key import answer_key, summary_key
+from ..cache.key import answer_key, key_delta_watermark, key_query_ranges, summary_key
 from ..cache.store import ReleaseCache
-from ..config import CacheConfig, ExecutionConfig
+from ..config import DEFAULT_INGEST, CacheConfig, ExecutionConfig, IngestConfig
 from ..core.accounting import QueryBudget
 from ..core.result import ProviderReport
 from ..core.sensitivity import (
@@ -60,11 +67,18 @@ from ..core.sensitivity import (
 )
 from ..dp.mechanisms import LaplaceMechanism, laplace_noise_scale
 from ..errors import ProtocolError
+from ..ingest.compaction import (
+    CompactionPolicy,
+    CompactionReport,
+    fold_into_clustered,
+    incremental_eligible,
+)
+from ..ingest.delta import DeltaStore, IngestReceipt
 from ..query.batch import QueryBatch
 from ..query.executor import ExactExecution, ExactExecutor
 from ..query.model import RangeQuery
 from ..storage.clustered_table import ClusteredTable
-from ..storage.metadata import MetadataStore, build_metadata
+from ..storage.metadata import MetadataStore, build_metadata, patch_metadata
 from ..storage.table import Table
 from ..utils.rng import RngLike, derive_rng
 from .messages import AllocationMessage, EstimateMessage, QueryRequest, SummaryMessage
@@ -87,6 +101,12 @@ class _QuerySession:
     proportions are only materialised (in one vectorised metadata pass) if
     the answer phase turns out to need a fresh release — a fully cached
     query never touches the metadata index at all.
+
+    ``delta_watermark`` pins the query's ingestion snapshot: the number of
+    delta-store rows visible to it, captured when the session opened.  The
+    answer phase reads exactly that prefix of the append buffer, so rows
+    ingested between the summary and answer phases never change an
+    in-flight query's result (snapshot isolation).
     """
 
     query: RangeQuery
@@ -94,6 +114,7 @@ class _QuerySession:
     covering_positions: np.ndarray | None = None
     proportions: np.ndarray | None = None
     proportions_sum: float = 0.0
+    delta_watermark: int = 0
 
 
 @dataclass(frozen=True)
@@ -155,6 +176,10 @@ class DataProvider:
         Kernel policy (:class:`~repro.config.ExecutionConfig`) for the
         exact ``Q(C)`` evaluation; ``None`` uses the library default
         (pruned, sorted-bisect, 64 MiB kernel budget).
+    ingest_config:
+        Streaming-ingestion policy (:class:`~repro.config.IngestConfig`):
+        when :meth:`ingest_rows` may auto-compact and at what delta size;
+        ``None`` uses the library default.
     """
 
     provider_id: str
@@ -166,10 +191,12 @@ class DataProvider:
     cache_config: CacheConfig | None = None
     intra_sort_by: str | None = None
     execution_config: ExecutionConfig | None = None
+    ingest_config: IngestConfig | None = None
     rng: RngLike = None
     clustered: ClusteredTable = field(init=False, repr=False)
     metadata: MetadataStore = field(init=False, repr=False)
     cache: ReleaseCache = field(init=False, repr=False)
+    delta: DeltaStore = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_min < 1:
@@ -187,7 +214,12 @@ class DataProvider:
             )
         )
         self.cache = ReleaseCache(self.cache_config or CacheConfig())
+        self.delta = DeltaStore(self.table.schema)
+        self._compaction_policy = CompactionPolicy.from_config(
+            self.ingest_config or DEFAULT_INGEST
+        )
         self._layout_epoch = 0
+        self._layout_subscribers: list = []
         self._build_layout()
         self._sessions: dict[int, _QuerySession] = {}
 
@@ -231,6 +263,35 @@ class DataProvider:
         """
         return self._layout_epoch
 
+    @property
+    def delta_rows(self) -> int:
+        """Number of ingested rows buffered in the delta store."""
+        return self.delta.watermark
+
+    @property
+    def delta_watermark(self) -> int:
+        """The current ingestion watermark (appended rows since last fold)."""
+        return self.delta.watermark
+
+    def snapshot(self) -> tuple[int, int]:
+        """The ``(layout_epoch, delta_watermark)`` coordinates a new query pins."""
+        return (self._layout_epoch, self.delta.watermark)
+
+    def subscribe_layout_change(self, callback) -> None:
+        """Register ``callback(provider)`` to fire after every layout change.
+
+        Fired by :meth:`rebuild_layout` and :meth:`compact` *after* the new
+        layout, metadata, and epoch are installed.  The aggregator uses this
+        to eagerly tear down process-pool workers (and their shared-memory
+        snapshots of the old layout) instead of detecting the stale epoch
+        lazily on the next batch.
+        """
+        self._layout_subscribers.append(callback)
+
+    def _notify_layout_change(self) -> None:
+        for callback in list(self._layout_subscribers):
+            callback(self)
+
     def metadata_size_bytes(self) -> int:
         """Approximate footprint of the offline metadata (Section 6.1)."""
         return self.metadata.size_bytes()
@@ -242,6 +303,12 @@ class DataProvider:
         sort_by: str | None = None,
     ) -> None:
         """Re-cluster the partition and invalidate every cached release.
+
+        Any rows still buffered in the delta store are folded into the base
+        table first, so a rebuild always absorbs pending ingest — the
+        rebuilt clustering is exactly ``from_table`` on the union of rows.
+        Layout-change subscribers (the aggregator's eager process-pool
+        invalidation) fire after the new layout is installed.
 
         Parameters
         ----------
@@ -264,9 +331,184 @@ class DataProvider:
             self.clustering_policy = clustering_policy
         if sort_by is not None:
             self.sort_by = sort_by
+        pending = self.delta.take_all()
+        if pending.num_rows:
+            self.table = Table.concat([self.table, pending])
         self._build_layout()
         self._layout_epoch += 1
         self.cache.purge_stale(self._layout_epoch)
+        self._notify_layout_change()
+
+    # -- streaming ingestion -----------------------------------------------------
+
+    def ingest_rows(
+        self, rows: Table, *, auto_compact: bool | None = None
+    ) -> IngestReceipt:
+        """Append a batch of rows to the delta store (O(1) w.r.t. stored data).
+
+        The clustered layout, metadata, and cached releases are untouched:
+        new rows become visible to queries whose sessions open *after* this
+        call (their snapshot pins the advanced watermark), while in-flight
+        sessions keep reading their pinned prefix.
+
+        Parameters
+        ----------
+        rows:
+            The appended rows; must match the provider's schema, with every
+            dimension value inside its declared domain.
+        auto_compact:
+            Override of the configured
+            :attr:`~repro.config.IngestConfig.auto_compact`: when active and
+            the compaction policy's thresholds trip (and no per-query
+            sessions are open), the append immediately triggers
+            :meth:`compact`.
+
+        Returns
+        -------
+        IngestReceipt
+            The post-append ``(watermark, epoch)`` coordinates and whether
+            the append triggered a compaction.
+        """
+        config = self.ingest_config or DEFAULT_INGEST
+        self.delta.append(rows)
+        compacted = False
+        should = config.auto_compact if auto_compact is None else auto_compact
+        if should and not self._sessions:
+            if self._compaction_policy.due(self.delta.watermark, self.clustered.num_rows):
+                self.compact()
+                compacted = True
+        return IngestReceipt(
+            provider_id=self.provider_id,
+            rows=rows.num_rows,
+            delta_watermark=self.delta.watermark,
+            layout_epoch=self._layout_epoch,
+            compacted=compacted,
+        )
+
+    def compact(self) -> CompactionReport:
+        """Fold the delta buffer into the clustered layout, incrementally.
+
+        Only the affected tail clusters are re-clustered (see
+        :func:`~repro.ingest.compaction.fold_into_clustered`), the metadata
+        index is patched in place for those positions, the layout epoch is
+        bumped, and the release cache keeps every entry whose query box
+        cannot touch the re-clustered region (re-tagged to the new epoch)
+        instead of being wiped.  The post-compaction provider is
+        bit-identical — layout, metadata, and query answers — to one built
+        from scratch on the union of rows.
+
+        Raises
+        ------
+        ProtocolError
+            When per-query sessions are open: their covering positions
+            reference the pre-fold clustering.  The serving layer only
+            compacts between batches, where no session exists.
+        """
+        if self._sessions:
+            raise ProtocolError(
+                f"provider {self.provider_id} cannot compact with "
+                f"{len(self._sessions)} open sessions"
+            )
+        deltas = self.delta.take_all()
+        clusters_before = self.clustered.num_clusters
+        if deltas.num_rows == 0:
+            return CompactionReport(
+                provider_id=self.provider_id,
+                rows_folded=0,
+                first_affected_position=clusters_before,
+                clusters_before=clusters_before,
+                clusters_after=clusters_before,
+                layout_epoch=self._layout_epoch,
+                incremental=True,
+            )
+        old_layout = self.clustered.layout()
+        self.table = Table.concat([self.table, deltas])
+        eligible = incremental_eligible(
+            self.clustering_policy, self.sort_by, self.intra_sort_by, self.clustered.schema
+        )
+        if eligible:
+            self.clustered, first_affected = fold_into_clustered(
+                self.clustered,
+                deltas,
+                clustering_policy=self.clustering_policy,
+                sort_by=self.sort_by,
+                intra_sort_by=self.intra_sort_by,
+            )
+            self.metadata = patch_metadata(self.metadata, self.clustered, first_affected)
+            self._executor = ExactExecutor(
+                self.clustered, self.metadata, execution=self.execution_config
+            )
+        else:
+            first_affected = 0
+            self._build_layout()
+        self._layout_epoch += 1
+        changed_bounds = self._changed_bounds(
+            old_layout, self.clustered.layout(), first_affected
+        )
+        purged, retained = self.cache.rekey_epoch(
+            self._layout_epoch,
+            lambda key: self._release_survives_fold(key, changed_bounds),
+        )
+        self._notify_layout_change()
+        return CompactionReport(
+            provider_id=self.provider_id,
+            rows_folded=deltas.num_rows,
+            first_affected_position=first_affected,
+            clusters_before=clusters_before,
+            clusters_after=self.clustered.num_clusters,
+            layout_epoch=self._layout_epoch,
+            incremental=eligible,
+            cache_entries_purged=purged,
+            cache_entries_retained=retained,
+        )
+
+    @staticmethod
+    def _changed_bounds(old_layout, new_layout, first_affected: int) -> dict:
+        """Bounding box of every cluster the fold removed, rewrote, or added.
+
+        Per dimension, the union of the zone bounds of the old and new
+        clusters at positions ``>= first_affected`` (empty clusters carry
+        inverted sentinels and contribute nothing).  A query box disjoint
+        from this region on any dimension cannot have covered a changed
+        cluster before the fold nor cover one after it.
+        """
+        bounds: dict[str, tuple[int, int]] = {}
+        for name in new_layout.columns:
+            lows: list[int] = []
+            highs: list[int] = []
+            for layout in (old_layout, new_layout):
+                nonempty = layout.cluster_rows[first_affected:] > 0
+                if nonempty.any():
+                    lows.append(int(layout.zone_min[name][first_affected:][nonempty].min()))
+                    highs.append(int(layout.zone_max[name][first_affected:][nonempty].max()))
+            if lows:
+                bounds[name] = (min(lows), max(highs))
+        return bounds
+
+    @staticmethod
+    def _release_survives_fold(key: tuple, changed_bounds: dict) -> bool:
+        """Is a cached release still exact after the fold?
+
+        Two staleness sources compose:
+
+        * an answer evaluated at a non-zero delta watermark embedded rows
+          that are now part of the clustered table — its key can never be
+          probed again (post-fold watermarks restart at zero), so it is
+          dropped rather than risking a collision with a future delta of
+          the same length;
+        * a release whose query box intersects the changed region on every
+          dimension could observe a re-clustered or freshly added cluster —
+          a fresh release might differ, so it is dropped.  Everything else
+          would be re-released bit-identically (same covering positions,
+          proportions, and ``Q(C)`` values) and is retained.
+        """
+        if key_delta_watermark(key) > 0:
+            return False
+        for name, (changed_low, changed_high) in changed_bounds.items():
+            for range_name, low, high in key_query_ranges(key):
+                if range_name == name and (high < changed_low or low > changed_high):
+                    return True
+        return False
 
     # -- cache peeks (reuse planner) -------------------------------------------
 
@@ -292,7 +534,12 @@ class DataProvider:
         clipped = query.clipped_to(self.clustered.schema)
         return (
             self.cache.peek(
-                answer_key(clipped, budget, sample_size),
+                answer_key(
+                    clipped,
+                    budget,
+                    sample_size,
+                    delta_watermark=self.delta.watermark,
+                ),
                 epoch=self._layout_epoch,
                 rounds_ahead=1,
             )
@@ -357,6 +604,12 @@ class DataProvider:
             return []
         schema = self.clustered.schema
         queries = [request.query.clipped_to(schema) for request in requests]
+        # The whole batch pins one ingestion snapshot: rows appended from
+        # here on are invisible to these sessions (snapshot isolation).
+        # The summary itself describes the clustered main table only — the
+        # unclustered delta is answered exactly at the answer phase, so it
+        # plays no role in the cluster-sampling allocation.
+        pinned_watermark = self.delta.watermark
         cache = self.cache
         cache.advance_round()
         cached_releases: list[tuple[float, float] | None] = [None] * len(requests)
@@ -415,7 +668,9 @@ class DataProvider:
                 rng = np.random.default_rng(child_seeds[index])
             else:
                 rng = self._keyed_stream(request.seed_material)
-            self._sessions[request.query_id] = _QuerySession(query=query, rng=rng)
+            self._sessions[request.query_id] = _QuerySession(
+                query=query, rng=rng, delta_watermark=pinned_watermark
+            )
         self._materialize_sessions(
             [self._sessions[requests[index].query_id] for index in fresh]
         )
@@ -562,7 +817,12 @@ class DataProvider:
                 )
             sessions.append(session)
             if use_cache:
-                key = answer_key(session.query, budget, allocation.sample_size)
+                key = answer_key(
+                    session.query,
+                    budget,
+                    allocation.sample_size,
+                    delta_watermark=session.delta_watermark,
+                )
                 keys[index] = key
                 cached = cache.get(key, epoch=self._layout_epoch)
                 if cached is not None:
@@ -598,7 +858,10 @@ class DataProvider:
             if approx_plans:
                 self._select_clusters(approx_plans, budget.epsilon_sampling)
             values_list = self._needed_values(plans)
-            answers = self._assemble_answers(plans, values_list, budget, use_smc)
+            delta_values, delta_scanned = self._delta_contributions(plans)
+            answers = self._assemble_answers(
+                plans, values_list, budget, use_smc, delta_values, delta_scanned
+            )
             for index, answer in zip(fresh, answers):
                 results[index] = answer
                 if use_cache:
@@ -718,6 +981,24 @@ class DataProvider:
             plan.needed_positions = plan.session.covering_positions[plan.selected]
             plan.unique_positions = np.unique(plan.needed_positions)
 
+    def _delta_contributions(
+        self, plans: Sequence[_AnswerPlan]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact delta-store sums for every plan, at its pinned watermark.
+
+        Plans pinned at watermark zero take no delta work at all (the fast
+        path keeps a delta-free provider bit-identical to the pre-ingest
+        engine); the rest read exactly their snapshot's prefix of the
+        append buffer through the dense mask kernel.
+        """
+        if not any(plan.session.delta_watermark for plan in plans):
+            zeros = np.zeros(len(plans), dtype=np.int64)
+            return zeros, zeros.copy()
+        return self.delta.query_values(
+            [plan.session.query for plan in plans],
+            [plan.session.delta_watermark for plan in plans],
+        )
+
     def _needed_values(self, plans: Sequence[_AnswerPlan]) -> list[np.ndarray]:
         """Exact ``Q(C)`` per plan, aligned with each plan's needed positions.
 
@@ -751,6 +1032,8 @@ class DataProvider:
         values_list: Sequence[np.ndarray],
         budget: QueryBudget,
         use_smc: bool,
+        delta_values: np.ndarray,
+        delta_scanned: np.ndarray,
     ) -> list[LocalAnswer]:
         """Build every query's local answer, flattening the estimator math.
 
@@ -759,6 +1042,16 @@ class DataProvider:
         flattened array; per-query reductions use contiguous slices so the
         results are bit-identical for any batching.  Noise draws happen per
         query from that query's session stream, in allocation order.
+
+        ``delta_values`` is each plan's exact sum over its pinned delta
+        snapshot; it is added to the estimate *before* the noise draw, and
+        — for approximating queries whose snapshot is non-empty — the
+        smooth sensitivity is floored at 1, since one delta individual
+        changes the exact component by exactly 1 (the constant bound 1 is
+        trivially beta-smooth, so ``max(smooth, 1)`` remains a valid smooth
+        upper bound of the combined release; the exact path already uses
+        global sensitivity 1).  A watermark-zero plan is untouched bit for
+        bit.
         """
         results: list[LocalAnswer | None] = [None] * len(plans)
         approx = [
@@ -811,14 +1104,21 @@ class DataProvider:
             for slot, (index, plan) in enumerate(approx):
                 segment = slice(boundaries[slot], boundaries[slot + 1])
                 size = int(lengths[slot])
-                estimate = float(flat_ratios[segment].sum() / size)
+                watermark = plan.session.delta_watermark
+                estimate = float(flat_ratios[segment].sum() / size) + float(
+                    delta_values[index]
+                )
                 smooth = float(flat_smooth[segment].sum() / size)
+                if watermark:
+                    smooth = max(smooth, 1.0)
                 noise = 0.0
                 if not use_smc:
                     # Lap(2 * S_LS / eps_E) — Algorithm 3, line 10.
                     scale = 2.0 * smooth / budget.epsilon_estimation
                     noise = float(plan.session.rng.laplace(0.0, scale))
-                rows_scanned = int(layout_rows[plan.unique_positions].sum())
+                rows_scanned = int(layout_rows[plan.unique_positions].sum()) + int(
+                    delta_scanned[index]
+                )
                 report = ProviderReport(
                     provider_id=self.provider_id,
                     covering_clusters=int(plan.session.covering_positions.size),
@@ -829,7 +1129,7 @@ class DataProvider:
                     local_noise=noise,
                     smooth_sensitivity=smooth,
                     rows_scanned=rows_scanned,
-                    rows_available=self.clustered.num_rows,
+                    rows_available=self.clustered.num_rows + watermark,
                 )
                 message = EstimateMessage(
                     query_id=plan.allocation.query_id,
@@ -842,7 +1142,12 @@ class DataProvider:
         for index, plan in enumerate(plans):
             if plan.exact:
                 results[index] = self._build_exact_answer(
-                    plan, values_list[index], budget, use_smc
+                    plan,
+                    values_list[index],
+                    budget,
+                    use_smc,
+                    int(delta_values[index]),
+                    int(delta_scanned[index]),
                 )
         if any(answer is None for answer in results):
             raise ProtocolError(
@@ -856,11 +1161,13 @@ class DataProvider:
         values: np.ndarray,
         budget: QueryBudget,
         use_smc: bool,
+        delta_value: int = 0,
+        delta_scanned: int = 0,
     ) -> LocalAnswer:
         allocation = plan.allocation
         layout = self.clustered.layout()
-        exact = int(values.sum())
-        rows_scanned = int(layout.cluster_rows[plan.needed_positions].sum())
+        exact = int(values.sum()) + delta_value
+        rows_scanned = int(layout.cluster_rows[plan.needed_positions].sum()) + delta_scanned
         # Adding or removing one individual changes COUNT(*) / SUM(Measure)
         # by at most 1, so the exact path uses global sensitivity 1.
         sensitivity = 1.0
@@ -882,7 +1189,7 @@ class DataProvider:
             local_noise=noise,
             smooth_sensitivity=sensitivity,
             rows_scanned=rows_scanned,
-            rows_available=self.clustered.num_rows,
+            rows_available=self.clustered.num_rows + plan.session.delta_watermark,
             exact_local_answer=exact,
         )
         message = EstimateMessage(
@@ -903,11 +1210,27 @@ class DataProvider:
     def exact_answer_batch(
         self, queries: Sequence[RangeQuery]
     ) -> list[ExactExecution]:
-        """Plain-text exact execution of a workload in one vectorised pass."""
+        """Plain-text exact execution of a workload in one vectorised pass.
+
+        Includes the delta store at its *current* watermark: the exact
+        baseline always reflects every row the provider holds right now,
+        clustered or not.
+        """
         schema = self.clustered.schema
-        return self._executor.execute_batch(
-            [query.clipped_to(schema) for query in queries]
-        )
+        clipped = [query.clipped_to(schema) for query in queries]
+        executions = self._executor.execute_batch(clipped)
+        watermark = self.delta.watermark
+        if not watermark:
+            return executions
+        values, scanned = self.delta.query_values(clipped, [watermark] * len(clipped))
+        return [
+            ExactExecution(
+                value=execution.value + int(values[index]),
+                clusters_scanned=execution.clusters_scanned,
+                rows_scanned=execution.rows_scanned + int(scanned[index]),
+            )
+            for index, execution in enumerate(executions)
+        ]
 
     def forget(self, query_id: int) -> None:
         """Drop the per-query session state (idempotent)."""

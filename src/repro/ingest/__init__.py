@@ -1,0 +1,43 @@
+"""Streaming ingestion: delta stores, snapshot reads, background compaction.
+
+The paper's protocol assumes each provider holds a frozen clustered table;
+this package removes that assumption without giving up any of the layers
+built on top of it:
+
+* :mod:`repro.ingest.delta` — :class:`~repro.ingest.delta.DeltaStore`, the
+  per-provider append buffer.  New rows land here in O(1); queries read the
+  buffer exactly through a **watermark** pinned when their session opens, so
+  an in-flight batch is isolated from concurrent appends.
+* :mod:`repro.ingest.compaction` —
+  :class:`~repro.ingest.compaction.CompactionPolicy` and
+  :class:`~repro.ingest.compaction.Compactor`, which fold the buffer back
+  into the clustered layout incrementally: only the affected tail clusters
+  are re-clustered, the Algorithm-1 metadata is patched in place, the layout
+  epoch is bumped, and only genuinely stale release-cache entries are
+  purged.  Compact-then-query is bit-identical to rebuilding the provider
+  from scratch on the union of rows.
+
+See ``docs/ingestion.md`` for the lifecycle, the snapshot-isolation
+guarantees, and the cache/DP accounting semantics.
+"""
+
+from .compaction import (
+    CompactionPolicy,
+    CompactionReport,
+    Compactor,
+    fold_into_clustered,
+    incremental_eligible,
+)
+from .delta import DeltaChunk, DeltaStore, IngestReceipt, validate_rows
+
+__all__ = [
+    "DeltaChunk",
+    "DeltaStore",
+    "IngestReceipt",
+    "validate_rows",
+    "CompactionPolicy",
+    "CompactionReport",
+    "Compactor",
+    "fold_into_clustered",
+    "incremental_eligible",
+]

@@ -1,0 +1,276 @@
+"""Per-provider append buffer with mini zone maps and watermark-pinned reads.
+
+A :class:`DeltaStore` absorbs rows a provider ingests *between* layout
+rebuilds: the clustered main table stays frozen (so metadata, sampling
+proportions, and every release-cache entry stay valid) while the delta
+buffer grows chunk by chunk.  Queries read the buffer through a
+**watermark** — the number of delta rows visible to them — pinned when the
+query's session opens, so an in-flight batch keeps seeing exactly the rows
+it started with even while ingest proceeds (snapshot isolation; see
+``docs/ingestion.md``).
+
+Each appended chunk carries its own mini zone maps (per-dimension min/max),
+so a query whose box cannot touch a chunk skips it without reading a row;
+overlapping chunks are answered by the dense mask kernel — one vectorised
+comparison pass per constrained dimension, the same evaluation the
+reference engine applies to straddling clusters.  Deltas are expected to be
+small relative to the main table (the compaction policy bounds them), which
+is why the buffer needs no clustering, sampling, or metadata of its own.
+
+Appends are serialised by a lock and the chunk list is append-only, so
+readers that snapshot a watermark first can evaluate without holding the
+lock — an append landing mid-evaluation only ever adds rows *beyond* every
+pinned watermark.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import IngestError
+from ..query.model import RangeQuery
+from ..storage.schema import Schema
+from ..storage.table import Table
+
+__all__ = ["DeltaChunk", "DeltaStore", "IngestReceipt", "validate_rows"]
+
+
+def validate_rows(schema: Schema, rows: Table) -> None:
+    """Refuse rows that do not match ``schema`` or leave a dimension domain.
+
+    The standalone pre-pass shared by the multi-target ingest entry points
+    (:meth:`Aggregator.ingest <repro.federation.aggregator.Aggregator.ingest>`,
+    :meth:`SessionScheduler.submit_ingest
+    <repro.service.scheduler.SessionScheduler.submit_ingest>`): validating a
+    whole batch *before* touching any provider keeps a partially bad batch
+    from leaving the federation half-applied (out-of-domain values would
+    corrupt the dense metadata index at compaction time, so they can never
+    be admitted).
+
+    Raises
+    ------
+    IngestError
+        On a column-set mismatch or an out-of-domain dimension value.
+    """
+    if rows.schema.column_names != schema.column_names:
+        raise IngestError(
+            f"ingested columns {list(rows.schema.column_names)} do not match "
+            f"the provider schema {list(schema.column_names)}"
+        )
+    if rows.num_rows == 0:
+        return
+    for dimension in schema:
+        column = rows.column(dimension.name)
+        low = int(column.min())
+        high = int(column.max())
+        if low < dimension.low or high > dimension.high:
+            raise IngestError(
+                f"ingested values [{low}, {high}] fall outside dimension "
+                f"{dimension.name!r} domain [{dimension.low}, {dimension.high}]"
+            )
+
+
+@dataclass(frozen=True)
+class IngestReceipt:
+    """What one provider hands back for one accepted ingest request.
+
+    Attributes
+    ----------
+    provider_id:
+        The accepting provider.
+    rows:
+        Number of rows appended by this request.
+    delta_watermark:
+        The delta watermark right after the append (0 when the request
+        immediately triggered a compaction that folded the whole buffer).
+    layout_epoch:
+        The provider's layout epoch after the request (bumped when the
+        request triggered a compaction).
+    compacted:
+        True when this request tripped the compaction policy and the buffer
+        was folded into the clustered layout.
+    """
+
+    provider_id: str
+    rows: int
+    delta_watermark: int
+    layout_epoch: int
+    compacted: bool
+
+
+@dataclass(frozen=True)
+class DeltaChunk:
+    """One appended batch of rows plus its mini zone maps."""
+
+    start: int
+    rows: Table
+    zone_min: dict[str, int]
+    zone_max: dict[str, int]
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in this chunk."""
+        return self.rows.num_rows
+
+
+class DeltaStore:
+    """Append-only row buffer answered exactly, addressed by watermark.
+
+    Parameters
+    ----------
+    schema:
+        The owning provider's table schema; every appended chunk must match
+        it column for column.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._chunks: list[DeltaChunk] = []
+        self._watermark = 0
+        self._lock = threading.Lock()
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, rows: Table) -> int:
+        """Append a chunk of rows and return the new watermark.
+
+        Raises
+        ------
+        IngestError
+            When the chunk's schema does not match the store's, or a
+            dimension value falls outside its declared domain (out-of-domain
+            values would corrupt the dense metadata index at compaction
+            time, so they are refused at the door).
+        """
+        validate_rows(self.schema, rows)
+        if rows.num_rows == 0:
+            return self._watermark
+        zone_min: dict[str, int] = {}
+        zone_max: dict[str, int] = {}
+        for dimension in self.schema:
+            column = rows.column(dimension.name)
+            zone_min[dimension.name] = int(column.min())
+            zone_max[dimension.name] = int(column.max())
+        with self._lock:
+            chunk = DeltaChunk(
+                start=self._watermark, rows=rows, zone_min=zone_min, zone_max=zone_max
+            )
+            self._chunks.append(chunk)
+            self._watermark += rows.num_rows
+            return self._watermark
+
+    def take_all(self) -> Table:
+        """Drain the buffer: return every appended row and reset to empty.
+
+        Called by the compactor; the returned table preserves append order,
+        which is what makes folding equivalent to having appended the rows
+        to the provider's base table directly.
+        """
+        with self._lock:
+            chunks = self._chunks
+            self._chunks = []
+            self._watermark = 0
+        if not chunks:
+            return Table.empty(self.schema)
+        return Table.concat([chunk.rows for chunk in chunks])
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def watermark(self) -> int:
+        """Total number of appended rows (the current snapshot boundary)."""
+        return self._watermark
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of appended (uncompacted) chunks."""
+        return len(self._chunks)
+
+    def rows_upto(self, watermark: int) -> Table:
+        """The delta rows visible at ``watermark``, in append order."""
+        if watermark <= 0:
+            return Table.empty(self.schema)
+        tables: list[Table] = []
+        for chunk in list(self._chunks):
+            if chunk.start >= watermark:
+                break
+            visible = min(chunk.num_rows, watermark - chunk.start)
+            tables.append(chunk.rows if visible == chunk.num_rows else chunk.rows.slice(0, visible))
+        if not tables:
+            return Table.empty(self.schema)
+        return Table.concat(tables)
+
+    def query_values(
+        self, queries: Sequence[RangeQuery], watermarks: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact per-query sums over each query's visible delta prefix.
+
+        Parameters
+        ----------
+        queries:
+            The (schema-clipped) queries to evaluate.
+        watermarks:
+            One pinned watermark per query; query ``i`` only sees delta rows
+            ``[0, watermarks[i])``.
+
+        Returns
+        -------
+        (values, rows_scanned):
+            ``values[i]`` is the exact measure sum of query ``i`` over its
+            visible delta rows (int64); ``rows_scanned[i]`` counts the rows
+            the dense kernel actually evaluated for it (chunks skipped by
+            the mini zone maps contribute nothing).
+        """
+        num_queries = len(queries)
+        if len(watermarks) != num_queries:
+            raise IngestError("watermarks must align with queries")
+        values = np.zeros(num_queries, dtype=np.int64)
+        scanned = np.zeros(num_queries, dtype=np.int64)
+        if num_queries == 0:
+            return values, scanned
+        marks = np.asarray(watermarks, dtype=np.int64)
+        if not marks.any():
+            return values, scanned
+        for chunk in list(self._chunks):
+            # Queries whose pinned watermark does not reach into this chunk
+            # see none of it; the rest see a prefix of it.
+            visible = np.minimum(marks - chunk.start, chunk.num_rows)
+            readers = np.flatnonzero(visible > 0)
+            if readers.size == 0:
+                continue
+            # Mini zone maps: drop readers whose box cannot touch the chunk.
+            live = []
+            for index in readers.tolist():
+                query = queries[index]
+                hit = True
+                for name, interval in query.ranges.items():
+                    if (
+                        chunk.zone_max[name] < interval.low
+                        or chunk.zone_min[name] > interval.high
+                    ):
+                        hit = False
+                        break
+                if hit:
+                    live.append(index)
+            if not live:
+                continue
+            measure = chunk.rows.measure_column()
+            for index in live:
+                query = queries[index]
+                stop = int(visible[index])
+                mask = np.ones(stop, dtype=bool)
+                for name, interval in query.ranges.items():
+                    column = chunk.rows.column(name)[:stop]
+                    np.logical_and(mask, column >= interval.low, out=mask)
+                    np.logical_and(mask, column <= interval.high, out=mask)
+                values[index] += int(measure[:stop][mask].sum())
+                scanned[index] += stop
+        return values, scanned
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the buffered chunks."""
+        return sum(chunk.rows.memory_bytes() for chunk in self._chunks)

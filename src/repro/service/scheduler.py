@@ -27,6 +27,14 @@ onto one :class:`~repro.core.system.FederatedAQPSystem`:
   (reuse-discounted, zero for fully cached queries), are grouped per
   submission, charged atomically to the owning tenant's wallet, and returned
   as :class:`TenantAnswer`s.
+* **Ingestion** — :meth:`SessionScheduler.submit_ingest` queues appended
+  rows (validated at the door; bounded by ``max_pending_ingest``, shedding
+  load with :class:`~repro.errors.ServiceOverloadedError`);
+  :meth:`SessionScheduler.drain` runs the queued ingests on the single
+  dispatcher worker *after* the drain's query batches, FIFO — so writes
+  (and any compaction they trigger) land where providers hold no per-query
+  sessions, every batch of the drain sees the data its submissions were
+  priced against, and the next drain's queries see the new rows.
 
 Determinism: every query's provider noise streams are keyed by
 ``(tenant, tenant-local sequence)`` (see
@@ -53,8 +61,10 @@ from ..core.accounting import query_spend, split_query_budget
 from ..core.result import BatchResult, QueryResult
 from ..core.system import FederatedAQPSystem
 from ..errors import AdmissionError, ServiceError, ServiceOverloadedError
+from ..ingest.delta import IngestReceipt, validate_rows
 from ..query.batch import QueryBatch
 from ..query.model import RangeQuery
+from ..storage.table import Table
 from .tenants import Tenant, TenantRegistry
 
 __all__ = ["SubmissionReceipt", "TenantAnswer", "ServiceStats", "SessionScheduler"]
@@ -116,6 +126,9 @@ class ServiceStats:
     queries_dispatched: int = 0
     cross_tenant_batches: int = 0
     answers_delivered: int = 0
+    ingest_requests: int = 0
+    rows_ingested: int = 0
+    compactions: int = 0
     epsilon_charged: float = 0.0
     delta_charged: float = 0.0
     epsilon_by_tenant: dict[str, float] = field(default_factory=dict)
@@ -183,6 +196,7 @@ class SessionScheduler:
         self._drain_lock = threading.Lock()
         self._pending: list[_Submission] = []
         self._deferred: list[_Submission] = []
+        self._pending_ingest: list[tuple[Table, int | None, Tenant | None]] = []
         self._next_submission_id = 0
         self._query_budget = split_query_budget(system.config.privacy)
 
@@ -316,6 +330,71 @@ class SessionScheduler:
                 bound_delta=bound_delta,
             )
 
+    def submit_ingest(
+        self,
+        rows: Table,
+        *,
+        provider_index: int | None = None,
+        tenant_id: str | None = None,
+    ) -> int:
+        """Queue a batch of rows for ingestion on the next drain.
+
+        Ingest requests ride the same dispatcher as query batches: the next
+        :meth:`drain` applies them after its batches, FIFO, where no
+        per-query session is open — in-flight queries keep their pinned
+        snapshots, admission pricing stays consistent with the data the
+        drain's batches actually see, and a triggered compaction is always
+        safe.  Rows are validated here, at the door, so one writer's
+        malformed batch is refused with a client error instead of aborting
+        other tenants' drain later.
+
+        Parameters
+        ----------
+        rows:
+            The appended rows (provider schema; row order is preserved).
+        provider_index:
+            Target one provider; by default rows are dealt round-robin
+            across the federation (see
+            :meth:`~repro.core.system.FederatedAQPSystem.ingest`).
+        tenant_id:
+            Optional attribution: the registered tenant whose
+            :attr:`~repro.service.tenants.Tenant.rows_ingested` ledger the
+            rows are counted against — credited when the rows actually
+            land, not at submit.  Ingestion spends no privacy budget.
+
+        Returns
+        -------
+        int
+            The ingest queue depth after this request.
+
+        Raises
+        ------
+        IngestError
+            The rows do not match the federation schema or leave a
+            dimension domain.
+        ServiceOverloadedError
+            The bounded ingest queue is full — backpressure; drain first.
+        """
+        if rows.num_rows == 0:
+            raise ServiceError("an ingest request must contain at least one row")
+        validate_rows(self.system.providers[0].table.schema, rows)
+        tenant = self.registry.get(tenant_id) if tenant_id is not None else None
+        with self._lock:
+            if len(self._pending_ingest) >= self.config.max_pending_ingest:
+                raise ServiceOverloadedError(
+                    f"ingest queue is full ({self.config.max_pending_ingest} "
+                    "requests); drain before submitting more"
+                )
+            self._pending_ingest.append((rows, provider_index, tenant))
+            self.stats.ingest_requests += 1
+            return len(self._pending_ingest)
+
+    @property
+    def num_pending_ingest(self) -> int:
+        """Queued ingest requests awaiting the next drain."""
+        with self._lock:
+            return len(self._pending_ingest)
+
     @property
     def num_pending(self) -> int:
         """Admitted-but-undispatched submissions (deferred ones included)."""
@@ -355,7 +434,13 @@ class SessionScheduler:
         on re-admission.  The admitted set is then flattened canonically,
         chunked to ``max_batch_size``, executed FIFO with a bounded
         dispatch pipeline (settlement of completed batches overlaps the
-        execution of later ones), and charged per submission.
+        execution of later ones), and charged per submission.  Queued
+        ingest requests run on the same dispatcher *after* the drain's
+        batches, FIFO — writes (and any compaction they trigger) land
+        where no provider session is open, and never between a
+        submission's admission pricing and its execution (an ingest
+        advancing the watermark mid-drain could invalidate the cached
+        releases a zero-priced submission was admitted on).
 
         Drains serialise on an internal lock: the federation's providers
         hold mutable protocol state, so only one dispatch pipeline runs at
@@ -376,9 +461,12 @@ class SessionScheduler:
         """
         with self._drain_lock:
             admitted = self._admit_for_drain()
-            if not admitted:
+            with self._lock:
+                ingests = self._pending_ingest
+                self._pending_ingest = []
+            if not admitted and not ingests:
                 return []
-            return self._run_pipeline(admitted)
+            return self._run_pipeline(admitted, ingests)
 
     def _admit_for_drain(self) -> list[_Submission]:
         """Re-price the deferred park and collect the admitted set (locked)."""
@@ -405,13 +493,21 @@ class SessionScheduler:
             self._pending = []
             return admitted
 
-    def _run_pipeline(self, admitted: Sequence[_Submission]) -> list[TenantAnswer]:
+    def _run_pipeline(
+        self,
+        admitted: Sequence[_Submission],
+        ingests: Sequence[tuple[Table, int | None, Tenant | None]] = (),
+    ) -> list[TenantAnswer]:
         """Flatten canonically, chunk, execute FIFO, settle as batches land.
 
         One dispatcher worker keeps provider state and FIFO order sound;
-        up to ``max_in_flight_batches`` batches queue ahead of it, so the
-        main thread settles (charges wallets, routes answers) for batch
-        ``i`` while the dispatcher executes batch ``i+1``.
+        up to ``max_in_flight_batches`` work items queue ahead of it, so
+        the main thread settles (charges wallets, routes answers) for
+        batch ``i`` while the dispatcher executes batch ``i+1``.  Ingest
+        requests are work items on the same dispatcher, queued after every
+        batch of the drain — no provider session is open there (a
+        triggered compaction is safe), and no batch executes against data
+        newer than what its submissions were priced on.
         """
         flat_queries: list[RangeQuery] = []
         flat_tokens: list[tuple[int, ...]] = []
@@ -422,15 +518,20 @@ class SessionScheduler:
             flat_tokens.extend(submission.seed_tokens)
             flat_tenants.extend([submission.tenant.tenant_id] * len(submission.queries))
             offsets.append(offsets[-1] + len(submission.queries))
-        combined = QueryBatch(tuple(flat_queries))
         chunks: list[tuple[QueryBatch, list[tuple[int, ...]], set[str]]] = []
-        start = 0
-        for chunk in combined.chunked(self.config.max_batch_size):
-            stop = start + len(chunk)
-            chunks.append(
-                (chunk, flat_tokens[start:stop], set(flat_tenants[start:stop]))
-            )
-            start = stop
+        if flat_queries:
+            combined = QueryBatch(tuple(flat_queries))
+            start = 0
+            for chunk in combined.chunked(self.config.max_batch_size):
+                stop = start + len(chunk)
+                chunks.append(
+                    (chunk, flat_tokens[start:stop], set(flat_tenants[start:stop]))
+                )
+                start = stop
+        # Batches first, then the queued ingests (FIFO): a drain with no
+        # query work just applies the ingests.
+        work: list[tuple[str, tuple]] = [("batch", entry) for entry in chunks]
+        work.extend(("ingest", entry) for entry in ingests)
 
         def run(chunk: QueryBatch, tokens: list[tuple[int, ...]]) -> BatchResult:
             return self.system.execute_batch(
@@ -439,11 +540,16 @@ class SessionScheduler:
                 seed_tokens=tokens,
             )
 
+        def run_ingest(
+            rows: Table, provider_index: int | None, tenant: Tenant | None
+        ) -> tuple[list[IngestReceipt | None], Tenant | None]:
+            return self.system.ingest(rows, provider_index=provider_index), tenant
+
         results_flat: list[QueryResult] = []
         answers: list[TenantAnswer] = []
         settled = 0  # submissions fully settled (canonical prefix)
 
-        def absorb(batch_result: BatchResult) -> None:
+        def absorb_batch(batch_result: BatchResult) -> None:
             nonlocal settled
             results_flat.extend(batch_result.results)
             with self._lock:
@@ -458,31 +564,67 @@ class SessionScheduler:
                     )
                     settled += 1
 
-        in_flight: deque[Future[BatchResult]] = deque()
+        def absorb_ingest(
+            outcome: tuple[Sequence[IngestReceipt | None], Tenant | None]
+        ) -> None:
+            receipts, tenant = outcome
+            with self._lock:
+                for receipt in receipts:
+                    if receipt is None:
+                        continue
+                    self.stats.rows_ingested += receipt.rows
+                    # Attribution happens when the rows actually land, so a
+                    # failed or aborted drain never inflates the ledger.
+                    if tenant is not None:
+                        tenant.rows_ingested += receipt.rows
+                    if receipt.compacted:
+                        self.stats.compactions += 1
+
+        def absorb(kind: str, future: Future) -> None:
+            if kind == "batch":
+                absorb_batch(future.result())
+            else:
+                absorb_ingest(future.result())
+
+        in_flight: deque[tuple[str, Future]] = deque()
         try:
             with ThreadPoolExecutor(max_workers=1) as dispatcher:
                 try:
-                    for chunk, tokens, tenants in chunks:
+                    for kind, payload in work:
                         while len(in_flight) >= self.config.max_in_flight_batches:
-                            absorb(in_flight.popleft().result())
-                        in_flight.append(dispatcher.submit(run, chunk, tokens))
-                        self.stats.batches_dispatched += 1
-                        self.stats.queries_dispatched += len(chunk)
-                        if len(tenants) > 1:
-                            self.stats.cross_tenant_batches += 1
+                            absorb(*in_flight.popleft())
+                        if kind == "batch":
+                            chunk, tokens, tenants = payload
+                            in_flight.append(
+                                ("batch", dispatcher.submit(run, chunk, tokens))
+                            )
+                            self.stats.batches_dispatched += 1
+                            self.stats.queries_dispatched += len(chunk)
+                            if len(tenants) > 1:
+                                self.stats.cross_tenant_batches += 1
+                        else:
+                            rows, provider_index, tenant = payload
+                            in_flight.append(
+                                (
+                                    "ingest",
+                                    dispatcher.submit(
+                                        run_ingest, rows, provider_index, tenant
+                                    ),
+                                )
+                            )
                     while in_flight:
-                        absorb(in_flight.popleft().result())
+                        absorb(*in_flight.popleft())
                 except BaseException:
-                    # Stop the pipeline: queued batches are cancelled; one
+                    # Stop the pipeline: queued work is cancelled; one item
                     # may already be running on the dispatcher — if it
-                    # completes, its releases happened too and must be
-                    # absorbed before the accounting below.
-                    for future in in_flight:
+                    # completes, its releases (or appended rows) happened
+                    # too and must be absorbed before the accounting below.
+                    for _, future in in_flight:
                         future.cancel()
-                    for future in in_flight:
+                    for kind, future in in_flight:
                         if not future.cancelled():
                             try:
-                                absorb(future.result())
+                                absorb(kind, future)
                             except BaseException:
                                 pass
                     raise

@@ -24,11 +24,19 @@ __all__ = ["Tenant", "TenantRegistry"]
 
 @dataclass
 class Tenant:
-    """One registered tenant: identity, wallet, and stream sequence."""
+    """One registered tenant: identity, wallet, and stream sequence.
+
+    ``rows_ingested`` counts the rows this tenant pushed through
+    :meth:`~repro.service.scheduler.SessionScheduler.submit_ingest`,
+    credited when the rows actually land at drain time — ingestion spends
+    no privacy budget (appending rows releases nothing), but per-tenant
+    write volume stays auditable next to the epsilon ledger.
+    """
 
     tenant_id: str
     budget: EndUserBudget
     sequence: int = 0
+    rows_ingested: int = 0
 
     def next_seed_token(self) -> tuple[int, ...]:
         """Allocate the noise-stream key of this tenant's next query.

@@ -278,6 +278,70 @@ class ClusterLayout:
             cluster_ids=tuple(cluster.cluster_id for cluster in clusters),
         )
 
+    @classmethod
+    def patched(
+        cls,
+        old: "ClusterLayout",
+        keep_clusters: int,
+        suffix_clusters: Sequence,
+    ) -> "ClusterLayout":
+        """Layout for ``old``'s first ``keep_clusters`` segments + a new suffix.
+
+        The incremental-compaction constructor: the kept prefix is copied as
+        one contiguous slice per column (no per-cluster re-concatenation) and
+        only the suffix clusters' rows are gathered fresh.  Column dtypes are
+        re-narrowed with exactly the :meth:`from_clusters` rule over the
+        combined values, so the result is indistinguishable from a full
+        rebuild of the same cluster sequence — the acceleration structures
+        (zone maps, segment sums, prefix sums, sortedness) are recomputed in
+        the usual single vectorised pass.
+        """
+        if not 0 <= keep_clusters <= old.num_clusters:
+            raise StorageError(
+                f"keep_clusters must be in [0, {old.num_clusters}], got {keep_clusters}"
+            )
+        if keep_clusters == 0 and not suffix_clusters:
+            raise StorageError("a layout needs at least one cluster")
+        prefix_rows = (
+            old.num_rows
+            if keep_clusters == old.num_clusters
+            else int(old.starts[keep_clusters])
+        )
+        columns: dict[str, np.ndarray] = {}
+        for name, column in old.columns.items():
+            parts = [np.asarray(column[:prefix_rows], dtype=np.int64)]
+            parts.extend(cluster.rows.column(name) for cluster in suffix_clusters)
+            combined = np.ascontiguousarray(np.concatenate(parts))
+            if (
+                combined.size
+                and np.iinfo(np.int32).min < combined.min()
+                and combined.max() < np.iinfo(np.int32).max
+            ):
+                combined = combined.astype(np.int32)
+            columns[name] = combined
+        measure_parts = [old.measure[:prefix_rows]]
+        measure_parts.extend(
+            cluster.rows.measure_column() for cluster in suffix_clusters
+        )
+        measure = np.ascontiguousarray(np.concatenate(measure_parts))
+        cluster_rows = np.concatenate(
+            [
+                old.cluster_rows[:keep_clusters],
+                np.array([cluster.num_rows for cluster in suffix_clusters], dtype=np.int64),
+            ]
+        )
+        starts = np.zeros(cluster_rows.size, dtype=np.int64)
+        if cluster_rows.size:
+            np.cumsum(cluster_rows[:-1], out=starts[1:])
+        return cls(
+            columns=columns,
+            measure=measure,
+            starts=starts,
+            cluster_rows=cluster_rows,
+            cluster_ids=tuple(old.cluster_ids[:keep_clusters])
+            + tuple(cluster.cluster_id for cluster in suffix_clusters),
+        )
+
     @property
     def num_clusters(self) -> int:
         """Number of cluster segments in the layout."""

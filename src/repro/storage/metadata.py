@@ -33,6 +33,7 @@ __all__ = [
     "GlobalClusterEntry",
     "MetadataStore",
     "build_metadata",
+    "patch_metadata",
 ]
 
 
@@ -440,6 +441,22 @@ def _dimension_metadata(cluster: Cluster, dimension: str) -> DimensionMetadata:
     return DimensionMetadata(values=values, rows_geq=rows_geq, nominal_size=cluster.nominal_size)
 
 
+def _dense_cluster_row(column: np.ndarray, dimension) -> tuple[np.ndarray, int, int]:
+    """One cluster's dense-index row: ``(rows_geq, v_min, v_max)``.
+
+    Empty clusters carry the inverted sentinel bounds
+    ``(high + 1, low - 1)`` so no query interval can overlap them.
+    """
+    domain = dimension.domain_size
+    rows_geq = np.zeros(domain + 1, dtype=np.int32)
+    if column.size == 0:
+        return rows_geq, dimension.high + 1, dimension.low - 1
+    counts = np.bincount(column - dimension.low, minlength=domain)
+    # rows >= v is the reversed cumulative sum of per-value counts.
+    rows_geq[:domain] = np.cumsum(counts[::-1])[::-1]
+    return rows_geq, int(column.min()), int(column.max())
+
+
 def _dense_index(
     clustered: ClusteredTable, names: Sequence[str]
 ) -> dict[str, DenseDimensionIndex]:
@@ -450,17 +467,13 @@ def _dense_index(
         dimension = clustered.schema.dimension(name)
         domain = dimension.domain_size
         rows_geq = np.zeros((num_clusters, domain + 1), dtype=np.int32)
-        v_min = np.full(num_clusters, dimension.high + 1, dtype=np.int64)
-        v_max = np.full(num_clusters, dimension.low - 1, dtype=np.int64)
+        v_min = np.empty(num_clusters, dtype=np.int64)
+        v_max = np.empty(num_clusters, dtype=np.int64)
         for position, cluster in enumerate(clustered):
-            column = cluster.rows.column(name)
-            if column.size == 0:
-                continue
-            counts = np.bincount(column - dimension.low, minlength=domain)
-            # rows >= v is the reversed cumulative sum of per-value counts.
-            rows_geq[position, :domain] = np.cumsum(counts[::-1])[::-1]
-            v_min[position] = int(column.min())
-            v_max[position] = int(column.max())
+            row, low, high = _dense_cluster_row(cluster.rows.column(name), dimension)
+            rows_geq[position] = row
+            v_min[position] = low
+            v_max[position] = high
         index[name] = DenseDimensionIndex(
             domain_low=dimension.low,
             domain_high=dimension.high,
@@ -511,4 +524,91 @@ def build_metadata(
         nominal_size=clustered.cluster_size,
         dense_index=_dense_index(clustered, names) if dense else None,
         cluster_ids=tuple(cluster.cluster_id for cluster in clustered),
+    )
+
+
+def patch_metadata(
+    store: MetadataStore, clustered: ClusteredTable, first_affected: int
+) -> MetadataStore:
+    """Incrementally update a store after a compaction rebuilt a cluster suffix.
+
+    Cluster positions ``[0, first_affected)`` of ``clustered`` are guaranteed
+    by the compactor to hold exactly the rows they held when ``store`` was
+    built, so their per-cluster metadata and their dense-index rows are
+    reused verbatim; only positions ``>= first_affected`` run Algorithm 1
+    again.  The result is indistinguishable from :func:`build_metadata` on
+    the whole table — per-cluster computation is deterministic, so reused
+    and recomputed entries agree bit for bit.
+
+    Parameters
+    ----------
+    store:
+        The provider's current metadata (built for the pre-compaction
+        clustering).
+    clustered:
+        The post-compaction clustered table.
+    first_affected:
+        First cluster position whose contents changed (every position
+        before it must be untouched).
+    """
+    if first_affected < 0:
+        raise StorageError(f"first_affected must be >= 0, got {first_affected}")
+    sample = next(iter(store.clusters.values()), None)
+    names = (
+        list(sample.dimensions)
+        if sample is not None
+        else list(clustered.schema.dimension_names)
+    )
+    clusters = clustered.clusters
+    first_affected = min(first_affected, len(clusters))
+    per_cluster: dict[int, ClusterMetadata] = {}
+    global_entries: list[GlobalClusterEntry] = []
+    for position, cluster in enumerate(clusters):
+        if position < first_affected:
+            metadata = store.clusters[cluster.cluster_id]
+        else:
+            metadata = ClusterMetadata(
+                cluster_id=cluster.cluster_id,
+                nominal_size=cluster.nominal_size,
+                num_rows=cluster.num_rows,
+                dimensions={
+                    name: _dimension_metadata(cluster, name) for name in names
+                },
+            )
+        per_cluster[cluster.cluster_id] = metadata
+        global_entries.append(metadata.global_entry())
+    dense_index: dict[str, DenseDimensionIndex] | None = None
+    if store.dense_index is not None:
+        dense_index = {}
+        num_clusters = len(clusters)
+        for name in names:
+            old = store.dense_index[name]
+            dimension = clustered.schema.dimension(name)
+            rows_geq = np.zeros((num_clusters, dimension.domain_size + 1), dtype=np.int32)
+            v_min = np.empty(num_clusters, dtype=np.int64)
+            v_max = np.empty(num_clusters, dtype=np.int64)
+            keep = min(first_affected, old.rows_geq.shape[0], num_clusters)
+            rows_geq[:keep] = old.rows_geq[:keep]
+            v_min[:keep] = old.v_min[:keep]
+            v_max[:keep] = old.v_max[:keep]
+            for position in range(keep, num_clusters):
+                row, low, high = _dense_cluster_row(
+                    clusters[position].rows.column(name), dimension
+                )
+                rows_geq[position] = row
+                v_min[position] = low
+                v_max[position] = high
+            dense_index[name] = DenseDimensionIndex(
+                domain_low=dimension.low,
+                domain_high=dimension.high,
+                rows_geq=rows_geq,
+                v_min=v_min,
+                v_max=v_max,
+            )
+    return MetadataStore(
+        clusters=per_cluster,
+        global_entries=tuple(global_entries),
+        nominal_size=clustered.cluster_size,
+        dense_index=dense_index,
+        cluster_ids=tuple(cluster.cluster_id for cluster in clusters),
     )

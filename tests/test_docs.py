@@ -22,6 +22,7 @@ DOCTESTED_PAGES = [
     REPO_ROOT / "docs" / "protocol.md",
     REPO_ROOT / "docs" / "performance.md",
     REPO_ROOT / "docs" / "serving.md",
+    REPO_ROOT / "docs" / "ingestion.md",
 ]
 
 

@@ -12,6 +12,12 @@ Three families of properties the system's correctness arguments lean on:
 * **Cache-key canonicalisation** — semantically equal queries map to equal
   release keys however their range mappings were built, and distinct
   predicates or budgets never collide.
+* **Ingestion / compaction** — folding random delta batches into a random
+  clustered table answers every query exactly like
+  ``ClusteredTable.from_table`` on the union of rows (the compact-then-query
+  ≡ rebuild anchor), watermarks advance monotonically and reset only on a
+  fold, and a provider's layout epoch never decreases under any
+  ingest/compact/rebuild interleaving.
 
 The suite runs under the derandomised ``repro``/``ci`` profiles registered in
 ``conftest.py`` so CI failures are reproducible.
@@ -254,3 +260,180 @@ def test_keys_distinguish_budgets_and_sample_sizes(query):
     assert answer_key(query, budget, 5) != answer_key(query, budget, 6)
     other = split_query_budget(PrivacyConfig(epsilon=2.0))
     assert answer_key(query, budget, 5) != answer_key(query, other, 5)
+
+
+@given(range_queries())
+def test_answer_keys_distinguish_delta_watermarks(query):
+    budget = split_query_budget(PrivacyConfig())
+    assert answer_key(query, budget, 5) == answer_key(
+        query, budget, 5, delta_watermark=0
+    )
+    assert answer_key(query, budget, 5, delta_watermark=3) != answer_key(
+        query, budget, 5, delta_watermark=4
+    )
+
+
+# -- ingestion / compaction -------------------------------------------------------
+
+import numpy as np
+
+from repro.ingest import DeltaStore, fold_into_clustered, incremental_eligible
+from repro.storage.clustered_table import ClusteredTable
+from repro.storage.metadata import build_metadata, patch_metadata
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+
+INGEST_SCHEMA = Schema((Dimension("d0", 0, 19), Dimension("d1", 0, 9)))
+
+
+@st.composite
+def ingest_tables(draw, min_rows=0, max_rows=48):
+    num_rows = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return Table(
+        INGEST_SCHEMA,
+        {
+            "d0": rng.integers(0, 20, num_rows),
+            "d1": rng.integers(0, 10, num_rows),
+        },
+    )
+
+
+@st.composite
+def ingest_boxes(draw):
+    d0_low = draw(st.integers(min_value=0, max_value=19))
+    d0_high = draw(st.integers(min_value=d0_low, max_value=19))
+    d1_low = draw(st.integers(min_value=0, max_value=9))
+    d1_high = draw(st.integers(min_value=d1_low, max_value=9))
+    which = draw(st.integers(min_value=0, max_value=2))
+    if which == 0:
+        return RangeQuery.count({"d0": (d0_low, d0_high)})
+    if which == 1:
+        return RangeQuery.count({"d1": (d1_low, d1_high)})
+    return RangeQuery.count({"d0": (d0_low, d0_high), "d1": (d1_low, d1_high)})
+
+
+@given(
+    ingest_tables(),
+    st.lists(ingest_tables(max_rows=24), min_size=1, max_size=3),
+    st.lists(ingest_boxes(), min_size=1, max_size=4),
+    st.sampled_from(["sequential", "sorted"]),
+    st.sampled_from([None, "d0", "d1"]),
+    st.integers(min_value=1, max_value=9),
+)
+def test_fold_is_answer_equivalent_to_union_rebuild(
+    base, deltas, queries, policy, intra, cluster_size
+):
+    """merge(compact(deltas)) ≡ ClusteredTable.from_table(all rows)."""
+    if not incremental_eligible(policy, None, intra, INGEST_SCHEMA):
+        return
+    from repro.query.batch import QueryBatch
+    from repro.query.executor import ExactExecutor
+
+    clustered = ClusteredTable.from_table(
+        base, cluster_size, policy=policy, intra_sort_by=intra
+    )
+    folded = clustered
+    first_affected = clustered.num_clusters
+    for delta in deltas:
+        folded, first_affected = fold_into_clustered(
+            folded,
+            delta,
+            clustering_policy=policy,
+            sort_by=None,
+            intra_sort_by=intra,
+        )
+    union = Table.concat([base] + list(deltas))
+    rebuilt = ClusteredTable.from_table(
+        union, cluster_size, policy=policy, intra_sort_by=intra
+    )
+    assert folded.num_clusters == rebuilt.num_clusters
+    assert folded.num_rows == rebuilt.num_rows
+    batch = QueryBatch(tuple(queries))
+    mine = folded.layout().cluster_values(batch)
+    theirs = rebuilt.layout().cluster_values(batch)
+    assert np.array_equal(mine, theirs)
+    # Metadata-driven exact execution agrees too (covering sets included).
+    folded_metadata = build_metadata(folded)
+    rebuilt_metadata = build_metadata(rebuilt)
+    mine_exec = ExactExecutor(folded, folded_metadata).execute_batch(list(queries))
+    theirs_exec = ExactExecutor(rebuilt, rebuilt_metadata).execute_batch(list(queries))
+    assert [e.value for e in mine_exec] == [e.value for e in theirs_exec]
+
+
+@given(
+    ingest_tables(min_rows=1, max_rows=32),
+    st.lists(ingest_tables(min_rows=1, max_rows=16), min_size=2, max_size=4),
+    st.integers(min_value=1, max_value=9),
+)
+def test_patch_metadata_equals_full_rebuild(base, deltas, cluster_size):
+    clustered = ClusteredTable.from_table(base, cluster_size)
+    store = build_metadata(clustered)
+    folded = clustered
+    for delta in deltas:
+        folded, first_affected = fold_into_clustered(
+            folded, delta, clustering_policy="sequential", sort_by=None, intra_sort_by=None
+        )
+        store = patch_metadata(store, folded, first_affected)
+    reference = build_metadata(folded)
+    assert store.cluster_ids == reference.cluster_ids
+    assert np.array_equal(store.occupancy, reference.occupancy)
+    for name in reference.dense_index:
+        assert np.array_equal(
+            store.dense_index[name].rows_geq, reference.dense_index[name].rows_geq
+        )
+        assert np.array_equal(
+            store.dense_index[name].v_min, reference.dense_index[name].v_min
+        )
+        assert np.array_equal(
+            store.dense_index[name].v_max, reference.dense_index[name].v_max
+        )
+
+
+@given(st.lists(ingest_tables(max_rows=16), min_size=1, max_size=6))
+def test_watermarks_are_monotone_until_drained(chunks):
+    store = DeltaStore(INGEST_SCHEMA)
+    previous = 0
+    for chunk in chunks:
+        watermark = store.append(chunk)
+        assert watermark == previous + chunk.num_rows
+        assert watermark >= previous
+        previous = watermark
+    drained = store.take_all()
+    assert drained.num_rows == previous
+    assert store.watermark == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["ingest", "compact", "rebuild"]), ingest_tables(max_rows=12)),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_layout_epoch_never_decreases(operations):
+    from repro.federation.provider import DataProvider
+
+    provider = DataProvider(
+        provider_id="p", table=Table.empty(INGEST_SCHEMA), cluster_size=5, rng=0
+    )
+    epoch = provider.layout_epoch
+    watermark = 0
+    for operation, rows in operations:
+        if operation == "ingest":
+            provider.ingest_rows(rows, auto_compact=False)
+            assert provider.delta_watermark == watermark + rows.num_rows
+            watermark = provider.delta_watermark
+        elif operation == "compact":
+            provider.compact()
+            watermark = 0
+            assert provider.delta_watermark == 0
+        else:
+            provider.rebuild_layout()
+            watermark = 0
+        assert provider.layout_epoch >= epoch
+        epoch = provider.layout_epoch
+    # Every row ever ingested is accounted for: clustered + buffered.
+    total = sum(rows.num_rows for op, rows in operations if op == "ingest")
+    assert provider.num_rows + provider.delta_watermark == total
