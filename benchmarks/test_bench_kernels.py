@@ -1,0 +1,160 @@
+"""Kernel-backend benchmark: numpy vs numba on the straddler row path.
+
+Times the exact ``Q(C)`` batch kernel on a *sequentially* clustered table —
+zone maps barely prune and nearly every covered (query, cluster) pair
+straddles, so the whole workload lands on the row-evaluation kernels the
+compiled tier replaces.  Two sizes (``rows // 10`` and ``rows``) are timed
+under every available backend, with the backends asserted bit-identical and
+their telemetry (fused pairs, jit/fallback hits, peak tile bytes) recorded.
+
+The acceptance gate — compiled tier ``>=`` ``REPRO_BENCH_MIN_KERNEL_SPEEDUP``
+(default 5x) over the numpy kernels at the full size — only applies when
+numba is importable: the pure-NumPy fallback is a correctness path, not a
+performance claim, so containers without numba record timings gate-free.
+
+Entries append to ``results/BENCH_kernels.json`` via the shared harness.
+Scale knob: ``REPRO_BENCH_KERNELS_ROWS`` (default 1 000 000).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from _harness import record_bench
+
+from repro.config import ExecutionConfig
+from repro.query.batch import QueryBatch
+from repro.query.model import RangeQuery
+from repro.storage.clustered_table import ClusteredTable
+from repro.storage.kernels import numba_available
+from repro.storage.layout import collect_kernel_telemetry
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+
+KERNEL_ROWS = int(os.environ.get("REPRO_BENCH_KERNELS_ROWS", "1000000"))
+MIN_KERNEL_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_KERNEL_SPEEDUP", "5.0"))
+NUM_QUERIES = 8
+REPS = 3
+CLUSTER_SIZE = 1000
+KEY_DOMAIN = 10_000
+
+SCHEMA = Schema(
+    (
+        Dimension("key", 0, KEY_DOMAIN - 1),
+        Dimension("aux", 0, 99),
+        Dimension("cat", 0, 9),
+    )
+)
+
+
+def _table(num_rows: int, seed: int) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        SCHEMA,
+        {
+            "key": rng.integers(0, KEY_DOMAIN, num_rows),
+            "aux": rng.integers(0, 100, num_rows),
+            "cat": rng.integers(0, 10, num_rows),
+        },
+    )
+
+
+def _workload(seed: int) -> QueryBatch:
+    """Two-dimension boxes over a sequential layout: almost all straddlers."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(NUM_QUERIES):
+        low = int(rng.integers(0, KEY_DOMAIN // 2))
+        width = int(rng.integers(KEY_DOMAIN // 4, KEY_DOMAIN // 2))
+        aux_low = int(rng.integers(0, 50))
+        queries.append(
+            RangeQuery.count(
+                {"key": (low, low + width), "aux": (aux_low, aux_low + 40)}
+            )
+        )
+    return QueryBatch(tuple(queries))
+
+
+def _best_seconds(fn) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernel_backend_matrix():
+    backends = ["numpy"] + (["numba"] if numba_available() else [])
+    sizes = sorted({max(KERNEL_ROWS // 10, 1000), KERNEL_ROWS})
+    batch = _workload(seed=3)
+    matrix = []
+    gate_speedup = None
+    for num_rows in sizes:
+        layout = ClusteredTable.from_table(_table(num_rows, seed=0), CLUSTER_SIZE).layout()
+        reference = None
+        timings: dict[str, float] = {}
+        counters: dict[str, dict] = {}
+        for backend in backends:
+            execution = ExecutionConfig(
+                prune=True, sorted_bisect=False, kernel_backend=backend
+            )
+            with collect_kernel_telemetry() as telemetry:
+                values = layout.cluster_values(batch, execution=execution)
+            if reference is None:
+                reference = values
+            # The tentpole contract: backends are bit-identical, always.
+            assert np.array_equal(values, reference), (backend, num_rows)
+            assert telemetry.backend == backend, (backend, telemetry.backend)
+            timings[backend] = _best_seconds(
+                lambda execution=execution: layout.cluster_values(
+                    batch, execution=execution
+                )
+            )
+            counters[backend] = {
+                "jit_calls": telemetry.jit_calls,
+                "fallback_calls": telemetry.fallback_calls,
+                "pairs_fused": telemetry.pairs_fused,
+                "pairs_scanned": telemetry.pairs_scanned,
+                "rows_evaluated": telemetry.rows_evaluated,
+                "max_tile_bytes": telemetry.max_tile_bytes,
+            }
+        speedup = (
+            round(timings["numpy"] / timings["numba"], 2) if "numba" in timings else None
+        )
+        matrix.append(
+            {
+                "rows": num_rows,
+                "seconds": {k: round(v, 6) for k, v in timings.items()},
+                "qps": {k: round(NUM_QUERIES / v, 1) for k, v in timings.items()},
+                "numba_speedup": speedup,
+                "telemetry": counters,
+            }
+        )
+        if num_rows == KERNEL_ROWS:
+            gate_speedup = speedup
+
+    record_bench(
+        "kernels",
+        params={
+            "num_queries": NUM_QUERIES,
+            "cluster_size": CLUSTER_SIZE,
+            "reps": REPS,
+            "sizes": sizes,
+            "numba_available": numba_available(),
+            "min_kernel_speedup": MIN_KERNEL_SPEEDUP,
+        },
+        metrics={"matrix": matrix},
+    )
+    for point in matrix:
+        line = ", ".join(f"{k} {v:.4f}s" for k, v in point["seconds"].items())
+        print(f"\nkernels {point['rows']:>8} rows: {line}")
+
+    if numba_available():
+        assert gate_speedup is not None
+        assert gate_speedup >= MIN_KERNEL_SPEEDUP, (
+            f"compiled kernels must be >= {MIN_KERNEL_SPEEDUP}x the numpy kernels "
+            f"at {KERNEL_ROWS} rows, got {gate_speedup:.2f}x"
+        )

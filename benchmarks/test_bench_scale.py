@@ -46,6 +46,7 @@ from repro.core.system import FederatedAQPSystem
 from repro.query.batch import QueryBatch
 from repro.query.model import RangeQuery
 from repro.storage.clustered_table import ClusteredTable
+from repro.storage.kernels import numba_available
 from repro.storage.layout import collect_kernel_telemetry
 from repro.storage.schema import Dimension, Schema
 from repro.storage.table import Table
@@ -66,6 +67,11 @@ MIN_PRUNE_SPEEDUP = float(
         os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"),
     )
 )
+
+# Required compiled-over-numpy kernel speedup on the dense-residual leg.
+# Only enforced when numba is importable — the pure-NumPy fallback is a
+# correctness path, not a performance claim.
+MIN_KERNEL_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_KERNEL_SPEEDUP", "5.0"))
 
 SCHEMA = Schema(
     (
@@ -215,6 +221,71 @@ def test_scale_matrix_and_prune_speedup(benchmark):
             gate_batch, execution=ENGINES["pruned_sorted"]
         )
     )
+
+
+def test_scale_compiled_tier_dense_residual():
+    """Kernel-backend leg: the dense residual (row-evaluated straddlers).
+
+    A *sequentially* clustered table gives the zone maps almost nothing to
+    prune and leaves nearly every covered (query, cluster) pair straddling,
+    so this workload is pure row evaluation — exactly the path the compiled
+    kernel tier fuses.  The backends must be bit-identical; the ``>=``
+    ``REPRO_BENCH_MIN_KERNEL_SPEEDUP`` gate (default 5x) applies only when
+    numba is importable.
+    """
+    table = _table(SCALE_ROWS, seed=2)
+    layout = ClusteredTable.from_table(table, CLUSTER_SIZE).layout()
+    batch = _workload(SELECTIVITIES["mid"], seed=11)
+    execution_by_backend = {
+        backend: ExecutionConfig(
+            prune=True, sorted_bisect=False, kernel_backend=backend
+        )
+        for backend in (["numpy", "numba"] if numba_available() else ["numpy"])
+    }
+    reference = None
+    timings: dict[str, float] = {}
+    fused: dict[str, int] = {}
+    for backend, execution in execution_by_backend.items():
+        with collect_kernel_telemetry() as stats:
+            values = layout.cluster_values(batch, execution=execution)
+        if reference is None:
+            reference = values
+        assert np.array_equal(values, reference), backend
+        assert stats.backend == backend
+        fused[backend] = stats.pairs_fused
+        timings[backend] = _best_seconds(
+            lambda execution=execution: layout.cluster_values(
+                batch, execution=execution
+            )
+        )
+    speedup = (
+        round(timings["numpy"] / timings["numba"], 2) if "numba" in timings else None
+    )
+    record_bench(
+        "scale",
+        params={
+            "leg": "compiled_kernels",
+            "rows": SCALE_ROWS,
+            "num_queries": NUM_QUERIES,
+            "cluster_size": CLUSTER_SIZE,
+            "numba_available": numba_available(),
+        },
+        metrics={
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "pairs_fused": fused,
+            "kernel_speedup": speedup,
+        },
+    )
+    print(
+        "\ncompiled-tier seconds: "
+        + ", ".join(f"{k} {v:.4f}s" for k, v in timings.items())
+    )
+    if numba_available():
+        assert speedup is not None
+        assert speedup >= MIN_KERNEL_SPEEDUP, (
+            f"compiled kernels must be >= {MIN_KERNEL_SPEEDUP}x the numpy kernels "
+            f"on the dense-residual leg at {SCALE_ROWS} rows, got {speedup:.2f}x"
+        )
 
 
 def test_scale_backend_matrix():

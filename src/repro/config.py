@@ -298,11 +298,20 @@ class ExecutionConfig:
         (query blocks × segment-aligned row chunks).  ``None`` disables
         tiling.  A single (query, cluster) pair is never split, so the hard
         peak is ``max(max_kernel_bytes, bytes_per_row * largest_cluster)``.
+    kernel_backend:
+        Implementation tier of the straddler row kernels.  ``"auto"``
+        (default) uses the compiled numba kernels when numba is importable
+        and the pure-NumPy kernels otherwise; ``"numpy"`` forces the
+        reference path; ``"numba"`` requests the compiled path and falls
+        back to NumPy with a one-time :class:`RuntimeWarning` (reason
+        recorded in the kernel telemetry) when numba is missing.  Backends
+        are bit-identical — only throughput changes.
     """
 
     prune: bool = True
     sorted_bisect: bool = True
     max_kernel_bytes: int | None = 64 * 2**20
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_kernel_bytes is not None:
@@ -310,6 +319,11 @@ class ExecutionConfig:
                 self.max_kernel_bytes >= 4096,
                 f"max_kernel_bytes must be >= 4096, got {self.max_kernel_bytes}",
             )
+        _require(
+            self.kernel_backend in ("auto", "numpy", "numba"),
+            'kernel_backend must be "auto", "numpy" or "numba", '
+            f"got {self.kernel_backend!r}",
+        )
 
     @classmethod
     def dense(cls) -> "ExecutionConfig":
@@ -319,6 +333,10 @@ class ExecutionConfig:
     def with_max_kernel_bytes(self, max_kernel_bytes: int | None) -> "ExecutionConfig":
         """Return a copy with a different kernel memory budget."""
         return replace(self, max_kernel_bytes=max_kernel_bytes)
+
+    def with_kernel_backend(self, kernel_backend: str) -> "ExecutionConfig":
+        """Return a copy with a different kernel backend selection."""
+        return replace(self, kernel_backend=kernel_backend)
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,14 @@ hosting each provider in a persistent worker process:
 * per batch, only the compact protocol messages (requests, allocations,
   summaries, estimates) cross the process boundary, so the fan-out is
   zero-copy with respect to the data;
+* **pending delta rows ship zero-copy too**: each provider owns a growable
+  shared-memory append buffer (one ``(columns, capacity)`` int64 matrix —
+  every table column is normalised to contiguous int64, so one block fits
+  all).  The parent writes appended rows into the buffer and sends only a
+  tiny ``(buffer name, capacity, row range)`` descriptor; the worker maps
+  the block once and appends zero-copy column *views* to its mirror delta
+  store.  No delta row is ever pickled — neither at pool construction nor
+  per ingest batch — which :class:`ProcPoolStats` makes assertable;
 * each worker's provider draws from the same RNG stream the in-process
   provider would have drawn from (the parent's generator state is shipped at
   construction and synchronised back after every stateful call), so
@@ -47,7 +55,7 @@ import numpy as np
 
 from ..errors import ProtocolError
 
-__all__ = ["ProviderProcessPool"]
+__all__ = ["ProviderProcessPool", "ProcPoolStats"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +66,113 @@ class _ColumnSpec:
     shm_name: str
     dtype: str
     length: int
+
+
+@dataclass(frozen=True)
+class _DeltaBufferSpec:
+    """Descriptor of one provider's shared delta buffer (or a slice of it)."""
+
+    shm_name: str
+    capacity: int
+    rows: int
+
+
+@dataclass
+class ProcPoolStats:
+    """Ingest-path instrumentation of one pool (parent-side, cumulative).
+
+    ``delta_rows_pickled_bytes`` counts bytes of delta-row payloads (tables)
+    serialised over the worker pipes — zero by construction on the
+    shared-buffer path; the counter exists so a regression reintroducing
+    pickled row shipping is caught by tests rather than by a profiler.
+    """
+
+    delta_rows_shipped: int = 0
+    delta_shared_bytes: int = 0
+    delta_rows_pickled_bytes: int = 0
+
+
+def _charge_pickled_rows(stats: ProcPoolStats, command: tuple) -> None:
+    """Charge any table-like payload in ``command`` to the pickled counter."""
+    for element in command:
+        if hasattr(element, "schema") and hasattr(element, "memory_bytes"):
+            stats.delta_rows_pickled_bytes += int(element.memory_bytes())
+
+
+class _SharedDeltaBuffer:
+    """Parent-side growable shared-memory append buffer of delta rows.
+
+    One int64 matrix of shape ``(num_columns, capacity)`` per provider
+    (every :class:`~repro.storage.table.Table` column is contiguous int64 by
+    construction).  Growth allocates a doubled block and copies the live
+    prefix; the outgrown block is unlinked immediately — workers attached it
+    before any later message could reference the new one (the ingest
+    round-trip is synchronous), and POSIX keeps existing mappings valid
+    after an unlink, so worker-held chunk views stay readable.
+    """
+
+    def __init__(self, column_names: Sequence[str], initial_rows: int = 0) -> None:
+        self._column_names = tuple(column_names)
+        capacity = 1024
+        while capacity < initial_rows:
+            capacity *= 2
+        self._capacity = capacity
+        self._rows = 0
+        self._block, self._matrix = self._allocate(capacity)
+
+    def _allocate(self, capacity: int) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+        num_columns = max(1, len(self._column_names))
+        block = shared_memory.SharedMemory(
+            create=True, size=max(1, num_columns * capacity * 8)
+        )
+        matrix = np.ndarray(
+            (len(self._column_names), capacity), dtype=np.int64, buffer=block.buf
+        )
+        return block, matrix
+
+    @property
+    def row_bytes(self) -> int:
+        """Shared bytes one appended row occupies."""
+        return len(self._column_names) * 8
+
+    def append(self, rows) -> tuple[int, int]:
+        """Write a table's rows into the buffer; return their ``[start, stop)``."""
+        count = rows.num_rows
+        if self._rows + count > self._capacity:
+            capacity = self._capacity
+            while capacity < self._rows + count:
+                capacity *= 2
+            block, matrix = self._allocate(capacity)
+            matrix[:, : self._rows] = self._matrix[:, : self._rows]
+            old = self._block
+            self._block, self._matrix, self._capacity = block, matrix, capacity
+            old.close()
+            try:
+                old.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        start = self._rows
+        for index, name in enumerate(self._column_names):
+            self._matrix[index, start : start + count] = rows.column(name)
+        self._rows += count
+        return start, self._rows
+
+    def spec(self) -> _DeltaBufferSpec:
+        """Current descriptor (name, capacity, populated row count)."""
+        return _DeltaBufferSpec(
+            shm_name=self._block.name, capacity=self._capacity, rows=self._rows
+        )
+
+    def close(self) -> None:
+        """Release and unlink the live block (idempotent)."""
+        if self._block is None:
+            return
+        try:
+            self._block.close()
+            self._block.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._block = None
 
 
 @dataclass(frozen=True)
@@ -77,7 +192,7 @@ class _ProviderSpec:
     columns: tuple[_ColumnSpec, ...]
     rng_state: dict
     stream_entropy: tuple[int, ...]
-    delta_rows: object  # pending (uncompacted) delta Table, or None
+    delta: _DeltaBufferSpec  # pending (uncompacted) rows live in shm, not here
 
 
 def _export_table(table) -> tuple[tuple[_ColumnSpec, ...], list[shared_memory.SharedMemory]]:
@@ -121,12 +236,47 @@ def _attach_table(schema, specs: Sequence[_ColumnSpec]):
     return Table(schema, columns), blocks
 
 
+class _WorkerDeltaView:
+    """Worker-side window onto one provider's shared delta buffer.
+
+    Caches the attached block per buffer name; a grown buffer (new name)
+    is attached on first reference while the outgrown block stays mapped —
+    the provider's delta chunks hold zero-copy views into it.
+    """
+
+    def __init__(self, schema, blocks: list) -> None:
+        self._schema = schema
+        self._names = schema.column_names
+        self._blocks = blocks  # the worker's shared close-at-exit registry
+        self._shm_name: str | None = None
+        self._matrix: np.ndarray | None = None
+
+    def slice_table(self, spec: _DeltaBufferSpec, start: int, stop: int):
+        """Zero-copy table over rows ``[start, stop)`` of the buffer."""
+        from ..storage.table import Table
+
+        if spec.shm_name != self._shm_name:
+            block = shared_memory.SharedMemory(name=spec.shm_name)
+            self._blocks.append(block)
+            self._shm_name = spec.shm_name
+            self._matrix = np.ndarray(
+                (len(self._names), spec.capacity), dtype=np.int64, buffer=block.buf
+            )
+        # Row slices of an int64 matrix row are contiguous int64 views, which
+        # Table normalisation keeps as-is — no copy anywhere on this path.
+        return Table(
+            self._schema,
+            {name: self._matrix[index, start:stop] for index, name in enumerate(self._names)},
+        )
+
+
 def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
     """Worker loop: host the assigned providers, serve phase calls over the pipe."""
     from .provider import DataProvider
 
     blocks: list[shared_memory.SharedMemory] = []
     providers: dict[str, DataProvider] = {}
+    delta_views: dict[str, _WorkerDeltaView] = {}
     try:
         for spec in provider_specs:
             table, table_blocks = _attach_table(spec.schema, spec.columns)
@@ -150,12 +300,18 @@ def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
             # land on identical noise streams in every backend.
             provider._rng.bit_generator.state = spec.rng_state
             provider._stream_entropy = spec.stream_entropy
-            if spec.delta_rows is not None:
+            view = _WorkerDeltaView(spec.schema, blocks)
+            delta_views[spec.provider_id] = view
+            if spec.delta.rows:
                 # Mirror the parent's uncompacted delta buffer so worker-side
-                # snapshots pin the same watermark the parent would have.
+                # snapshots pin the same watermark the parent would have —
+                # read zero-copy out of the shared buffer, never pickled.
                 # Workers never compact (auto_compact=False): compaction is a
                 # parent-side decision whose epoch bump rebuilds this pool.
-                provider.ingest_rows(spec.delta_rows, auto_compact=False)
+                provider.ingest_rows(
+                    view.slice_table(spec.delta, 0, spec.delta.rows),
+                    auto_compact=False,
+                )
             providers[spec.provider_id] = provider
         conn.send(("ready", None))
         while True:
@@ -185,10 +341,15 @@ def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
                     )
                 elif method == "ingest":
                     # Append-only: the worker mirrors the parent's buffer so
-                    # later phases pin identical watermarks.  Compaction is
-                    # never triggered here — the parent compacts and the
-                    # resulting epoch bump tears this pool down.
-                    receipt = provider.ingest_rows(command[2], auto_compact=False)
+                    # later phases pin identical watermarks.  The command
+                    # carries only a buffer descriptor and a row range — the
+                    # rows themselves are read zero-copy out of the shared
+                    # delta buffer.  Compaction is never triggered here —
+                    # the parent compacts and the resulting epoch bump tears
+                    # this pool down.
+                    _, _, spec, start, stop = command
+                    rows = delta_views[command[1]].slice_table(spec, start, stop)
+                    receipt = provider.ingest_rows(rows, auto_compact=False)
                     conn.send(("ok", receipt))
                 elif method == "forget":
                     provider.forget_batch(command[2])
@@ -216,9 +377,11 @@ class ProviderProcessPool:
     def __init__(self, providers: Sequence, parallelism) -> None:
         self._providers = list(providers)
         self._blocks: list[shared_memory.SharedMemory] = []
+        self._delta_buffers: list[_SharedDeltaBuffer] = []
         self._conns = []
         self._processes = []
         self._closed = False
+        self.stats = ProcPoolStats()
         # Layout versions the worker snapshots were taken at; the owning
         # aggregator rebuilds the pool when any provider re-clusters.
         self.layout_epochs = tuple(provider.layout_epoch for provider in self._providers)
@@ -229,6 +392,17 @@ class ProviderProcessPool:
         for index, provider in enumerate(self._providers):
             columns, blocks = _export_table(provider.table)
             self._blocks.extend(blocks)
+            delta_buffer = _SharedDeltaBuffer(provider.table.schema.column_names)
+            self._delta_buffers.append(delta_buffer)
+            if provider.delta.watermark:
+                # Pre-populate the shared buffer with the pending
+                # (uncompacted) rows instead of pickling them into the spec.
+                pending = provider.delta.rows_upto(provider.delta.watermark)
+                delta_buffer.append(pending)
+                self.stats.delta_rows_shipped += pending.num_rows
+                self.stats.delta_shared_bytes += (
+                    pending.num_rows * delta_buffer.row_bytes
+                )
             specs_per_worker[self._worker_of[index]].append(
                 _ProviderSpec(
                     provider_id=provider.provider_id,
@@ -244,11 +418,7 @@ class ProviderProcessPool:
                     columns=columns,
                     rng_state=provider._rng.bit_generator.state,
                     stream_entropy=provider._stream_entropy,
-                    delta_rows=(
-                        provider.delta.rows_upto(provider.delta.watermark)
-                        if provider.delta.watermark
-                        else None
-                    ),
+                    delta=delta_buffer.spec(),
                 )
             )
         try:
@@ -308,13 +478,23 @@ class ProviderProcessPool:
         to its own provider object, so the two views of the delta buffer
         advance in lockstep and any in-worker session keeps its pinned
         snapshot semantics.
+
+        The rows are written into the provider's shared delta buffer and
+        only a ``(descriptor, start, stop)`` triple crosses the pipe —
+        zero pickled delta-row bytes per batch.
         """
         provider = self._providers[provider_index]
         worker = self._worker_of[provider_index]
         if self._closed:
             raise ProtocolError("provider process pool is closed")
+        buffer = self._delta_buffers[provider_index]
+        start, stop = buffer.append(rows)
+        self.stats.delta_rows_shipped += rows.num_rows
+        self.stats.delta_shared_bytes += rows.num_rows * buffer.row_bytes
+        command = ("ingest", provider.provider_id, buffer.spec(), start, stop)
+        _charge_pickled_rows(self.stats, command)
         try:
-            self._conns[worker].send(("ingest", provider.provider_id, rows))
+            self._conns[worker].send(command)
             status, payload = self._conns[worker].recv()
         except (EOFError, BrokenPipeError, OSError) as error:
             self.close()
@@ -401,9 +581,12 @@ class ProviderProcessPool:
                 block.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+        for buffer in self._delta_buffers:
+            buffer.close()
         self._conns = []
         self._processes = []
         self._blocks = []
+        self._delta_buffers = []
 
     def __del__(self) -> None:  # pragma: no cover - best-effort safety net
         try:

@@ -946,29 +946,20 @@ class DataProvider:
             # rows in any covering cluster.
             pps[boundaries[i] : boundaries[i + 1]] = 1.0 / float(lengths[i])
         pps = np.maximum(pps, 1e-12)
-        pps_sums = np.array(
-            [
-                float(pps[boundaries[i] : boundaries[i + 1]].sum())
-                for i in range(lengths.size)
-            ]
-        )
+        # Segmented reductions over the whole batch × cluster matrix in
+        # single ufunc calls (every segment is non-empty: approximating
+        # queries have >= n_min >= 1 covering clusters).  reduceat sums a
+        # segment left to right, so each query's reduction depends only on
+        # its own contiguous slice — bit-identical for any batching.
+        segment_starts = boundaries[:-1]
+        pps_sums = np.add.reduceat(pps, segment_starts)
         pps = pps / np.repeat(pps_sums, lengths)
         delta_p = sampling_probability_sensitivity(self.n_min)
         exponents = pps * np.repeat(epsilon_sampling / sizes, lengths) / (2.0 * delta_p)
-        maxima = np.array(
-            [
-                float(exponents[boundaries[i] : boundaries[i + 1]].max())
-                for i in range(lengths.size)
-            ]
-        )
+        maxima = np.maximum.reduceat(exponents, segment_starts)
         exponents -= np.repeat(maxima, lengths)
         weights = np.exp(exponents)
-        weight_sums = np.array(
-            [
-                float(weights[boundaries[i] : boundaries[i + 1]].sum())
-                for i in range(lengths.size)
-            ]
-        )
+        weight_sums = np.add.reduceat(weights, segment_starts)
         selection = weights / np.repeat(weight_sums, lengths)
         for i, plan in enumerate(plans):
             plan.selection = selection[boundaries[i] : boundaries[i + 1]]
@@ -1100,15 +1091,20 @@ class DataProvider:
                 epsilon=budget.epsilon_estimation,
                 delta=budget.delta,
             )
+            # Hansen-Hurwitz means and smooth-sensitivity means of every
+            # approximating query in two segmented reductions (segments are
+            # the per-query selected-cluster runs, all non-empty).
+            segment_starts = boundaries[:-1]
+            ratio_sums = np.add.reduceat(flat_ratios, segment_starts)
+            smooth_sums = np.add.reduceat(flat_smooth, segment_starts)
             layout_rows = self.clustered.layout().cluster_rows
             for slot, (index, plan) in enumerate(approx):
-                segment = slice(boundaries[slot], boundaries[slot + 1])
                 size = int(lengths[slot])
                 watermark = plan.session.delta_watermark
-                estimate = float(flat_ratios[segment].sum() / size) + float(
+                estimate = float(ratio_sums[slot] / size) + float(
                     delta_values[index]
                 )
-                smooth = float(flat_smooth[segment].sum() / size)
+                smooth = float(smooth_sums[slot] / size)
                 if watermark:
                     smooth = max(smooth, 1.0)
                 noise = 0.0

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..errors import IngestError
 from ..query.model import RangeQuery
+from ..storage.layout import OPEN_HIGH, OPEN_LOW
 from ..storage.schema import Schema
 from ..storage.table import Table
 
@@ -224,6 +225,18 @@ class DeltaStore:
             visible delta rows (int64); ``rows_scanned[i]`` counts the rows
             the dense kernel actually evaluated for it (chunks skipped by
             the mini zone maps contribute nothing).
+
+        Notes
+        -----
+        All queries are evaluated against each chunk in **one** vectorised
+        pass: per constrained dimension, one broadcast comparison over a
+        ``(live queries, chunk rows)`` mask matrix carved out of a single
+        preallocated buffer that is reused across every chunk of the call —
+        no per-query mask allocations.  Dimensions a query leaves
+        unconstrained use open sentinel bounds (an all-true factor), and
+        rows beyond a query's pinned watermark are cleared before the
+        measure product, so the sums equal the per-query prefix evaluation
+        exactly (integer sums are order-independent).
         """
         num_queries = len(queries)
         if len(watermarks) != num_queries:
@@ -235,40 +248,65 @@ class DeltaStore:
         marks = np.asarray(watermarks, dtype=np.int64)
         if not marks.any():
             return values, scanned
-        for chunk in list(self._chunks):
+        chunks = list(self._chunks)
+        if not chunks:
+            return values, scanned
+        # Per-query bounds per constrained dimension, built once per call;
+        # sentinel bounds keep unconstrained dimensions all-true, matching
+        # the per-query kernel's semantics of skipping them.
+        constrained = set()
+        for query in queries:
+            constrained.update(query.ranges)
+        bounds: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name in self.schema.dimension_names:
+            if name not in constrained:
+                continue
+            lows = np.full(num_queries, OPEN_LOW, dtype=np.int64)
+            highs = np.full(num_queries, OPEN_HIGH, dtype=np.int64)
+            for index, query in enumerate(queries):
+                interval = query.ranges.get(name)
+                if interval is not None:
+                    lows[index] = interval.low
+                    highs[index] = interval.high
+            bounds[name] = (lows, highs)
+        # One mask buffer for the whole call, sized to the widest chunk.
+        buffer = np.empty(
+            (num_queries, max(chunk.num_rows for chunk in chunks)), dtype=bool
+        )
+        for chunk in chunks:
             # Queries whose pinned watermark does not reach into this chunk
             # see none of it; the rest see a prefix of it.
             visible = np.minimum(marks - chunk.start, chunk.num_rows)
-            readers = np.flatnonzero(visible > 0)
-            if readers.size == 0:
+            live = visible > 0
+            if not live.any():
                 continue
-            # Mini zone maps: drop readers whose box cannot touch the chunk.
-            live = []
-            for index in readers.tolist():
-                query = queries[index]
-                hit = True
-                for name, interval in query.ranges.items():
-                    if (
-                        chunk.zone_max[name] < interval.low
-                        or chunk.zone_min[name] > interval.high
-                    ):
-                        hit = False
-                        break
-                if hit:
-                    live.append(index)
-            if not live:
+            # Mini zone maps: drop readers whose box cannot touch the chunk
+            # (sentinel bounds always pass, so only constrained dimensions
+            # can reject).
+            for name, (lows, highs) in bounds.items():
+                live &= (chunk.zone_max[name] >= lows) & (chunk.zone_min[name] <= highs)
+                if not live.any():
+                    break
+            live_indices = np.flatnonzero(live)
+            if live_indices.size == 0:
                 continue
-            measure = chunk.rows.measure_column()
-            for index in live:
-                query = queries[index]
-                stop = int(visible[index])
-                mask = np.ones(stop, dtype=bool)
-                for name, interval in query.ranges.items():
-                    column = chunk.rows.column(name)[:stop]
-                    np.logical_and(mask, column >= interval.low, out=mask)
-                    np.logical_and(mask, column <= interval.high, out=mask)
-                values[index] += int(measure[:stop][mask].sum())
-                scanned[index] += stop
+            num_rows = chunk.num_rows
+            masks = buffer[: live_indices.size, :num_rows]
+            masks[:] = True
+            for name, (lows, highs) in bounds.items():
+                column = chunk.rows.column(name)
+                np.logical_and(masks, column[None, :] >= lows[live_indices, None], out=masks)
+                np.logical_and(masks, column[None, :] <= highs[live_indices, None], out=masks)
+            chunk_visible = visible[live_indices]
+            if int(chunk_visible.min()) < num_rows:
+                # Clear rows beyond each query's pinned prefix of the chunk.
+                np.logical_and(
+                    masks,
+                    np.arange(num_rows, dtype=np.int64)[None, :] < chunk_visible[:, None],
+                    out=masks,
+                )
+            values[live_indices] += masks @ chunk.rows.measure_column()
+            scanned[live_indices] += chunk_visible
         return values, scanned
 
     def memory_bytes(self) -> int:

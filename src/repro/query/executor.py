@@ -131,12 +131,19 @@ class ExactExecutor:
         batch = QueryBatch.coerce(queries)
         batch.validate_against(self._clustered.schema)
         layout = self._clustered.layout()
-        position_of = layout.position_of()
         if self._metadata is None:
             covering_positions = [
                 np.arange(layout.num_clusters, dtype=np.int64) for _ in batch
             ]
+        elif tuple(self._metadata.cluster_ids) == layout.cluster_ids:
+            # Metadata and layout share the storage order (the always-true
+            # case for provider-built executors), so the metadata's position
+            # arrays index the layout directly — no per-id Python mapping.
+            covering_positions = self._metadata.covering_positions_batch(
+                batch.range_tuples_list()
+            )
         else:
+            position_of = layout.position_of()
             covering_lists = self._metadata.covering_cluster_ids_batch(
                 batch.range_tuples_list()
             )

@@ -47,8 +47,19 @@ class Cluster:
         return self.rows.schema
 
     def total_measure(self) -> int:
-        """Sum of the measure column of this cluster."""
-        return self.rows.total_measure()
+        """Sum of the measure column of this cluster.
+
+        Cached after the first call: the rows of a cluster are immutable
+        (ingest appends to the delta store and compaction builds *new*
+        clusters), so the sum can never change.  Repeated federation-wide
+        ``total_measure`` passes — selectivity calibration runs one per
+        scenario — then cost O(clusters) instead of O(rows).
+        """
+        cached = self.__dict__.get("_total_measure")
+        if cached is None:
+            cached = self.rows.total_measure()
+            object.__setattr__(self, "_total_measure", cached)
+        return cached
 
     def __len__(self) -> int:
         return self.num_rows

@@ -1,0 +1,122 @@
+"""Compiled kernel tier: backend resolution for the layout's hot loops.
+
+The row-evaluation kernels of :class:`~repro.storage.layout.ClusterLayout`
+have two interchangeable implementations:
+
+* the **numpy** backend — the pure-NumPy reference path (gather + broadcast
+  comparisons + ``np.add.reduceat``), always available;
+* the **numba** backend — ``@njit(cache=True)`` loops from
+  :mod:`repro.storage._kernels_numba` that fuse the straddler-mask
+  construction and the masked segmented reduction into per-pair loops with
+  no per-row temporaries beyond one reusable byte mask.
+
+Which one runs is selected by ``ExecutionConfig.kernel_backend``:
+
+* ``"auto"`` (default) — numba when importable, numpy otherwise;
+* ``"numpy"`` — always the reference path;
+* ``"numba"`` — the compiled path, falling back to numpy with a *one-time*
+  :class:`RuntimeWarning` (and the reason recorded in the kernel telemetry)
+  when numba is not installed.
+
+Both backends are bit-identical: the kernels only ever add int64 measures,
+and integer sums are exact under any evaluation order.  numba stays a soft
+dependency — nothing in this module imports it at module load time.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+__all__ = [
+    "KernelBackend",
+    "resolve_backend",
+    "numba_available",
+    "numba_kernels",
+]
+
+_numba_kernels = None
+_numba_error: str | None = None
+_warned_fallback = False
+
+
+def numba_kernels():
+    """The :mod:`repro.storage._kernels_numba` module, or ``None``.
+
+    The import (and therefore the numba dependency probe) happens at most
+    once per process; an unavailable numba is remembered as the fallback
+    reason instead of being re-probed on every kernel call.
+    """
+    global _numba_kernels, _numba_error
+    if _numba_kernels is None and _numba_error is None:
+        try:
+            from . import _kernels_numba
+
+            _numba_kernels = _kernels_numba
+        except ImportError as error:
+            _numba_error = f"numba unavailable ({error})"
+    return _numba_kernels
+
+
+def numba_available() -> bool:
+    """True when the compiled backend can actually run in this process."""
+    return numba_kernels() is not None
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """The resolved kernel backend for one execution configuration.
+
+    Attributes
+    ----------
+    name:
+        The backend that will actually run: ``"numpy"`` or ``"numba"``.
+    requested:
+        The ``ExecutionConfig.kernel_backend`` value that was asked for.
+    fallback_reason:
+        Non-empty exactly when ``"numba"`` was explicitly requested but the
+        numpy path runs instead; recorded into the kernel telemetry so the
+        silent-degradation mode is observable.
+    """
+
+    name: str
+    requested: str
+    fallback_reason: str = ""
+
+    @property
+    def compiled(self) -> bool:
+        """True when the njit kernels serve this configuration."""
+        return self.name == "numba"
+
+
+def resolve_backend(requested: str) -> KernelBackend:
+    """Map a ``kernel_backend`` setting onto the backend that will run.
+
+    ``"numba"`` requested without numba installed degrades to numpy — loudly:
+    a :class:`RuntimeWarning` is emitted once per process (not per call, so
+    hot loops stay quiet after the first) and the returned backend carries
+    the reason for telemetry.
+    """
+    if requested == "numpy":
+        return KernelBackend(name="numpy", requested=requested)
+    if numba_available():
+        return KernelBackend(name="numba", requested=requested)
+    if requested == "numba":
+        global _warned_fallback
+        if not _warned_fallback:
+            _warned_fallback = True
+            warnings.warn(
+                'kernel_backend="numba" requested but numba is not importable; '
+                "falling back to the pure-NumPy kernels (results are "
+                "bit-identical, only slower). Install numba to enable the "
+                "compiled tier.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return KernelBackend(
+            name="numpy",
+            requested=requested,
+            fallback_reason=_numba_error or "numba unavailable",
+        )
+    # "auto" without numba: numpy is the intended backend, not a fallback.
+    return KernelBackend(name="numpy", requested=requested)

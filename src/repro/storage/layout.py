@@ -38,6 +38,7 @@ import numpy as np
 
 from ..config import DEFAULT_EXECUTION, ExecutionConfig
 from ..errors import StorageError
+from .kernels import KernelBackend, numba_kernels, resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..query.batch import QueryBatch
@@ -83,6 +84,17 @@ class KernelTelemetry:
         Largest estimated per-tile temporary footprint — bounded by
         ``ExecutionConfig.max_kernel_bytes`` (up to one un-splittable
         cluster row-range) when tiling is on.
+    backend:
+        Name of the backend that served the last row/bisect kernel call
+        (``"numpy"`` or ``"numba"``).
+    jit_calls / fallback_calls:
+        Compiled-tier accounting: kernel invocations served by the njit
+        kernels, and invocations that explicitly requested ``"numba"`` but
+        degraded to the numpy path.
+    fallback_reason:
+        Why the degradation happened (empty while no fallback occurred).
+    pairs_fused:
+        (query, cluster) pairs evaluated by the fused njit kernels.
     """
 
     pairs_total: int = 0
@@ -93,11 +105,25 @@ class KernelTelemetry:
     rows_evaluated: int = 0
     tiles: int = 0
     max_tile_bytes: int = 0
+    backend: str = ""
+    jit_calls: int = 0
+    fallback_calls: int = 0
+    fallback_reason: str = ""
+    pairs_fused: int = 0
 
     def reset(self) -> None:
-        """Zero every counter."""
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
+        """Restore every counter to its dataclass default."""
+        for name, spec in self.__dataclass_fields__.items():
+            setattr(self, name, spec.default)
+
+    def _note_backend(self, backend: "KernelBackend") -> None:
+        """Record which backend served a kernel call (and why, on fallback)."""
+        self.backend = backend.name
+        if backend.compiled:
+            self.jit_calls += 1
+        elif backend.fallback_reason:
+            self.fallback_calls += 1
+            self.fallback_reason = backend.fallback_reason
 
 
 _telemetry: KernelTelemetry | None = None
@@ -495,7 +521,7 @@ class ClusterLayout:
         if not straddle.any():
             return result
         if execution.sorted_bisect:
-            self._bisect_into(bounds, covered_per_dim, straddle, result)
+            self._bisect_into(bounds, covered_per_dim, straddle, result, execution)
         pair_query, pair_positions = np.nonzero(straddle)
         if pair_query.size:
             values = self._pair_values(bounds, pair_query, pair_positions, execution)
@@ -530,15 +556,37 @@ class ClusterLayout:
         highs: np.ndarray,
         pair_query: np.ndarray,
         pair_positions: np.ndarray,
+        execution: ExecutionConfig,
     ) -> np.ndarray:
         """Exact per-pair sums via binary search over a sorted dimension.
 
-        For each (query, cluster) pair, two ``np.searchsorted`` calls over
-        the cluster's sorted segment of ``name`` locate the matching row
-        range and the measure prefix difference gives its exact sum.
+        For each (query, cluster) pair, two binary searches over the
+        cluster's sorted segment of ``name`` locate the matching row range
+        and the measure prefix difference gives its exact sum.  The numba
+        backend runs every pair's searches inside one njit call; the numpy
+        path is a per-pair ``np.searchsorted`` loop.
         """
         column = self.columns[name]
         prefix = self.measure_prefix
+        backend = resolve_backend(execution.kernel_backend)
+        if _telemetry is not None:
+            _telemetry.pairs_bisected += int(pair_query.size)
+            _telemetry._note_backend(backend)
+        if backend.compiled:
+            values = np.empty(pair_query.size, dtype=np.int64)
+            pair_lows, pair_highs = _bounds_as(
+                column, lows[pair_query], highs[pair_query]
+            )
+            numba_kernels().bisect_pair_sums(
+                column,
+                prefix,
+                self.starts[pair_positions],
+                self.cluster_rows[pair_positions],
+                np.ascontiguousarray(pair_lows),
+                np.ascontiguousarray(pair_highs),
+                values,
+            )
+            return values
         values = np.empty(pair_query.size, dtype=np.int64)
         for slot, (query, position) in enumerate(
             zip(pair_query.tolist(), pair_positions.tolist())
@@ -549,8 +597,6 @@ class ClusterLayout:
             low_row = start + int(np.searchsorted(segment, lows[query], side="left"))
             high_row = start + int(np.searchsorted(segment, highs[query], side="right"))
             values[slot] = prefix[high_row] - prefix[low_row]
-        if _telemetry is not None:
-            _telemetry.pairs_bisected += int(pair_query.size)
         return values
 
     def _bisect_into(
@@ -559,6 +605,7 @@ class ClusterLayout:
         covered_per_dim: Mapping[str, np.ndarray],
         straddle: np.ndarray,
         result: np.ndarray,
+        execution: ExecutionConfig,
     ) -> None:
         """Answer straddling pairs sorted on their only straddling dimension.
 
@@ -580,7 +627,7 @@ class ClusterLayout:
             lows, highs = bounds[name]
             pair_query, pair_positions = np.nonzero(eligible)
             result[pair_query, pair_positions] = self._bisect_segment_sums(
-                name, lows, highs, pair_query, pair_positions
+                name, lows, highs, pair_query, pair_positions, execution
             )
             straddle &= ~eligible
             if not straddle.any():
@@ -708,7 +755,13 @@ class ClusterLayout:
                 telemetry.pairs_pruned += int((~overlap & ~covered).sum())
             if execution.sorted_bisect and straddle.any():
                 self._bisect_pairs(
-                    bounds, covered_per_dim, straddle, pair_query, pair_positions, pair_values
+                    bounds,
+                    covered_per_dim,
+                    straddle,
+                    pair_query,
+                    pair_positions,
+                    pair_values,
+                    execution,
                 )
             remaining = np.flatnonzero(straddle)
             if remaining.size:
@@ -730,6 +783,7 @@ class ClusterLayout:
         pair_query: np.ndarray,
         pair_positions: np.ndarray,
         pair_values: np.ndarray,
+        execution: ExecutionConfig,
     ) -> None:
         """Flat-pair form of :meth:`_bisect_into` (same eligibility rule)."""
         for name in bounds:
@@ -744,7 +798,7 @@ class ClusterLayout:
             lows, highs = bounds[name]
             indices = np.flatnonzero(eligible)
             pair_values[indices] = self._bisect_segment_sums(
-                name, lows, highs, pair_query[indices], pair_positions[indices]
+                name, lows, highs, pair_query[indices], pair_positions[indices], execution
             )
             straddle &= ~eligible
             if not straddle.any():
@@ -759,20 +813,43 @@ class ClusterLayout:
     ) -> np.ndarray:
         """Row-evaluate arbitrary (query, cluster) pairs, tiled to the budget.
 
-        The flattened kernel: per-query bounds are expanded to per-row bounds
-        with ``np.repeat``, one boolean-mask pass plus one ``np.add.reduceat``
-        serves every pair of a tile.  Total work equals the sum of the
-        requested cluster sizes — the same rows a per-query loop would scan.
+        The flattened kernel, in the backend selected by
+        ``execution.kernel_backend``:
+
+        * **numpy** — per-query bounds are expanded to per-row bounds with
+          ``np.repeat``, one boolean-mask pass plus one ``np.add.reduceat``
+          serves every pair of a tile;
+        * **numba** — the fused njit kernels walk each pair's segment in
+          place (:func:`~repro.storage._kernels_numba.and_range_mask` per
+          constrained dimension, then one
+          :func:`~repro.storage._kernels_numba.masked_segment_sums` pass);
+          the only temporary is a single byte-mask buffer reused across
+          tiles, so the per-row footprint drops from ~17+ bytes to 1.
+
+        Either way total work equals the sum of the requested cluster sizes
+        — the same rows a per-query loop would scan — and the results are
+        bit-identical (integer sums are exact under any order).
         """
         lengths = self.cluster_rows[pair_positions]
         num_pairs = int(lengths.size)
         values = np.zeros(num_pairs, dtype=np.int64)
-        bytes_per_row = self._bytes_per_pair_row(bounds)
+        backend = resolve_backend(execution.kernel_backend)
+        bytes_per_row = self._bytes_per_pair_row(bounds, compiled=backend.compiled)
         max_rows = None
         if execution.max_kernel_bytes is not None:
             max_rows = max(1, execution.max_kernel_bytes // bytes_per_row)
         telemetry = _telemetry
+        if telemetry is not None:
+            telemetry._note_backend(backend)
         tile_bounds = _pair_tile_boundaries(lengths, max_rows)
+        mask_buffer: np.ndarray | None = None
+        if backend.compiled:
+            # One reusable byte mask sized to the largest tile — the numba
+            # kernels allocate nothing per call.
+            prefix = np.zeros(num_pairs + 1, dtype=np.int64)
+            np.cumsum(lengths, out=prefix[1:])
+            largest = int((prefix[tile_bounds[1:]] - prefix[tile_bounds[:-1]]).max())
+            mask_buffer = np.empty(max(largest, 1), dtype=np.uint8)
         for tile_index in range(tile_bounds.size - 1):
             tile = slice(int(tile_bounds[tile_index]), int(tile_bounds[tile_index + 1]))
             tile_lengths = lengths[tile]
@@ -781,46 +858,87 @@ class ClusterLayout:
                 continue
             tile_positions = pair_positions[tile]
             tile_queries = pair_query[tile]
-            offsets = np.zeros(tile_lengths.size, dtype=np.int64)
-            np.cumsum(tile_lengths[:-1], out=offsets[1:])
-            rows = (
-                np.repeat(self.starts[tile_positions] - offsets, tile_lengths)
-                + np.arange(total, dtype=np.int64)
-            )
-            mask = np.ones(total, dtype=bool)
-            for name, (lows, highs) in bounds.items():
-                column = self.columns[name][rows]
-                dim_lows, dim_highs = _bounds_as(column, lows, highs)
-                row_lows = np.repeat(dim_lows[tile_queries], tile_lengths)
-                row_highs = np.repeat(dim_highs[tile_queries], tile_lengths)
-                np.logical_and(mask, column >= row_lows, out=mask)
-                np.logical_and(mask, column <= row_highs, out=mask)
-            contributions = self.measure[rows] * mask
-            # reduceat over non-empty pair offsets only: zero-length pairs
-            # keep their zero and never reach the ufunc (which would
-            # otherwise return the element at the segment start).
-            tile_nonempty = tile_lengths > 0
-            red_offsets = offsets[tile_nonempty]
-            tile_values = np.zeros(tile_lengths.size, dtype=np.int64)
-            if red_offsets.size:
-                tile_values[tile_nonempty] = np.add.reduceat(contributions, red_offsets)
-            values[tile] = tile_values
+            if backend.compiled:
+                values[tile] = self._pair_values_compiled(
+                    bounds, tile_queries, tile_positions, tile_lengths, total, mask_buffer
+                )
+                tile_nonempty = tile_lengths > 0
+            else:
+                offsets = np.zeros(tile_lengths.size, dtype=np.int64)
+                np.cumsum(tile_lengths[:-1], out=offsets[1:])
+                rows = (
+                    np.repeat(self.starts[tile_positions] - offsets, tile_lengths)
+                    + np.arange(total, dtype=np.int64)
+                )
+                mask = np.ones(total, dtype=bool)
+                for name, (lows, highs) in bounds.items():
+                    column = self.columns[name][rows]
+                    dim_lows, dim_highs = _bounds_as(column, lows, highs)
+                    row_lows = np.repeat(dim_lows[tile_queries], tile_lengths)
+                    row_highs = np.repeat(dim_highs[tile_queries], tile_lengths)
+                    np.logical_and(mask, column >= row_lows, out=mask)
+                    np.logical_and(mask, column <= row_highs, out=mask)
+                contributions = self.measure[rows] * mask
+                # reduceat over non-empty pair offsets only: zero-length pairs
+                # keep their zero and never reach the ufunc (which would
+                # otherwise return the element at the segment start).
+                tile_nonempty = tile_lengths > 0
+                red_offsets = offsets[tile_nonempty]
+                tile_values = np.zeros(tile_lengths.size, dtype=np.int64)
+                if red_offsets.size:
+                    tile_values[tile_nonempty] = np.add.reduceat(contributions, red_offsets)
+                values[tile] = tile_values
             if telemetry is not None:
                 telemetry.tiles += 1
                 telemetry.rows_evaluated += total
                 telemetry.pairs_scanned += int(tile_nonempty.sum())
+                if backend.compiled:
+                    telemetry.pairs_fused += int(tile_nonempty.sum())
                 telemetry.max_tile_bytes = max(
                     telemetry.max_tile_bytes, total * bytes_per_row
                 )
         return values
 
-    def _bytes_per_pair_row(self, bounds) -> int:
+    def _pair_values_compiled(
+        self,
+        bounds,
+        tile_queries: np.ndarray,
+        tile_positions: np.ndarray,
+        tile_lengths: np.ndarray,
+        total: int,
+        mask_buffer: np.ndarray,
+    ) -> np.ndarray:
+        """One fused-kernel evaluation of a tile of (query, cluster) pairs."""
+        kernels = numba_kernels()
+        seg_starts = np.ascontiguousarray(self.starts[tile_positions])
+        seg_lengths = np.ascontiguousarray(tile_lengths)
+        mask = mask_buffer[:total]
+        mask[:] = 1
+        for name, (lows, highs) in bounds.items():
+            column = self.columns[name]
+            dim_lows, dim_highs = _bounds_as(column, lows, highs)
+            kernels.and_range_mask(
+                column,
+                seg_starts,
+                seg_lengths,
+                np.ascontiguousarray(dim_lows[tile_queries]),
+                np.ascontiguousarray(dim_highs[tile_queries]),
+                mask,
+            )
+        tile_values = np.zeros(tile_lengths.size, dtype=np.int64)
+        kernels.masked_segment_sums(self.measure, seg_starts, seg_lengths, mask, tile_values)
+        return tile_values
+
+    def _bytes_per_pair_row(self, bounds, *, compiled: bool = False) -> int:
         """Per-row temporary footprint estimate of the flattened pair kernel.
 
-        Row index (8) + mask (1) + int64 contributions (8) + per constrained
-        dimension a gathered column copy, two repeated bound rows, and a
-        comparison temporary.
+        numpy path: row index (8) + mask (1) + int64 contributions (8) + per
+        constrained dimension a gathered column copy, two repeated bound
+        rows, and a comparison temporary.  The fused njit path touches only
+        the shared byte mask — 1 byte per row regardless of dimensions.
         """
+        if compiled:
+            return 1
         per_dim = 0
         for name in bounds:
             itemsize = int(self.columns[name].itemsize)

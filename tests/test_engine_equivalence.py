@@ -26,6 +26,7 @@ from repro.query.executor import ExactExecutor, execute_on_cluster
 from repro.query.model import RangeQuery
 from repro.storage.cluster import Cluster
 from repro.storage.clustered_table import ClusteredTable
+from repro.storage.kernels import numba_available
 from repro.storage.layout import collect_kernel_telemetry
 from repro.storage.metadata import build_metadata
 from repro.storage.schema import Dimension, Schema
@@ -47,6 +48,13 @@ EXECUTION_MODES = {
         prune=True, sorted_bisect=True, max_kernel_bytes=4096
     ),
 }
+# Kernel-backend axis: every mode again under each explicit backend.  An
+# explicit "numba" request degrades (loudly, once) to the numpy kernels when
+# numba is not installed, so the sweep is meaningful on both CI legs — with
+# numba it exercises the compiled tier, without it the fallback path.
+for _backend in ("numpy", "numba"):
+    for _name, _execution in list(EXECUTION_MODES.items()):
+        EXECUTION_MODES[f"{_name}@{_backend}"] = _execution.with_kernel_backend(_backend)
 
 
 def _random_table(rng: np.random.Generator, num_rows: int) -> Table:
@@ -249,6 +257,40 @@ def test_intra_sort_preserves_cluster_membership_and_answers():
         sorted_values = sorted_rows.layout().cluster_values(batch)
     assert np.array_equal(plain_values, sorted_values)
     assert telemetry.pairs_bisected > 0
+
+
+def test_kernel_backend_telemetry_counters():
+    """Per-backend telemetry: jit/fallback hits, fused pairs, tile bytes."""
+    rng = np.random.default_rng(21)
+    table = _random_table(rng, 4000)
+    layout = ClusteredTable.from_table(table, cluster_size=200).layout()
+    batch = QueryBatch(tuple(_random_workload(rng, 10)))
+    dense = layout.cluster_values(batch, execution=DENSE_EXECUTION)
+    for requested in ("numpy", "numba", "auto"):
+        execution = ExecutionConfig(
+            prune=True, sorted_bisect=False, kernel_backend=requested
+        )
+        with collect_kernel_telemetry() as telemetry:
+            values = layout.cluster_values(batch, execution=execution)
+        assert np.array_equal(values, dense), requested
+        assert telemetry.pairs_scanned > 0  # this workload always straddles
+        assert telemetry.max_tile_bytes > 0
+        if requested != "numpy" and numba_available():
+            assert telemetry.backend == "numba"
+            assert telemetry.jit_calls > 0
+            assert telemetry.fallback_calls == 0
+            assert telemetry.pairs_fused > 0
+        else:
+            assert telemetry.backend == "numpy"
+            assert telemetry.jit_calls == 0
+            assert telemetry.pairs_fused == 0
+        if requested == "numba" and not numba_available():
+            # Explicit request degraded: counted, with the reason recorded.
+            assert telemetry.fallback_calls > 0
+            assert "numba" in telemetry.fallback_reason
+        else:
+            assert telemetry.fallback_calls == 0
+            assert telemetry.fallback_reason == ""
 
 
 def test_pruning_touches_fewer_rows_and_tiling_bounds_memory():
