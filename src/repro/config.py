@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping
 
 from .errors import ConfigurationError
+from .testing.faults import FaultSchedule
 
 __all__ = [
     "PrivacyConfig",
@@ -27,6 +28,7 @@ __all__ = [
     "NetworkConfig",
     "SMCConfig",
     "ParallelismConfig",
+    "ResilienceConfig",
     "ExecutionConfig",
     "CacheConfig",
     "ServiceConfig",
@@ -36,6 +38,7 @@ __all__ = [
     "DEFAULT_SAMPLING",
     "DEFAULT_NETWORK",
     "DEFAULT_SMC",
+    "DEFAULT_RESILIENCE",
     "DEFAULT_EXECUTION",
     "DENSE_EXECUTION",
     "DEFAULT_CACHE",
@@ -246,11 +249,19 @@ class ParallelismConfig:
         messages cross process boundaries per batch, so multi-provider
         federations scale past the GIL.  Both backends are bit-identical
         to sequential execution under the same seed.
+    injected_faults:
+        Optional :class:`~repro.testing.faults.FaultSchedule` of scripted
+        failures (chaos testing).  ``None`` — the default — injects
+        nothing and leaves every hot path untouched.  With a schedule
+        installed, the owning aggregator consumes it deterministically:
+        the same schedule and system seed replay the same failure trace
+        bit-identically on every backend.
     """
 
     enabled: bool = False
     max_workers: int | None = None
     backend: str = "thread"
+    injected_faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers is not None:
@@ -262,12 +273,100 @@ class ParallelismConfig:
             self.backend in ("thread", "process"),
             f'backend must be "thread" or "process", got {self.backend!r}',
         )
+        if self.injected_faults is not None:
+            _require(
+                isinstance(self.injected_faults, FaultSchedule),
+                "injected_faults must be a FaultSchedule or None, got "
+                f"{type(self.injected_faults).__name__}",
+            )
+
+    def with_faults(self, injected_faults: FaultSchedule | None) -> "ParallelismConfig":
+        """Return a copy with a different (or no) fault schedule."""
+        return replace(self, injected_faults=injected_faults)
 
     def resolve_workers(self, num_providers: int) -> int:
         """Number of pool workers to use for ``num_providers`` providers."""
         if self.max_workers is None:
             return max(1, num_providers)
         return max(1, min(self.max_workers, num_providers))
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Graceful-degradation policy of the federated drain path.
+
+    Disabled (the default), any provider failure fails the whole batch
+    exactly as before — the seed behaviour.  Enabled, the aggregator
+    retries failed provider phase calls with bounded backoff, respawns
+    dead process-pool workers from their existing shared-memory blocks,
+    quarantines providers that keep failing, and settles the batch with
+    **partial** answers: the per-query results carry ``degraded`` /
+    ``providers_missing`` and are charged exactly what the surviving (and
+    partially-released) providers actually spent.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch for graceful degradation.
+    provider_timeout_seconds:
+        How long the process backend waits for one provider's phase reply
+        before declaring the worker hung and killing it (``None`` waits
+        forever — hangs then behave like the seed).  Serial and thread
+        backends cannot preempt an in-process provider; injected hangs
+        are accounted as immediate timeouts there.
+    max_retries:
+        Failed phase calls per provider and batch retried at most this
+        many times (0 disables retry).
+    retry_backoff_seconds:
+        Sleep before the first retry, doubling per further retry
+        (0 retries immediately — the right setting for tests).
+    quarantine_after:
+        Consecutive failed *batches* after which a provider is
+        quarantined — skipped outright (reported missing) by later
+        batches until :meth:`~repro.federation.aggregator.Aggregator.reinstate`.
+        ``None`` never quarantines.
+    respawn_workers:
+        Whether the process pool may respawn a dead worker from the
+        provider's existing shared-memory blocks (RNG checkpoint +
+        summary replay keep the respawn bit-identical).
+    min_providers:
+        Fewest surviving providers a batch may settle with; fewer fails
+        the batch (and the drain) outright.
+    """
+
+    enabled: bool = False
+    provider_timeout_seconds: float | None = 30.0
+    max_retries: int = 1
+    retry_backoff_seconds: float = 0.0
+    quarantine_after: int | None = 3
+    respawn_workers: bool = True
+    min_providers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.provider_timeout_seconds is not None:
+            _require(
+                self.provider_timeout_seconds > 0,
+                "provider_timeout_seconds must be > 0 or None, got "
+                f"{self.provider_timeout_seconds}",
+            )
+        _require(self.max_retries >= 0, f"max_retries must be >= 0, got {self.max_retries}")
+        _require(
+            self.retry_backoff_seconds >= 0,
+            f"retry_backoff_seconds must be >= 0, got {self.retry_backoff_seconds}",
+        )
+        if self.quarantine_after is not None:
+            _require(
+                self.quarantine_after >= 1,
+                f"quarantine_after must be >= 1, got {self.quarantine_after}",
+            )
+        _require(
+            self.min_providers >= 1,
+            f"min_providers must be >= 1, got {self.min_providers}",
+        )
+
+    def with_enabled(self, enabled: bool = True) -> "ResilienceConfig":
+        """Return a copy with degradation switched on or off."""
+        return replace(self, enabled=enabled)
 
 
 @dataclass(frozen=True)
@@ -536,6 +635,7 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     smc: SMCConfig = field(default_factory=SMCConfig)
     parallelism: ParallelismConfig = field(default_factory=ParallelismConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
@@ -569,6 +669,10 @@ class SystemConfig:
         """Return a copy with a different provider fan-out policy."""
         return replace(self, parallelism=parallelism)
 
+    def with_resilience(self, resilience: ResilienceConfig) -> "SystemConfig":
+        """Return a copy with a different graceful-degradation policy."""
+        return replace(self, resilience=resilience)
+
     def with_service(self, service: ServiceConfig) -> "SystemConfig":
         """Return a copy with a different serving-layer policy."""
         return replace(self, service=service)
@@ -582,6 +686,7 @@ DEFAULT_PRIVACY = PrivacyConfig()
 DEFAULT_SAMPLING = SamplingConfig()
 DEFAULT_NETWORK = NetworkConfig()
 DEFAULT_SMC = SMCConfig()
+DEFAULT_RESILIENCE = ResilienceConfig()
 DEFAULT_EXECUTION = ExecutionConfig()
 DENSE_EXECUTION = ExecutionConfig.dense()
 DEFAULT_CACHE = CacheConfig()

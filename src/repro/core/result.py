@@ -89,6 +89,8 @@ class QueryResult:
     trace: ExecutionTrace
     exact_value: int | None = None
     noise_injected: float = 0.0
+    degraded: bool = False
+    providers_missing: tuple[str, ...] = ()
 
     @property
     def relative_error(self) -> float | None:
@@ -119,6 +121,8 @@ class QueryResult:
             if error is not None and error != float("inf"):
                 parts.append(f"rel_err={100 * error:.2f}%")
         parts.append(f"clusters={self.trace.clusters_scanned}/{self.trace.clusters_available}")
+        if self.degraded:
+            parts.append(f"degraded(missing={','.join(self.providers_missing)})")
         return " ".join(parts)
 
 
@@ -212,3 +216,24 @@ class BatchResult:
             for result in self.results
             if result.epsilon_spent == 0.0 and result.delta_spent == 0.0
         )
+
+    # -- degradation accounting -------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any query was answered without the full federation."""
+        return any(result.degraded for result in self.results)
+
+    @property
+    def degraded_queries(self) -> int:
+        """Queries answered by a partial federation (missing providers)."""
+        return sum(1 for result in self.results if result.degraded)
+
+    @property
+    def providers_missing(self) -> tuple[str, ...]:
+        """Union of provider ids missing from any query, in first-seen order."""
+        seen: dict[str, None] = {}
+        for result in self.results:
+            for provider_id in result.providers_missing:
+                seen.setdefault(provider_id, None)
+        return tuple(seen)

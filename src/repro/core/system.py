@@ -294,14 +294,22 @@ class FederatedAQPSystem:
                     "remains"
                 )
 
-        with Timer() as timer:
-            answers = self.aggregator.execute_batch(
-                range_queries,
-                budget,
-                sampling_rate=sampling_rate,
-                use_smc=use_smc,
-                seed_tokens=seed_tokens,
-            )
+        try:
+            with Timer() as timer:
+                answers = self.aggregator.execute_batch(
+                    range_queries,
+                    budget,
+                    sampling_rate=sampling_rate,
+                    use_smc=use_smc,
+                    seed_tokens=seed_tokens,
+                )
+        except BaseException:
+            # A batch that dies mid-protocol (e.g. worker crash beyond what
+            # the resilience policy absorbs) must not leak the process
+            # backend's workers or shared-memory blocks: the aggregator's
+            # pool is torn down here and rebuilt lazily on the next batch.
+            self.aggregator.close()
+            raise
         if self.end_user_budget is not None:
             # Charge only after the protocol ran to completion: a batch that
             # fails mid-protocol returns no results and consumes no budget.
@@ -336,6 +344,8 @@ class FederatedAQPSystem:
                 trace=answer.trace,
                 exact_value=exact_value,
                 noise_injected=answer.noise_injected,
+                degraded=answer.degraded,
+                providers_missing=answer.providers_missing,
             )
             for range_query, answer, exact_value in zip(range_queries, answers, exact_values)
         )

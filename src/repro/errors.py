@@ -23,6 +23,7 @@ __all__ = [
     "AllocationError",
     "FederationError",
     "ProtocolError",
+    "InjectedFaultError",
     "SMCError",
     "DatasetError",
     "WorkloadError",
@@ -88,6 +89,11 @@ class FederationError(ReproError):
 class ProtocolError(FederationError):
     """The federated query protocol was driven out of order or received an
     unexpected message."""
+
+
+class InjectedFaultError(ProtocolError):
+    """A scripted fault from a :class:`~repro.testing.faults.FaultSchedule`
+    fired during a provider phase call (chaos testing only)."""
 
 
 class SMCError(FederationError):

@@ -26,10 +26,26 @@ accordingly: a provider that re-served a release spent nothing on it, and
 the federation-wide charge of a query is the parallel composition (maximum)
 of the per-provider spends.  :meth:`Aggregator.plan_reuse` exposes the
 pre-execution view of that split for budget admission.
+
+**Degradation.**  With :class:`~repro.config.ResilienceConfig` enabled, a
+provider that fails a phase — scripted chaos via
+:attr:`~repro.config.ParallelismConfig.injected_faults`, a dead or hung
+worker process — no longer fails the batch.  The aggregator retries with
+backoff (the process pool respawns lost workers from the existing
+shared-memory blocks), then drops the provider from the batch: allocation
+is re-solved over the survivors, the combined answers carry
+``degraded=True`` and the missing provider ids, and
+:meth:`_query_charge` prices each query from what was actually *released* —
+a provider that never delivered a phase contributes no spend, so the
+end-user charge stays exact under partial failure.  Providers that fail
+``quarantine_after`` consecutive batches are quarantined (skipped outright)
+until :meth:`reinstate` lifts them.  Without resilience, any provider
+failure raises :class:`~repro.errors.ProtocolError` exactly as before.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
@@ -40,10 +56,11 @@ from ..core.accounting import QueryBudget
 from ..core.allocation import AllocationProblem, solve_allocation
 from ..core.result import ExecutionTrace, ProviderReport
 from ..dp.mechanisms import LaplaceMechanism
-from ..errors import ProtocolError
+from ..errors import InjectedFaultError, ProtocolError
 from ..ingest.delta import IngestReceipt, validate_rows
 from ..query.model import RangeQuery
 from ..storage.table import Table
+from ..testing.faults import FaultInjector
 from ..utils.rng import RngLike, derive_rng
 from ..utils.timing import Stopwatch
 from .messages import (
@@ -59,7 +76,7 @@ from .procpool import ProviderProcessPool
 from .provider import DataProvider, LocalAnswer
 from .smc import SMCSimulator
 
-__all__ = ["Aggregator", "FederatedAnswer"]
+__all__ = ["Aggregator", "FederatedAnswer", "ResilienceStats"]
 
 _T = TypeVar("_T")
 
@@ -77,7 +94,7 @@ class FederatedAnswer:
     used_smc:
         Whether the SMC combination path produced the value.
     provider_reports:
-        One diagnostic report per provider, in federation order.
+        One diagnostic report per *answering* provider, in federation order.
     trace:
         Work / timing / communication / reuse accounting.
     epsilon_charged, delta_charged:
@@ -85,6 +102,14 @@ class FederatedAnswer:
         per-query budget when every release was fresh; lower (down to zero)
         when providers re-served cached releases, because post-processing
         is free and spends compose in parallel across disjoint providers.
+        Under degradation the charge prices only the releases that were
+        actually delivered.
+    degraded:
+        Whether any provider was missing from the batch that produced this
+        answer (the value then covers the survivors' partitions only).
+    providers_missing:
+        Ids of the providers that failed or were quarantined out of the
+        batch, in federation order.  Empty for a healthy batch.
     """
 
     value: float
@@ -94,6 +119,25 @@ class FederatedAnswer:
     trace: ExecutionTrace
     epsilon_charged: float = 0.0
     delta_charged: float = 0.0
+    degraded: bool = False
+    providers_missing: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Cumulative degradation counters for one aggregator.
+
+    Pool-level counters (respawns, timeouts) come from the process backend
+    and stay zero on the serial/thread backends, where a hang is simulated
+    as an immediate timeout instead.
+    """
+
+    provider_failures: int = 0
+    provider_retries: int = 0
+    providers_quarantined: int = 0
+    degraded_batches: int = 0
+    workers_respawned: int = 0
+    worker_timeouts: int = 0
 
 
 @dataclass
@@ -120,6 +164,19 @@ class Aggregator:
         self._rng = derive_rng(self.rng, "aggregator")
         self._next_query_id = 0
         self._process_pool: ProviderProcessPool | None = None
+        self._batch_counter = 0
+        self._fault_injector: FaultInjector | None = None
+        if self.config.parallelism.injected_faults is not None:
+            self._fault_injector = FaultInjector(self.config.parallelism.injected_faults)
+            # The network consults the same injector for message faults, so
+            # one schedule drives one deterministic chaos run end to end.
+            self.network.fault_injector = self._fault_injector
+        self._consecutive_failures: dict[int, int] = {}
+        self._quarantined: dict[int, str] = {}
+        self._degraded_batches = 0
+        self._provider_failures = 0
+        self._provider_retries = 0
+        self._worker_timeouts = 0
         for provider in self.providers:
             # Eager invalidation: a provider re-clustering (rebuild_layout or
             # compaction) immediately tears down the process-pool workers and
@@ -155,12 +212,16 @@ class Aggregator:
         return parallelism.enabled and parallelism.backend == "process"
 
     def _ensure_process_pool(self) -> ProviderProcessPool:
-        if self._process_pool is not None and self._process_pool.layout_epochs != tuple(
-            provider.layout_epoch for provider in self.providers
+        if self._process_pool is not None and (
+            self._process_pool.closed
+            or self._process_pool.layout_epochs
+            != tuple(provider.layout_epoch for provider in self.providers)
         ):
-            # A provider re-clustered since the workers snapshotted their
-            # layouts; rebuild the pool so workers can never serve releases
-            # of a layout that no longer exists.
+            # Closed: a previous batch's failure tore the workers down and
+            # a fresh pool must be built (returning the dead pool would wedge
+            # every later batch).  Epoch mismatch: a provider re-clustered
+            # since the workers snapshotted their layouts; rebuild so workers
+            # can never serve releases of a layout that no longer exists.
             self._process_pool.close()
             self._process_pool = None
         if self._process_pool is None:
@@ -168,6 +229,47 @@ class Aggregator:
                 self.providers, self.config.parallelism
             )
         return self._process_pool
+
+    # -- degradation introspection ----------------------------------------------
+
+    @property
+    def quarantined_providers(self) -> tuple[str, ...]:
+        """Ids of the providers currently quarantined, in federation order."""
+        return tuple(
+            self.providers[index].provider_id for index in sorted(self._quarantined)
+        )
+
+    def reinstate(self, provider_id: str | None = None) -> None:
+        """Lift quarantine for one provider (or all of them).
+
+        The consecutive-failure counter resets too, so a reinstated provider
+        gets a full ``quarantine_after`` grace again.
+        """
+        for index in sorted(self._quarantined):
+            if provider_id is None or self.providers[index].provider_id == provider_id:
+                del self._quarantined[index]
+                self._consecutive_failures[index] = 0
+
+    @property
+    def resilience_stats(self) -> ResilienceStats:
+        """Cumulative degradation counters (aggregator + process pool)."""
+        pool = self._process_pool
+        return ResilienceStats(
+            provider_failures=self._provider_failures
+            + (pool.stats.provider_failures if pool is not None else 0),
+            provider_retries=self._provider_retries
+            + (pool.stats.provider_retries if pool is not None else 0),
+            providers_quarantined=len(self._quarantined),
+            degraded_batches=self._degraded_batches,
+            workers_respawned=pool.stats.workers_respawned if pool is not None else 0,
+            worker_timeouts=self._worker_timeouts
+            + (pool.stats.worker_timeouts if pool is not None else 0),
+        )
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The runtime injector for this aggregator's fault schedule, if any."""
+        return self._fault_injector
 
     # -- public API -------------------------------------------------------------
 
@@ -207,6 +309,11 @@ class Aggregator:
         :attr:`~repro.federation.messages.QueryRequest.seed_material`.  The
         multi-tenant scheduler passes per-``(tenant, sequence)`` tokens so
         coalescing never changes a tenant's answers.
+
+        With resilience enabled a provider failure degrades the batch (see
+        the module docstring) instead of raising; the batch still raises
+        :class:`~repro.errors.ProtocolError` when fewer than
+        ``min_providers`` survive a phase.
         """
         if not queries:
             return []
@@ -219,6 +326,17 @@ class Aggregator:
         if not 0 < rate < 1:
             raise ProtocolError(f"sampling_rate must be in (0, 1), got {rate}")
         smc = self.config.use_smc_for_result if use_smc is None else use_smc
+
+        if self._fault_injector is not None:
+            self._fault_injector.begin_batch(self._batch_counter)
+        self._batch_counter += 1
+        degrade = self.config.resilience.enabled
+        # Per-batch failure ledger: provider index -> reason.  Quarantined
+        # providers enter it pre-failed and are never contacted.
+        failed: dict[int, str] = {}
+        if degrade:
+            for index, reason in sorted(self._quarantined.items()):
+                failed[index] = f"quarantined: {reason}"
 
         num_queries = len(queries)
         first_id = self._next_query_id
@@ -238,17 +356,20 @@ class Aggregator:
         try:
             with stopwatch.measure("allocation"):
                 summaries, summary_reuse = self._collect_summaries(
-                    requests, budget, accounting
+                    requests, budget, accounting, failed
                 )
+                self._check_survivors(summaries, failed, "summary")
                 allocations = self._allocate(requests, summaries, rate, accounting)
             with stopwatch.measure("local_answering"):
                 answers, answer_reuse = self._collect_answers(
-                    allocations, budget, smc, accounting
+                    allocations, budget, smc, accounting, failed
                 )
+                self._check_survivors(answers, failed, "answer")
             with stopwatch.measure("combination"):
+                survivors = sorted(answers)
                 combined = [
                     self._combine(
-                        [provider_answers[index] for provider_answers in answers],
+                        [answers[provider_index][index] for provider_index in survivors],
                         budget,
                         smc,
                         accounting[index],
@@ -259,7 +380,9 @@ class Aggregator:
             # Providers must never accumulate per-query state, even when a
             # phase fails between summary and answer.  With the process
             # backend the sessions live in the workers, so the release is
-            # routed there too (the parent call is then a cheap no-op).
+            # routed there too (the parent call is then a cheap no-op, and
+            # both forgets are idempotent for providers that never opened a
+            # session this batch).
             query_ids = [request.query_id for request in requests]
             for provider in self.providers:
                 provider.forget_batch(query_ids)
@@ -272,18 +395,36 @@ class Aggregator:
                     self._process_pool.close()
                     self._process_pool = None
 
+        if degrade:
+            self._update_quarantine(failed)
+
         phase_seconds = stopwatch.as_dict()
-        clusters_available = sum(provider.num_clusters for provider in self.providers)
+        summary_survivors = sorted(summaries)
+        clusters_available = sum(
+            self.providers[provider_index].num_clusters for provider_index in survivors
+        )
+        providers_missing = tuple(
+            self.providers[provider_index].provider_id
+            for provider_index in sorted(failed)
+        )
         results: list[FederatedAnswer] = []
         for index in range(num_queries):
             value, noise = combined[index]
             reports = tuple(
-                provider_answers[index].report for provider_answers in answers
+                answers[provider_index][index].report for provider_index in survivors
             )
+            # Charge masks run over every provider that delivered a summary:
+            # providers lost before the summary released nothing and spend
+            # nothing; providers lost between summary and answer spent only
+            # their (fresh) summary release.
             epsilon_charged, delta_charged = self._query_charge(
                 budget,
-                [provider_reuse[index] for provider_reuse in summary_reuse],
-                [provider_reuse[index] for provider_reuse in answer_reuse],
+                [summary_reuse[p][index] for p in summary_survivors],
+                [
+                    answer_reuse[p][index] if p in answer_reuse else True
+                    for p in summary_survivors
+                ],
+                answer_released=[p in answer_reuse for p in summary_survivors],
             )
             trace = ExecutionTrace(
                 # Wall-clock phases are measured per batch; each query carries
@@ -300,10 +441,10 @@ class Aggregator:
                 rows_available=sum(report.rows_available for report in reports),
                 smc_operations=0,
                 summary_cache_hits=sum(
-                    provider_reuse[index] for provider_reuse in summary_reuse
+                    summary_reuse[p][index] for p in summary_survivors
                 ),
                 answer_cache_hits=sum(
-                    provider_reuse[index] for provider_reuse in answer_reuse
+                    answer_reuse[p][index] for p in sorted(answer_reuse)
                 ),
             )
             results.append(
@@ -315,6 +456,8 @@ class Aggregator:
                     trace=trace,
                     epsilon_charged=epsilon_charged,
                     delta_charged=delta_charged,
+                    degraded=bool(failed),
+                    providers_missing=providers_missing,
                 )
             )
         return results
@@ -410,6 +553,8 @@ class Aggregator:
         budget: QueryBudget,
         summary_hits: Sequence[bool],
         answer_hits: Sequence[bool],
+        summary_released: Sequence[bool] | None = None,
+        answer_released: Sequence[bool] | None = None,
     ) -> tuple[float, float]:
         """Actual ``(epsilon, delta)`` cost of one query across the federation.
 
@@ -418,34 +563,153 @@ class Aggregator:
         so the end-user charge is the parallel composition — the maximum —
         of the per-provider spends.  With every release fresh this equals
         the full ``(epsilon_total, delta)``, bit-for-bit.
+
+        The ``*_released`` masks (default: everything released) mark which
+        phases each provider actually *delivered*: a degraded batch charges
+        nothing for a phase that never reached the aggregator, because the
+        release was never observed.
         """
         epsilon = 0.0
         delta = 0.0
-        for summary_hit, answer_hit in zip(summary_hits, answer_hits):
-            spent = 0.0 if summary_hit else budget.epsilon_allocation
-            if not answer_hit:
+        count = len(summary_hits)
+        if summary_released is None:
+            summary_released = [True] * count
+        if answer_released is None:
+            answer_released = [True] * count
+        for summary_hit, answer_hit, summary_rel, answer_rel in zip(
+            summary_hits, answer_hits, summary_released, answer_released
+        ):
+            spent = (
+                0.0
+                if (summary_hit or not summary_rel)
+                else budget.epsilon_allocation
+            )
+            answered_fresh = answer_rel and not answer_hit
+            if answered_fresh:
                 spent = spent + budget.epsilon_sampling + budget.epsilon_estimation
             epsilon = max(epsilon, spent)
-            delta = max(delta, 0.0 if answer_hit else budget.delta)
+            delta = max(delta, budget.delta if answered_fresh else 0.0)
         return epsilon, delta
 
     # -- provider fan-out --------------------------------------------------------
 
-    def _map_providers(self, task: Callable[[int, DataProvider], _T]) -> list[_T]:
-        """Apply ``task(index, provider)`` to every provider, optionally pooled.
+    def _map_indices(
+        self, indices: Sequence[int], task: Callable[[int, DataProvider], _T]
+    ) -> list[_T]:
+        """Apply ``task(index, provider)`` to the given providers, optionally pooled.
 
-        Provider order is preserved.  Each provider owns an independent RNG
+        Index order is preserved.  Each provider owns an independent RNG
         derivation tree, so the parallel and sequential fan-outs are
         bit-identical; only wall-clock changes.
         """
         parallelism = self.config.parallelism
-        if not parallelism.enabled or len(self.providers) <= 1:
-            return [task(index, provider) for index, provider in enumerate(self.providers)]
-        workers = parallelism.resolve_workers(len(self.providers))
+        if not parallelism.enabled or len(indices) <= 1:
+            return [task(index, self.providers[index]) for index in indices]
+        workers = parallelism.resolve_workers(len(indices))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(
-                pool.map(lambda pair: task(pair[0], pair[1]), enumerate(self.providers))
+                pool.map(lambda index: task(index, self.providers[index]), indices)
             )
+
+    def _fanout_resilient(
+        self,
+        phase: str,
+        indices: Sequence[int],
+        task: Callable[[int, DataProvider], _T],
+        failed: dict[int, str],
+    ) -> dict[int, _T]:
+        """Serial/thread fan-out with scripted-fault handling and retry.
+
+        In-process providers cannot genuinely crash or hang, so every
+        provider fault kind fails the attempt *before* the call runs (a
+        ``hang_worker`` counts as a simulated timeout).  Without resilience
+        a fired fault raises :class:`~repro.errors.InjectedFaultError`;
+        with it, failures retry up to ``max_retries`` times and then land
+        in ``failed``.
+        """
+        resilience = self.config.resilience
+        degrade = resilience.enabled
+        max_attempts = 1 + (resilience.max_retries if degrade else 0)
+        results: dict[int, _T] = {}
+        pending = list(indices)
+        attempt = 0
+        while pending:
+            attempt += 1
+            failed_now: dict[int, str] = {}
+            runnable: list[int] = []
+            for index in pending:
+                fault = (
+                    self._fault_injector.take_call_fault(phase, index, attempt)
+                    if self._fault_injector is not None
+                    else None
+                )
+                if fault is None:
+                    runnable.append(index)
+                    continue
+                if not degrade:
+                    raise InjectedFaultError(
+                        f"injected {fault.kind} for provider "
+                        f"{self.providers[index].provider_id!r} during {phase}"
+                    )
+                if fault.kind == "hang_worker":
+                    self._worker_timeouts += 1
+                    failed_now[index] = f"injected {fault.kind} (simulated timeout)"
+                else:
+                    failed_now[index] = f"injected {fault.kind}"
+            results.update(zip(runnable, self._map_indices(runnable, task)))
+            pending = sorted(failed_now)
+            if not pending:
+                break
+            if attempt >= max_attempts:
+                self._provider_failures += len(pending)
+                failed.update(failed_now)
+                break
+            self._provider_retries += len(pending)
+            if resilience.retry_backoff_seconds > 0:
+                time.sleep(resilience.retry_backoff_seconds * (2 ** (attempt - 1)))
+        return results
+
+    def _check_survivors(
+        self, survivors: dict[int, object], failed: dict[int, str], phase: str
+    ) -> None:
+        """Fail the batch when too few providers made it through a phase."""
+        resilience = self.config.resilience
+        minimum = (
+            max(1, resilience.min_providers)
+            if resilience.enabled
+            else len(self.providers)
+        )
+        if len(survivors) >= minimum:
+            return
+        details = "; ".join(
+            f"{self.providers[index].provider_id!r}: {failed[index]}"
+            for index in sorted(failed)
+        )
+        raise ProtocolError(
+            f"only {len(survivors)} of {len(self.providers)} providers survived "
+            f"the {phase} phase (minimum {minimum}): {details}"
+        )
+
+    def _update_quarantine(self, failed: dict[int, str]) -> None:
+        """Advance the consecutive-failure counters after a finished batch."""
+        resilience = self.config.resilience
+        for index in range(len(self.providers)):
+            if index in self._quarantined:
+                continue
+            if index in failed:
+                count = self._consecutive_failures.get(index, 0) + 1
+                self._consecutive_failures[index] = count
+                if (
+                    resilience.quarantine_after is not None
+                    and count >= resilience.quarantine_after
+                ):
+                    self._quarantined[index] = (
+                        f"failed {count} consecutive batches"
+                    )
+            else:
+                self._consecutive_failures[index] = 0
+        if failed:
+            self._degraded_batches += 1
 
     # -- protocol phases ---------------------------------------------------------
 
@@ -488,14 +752,20 @@ class Aggregator:
         requests: Sequence[QueryRequest],
         budget: QueryBudget,
         accounting: Sequence[_QueryAccounting],
-    ) -> tuple[list[list[SummaryMessage]], list[list[bool]]]:
-        """Per-provider summary lists plus per-provider cache-hit flags.
+        failed: dict[int, str],
+    ) -> tuple[dict[int, list[SummaryMessage]], dict[int, list[bool]]]:
+        """Summary lists plus cache-hit flags, keyed by provider index.
 
-        Both returned lists are aligned with the request order; the flags
-        mark summaries the provider re-served from its release cache.
+        Both dicts hold the providers that delivered the phase; providers
+        that failed land in ``failed`` instead (resilience permitting).
+        Inner lists are aligned with the request order; the flags mark
+        summaries the provider re-served from its release cache.
         """
+        active = [
+            index for index in range(len(self.providers)) if index not in failed
+        ]
         for index, request in enumerate(requests):
-            self._send(request.payload_bytes(), accounting[index], copies=len(self.providers))
+            self._send(request.payload_bytes(), accounting[index], copies=len(active))
 
         def collect(_: int, provider: DataProvider) -> tuple[list[SummaryMessage], list[bool]]:
             reuse: list[bool] = []
@@ -505,41 +775,55 @@ class Aggregator:
             return messages, reuse
 
         if self._use_process_backend:
-            outcomes = self._ensure_process_pool().summary_batch(
-                requests, budget.epsilon_allocation
+            outcomes, pool_failures = self._ensure_process_pool().summary_batch(
+                requests,
+                budget.epsilon_allocation,
+                skip=frozenset(failed),
+                injector=self._fault_injector,
+                resilience=self.config.resilience,
             )
+            failed.update(pool_failures)
         else:
-            outcomes = self._map_providers(collect)
-        summaries = [messages for messages, _ in outcomes]
-        reuse_flags = [reuse for _, reuse in outcomes]
-        for provider_summaries in summaries:
+            outcomes = self._fanout_resilient("summary", active, collect, failed)
+        summaries = {index: messages for index, (messages, _) in outcomes.items()}
+        reuse_flags = {index: reuse for index, (_, reuse) in outcomes.items()}
+        for index in sorted(summaries):
             # Summaries have a data-independent constant size, so one bulk
-            # send per provider covers the whole workload.
-            self._send_uniform(provider_summaries[0].payload_bytes(), accounting)
+            # send per responding provider covers the whole workload.
+            if summaries[index]:
+                self._send_uniform(summaries[index][0].payload_bytes(), accounting)
         return summaries, reuse_flags
 
     def _allocate(
         self,
         requests: Sequence[QueryRequest],
-        summaries: Sequence[Sequence[SummaryMessage]],
+        summaries: dict[int, Sequence[SummaryMessage]],
         rate: float,
         accounting: Sequence[_QueryAccounting],
-    ) -> list[list[AllocationMessage]]:
-        """Per-provider allocation lists, aligned with the request order."""
-        per_provider: list[list[AllocationMessage]] = [[] for _ in self.providers]
+    ) -> dict[int, list[AllocationMessage]]:
+        """Allocation lists keyed by provider index, aligned with requests.
+
+        Allocation is solved over the providers that delivered summaries —
+        a degraded batch re-spreads the sampling budget across the
+        survivors, exactly as the protocol would with a smaller federation.
+        """
+        survivors = sorted(summaries)
+        per_provider: dict[int, list[AllocationMessage]] = {
+            index: [] for index in survivors
+        }
         for index, request in enumerate(requests):
             problems = [
                 AllocationProblem(
-                    provider_id=provider_summaries[index].provider_id,
-                    noisy_cluster_count=provider_summaries[index].noisy_cluster_count,
-                    noisy_avg_proportion=provider_summaries[index].noisy_avg_proportion,
+                    provider_id=summaries[provider_index][index].provider_id,
+                    noisy_cluster_count=summaries[provider_index][index].noisy_cluster_count,
+                    noisy_avg_proportion=summaries[provider_index][index].noisy_avg_proportion,
                 )
-                for provider_summaries in summaries
+                for provider_index in survivors
             ]
             results = solve_allocation(
                 problems, rate, min_allocation=self.config.sampling.min_allocation
             )
-            for provider_index, result in enumerate(results):
+            for provider_index, result in zip(survivors, results):
                 per_provider[provider_index].append(
                     AllocationMessage(
                         query_id=request.query_id,
@@ -547,33 +831,36 @@ class Aggregator:
                         sample_size=result.sample_size,
                     )
                 )
-        if per_provider[0]:
+        if survivors and per_provider[survivors[0]]:
             # Allocations have a constant size: one bulk send covers the
-            # per-query messages to every provider.
+            # per-query messages to every surviving provider.
             self._send_uniform(
-                per_provider[0][0].payload_bytes(),
+                per_provider[survivors[0]][0].payload_bytes(),
                 accounting,
-                copies_per_query=len(self.providers),
+                copies_per_query=len(survivors),
             )
         return per_provider
 
     def _collect_answers(
         self,
-        allocations: Sequence[Sequence[AllocationMessage]],
+        allocations: dict[int, Sequence[AllocationMessage]],
         budget: QueryBudget,
         use_smc: bool,
         accounting: Sequence[_QueryAccounting],
-    ) -> tuple[list[list[LocalAnswer]], list[list[bool]]]:
-        """Per-provider answer lists plus per-provider cache-hit flags.
+        failed: dict[int, str],
+    ) -> tuple[dict[int, list[LocalAnswer]], dict[int, list[bool]]]:
+        """Answer lists plus cache-hit flags, keyed by provider index.
 
-        Both returned lists are aligned with the request order; the flags
-        mark local answers the provider re-served from its release cache.
+        Same contract as :meth:`_collect_summaries`: only providers that
+        delivered the phase appear; new failures land in ``failed``.
         """
         provider_ids = {provider.provider_id for provider in self.providers}
-        for provider_allocations in allocations:
+        for provider_allocations in allocations.values():
             for message in provider_allocations:
                 if message.provider_id not in provider_ids:
                     raise ProtocolError(f"unknown provider {message.provider_id!r}")
+
+        active = sorted(allocations)
 
         def collect(index: int, provider: DataProvider) -> tuple[list[LocalAnswer], list[bool]]:
             reuse: list[bool] = []
@@ -583,16 +870,34 @@ class Aggregator:
             return local_answers, reuse
 
         if self._use_process_backend:
-            outcomes = self._ensure_process_pool().answer_batch(
-                allocations, budget, use_smc
+            full = [
+                list(allocations.get(index, []))
+                for index in range(len(self.providers))
+            ]
+            skip = frozenset(
+                index
+                for index in range(len(self.providers))
+                if index not in allocations
             )
+            outcomes, pool_failures = self._ensure_process_pool().answer_batch(
+                full,
+                budget,
+                use_smc,
+                skip=skip,
+                injector=self._fault_injector,
+                resilience=self.config.resilience,
+            )
+            failed.update(pool_failures)
         else:
-            outcomes = self._map_providers(collect)
-        answers = [local_answers for local_answers, _ in outcomes]
-        reuse_flags = [reuse for _, reuse in outcomes]
-        for provider_answers in answers:
+            outcomes = self._fanout_resilient("answer", active, collect, failed)
+        answers = {index: local_answers for index, (local_answers, _) in outcomes.items()}
+        reuse_flags = {index: reuse for index, (_, reuse) in outcomes.items()}
+        for index in sorted(answers):
             # Estimates have a data-independent constant size as well.
-            self._send_uniform(provider_answers[0].message.payload_bytes(), accounting)
+            if answers[index]:
+                self._send_uniform(
+                    answers[index][0].message.payload_bytes(), accounting
+                )
         return answers, reuse_flags
 
     def _combine(
@@ -610,7 +915,7 @@ class Aggregator:
 
         smc = SMCSimulator(
             config=self.config.smc,
-            num_parties=max(2, len(self.providers)),
+            num_parties=max(2, len(answers)),
             rng=derive_rng(self._rng, "smc"),
         )
         shared_estimates = [smc.share(message.value) for message in messages]

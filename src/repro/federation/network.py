@@ -12,6 +12,15 @@ and the streaming-ingestion path's messages (``"ingest"`` — appended row
 batches and their acks) are counted separately, so the paper's
 communication-volume comparisons stay meaningful when ingest runs alongside
 query traffic.  The top-level counters remain the all-traffic totals.
+
+The network is also a fault-injection point: when the owning aggregator
+installs a :class:`~repro.testing.faults.FaultInjector` (see
+:attr:`~repro.config.ParallelismConfig.injected_faults`), a send may be hit
+by a ``delay_message`` fault (extra simulated latency) or a ``drop_message``
+fault — the lost copy is charged, counted in ``messages_dropped``, and
+retransmitted once (counted in ``messages_retried``).  Drops and retries
+keep the totals honest: a dropped-and-resent message costs two sends on the
+wire, and the per-class split still sums back to the totals.
 """
 
 from __future__ import annotations
@@ -35,14 +44,23 @@ class NetworkStats:
     totals; the ``ingest_*`` fields hold the ingest class's share, and the
     ``query_*`` properties derive the query-protocol share as the
     difference, so the split always sums back to the totals.
+
+    ``messages_dropped`` / ``messages_retried`` count injected-fault losses
+    and their retransmissions (zero outside chaos runs).  A dropped copy
+    and its retry are *both* included in ``messages`` — they both crossed
+    the wire — so totals stay consistent with the per-send costs.
     """
 
     messages: int = 0
     bytes_sent: int = 0
     simulated_seconds: float = 0.0
+    messages_dropped: int = 0
+    messages_retried: int = 0
     ingest_messages: int = 0
     ingest_bytes_sent: int = 0
     ingest_simulated_seconds: float = 0.0
+    ingest_messages_dropped: int = 0
+    ingest_messages_retried: int = 0
 
     @property
     def query_messages(self) -> int:
@@ -59,16 +77,32 @@ class NetworkStats:
         """Simulated seconds spent on query-protocol traffic."""
         return self.simulated_seconds - self.ingest_simulated_seconds
 
+    @property
+    def query_messages_dropped(self) -> int:
+        """Query-protocol messages lost to injected faults (total minus ingest)."""
+        return self.messages_dropped - self.ingest_messages_dropped
+
+    @property
+    def query_messages_retried(self) -> int:
+        """Query-protocol retransmissions after injected drops."""
+        return self.messages_retried - self.ingest_messages_retried
+
     def merge(self, other: "NetworkStats") -> "NetworkStats":
         """Return the element-wise sum of two stats objects."""
         return NetworkStats(
             messages=self.messages + other.messages,
             bytes_sent=self.bytes_sent + other.bytes_sent,
             simulated_seconds=self.simulated_seconds + other.simulated_seconds,
+            messages_dropped=self.messages_dropped + other.messages_dropped,
+            messages_retried=self.messages_retried + other.messages_retried,
             ingest_messages=self.ingest_messages + other.ingest_messages,
             ingest_bytes_sent=self.ingest_bytes_sent + other.ingest_bytes_sent,
             ingest_simulated_seconds=self.ingest_simulated_seconds
             + other.ingest_simulated_seconds,
+            ingest_messages_dropped=self.ingest_messages_dropped
+            + other.ingest_messages_dropped,
+            ingest_messages_retried=self.ingest_messages_retried
+            + other.ingest_messages_retried,
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -77,21 +111,33 @@ class NetworkStats:
             "messages": self.messages,
             "bytes_sent": self.bytes_sent,
             "simulated_seconds": self.simulated_seconds,
+            "messages_dropped": self.messages_dropped,
+            "messages_retried": self.messages_retried,
             "query_messages": self.query_messages,
             "query_bytes_sent": self.query_bytes_sent,
             "query_simulated_seconds": self.query_simulated_seconds,
+            "query_messages_dropped": self.query_messages_dropped,
+            "query_messages_retried": self.query_messages_retried,
             "ingest_messages": self.ingest_messages,
             "ingest_bytes_sent": self.ingest_bytes_sent,
             "ingest_simulated_seconds": self.ingest_simulated_seconds,
+            "ingest_messages_dropped": self.ingest_messages_dropped,
+            "ingest_messages_retried": self.ingest_messages_retried,
         }
 
 
 @dataclass
 class SimulatedNetwork:
-    """Charges a latency/bandwidth cost for every message sent through it."""
+    """Charges a latency/bandwidth cost for every message sent through it.
+
+    ``fault_injector`` is installed by an aggregator whose
+    :class:`~repro.config.ParallelismConfig` carries a fault schedule;
+    ``None`` (the default) leaves every send untouched.
+    """
 
     config: NetworkConfig = field(default_factory=NetworkConfig)
     stats: NetworkStats = field(default_factory=NetworkStats)
+    fault_injector: object | None = field(default=None, repr=False, compare=False)
 
     def send(
         self, payload_bytes: int, *, copies: int = 1, message_class: str = "query"
@@ -100,7 +146,8 @@ class SimulatedNetwork:
 
         ``message_class`` selects the accounting bucket (``"query"`` or
         ``"ingest"``); totals always accumulate.  Returns the simulated
-        transfer time in seconds for the whole send.
+        transfer time in seconds for the whole send, including any
+        injected delay or drop-and-retransmit penalty.
         """
         if payload_bytes < 0:
             raise FederationError(f"payload_bytes must be >= 0, got {payload_bytes}")
@@ -110,14 +157,30 @@ class SimulatedNetwork:
             raise FederationError(
                 f"message_class must be one of {MESSAGE_CLASSES}, got {message_class!r}"
             )
-        cost = copies * self.config.transfer_cost(payload_bytes)
-        self.stats.messages += copies
-        self.stats.bytes_sent += copies * payload_bytes
+        dropped = retried = 0
+        extra_cost = 0.0
+        if self.fault_injector is not None:
+            fault = self.fault_injector.take_message_fault(message_class)
+            if fault is not None and fault.kind == "delay_message":
+                extra_cost = fault.delay_seconds
+            elif fault is not None and fault.kind == "drop_message":
+                # One copy is lost in flight and retransmitted: the lost
+                # copy already consumed the wire, the retry consumes it
+                # again, so both land in the totals.
+                dropped = retried = 1
+                extra_cost = self.config.transfer_cost(payload_bytes)
+        cost = copies * self.config.transfer_cost(payload_bytes) + extra_cost
+        self.stats.messages += copies + retried
+        self.stats.bytes_sent += (copies + retried) * payload_bytes
         self.stats.simulated_seconds += cost
+        self.stats.messages_dropped += dropped
+        self.stats.messages_retried += retried
         if message_class == "ingest":
-            self.stats.ingest_messages += copies
-            self.stats.ingest_bytes_sent += copies * payload_bytes
+            self.stats.ingest_messages += copies + retried
+            self.stats.ingest_bytes_sent += (copies + retried) * payload_bytes
             self.stats.ingest_simulated_seconds += cost
+            self.stats.ingest_messages_dropped += dropped
+            self.stats.ingest_messages_retried += retried
         return cost
 
     def reset(self) -> NetworkStats:
@@ -132,7 +195,11 @@ class SimulatedNetwork:
             messages=self.stats.messages,
             bytes_sent=self.stats.bytes_sent,
             simulated_seconds=self.stats.simulated_seconds,
+            messages_dropped=self.stats.messages_dropped,
+            messages_retried=self.stats.messages_retried,
             ingest_messages=self.stats.ingest_messages,
             ingest_bytes_sent=self.stats.ingest_bytes_sent,
             ingest_simulated_seconds=self.stats.ingest_simulated_seconds,
+            ingest_messages_dropped=self.stats.ingest_messages_dropped,
+            ingest_messages_retried=self.stats.ingest_messages_retried,
         )

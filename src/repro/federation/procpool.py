@@ -39,6 +39,22 @@ cannot see worker-side entries — it stays at the (sound, conservative)
 full price, so a nearly exhausted budget may refuse a batch the thread
 backend would have admitted as fully cached.
 
+**Failure handling** comes in two regimes.  With
+:class:`~repro.config.ResilienceConfig` disabled (the default), a dead
+worker makes the pool tear itself down — every shared block is unlinked —
+and raise :class:`~repro.errors.ProtocolError`; the owning aggregator
+rebuilds the pool on the next batch.  With resilience enabled, the pool
+degrades instead: per-reply timeouts flag hung workers, a dead worker is
+killed and **respawned from the provider's existing shared-memory blocks**
+(the table export is never repeated), the respawned worker is seeded with
+the RNG checkpoint taken at the summary phase's entry and replays the
+batch's summary command so its per-query sessions and noise draws are
+bit-identical to the lost worker's, and calls that keep failing are
+reported per provider instead of failing the batch.  Scripted faults
+(:class:`~repro.testing.faults.FaultInjector`) are consumed parent-side:
+workers only ever see a tiny ``("chaos", ...)`` directive ahead of a real
+command.
+
 The pool must be closed (:meth:`ProviderProcessPool.close`, or via the
 owning aggregator/system ``close()`` / context manager) to terminate the
 workers and unlink the shared-memory blocks.
@@ -47,6 +63,8 @@ workers and unlink the shared-memory blocks.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Sequence
@@ -56,6 +74,9 @@ import numpy as np
 from ..errors import ProtocolError
 
 __all__ = ["ProviderProcessPool", "ProcPoolStats"]
+
+_RESPAWN_READY_TIMEOUT = 60.0
+"""Seconds a respawn waits for the new worker's ready/replay replies."""
 
 
 @dataclass(frozen=True)
@@ -79,17 +100,25 @@ class _DeltaBufferSpec:
 
 @dataclass
 class ProcPoolStats:
-    """Ingest-path instrumentation of one pool (parent-side, cumulative).
+    """Pool instrumentation (parent-side, cumulative).
 
     ``delta_rows_pickled_bytes`` counts bytes of delta-row payloads (tables)
     serialised over the worker pipes — zero by construction on the
     shared-buffer path; the counter exists so a regression reintroducing
     pickled row shipping is caught by tests rather than by a profiler.
+
+    The resilience counters (``workers_respawned`` / ``worker_timeouts`` /
+    ``provider_retries`` / ``provider_failures``) stay zero outside
+    degraded chaos runs.
     """
 
     delta_rows_shipped: int = 0
     delta_shared_bytes: int = 0
     delta_rows_pickled_bytes: int = 0
+    workers_respawned: int = 0
+    worker_timeouts: int = 0
+    provider_retries: int = 0
+    provider_failures: int = 0
 
 
 def _charge_pickled_rows(stats: ProcPoolStats, command: tuple) -> None:
@@ -319,6 +348,14 @@ def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
             method = command[0]
             if method == "close":
                 break
+            if method == "chaos":
+                # Scripted fault directive from the parent's FaultInjector —
+                # the worker itself never sees the schedule.
+                if command[1] == "crash":
+                    os._exit(17)
+                elif command[1] == "hang":
+                    time.sleep(float(command[2]))
+                continue
             try:
                 provider = providers[command[1]]
                 if method == "summary":
@@ -382,6 +419,13 @@ class ProviderProcessPool:
         self._processes = []
         self._closed = False
         self.stats = ProcPoolStats()
+        # Respawn state: the per-provider column specs (the shared blocks
+        # are parent-owned and outlive any worker), the RNG checkpoints
+        # taken at the last summary phase's entry, and that phase's command
+        # for session replay on a worker respawned mid-batch.
+        self._column_specs: list[tuple[_ColumnSpec, ...]] = []
+        self._rng_checkpoints: list[dict] = []
+        self._last_summary: tuple | None = None
         # Layout versions the worker snapshots were taken at; the owning
         # aggregator rebuilds the pool when any provider re-clusters.
         self.layout_epochs = tuple(provider.layout_epoch for provider in self._providers)
@@ -392,6 +436,8 @@ class ProviderProcessPool:
         for index, provider in enumerate(self._providers):
             columns, blocks = _export_table(provider.table)
             self._blocks.extend(blocks)
+            self._column_specs.append(columns)
+            self._rng_checkpoints.append(provider._rng.bit_generator.state)
             delta_buffer = _SharedDeltaBuffer(provider.table.schema.column_names)
             self._delta_buffers.append(delta_buffer)
             if provider.delta.watermark:
@@ -404,22 +450,7 @@ class ProviderProcessPool:
                     pending.num_rows * delta_buffer.row_bytes
                 )
             specs_per_worker[self._worker_of[index]].append(
-                _ProviderSpec(
-                    provider_id=provider.provider_id,
-                    cluster_size=provider.cluster_size,
-                    n_min=provider.n_min,
-                    clustering_policy=provider.clustering_policy,
-                    sort_by=provider.sort_by,
-                    intra_sort_by=provider.intra_sort_by,
-                    cache_config=provider.cache_config,
-                    execution_config=provider.execution_config,
-                    ingest_config=provider.ingest_config,
-                    schema=provider.table.schema,
-                    columns=columns,
-                    rng_state=provider._rng.bit_generator.state,
-                    stream_entropy=provider._stream_entropy,
-                    delta=delta_buffer.spec(),
-                )
+                self._build_spec(index, provider._rng.bit_generator.state)
             )
         try:
             for worker_specs in specs_per_worker:
@@ -439,37 +470,165 @@ class ProviderProcessPool:
             self.close()
             raise
 
-    # -- phase calls -------------------------------------------------------
-
-    def summary_batch(self, requests, epsilon_allocation: float):
-        """Run ``prepare_summary_batch`` on every provider's worker."""
-        return self._call(
-            [
-                ("summary", provider.provider_id, requests, epsilon_allocation)
-                for provider in self._providers
-            ],
-            sync_rng=True,
+    def _build_spec(self, provider_index: int, rng_state: dict) -> _ProviderSpec:
+        """Worker rebuild recipe for one provider over its existing blocks."""
+        provider = self._providers[provider_index]
+        return _ProviderSpec(
+            provider_id=provider.provider_id,
+            cluster_size=provider.cluster_size,
+            n_min=provider.n_min,
+            clustering_policy=provider.clustering_policy,
+            sort_by=provider.sort_by,
+            intra_sort_by=provider.intra_sort_by,
+            cache_config=provider.cache_config,
+            execution_config=provider.execution_config,
+            ingest_config=provider.ingest_config,
+            schema=provider.table.schema,
+            columns=self._column_specs[provider_index],
+            rng_state=rng_state,
+            stream_entropy=provider._stream_entropy,
+            delta=self._delta_buffers[provider_index].spec(),
         )
 
-    def answer_batch(self, allocations_per_provider, budget, use_smc: bool):
-        """Run ``answer_batch`` on every provider's worker."""
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed pool serves no calls)."""
+        return self._closed
+
+    def shared_block_names(self) -> tuple[str, ...]:
+        """Names of every live shared-memory block this pool owns.
+
+        Covers the exported table columns and the delta append buffers —
+        the leak-regression tests attach by name after a crash to prove
+        everything was unlinked.
+        """
+        names = [block.name for block in self._blocks]
+        names.extend(
+            buffer._block.name
+            for buffer in self._delta_buffers
+            if buffer._block is not None
+        )
+        return tuple(names)
+
+    def live_workers(self) -> int:
+        """Number of workers currently reachable over their pipes."""
+        return sum(1 for conn in self._conns if conn is not None)
+
+    # -- phase calls -------------------------------------------------------
+
+    def summary_batch(
+        self,
+        requests,
+        epsilon_allocation: float,
+        *,
+        skip: frozenset[int] = frozenset(),
+        injector=None,
+        resilience=None,
+    ):
+        """Run ``prepare_summary_batch`` on every non-skipped provider's worker.
+
+        Returns ``(results, failures)``: per-provider-index dicts of
+        ``(messages, reuse)`` payloads and permanent failure reasons.
+        Without resilience, failures raise instead (seed behaviour) and the
+        failure dict is always empty.
+        """
+        if self._closed:
+            raise ProtocolError("provider process pool is closed")
+        degrade = resilience is not None and resilience.enabled
+        # Checkpoint every provider's stream position at phase entry: a
+        # worker respawned mid-batch restarts from here and replays the
+        # summary command, which reproduces the lost worker's draws and
+        # sessions bit-for-bit (caches cold — see the module docstring).
+        for index, provider in enumerate(self._providers):
+            self._rng_checkpoints[index] = provider._rng.bit_generator.state
+        self._last_summary = (list(requests), epsilon_allocation)
+        if degrade and resilience.respawn_workers:
+            # A worker lost in an earlier batch is revived here, from the
+            # parent's current (authoritative) stream positions — no replay:
+            # a new batch has no sessions yet.
+            for worker in sorted(
+                {
+                    self._worker_of[index]
+                    for index in range(len(self._providers))
+                    if index not in skip
+                }
+            ):
+                if self._conns[worker] is None:
+                    self._respawn_worker(worker)
+        entries = [
+            (index, ("summary", provider.provider_id, requests, epsilon_allocation))
+            for index, provider in enumerate(self._providers)
+            if index not in skip
+        ]
         return self._call(
-            [
-                ("answer", provider.provider_id, allocations, budget, use_smc)
-                for provider, allocations in zip(self._providers, allocations_per_provider)
-            ],
-            sync_rng=True,
+            entries, sync_rng=True, phase="summary", injector=injector, resilience=resilience
+        )
+
+    def answer_batch(
+        self,
+        allocations_per_provider,
+        budget,
+        use_smc: bool,
+        *,
+        skip: frozenset[int] = frozenset(),
+        injector=None,
+        resilience=None,
+    ):
+        """Run ``answer_batch`` on every non-skipped provider's worker.
+
+        Same ``(results, failures)`` contract as :meth:`summary_batch`.
+        """
+        if self._closed:
+            raise ProtocolError("provider process pool is closed")
+        entries = [
+            (
+                index,
+                (
+                    "answer",
+                    self._providers[index].provider_id,
+                    allocations_per_provider[index],
+                    budget,
+                    use_smc,
+                ),
+            )
+            for index in range(len(self._providers))
+            if index not in skip
+        ]
+        return self._call(
+            entries, sync_rng=True, phase="answer", injector=injector, resilience=resilience
         )
 
     def forget_batch(self, query_ids) -> None:
-        """Drop the per-query worker sessions (idempotent)."""
-        self._call(
-            [
-                ("forget", provider.provider_id, list(query_ids))
-                for provider in self._providers
-            ],
-            sync_rng=False,
-        )
+        """Drop the per-query worker sessions (idempotent, best-effort).
+
+        Dead workers hold no sessions to leak and are skipped; a worker
+        dying mid-forget is killed (not the whole pool) — the sessions die
+        with it.
+        """
+        if self._closed:
+            raise ProtocolError("provider process pool is closed")
+        sent: dict[int, int] = {}
+        for index, provider in enumerate(self._providers):
+            worker = self._worker_of[index]
+            conn = self._conns[worker]
+            if conn is None:
+                continue
+            try:
+                conn.send(("forget", provider.provider_id, list(query_ids)))
+            except (BrokenPipeError, OSError):
+                self._kill_worker(worker)
+                continue
+            sent[worker] = sent.get(worker, 0) + 1
+        for worker, expected in sent.items():
+            conn = self._conns[worker]
+            for _ in range(expected):
+                try:
+                    conn.recv()
+                except (EOFError, BrokenPipeError, OSError):
+                    self._kill_worker(worker)
+                    break
 
     def ingest(self, provider_index: int, rows) -> None:
         """Mirror an append onto one provider's worker (append-only).
@@ -481,12 +640,19 @@ class ProviderProcessPool:
 
         The rows are written into the provider's shared delta buffer and
         only a ``(descriptor, start, stop)`` triple crosses the pipe —
-        zero pickled delta-row bytes per batch.
+        zero pickled delta-row bytes per batch.  A worker lost to an
+        earlier degraded batch is respawned first (ingest runs between
+        batches, so no session replay is needed).
         """
         provider = self._providers[provider_index]
         worker = self._worker_of[provider_index]
         if self._closed:
             raise ProtocolError("provider process pool is closed")
+        if self._conns[worker] is None and not self._respawn_worker(worker):
+            raise ProtocolError(
+                f"provider worker for {provider.provider_id!r} is dead and could "
+                "not be respawned"
+            )
         buffer = self._delta_buffers[provider_index]
         start, stop = buffer.append(rows)
         self.stats.delta_rows_shipped += rows.num_rows
@@ -502,56 +668,223 @@ class ProviderProcessPool:
         if status != "ok":
             raise ProtocolError(f"provider worker failed: {payload}")
 
-    def _call(self, commands, *, sync_rng: bool):
+    def _call(self, entries, *, sync_rng: bool, phase=None, injector=None, resilience=None):
+        """Drive one phase over the workers; degrade per provider if allowed.
+
+        ``entries`` is a list of ``(provider_index, command)``.  Returns
+        ``(results, failures)`` keyed by provider index.  Without an
+        enabled resilience policy this reproduces the seed semantics
+        exactly: a worker-level error reply raises after draining every
+        reply, a dead worker tears the whole pool down and raises.
+        """
         if self._closed:
             raise ProtocolError("provider process pool is closed")
-        results = [None] * len(commands)
-        errors: list[str] = []
-        try:
-            order_per_conn: dict[int, list[int]] = {}
-            for index, command in enumerate(commands):
+        degrade = resilience is not None and resilience.enabled
+        timeout = resilience.provider_timeout_seconds if degrade else None
+        max_attempts = 1 + (resilience.max_retries if degrade else 0)
+        command_of = {index: command for index, command in entries}
+        results: dict[int, object] = {}
+        failures: dict[int, str] = {}
+        pending = [index for index, _ in entries]
+        attempt = 0
+        while pending:
+            attempt += 1
+            transport_error: Exception | None = None
+            failed_now: dict[int, str] = {}
+            sent: dict[int, list[int]] = {}
+            for index in pending:
                 worker = self._worker_of[index]
-                self._conns[worker].send(command)
-                order_per_conn.setdefault(worker, []).append(index)
-            # Drain every expected reply before raising: leaving queued
-            # replies behind would desynchronise the per-connection
-            # send/recv pairing and corrupt every later call on the pool.
-            for worker, indices in order_per_conn.items():
                 conn = self._conns[worker]
+                if conn is None:
+                    failed_now[index] = "worker unavailable"
+                    continue
+                fault = (
+                    injector.take_call_fault(phase, index, attempt)
+                    if injector is not None and phase is not None
+                    else None
+                )
+                if fault is not None and fault.kind == "drop_provider":
+                    # The provider went offline at the protocol level: the
+                    # command is never sent, the worker stays alive.
+                    failed_now[index] = "injected provider drop"
+                    continue
+                if fault is not None and fault.kind == "kill_connection":
+                    # Transport sabotage: the pipe dies under the parent,
+                    # taking every in-flight command on this worker with it.
+                    self._kill_worker(worker)
+                    failed_now[index] = "injected connection kill"
+                    continue
+                try:
+                    if fault is not None and fault.kind == "crash_worker":
+                        conn.send(("chaos", "crash"))
+                    elif fault is not None and fault.kind == "hang_worker":
+                        conn.send(("chaos", "hang", fault.hang_seconds))
+                    conn.send(command_of[index])
+                except (BrokenPipeError, OSError) as error:
+                    transport_error = error
+                    self._kill_worker(worker)
+                    failed_now[index] = f"worker died: {error!r}"
+                    continue
+                sent.setdefault(worker, []).append(index)
+            # Drain every expected reply before deciding anything: leaving
+            # queued replies behind would desynchronise the per-connection
+            # send/recv pairing and corrupt every later call on the pool.
+            for worker, indices in sent.items():
+                conn = self._conns[worker]
+                worker_down: str | None = None
                 for index in indices:
-                    status, payload = conn.recv()
+                    if worker_down is not None:
+                        failed_now[index] = worker_down
+                        continue
+                    try:
+                        if timeout is not None and not conn.poll(timeout):
+                            worker_down = f"provider timed out after {timeout}s"
+                            self.stats.worker_timeouts += 1
+                            self._kill_worker(worker)
+                            failed_now[index] = worker_down
+                            continue
+                        status, payload = conn.recv()
+                    except (EOFError, BrokenPipeError, OSError) as error:
+                        transport_error = error
+                        worker_down = f"worker died: {error!r}"
+                        self._kill_worker(worker)
+                        failed_now[index] = worker_down
+                        continue
                     if status != "ok":
-                        errors.append(f"{commands[index][1]!r}: {payload}")
+                        failed_now[index] = f"provider failed: {payload}"
+                    elif sync_rng:
+                        # Mirror the worker's stream position onto the parent
+                        # provider so the two views never diverge — including
+                        # for providers that succeeded in a partially failed
+                        # attempt, whose workers already consumed their draws.
+                        self._providers[index]._rng.bit_generator.state = payload[2]
+                        results[index] = (payload[0], payload[1])
                     else:
                         results[index] = payload
-        except (EOFError, BrokenPipeError, OSError) as error:
-            # A worker died (crash, OOM kill): the pipe protocol cannot be
-            # resynchronised, so tear the whole pool down.  The owning
-            # aggregator rebuilds it on the next process-backed batch —
-            # mirror the streams that did advance first, so the rebuild
-            # snapshots current state.
-            if sync_rng:
-                self._mirror_rng_states(results)
-            self.close()
-            raise ProtocolError(f"provider worker died: {error!r}") from error
-        if sync_rng:
-            # Mirror the workers' stream positions onto the parent providers
-            # so the two views of the federation never diverge — including
-            # for providers that succeeded in a partially failed call, whose
-            # workers have already consumed their draws.
-            self._mirror_rng_states(results)
-            results = [
-                None if payload is None else (payload[0], payload[1])
-                for payload in results
-            ]
-        if errors:
-            raise ProtocolError("provider worker failed: " + "; ".join(errors))
-        return results
+            pending = sorted(failed_now)
+            if not pending:
+                break
+            if not degrade:
+                if transport_error is not None:
+                    # A worker died (crash, OOM kill): the pipe protocol
+                    # cannot be resynchronised without respawn support, so
+                    # tear the whole pool down.  The owning aggregator
+                    # rebuilds it on the next process-backed batch.
+                    self.close()
+                    raise ProtocolError(
+                        f"provider worker died: {transport_error!r}"
+                    ) from transport_error
+                details = "; ".join(
+                    f"{self._providers[index].provider_id!r}: {failed_now[index]}"
+                    for index in pending
+                )
+                raise ProtocolError(f"provider worker failed: {details}")
+            if attempt >= max_attempts:
+                self.stats.provider_failures += len(pending)
+                failures.update(failed_now)
+                break
+            self.stats.provider_retries += len(pending)
+            if resilience.retry_backoff_seconds > 0:
+                time.sleep(resilience.retry_backoff_seconds * (2 ** (attempt - 1)))
+            if resilience.respawn_workers:
+                # Revive dead workers before the retry.  An answer-phase
+                # respawn replays the batch's summary for the retrying
+                # providers so their sessions (and draws) are rebuilt
+                # bit-identically from the phase-entry RNG checkpoint.
+                replay = frozenset(pending) if phase == "answer" else frozenset()
+                for worker in sorted({self._worker_of[index] for index in pending}):
+                    if self._conns[worker] is None:
+                        self._respawn_worker(worker, replay_for=replay)
+        return results, failures
 
-    def _mirror_rng_states(self, results) -> None:
-        for index, payload in enumerate(results):
-            if payload is not None:
-                self._providers[index]._rng.bit_generator.state = payload[2]
+    # -- worker lifecycle --------------------------------------------------
+
+    def _kill_worker(self, worker_index: int) -> None:
+        """Sever one worker's pipe and terminate its process (blocks stay)."""
+        conn = self._conns[worker_index]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._conns[worker_index] = None
+        process = self._processes[worker_index]
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+
+    def _respawn_worker(
+        self, worker_index: int, replay_for: frozenset[int] = frozenset()
+    ) -> bool:
+        """Start a fresh worker over the provider's existing shared blocks.
+
+        The table columns and delta buffers are *not* re-exported — the new
+        worker attaches the very same blocks.  Providers in ``replay_for``
+        are seeded with the RNG checkpoint taken at the current batch's
+        summary entry and the summary command is replayed (output
+        discarded) so a subsequent answer retry finds bit-identical
+        sessions; all other providers start from the parent's current
+        (authoritative) stream position.  Returns ``False`` — leaving the
+        worker dead — when the respawn itself fails.
+        """
+        self._kill_worker(worker_index)
+        provider_indices = [
+            index
+            for index in range(len(self._providers))
+            if self._worker_of[index] == worker_index
+        ]
+        specs = [
+            self._build_spec(
+                index,
+                self._rng_checkpoints[index]
+                if index in replay_for
+                else self._providers[index]._rng.bit_generator.state,
+            )
+            for index in provider_indices
+        ]
+        context = mp.get_context()
+        parent_conn = process = None
+        try:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main, args=(child_conn, specs), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            if not parent_conn.poll(_RESPAWN_READY_TIMEOUT):
+                raise ProtocolError("respawned provider worker never became ready")
+            status, _ = parent_conn.recv()
+            if status != "ready":
+                raise ProtocolError("respawned provider worker failed to initialise")
+            if replay_for and self._last_summary is not None:
+                requests, epsilon = self._last_summary
+                for index in provider_indices:
+                    if index not in replay_for:
+                        continue
+                    parent_conn.send(
+                        ("summary", self._providers[index].provider_id, requests, epsilon)
+                    )
+                    if not parent_conn.poll(_RESPAWN_READY_TIMEOUT):
+                        raise ProtocolError("summary replay timed out")
+                    status, payload = parent_conn.recv()
+                    if status != "ok":
+                        raise ProtocolError(f"summary replay failed: {payload}")
+                    # Replay output is discarded: the original release was
+                    # already delivered and accounted before the worker died.
+        except Exception:
+            if parent_conn is not None:
+                try:
+                    parent_conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+            return False
+        self._conns[worker_index] = parent_conn
+        self._processes[worker_index] = process
+        self.stats.workers_respawned += 1
+        return True
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -561,16 +894,22 @@ class ProviderProcessPool:
             return
         self._closed = True
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("close",))
             except (BrokenPipeError, OSError):
                 pass
         for process in self._processes:
+            if process is None:
+                continue
             process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join(timeout=5)
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.close()
             except OSError:  # pragma: no cover - defensive

@@ -113,6 +113,20 @@ class TenantAnswer:
         """The per-query DP answers, in submission order."""
         return tuple(result.value for result in self.results)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any answer was produced by a partial federation."""
+        return any(result.degraded for result in self.results)
+
+    @property
+    def providers_missing(self) -> tuple[str, ...]:
+        """Union of provider ids missing from any answer (first-seen order)."""
+        seen: dict[str, None] = {}
+        for result in self.results:
+            for provider_id in result.providers_missing:
+                seen.setdefault(provider_id, None)
+        return tuple(seen)
+
 
 @dataclass
 class ServiceStats:
@@ -126,6 +140,7 @@ class ServiceStats:
     queries_dispatched: int = 0
     cross_tenant_batches: int = 0
     answers_delivered: int = 0
+    degraded_queries: int = 0
     ingest_requests: int = 0
     rows_ingested: int = 0
     compactions: int = 0
@@ -655,6 +670,14 @@ class SessionScheduler:
         submission.reserved = False
         self.stats._note_charge(tenant.tenant_id, total.epsilon, total.delta)
         self.stats.answers_delivered += 1
+        degraded = sum(1 for result in results if result.degraded)
+        if degraded:
+            # Degraded answers settle through the very same path — the
+            # reservation/charge arithmetic needs no special case because
+            # the per-query actuals already price only the delivered
+            # releases — but they are counted so operators can see them.
+            self.stats.degraded_queries += degraded
+            tenant.degraded_queries += degraded
         return TenantAnswer(
             tenant_id=tenant.tenant_id,
             submission_id=submission.submission_id,

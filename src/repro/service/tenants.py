@@ -31,12 +31,18 @@ class Tenant:
     credited when the rows actually land at drain time — ingestion spends
     no privacy budget (appending rows releases nothing), but per-tenant
     write volume stays auditable next to the epsilon ledger.
+
+    ``degraded_queries`` counts this tenant's answers that were produced by
+    a partial federation (providers missing after a degraded drain); the
+    epsilon charged for them is still exact — only the delivered releases
+    were priced.
     """
 
     tenant_id: str
     budget: EndUserBudget
     sequence: int = 0
     rows_ingested: int = 0
+    degraded_queries: int = 0
 
     def next_seed_token(self) -> tuple[int, ...]:
         """Allocate the noise-stream key of this tenant's next query.

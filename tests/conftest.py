@@ -83,3 +83,15 @@ def small_config() -> SystemConfig:
 def small_system(small_table, small_config) -> FederatedAQPSystem:
     """A ready-to-query 4-provider federation over the small table."""
     return FederatedAQPSystem.from_table(small_table, config=small_config)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Expose each phase's report on the item (``item.rep_call`` etc.).
+
+    The chaos suite's ``chaos_trace`` fixture reads ``rep_call`` during
+    teardown to dump fault-injection traces only for *failing* tests.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, "rep_" + report.when, report)

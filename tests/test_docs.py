@@ -23,6 +23,7 @@ DOCTESTED_PAGES = [
     REPO_ROOT / "docs" / "performance.md",
     REPO_ROOT / "docs" / "serving.md",
     REPO_ROOT / "docs" / "ingestion.md",
+    REPO_ROOT / "docs" / "robustness.md",
 ]
 
 
