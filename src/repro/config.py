@@ -534,6 +534,35 @@ class ServiceConfig:
     compute_exact:
         Also run the exact plain-text baselines for served queries (off by
         default: serving traffic wants throughput, not error measurement).
+    drain_time_budget_ms:
+        Per-chunk latency SLO for time-budgeted autopartitioning.  When set,
+        a drain packs its coalesced workload greedily by the cost model's
+        per-query estimates so no chunk's predicted wall-clock exceeds the
+        budget (``max_batch_size`` stays a hard cap on top); answers settle
+        at chunk granularity, so one expensive low-selectivity query no
+        longer drags a whole fixed-size chunk of cheap ones with it.  The
+        default ``None`` keeps count-only chunking — bit-for-bit today's
+        behavior.
+    max_queries_per_drain:
+        Per-drain admission cap in queries.  When set, a drain admits at
+        most this many queries (whole submissions; the last admitted
+        submission may overshoot) in weighted-fair order and leaves the
+        rest pending for later drains — bounded drains are what make tenant
+        priorities meaningful.  ``None`` (default) drains everything.
+    starvation_limit:
+        Hard bound ``K`` on queueing fairness: a submission passed over by
+        ``K - 1`` consecutive drains is force-admitted ahead of everything
+        else on the next one, whatever its tenant's priority or deficit —
+        every submission drains within ``K`` drains of being admitted.
+    overlap_phases:
+        Dispatch each chunk as two pipelined work items (summary+allocation,
+        then answering) and run result combination on the settling thread,
+        so the summary phase of chunk ``i+1`` executes on the dispatcher
+        while chunk ``i`` combines and settles.  Answers are bit-identical
+        to the serial path (per-tenant noise streams are keyed, not
+        positional).  Off by default: the serial path routes through
+        :meth:`~repro.core.system.FederatedAQPSystem.execute_batch`
+        unchanged.
     """
 
     max_batch_size: int = 64
@@ -542,6 +571,10 @@ class ServiceConfig:
     admission: str = "reject"
     max_pending_ingest: int = 256
     compute_exact: bool = False
+    drain_time_budget_ms: float | None = None
+    max_queries_per_drain: int | None = None
+    starvation_limit: int = 8
+    overlap_phases: bool = False
 
     def __post_init__(self) -> None:
         _require(
@@ -563,6 +596,20 @@ class ServiceConfig:
             self.max_pending_ingest >= 1,
             f"max_pending_ingest must be >= 1, got {self.max_pending_ingest}",
         )
+        _require(
+            self.drain_time_budget_ms is None or self.drain_time_budget_ms > 0,
+            f"drain_time_budget_ms must be positive when set, "
+            f"got {self.drain_time_budget_ms}",
+        )
+        _require(
+            self.max_queries_per_drain is None or self.max_queries_per_drain >= 1,
+            f"max_queries_per_drain must be >= 1 when set, "
+            f"got {self.max_queries_per_drain}",
+        )
+        _require(
+            self.starvation_limit >= 1,
+            f"starvation_limit must be >= 1, got {self.starvation_limit}",
+        )
 
     def with_admission(self, admission: str) -> "ServiceConfig":
         """Return a copy with a different admission policy."""
@@ -571,6 +618,16 @@ class ServiceConfig:
     def with_max_batch_size(self, max_batch_size: int) -> "ServiceConfig":
         """Return a copy with a different coalescing cap."""
         return replace(self, max_batch_size=max_batch_size)
+
+    def with_drain_time_budget_ms(
+        self, drain_time_budget_ms: float | None
+    ) -> "ServiceConfig":
+        """Return a copy with a different per-chunk latency SLO."""
+        return replace(self, drain_time_budget_ms=drain_time_budget_ms)
+
+    def with_overlap_phases(self, overlap_phases: bool = True) -> "ServiceConfig":
+        """Return a copy with the phase-overlapped drain pipeline toggled."""
+        return replace(self, overlap_phases=overlap_phases)
 
 
 @dataclass(frozen=True)

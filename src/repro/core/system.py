@@ -28,7 +28,7 @@ from ..cache.store import CacheStats
 from ..config import SystemConfig
 from ..errors import BudgetExhaustedError, ProtocolError
 from ..ingest.delta import IngestReceipt
-from ..federation.aggregator import Aggregator
+from ..federation.aggregator import Aggregator, PhasedBatch
 from ..federation.network import SimulatedNetwork
 from ..federation.partitioning import partition_equal
 from ..federation.provider import DataProvider
@@ -40,7 +40,7 @@ from ..utils.timing import Timer
 from .accounting import EndUserBudget, QueryBudget, split_query_budget
 from .result import BatchResult, QueryResult
 
-__all__ = ["FederatedAQPSystem", "BaselineExecution"]
+__all__ = ["FederatedAQPSystem", "BaselineExecution", "PhasedExecution"]
 
 
 @dataclass(frozen=True)
@@ -263,36 +263,7 @@ class FederatedAQPSystem:
         range_queries = [self._coerce_query(query) for query in queries]
         privacy = self.config.privacy if epsilon is None else self.config.privacy.with_epsilon(epsilon)
         budget = split_query_budget(privacy)
-        if self.end_user_budget is not None:
-            # All-or-nothing batch admission: verify the whole workload is
-            # affordable before running anything.  The check shares the
-            # accountant's float tolerance, so a batch is admitted exactly
-            # when charging its queries one by one would be.  With the
-            # release caches enabled, the reuse planner lowers the bound to
-            # zero for queries guaranteed to be served by post-processing —
-            # a reuse-heavy workload is admitted even against a nearly
-            # exhausted budget (budget-aware reuse).
-            affordable = self.end_user_budget.can_afford_queries(
-                budget, len(self.providers), len(range_queries)
-            )
-            if not affordable and self.config.cache.enabled:
-                # Full price does not fit — ask the planner for the tighter
-                # bound before refusing (it can only lower the estimate, so
-                # skipping it when full price fits is behaviour-preserving).
-                plan = self.aggregator.plan_reuse(
-                    range_queries,
-                    budget,
-                    sampling_rate=sampling_rate,
-                    use_smc=use_smc,
-                )
-                affordable = self.end_user_budget.can_afford_spend(
-                    plan.upper_bound_epsilon, plan.upper_bound_delta
-                )
-            if not affordable:
-                raise BudgetExhaustedError(
-                    f"batch of {len(range_queries)} queries needs more budget than "
-                    "remains"
-                )
+        self._admit_batch(range_queries, budget, sampling_rate, use_smc)
 
         try:
             with Timer() as timer:
@@ -350,6 +321,99 @@ class FederatedAQPSystem:
             for range_query, answer, exact_value in zip(range_queries, answers, exact_values)
         )
         return BatchResult(results=results, wall_seconds=timer.elapsed)
+
+    def _admit_batch(
+        self,
+        range_queries: Sequence[RangeQuery],
+        budget: QueryBudget,
+        sampling_rate: float | None,
+        use_smc: bool | None,
+    ) -> None:
+        """All-or-nothing batch admission against the end-user budget.
+
+        Verifies the whole workload is affordable before running anything.
+        The check shares the accountant's float tolerance, so a batch is
+        admitted exactly when charging its queries one by one would be.
+        With the release caches enabled, the reuse planner lowers the bound
+        to zero for queries guaranteed to be served by post-processing — a
+        reuse-heavy workload is admitted even against a nearly exhausted
+        budget (budget-aware reuse).
+        """
+        if self.end_user_budget is None:
+            return
+        affordable = self.end_user_budget.can_afford_queries(
+            budget, len(self.providers), len(range_queries)
+        )
+        if not affordable and self.config.cache.enabled:
+            # Full price does not fit — ask the planner for the tighter
+            # bound before refusing (it can only lower the estimate, so
+            # skipping it when full price fits is behaviour-preserving).
+            plan = self.aggregator.plan_reuse(
+                range_queries,
+                budget,
+                sampling_rate=sampling_rate,
+                use_smc=use_smc,
+            )
+            affordable = self.end_user_budget.can_afford_spend(
+                plan.upper_bound_epsilon, plan.upper_bound_delta
+            )
+        if not affordable:
+            raise BudgetExhaustedError(
+                f"batch of {len(range_queries)} queries needs more budget than "
+                "remains"
+            )
+
+    def begin_batch(
+        self,
+        queries: Sequence[RangeQuery | str],
+        *,
+        sampling_rate: float | None = None,
+        epsilon: float | None = None,
+        use_smc: bool | None = None,
+        compute_exact: bool = True,
+        seed_tokens: Sequence[tuple[int, ...] | None] | None = None,
+    ) -> "PhasedExecution":
+        """Start a batch whose phases the caller drives explicitly.
+
+        The phased counterpart of :meth:`execute_batch` — same admission,
+        same protocol, bit-identical per-query answers under the same seeds
+        — split so the serving layer can overlap chunks: the returned
+        :class:`PhasedExecution` holds open provider sessions after the
+        summary/allocation phases; :meth:`PhasedExecution.collect` runs the
+        answer phase (and releases the sessions), and
+        :meth:`PhasedExecution.settle` runs the combination math and
+        produces the :class:`~repro.core.result.BatchResult`.  ``begin`` and
+        ``collect`` must run on whatever thread owns provider state;
+        ``settle`` touches no provider state and may run elsewhere while the
+        next batch begins.  A begun batch that will not be collected must be
+        released with :meth:`PhasedExecution.abandon` or compaction blocks
+        on its sessions.
+        """
+        if not queries:
+            raise ProtocolError("a batch must contain at least one query")
+        range_queries = [self._coerce_query(query) for query in queries]
+        privacy = self.config.privacy if epsilon is None else self.config.privacy.with_epsilon(epsilon)
+        budget = split_query_budget(privacy)
+        self._admit_batch(range_queries, budget, sampling_rate, use_smc)
+        try:
+            with Timer() as timer:
+                phased = self.aggregator.begin_batch(
+                    range_queries,
+                    budget,
+                    sampling_rate=sampling_rate,
+                    use_smc=use_smc,
+                    seed_tokens=seed_tokens,
+                )
+        except BaseException:
+            self.aggregator.close()
+            raise
+        return PhasedExecution(
+            system=self,
+            queries=range_queries,
+            phased=phased,
+            compute_exact=compute_exact,
+            wall_seconds=timer.elapsed,
+        )
 
     # -- streaming ingestion -----------------------------------------------------
 
@@ -486,3 +550,92 @@ class FederatedAQPSystem:
         parsed, _table = parse_query(query)
         schema = self.providers[0].clustered.schema
         return parsed.clipped_to(schema)
+
+
+@dataclass
+class PhasedExecution:
+    """An in-flight batch started by :meth:`FederatedAQPSystem.begin_batch`.
+
+    Lifecycle: ``begin_batch`` → :meth:`collect` → :meth:`settle`, with
+    :meth:`abandon` as the bail-out for a begun batch that will never be
+    collected.  ``wall_seconds`` accumulates the protocol phases only (as
+    :meth:`FederatedAQPSystem.execute_batch` measures them — exact
+    baselines are excluded).
+    """
+
+    system: FederatedAQPSystem
+    queries: list[RangeQuery]
+    phased: PhasedBatch
+    compute_exact: bool
+    wall_seconds: float = 0.0
+    exact_values: list[int | None] = field(default_factory=list)
+
+    def collect(self) -> None:
+        """Run the answer phase and release the provider sessions.
+
+        Must run on the thread that owns provider state (the serving
+        layer's dispatcher).  The exact baselines are computed here too —
+        they read provider tables, which may be compacted by later work
+        items once this batch is handed off to settlement.
+        """
+        try:
+            with Timer() as timer:
+                self.system.aggregator.collect_batch(self.phased)
+        except BaseException:
+            # Same teardown contract as execute_batch: a batch that dies
+            # mid-protocol must not leak the process backend's workers.
+            self.system.aggregator.close()
+            raise
+        self.wall_seconds += timer.elapsed
+        if self.compute_exact:
+            self.exact_values = [
+                baseline.value
+                for baseline in self.system.exact_baseline_batch(self.queries)
+            ]
+        else:
+            self.exact_values = [None] * len(self.queries)
+
+    def settle(self) -> BatchResult:
+        """Combine the collected answers into a :class:`BatchResult`.
+
+        Pure aggregator math plus ledger recording — no provider state is
+        read, so this may run on a different thread than :meth:`collect`
+        while the dispatcher begins the next batch.
+        """
+        with Timer() as timer:
+            answers = self.system.aggregator.settle_batch(self.phased)
+        self.wall_seconds += timer.elapsed
+        if self.system.end_user_budget is not None:
+            # Charge only after the protocol ran to completion, and
+            # unconditionally (enforce=False): the noisy releases already
+            # happened — see execute_batch.
+            self.system.end_user_budget.charge_spends(
+                [
+                    (answer.epsilon_charged, answer.delta_charged, query.to_sql())
+                    for query, answer in zip(self.queries, answers)
+                ],
+                enforce=False,
+            )
+        results = tuple(
+            QueryResult(
+                query=query,
+                value=answer.value,
+                epsilon_spent=answer.epsilon_charged,
+                delta_spent=answer.delta_charged,
+                used_smc=answer.used_smc,
+                provider_reports=answer.provider_reports,
+                trace=answer.trace,
+                exact_value=exact_value,
+                noise_injected=answer.noise_injected,
+                degraded=answer.degraded,
+                providers_missing=answer.providers_missing,
+            )
+            for query, answer, exact_value in zip(
+                self.queries, answers, self.exact_values
+            )
+        )
+        return BatchResult(results=results, wall_seconds=self.wall_seconds)
+
+    def abandon(self) -> None:
+        """Release a batch that will never be collected (idempotent)."""
+        self.system.aggregator.abandon_batch(self.phased)

@@ -150,6 +150,45 @@ class _QueryAccounting:
 
 
 @dataclass
+class PhasedBatch:
+    """One in-flight batch, split at the protocol's phase boundaries.
+
+    Produced by :meth:`Aggregator.begin_batch` (summary + allocation
+    phases done, provider sessions open), advanced by
+    :meth:`Aggregator.collect_batch` (answer phase done, sessions
+    released), finished by :meth:`Aggregator.settle_batch` (combination —
+    pure aggregator-side math over already-collected messages, safe to run
+    on a different thread than the next batch's provider phases).  The
+    serving layer's overlapped drain pipeline threads this object through
+    its dispatcher; :meth:`Aggregator.execute_batch` is the serial
+    composition of the three calls and stays bit-identical.
+
+    If a begun batch will never be collected (its pipeline died), call
+    :meth:`Aggregator.abandon_batch` so the providers' per-query sessions
+    are released — an abandoned session would otherwise block compaction.
+    """
+
+    requests: list[QueryRequest]
+    budget: QueryBudget
+    rate: float
+    smc: bool
+    degrade: bool
+    failed: dict[int, str]
+    accounting: list[_QueryAccounting]
+    stopwatch: Stopwatch
+    summaries: dict[int, list[SummaryMessage]] = field(default_factory=dict)
+    summary_reuse: dict[int, list[bool]] = field(default_factory=dict)
+    allocations: dict[int, list[AllocationMessage]] = field(default_factory=dict)
+    answers: dict[int, list[LocalAnswer]] = field(default_factory=dict)
+    answer_reuse: dict[int, list[bool]] = field(default_factory=dict)
+    survivors: list[int] = field(default_factory=list)
+    clusters_available: int = 0
+    providers_missing: tuple[str, ...] = ()
+    sessions_released: bool = False
+    collected: bool = False
+
+
+@dataclass
 class Aggregator:
     """Coordinates one federation of data providers."""
 
@@ -317,6 +356,36 @@ class Aggregator:
         """
         if not queries:
             return []
+        phased = self.begin_batch(
+            queries,
+            budget,
+            sampling_rate=sampling_rate,
+            use_smc=use_smc,
+            seed_tokens=seed_tokens,
+        )
+        self.collect_batch(phased)
+        return self.settle_batch(phased)
+
+    def begin_batch(
+        self,
+        queries: Sequence[RangeQuery],
+        budget: QueryBudget,
+        *,
+        sampling_rate: float | None = None,
+        use_smc: bool | None = None,
+        seed_tokens: Sequence[tuple[int, ...] | None] | None = None,
+    ) -> PhasedBatch:
+        """Run the summary + allocation phases and return the open batch.
+
+        First half of :meth:`execute_batch`.  On return the providers hold
+        per-query sessions pinned to the current layout snapshot; the
+        caller must advance the batch with :meth:`collect_batch` (or
+        release it with :meth:`abandon_batch`) before any compaction can
+        run.  Raises exactly like :meth:`execute_batch`'s first two phases;
+        sessions are always released on failure.
+        """
+        if not queries:
+            raise ProtocolError("a batch must contain at least one query")
         if seed_tokens is not None and len(seed_tokens) != len(queries):
             raise ProtocolError(
                 f"seed_tokens must align with queries: got {len(seed_tokens)} tokens "
@@ -338,9 +407,8 @@ class Aggregator:
             for index, reason in sorted(self._quarantined.items()):
                 failed[index] = f"quarantined: {reason}"
 
-        num_queries = len(queries)
         first_id = self._next_query_id
-        self._next_query_id += num_queries
+        self._next_query_id += len(queries)
         requests = [
             QueryRequest(
                 query_id=first_id + index,
@@ -350,32 +418,52 @@ class Aggregator:
             )
             for index, query in enumerate(queries)
         ]
-        accounting = [_QueryAccounting() for _ in requests]
-        stopwatch = Stopwatch()
-
+        phased = PhasedBatch(
+            requests=requests,
+            budget=budget,
+            rate=rate,
+            smc=smc,
+            degrade=degrade,
+            failed=failed,
+            accounting=[_QueryAccounting() for _ in requests],
+            stopwatch=Stopwatch(),
+        )
         try:
-            with stopwatch.measure("allocation"):
+            with phased.stopwatch.measure("allocation"):
                 summaries, summary_reuse = self._collect_summaries(
-                    requests, budget, accounting, failed
+                    requests, budget, phased.accounting, failed
                 )
                 self._check_survivors(summaries, failed, "summary")
-                allocations = self._allocate(requests, summaries, rate, accounting)
-            with stopwatch.measure("local_answering"):
-                answers, answer_reuse = self._collect_answers(
-                    allocations, budget, smc, accounting, failed
+                allocations = self._allocate(
+                    requests, summaries, rate, phased.accounting
                 )
-                self._check_survivors(answers, failed, "answer")
-            with stopwatch.measure("combination"):
-                survivors = sorted(answers)
-                combined = [
-                    self._combine(
-                        [answers[provider_index][index] for provider_index in survivors],
-                        budget,
-                        smc,
-                        accounting[index],
-                    )
-                    for index in range(num_queries)
-                ]
+        except BaseException:
+            self._release_sessions(phased)
+            raise
+        phased.summaries = summaries
+        phased.summary_reuse = summary_reuse
+        phased.allocations = allocations
+        return phased
+
+    def collect_batch(self, phased: PhasedBatch) -> None:
+        """Run the answer phase of a begun batch and release its sessions.
+
+        Second half of the provider-facing protocol.  Session state is
+        always released — even when the phase raises — so providers cannot
+        leak per-query state; on success the quarantine counters advance
+        (the batch's provider outcome is final once the answers are in,
+        whatever happens during combination).
+        """
+        try:
+            with phased.stopwatch.measure("local_answering"):
+                answers, answer_reuse = self._collect_answers(
+                    phased.allocations,
+                    phased.budget,
+                    phased.smc,
+                    phased.accounting,
+                    phased.failed,
+                )
+                self._check_survivors(answers, phased.failed, "answer")
         finally:
             # Providers must never accumulate per-query state, even when a
             # phase fails between summary and answer.  With the process
@@ -383,30 +471,80 @@ class Aggregator:
             # routed there too (the parent call is then a cheap no-op, and
             # both forgets are idempotent for providers that never opened a
             # session this batch).
-            query_ids = [request.query_id for request in requests]
-            for provider in self.providers:
-                provider.forget_batch(query_ids)
-            if self._process_pool is not None:
-                try:
-                    self._process_pool.forget_batch(query_ids)
-                except ProtocolError:
-                    # A dead or torn-down pool holds no sessions to leak;
-                    # don't let the cleanup mask the phase's own exception.
-                    self._process_pool.close()
-                    self._process_pool = None
-
-        if degrade:
-            self._update_quarantine(failed)
-
-        phase_seconds = stopwatch.as_dict()
-        summary_survivors = sorted(summaries)
-        clusters_available = sum(
-            self.providers[provider_index].num_clusters for provider_index in survivors
+            self._release_sessions(phased)
+        phased.answers = answers
+        phased.answer_reuse = answer_reuse
+        phased.survivors = sorted(answers)
+        # Provider-derived trace inputs are captured here, on the thread
+        # that owns provider state: an overlapped pipeline may settle this
+        # batch while a later work item (e.g. an ingest-triggered
+        # compaction) is already mutating the layouts.
+        phased.clusters_available = sum(
+            self.providers[provider_index].num_clusters
+            for provider_index in phased.survivors
         )
-        providers_missing = tuple(
+        phased.providers_missing = tuple(
             self.providers[provider_index].provider_id
-            for provider_index in sorted(failed)
+            for provider_index in sorted(phased.failed)
         )
+        phased.collected = True
+        if phased.degrade:
+            self._update_quarantine(phased.failed)
+
+    def abandon_batch(self, phased: PhasedBatch) -> None:
+        """Release a begun batch that will never be collected (idempotent).
+
+        An abandoned pipeline must not leave provider sessions open — they
+        would block every later compaction — so the dispatcher's failure
+        path routes uncollected batches here.
+        """
+        self._release_sessions(phased)
+
+    def _release_sessions(self, phased: PhasedBatch) -> None:
+        if phased.sessions_released:
+            return
+        phased.sessions_released = True
+        query_ids = [request.query_id for request in phased.requests]
+        for provider in self.providers:
+            provider.forget_batch(query_ids)
+        if self._process_pool is not None:
+            try:
+                self._process_pool.forget_batch(query_ids)
+            except ProtocolError:
+                # A dead or torn-down pool holds no sessions to leak;
+                # don't let the cleanup mask the phase's own exception.
+                self._process_pool.close()
+                self._process_pool = None
+
+    def settle_batch(self, phased: PhasedBatch) -> list[FederatedAnswer]:
+        """Combine a collected batch into per-query answers.
+
+        Pure aggregator-side math over already-collected messages (plus the
+        SMC exchange when enabled): no provider state is touched, so the
+        serving layer's overlapped pipeline runs this on its settlement
+        thread while the dispatcher begins the next chunk's summary phase.
+        """
+        if not phased.collected:
+            raise ProtocolError("settle_batch needs a collected batch")
+        num_queries = len(phased.requests)
+        budget = phased.budget
+        answers = phased.answers
+        survivors = phased.survivors
+        with phased.stopwatch.measure("combination"):
+            combined = [
+                self._combine(
+                    [answers[provider_index][index] for provider_index in survivors],
+                    budget,
+                    phased.smc,
+                    phased.accounting[index],
+                )
+                for index in range(num_queries)
+            ]
+
+        phase_seconds = phased.stopwatch.as_dict()
+        summary_survivors = sorted(phased.summaries)
+        summary_reuse = phased.summary_reuse
+        answer_reuse = phased.answer_reuse
         results: list[FederatedAnswer] = []
         for index in range(num_queries):
             value, noise = combined[index]
@@ -432,11 +570,11 @@ class Aggregator:
                 phase_seconds={
                     name: seconds / num_queries for name, seconds in phase_seconds.items()
                 },
-                simulated_network_seconds=accounting[index].simulated_seconds,
-                messages_sent=accounting[index].messages,
-                bytes_sent=accounting[index].bytes_sent,
+                simulated_network_seconds=phased.accounting[index].simulated_seconds,
+                messages_sent=phased.accounting[index].messages,
+                bytes_sent=phased.accounting[index].bytes_sent,
                 clusters_scanned=sum(report.sampled_clusters for report in reports),
-                clusters_available=clusters_available,
+                clusters_available=phased.clusters_available,
                 rows_scanned=sum(report.rows_scanned for report in reports),
                 rows_available=sum(report.rows_available for report in reports),
                 smc_operations=0,
@@ -451,13 +589,13 @@ class Aggregator:
                 FederatedAnswer(
                     value=value,
                     noise_injected=noise,
-                    used_smc=smc,
+                    used_smc=phased.smc,
                     provider_reports=reports,
                     trace=trace,
                     epsilon_charged=epsilon_charged,
                     delta_charged=delta_charged,
-                    degraded=bool(failed),
-                    providers_missing=providers_missing,
+                    degraded=bool(phased.failed),
+                    providers_missing=phased.providers_missing,
                 )
             )
         return results

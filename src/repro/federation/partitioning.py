@@ -1,14 +1,21 @@
-"""Horizontal partitioning strategies.
+"""Horizontal partitioning strategies, plus cost-aware work packing.
 
 The paper horizontally partitions each dataset equally across four providers;
 skewed and value-based partitioners are provided as well because the
 allocation phase only pays off when providers hold *different* amounts of
 query-relevant data — the ablation benches exercise those regimes.
+
+:func:`work_balanced_chunks` is the other kind of split: not rows across
+providers but *work* across batches.  The serving layer's time-budgeted
+scheduler uses it to autopartition a drain's coalesced workload into chunks
+whose estimated cost fits a latency budget (see
+:mod:`repro.service.costmodel`), and the latency benchmarks share the same
+helper so the bench measures exactly the packing the scheduler runs.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TypeVar
 
 import numpy as np
 
@@ -16,7 +23,19 @@ from ..errors import FederationError
 from ..storage.table import Table
 from ..utils.rng import RngLike, ensure_rng
 
-__all__ = ["partition_equal", "partition_skewed", "partition_by_dimension"]
+__all__ = [
+    "partition_equal",
+    "partition_skewed",
+    "partition_by_dimension",
+    "work_balanced_chunks",
+]
+
+_Item = TypeVar("_Item")
+
+# Relative slack on the budget comparison: a chunk whose exact cost sum equals
+# the budget must not be split by float rounding (k items of cost c always fit
+# a budget of k*c — the equal-cost ≡ count-chunking equivalence).
+_BUDGET_RTOL = 1e-9
 
 
 def _check_parts(num_parts: int) -> None:
@@ -62,6 +81,63 @@ def partition_skewed(
         partitions.append(table.take(indices[start:stop]))
         start = stop
     return partitions
+
+
+def work_balanced_chunks(
+    items: Sequence[_Item],
+    costs: Sequence[float],
+    budget: float,
+    *,
+    max_size: int | None = None,
+) -> list[list[_Item]]:
+    """Pack ``items`` into consecutive chunks whose cost fits ``budget``.
+
+    Greedy, order-preserving autopartitioning: items are walked in order and
+    a chunk grows while its cost sum stays within ``budget`` (and, when
+    ``max_size`` is given, its length within that cap).  Every item lands in
+    exactly one chunk, in the original order — packing only moves chunk
+    boundaries, never reorders — so the serving layer's canonical settlement
+    order survives it.  An item whose own cost exceeds the budget gets a
+    chunk of its own: the budget bounds *packing*, it never drops work.
+
+    With equal per-item costs ``c`` and ``budget = k * c`` this degenerates
+    to count-chunking with chunk size ``k`` exactly.
+
+    Raises
+    ------
+    FederationError
+        ``costs`` misaligned with ``items``, a negative cost, a
+        non-positive ``budget``, or a ``max_size`` below one.
+    """
+    if len(costs) != len(items):
+        raise FederationError(
+            f"costs must align with items: got {len(costs)} costs "
+            f"for {len(items)} items"
+        )
+    if not budget > 0:
+        raise FederationError(f"budget must be positive, got {budget}")
+    if max_size is not None and max_size < 1:
+        raise FederationError(f"max_size must be >= 1, got {max_size}")
+    if any(cost < 0 for cost in costs):
+        raise FederationError("costs must be non-negative")
+    limit = budget * (1.0 + _BUDGET_RTOL)
+    chunks: list[list[_Item]] = []
+    current: list[_Item] = []
+    current_cost = 0.0
+    for item, cost in zip(items, costs):
+        full = current and (
+            current_cost + cost > limit
+            or (max_size is not None and len(current) >= max_size)
+        )
+        if full:
+            chunks.append(current)
+            current = []
+            current_cost = 0.0
+        current.append(item)
+        current_cost += cost
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def partition_by_dimension(table: Table, dimension: str, num_parts: int) -> list[Table]:

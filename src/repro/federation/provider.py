@@ -78,7 +78,12 @@ from ..query.batch import QueryBatch
 from ..query.executor import ExactExecution, ExactExecutor
 from ..query.model import RangeQuery
 from ..storage.clustered_table import ClusteredTable
-from ..storage.metadata import MetadataStore, build_metadata, patch_metadata
+from ..storage.metadata import (
+    MetadataStore,
+    QueryCostStats,
+    build_metadata,
+    patch_metadata,
+)
 from ..storage.table import Table
 from ..utils.rng import RngLike, derive_rng
 from .messages import AllocationMessage, EstimateMessage, QueryRequest, SummaryMessage
@@ -295,6 +300,23 @@ class DataProvider:
     def metadata_size_bytes(self) -> int:
         """Approximate footprint of the offline metadata (Section 6.1)."""
         return self.metadata.size_bytes()
+
+    def cost_stats_batch(self, queries: Sequence[RangeQuery]) -> list[QueryCostStats]:
+        """Zone-map work statistics for a workload against the *current* layout.
+
+        One :class:`~repro.storage.metadata.QueryCostStats` per query —
+        clusters touched, covered-vs-straddler split, straddler row volume —
+        computed from the same metadata the covering-set pass reads, so the
+        estimate costs no row access and no privacy budget.  The serving
+        layer's :class:`~repro.service.costmodel.CostModel` combines these
+        across providers; estimates are only as fresh as the layout they
+        were read from, so callers re-estimate when
+        :attr:`layout_epoch` / :attr:`delta_watermark` move (compaction
+        rewrites the zone maps).
+        """
+        return self.metadata.cost_stats_batch(
+            [query.range_tuples() for query in queries]
+        )
 
     def rebuild_layout(
         self,

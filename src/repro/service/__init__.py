@@ -12,13 +12,28 @@ privacy budgets:
   :class:`~repro.service.scheduler.SessionScheduler`, which admits
   submissions against per-tenant budgets (priced by the
   :class:`~repro.cache.planner.ReusePlanner` upper bound), coalesces them
-  across tenants into shared query batches, dispatches with bounded
-  backpressure, and settles exact per-tenant charges.
+  across tenants into shared query batches (weighted-fair under priority
+  classes, cost-packed under a drain time budget), dispatches with bounded
+  backpressure (optionally overlapping the engine's combination phase with
+  the next chunk's provider phases), and settles exact per-tenant charges;
+* :mod:`repro.service.costmodel` —
+  :class:`~repro.service.costmodel.CostModel`, the zone-map-derived
+  per-query work estimator behind time-budgeted chunking, calibrated
+  online against measured chunk seconds.
 
 See ``docs/serving.md`` for the design and the isolation guarantees.
 """
 
-from .scheduler import ServiceStats, SessionScheduler, SubmissionReceipt, TenantAnswer
+from .costmodel import CostEstimate, CostModel
+from .scheduler import (
+    AdmissionCandidate,
+    LatencyHistogram,
+    ServiceStats,
+    SessionScheduler,
+    SubmissionReceipt,
+    TenantAnswer,
+    plan_weighted_admission,
+)
 from .tenants import Tenant, TenantRegistry
 
 __all__ = [
@@ -28,4 +43,9 @@ __all__ = [
     "SubmissionReceipt",
     "TenantAnswer",
     "ServiceStats",
+    "LatencyHistogram",
+    "AdmissionCandidate",
+    "plan_weighted_admission",
+    "CostModel",
+    "CostEstimate",
 ]

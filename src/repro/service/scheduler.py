@@ -36,6 +36,41 @@ onto one :class:`~repro.core.system.FederatedAQPSystem`:
   sessions, every batch of the drain sees the data its submissions were
   priced against, and the next drain's queries see the new rows.
 
+Three latency levers sit on top of that baseline, all off by default and
+all answer-preserving (they move *when* work runs, never what it returns):
+
+* **Cost-model-driven chunking** — with
+  :attr:`~repro.config.ServiceConfig.drain_time_budget_ms` set, every
+  submission is priced in work units by the
+  :class:`~repro.service.costmodel.CostModel` (zone-map covering sets,
+  covered-vs-straddler split, per-backend row volumes) and the drain's
+  workload is packed by
+  :func:`~repro.federation.partitioning.work_balanced_chunks` so no chunk's
+  *estimated* wall-clock exceeds the budget; ``max_batch_size`` remains a
+  hard per-chunk cap.  The model calibrates itself against each chunk's
+  measured seconds, and estimates are recomputed whenever a provider's
+  ``(layout_epoch, delta_watermark)`` moved since they were taken — a
+  deferred submission re-admitted after a compaction is packed with fresh
+  zone-map statistics, not the ones it was parked under.
+* **Weighted-fair admission** — with per-tenant
+  :attr:`~repro.service.tenants.Tenant.priority_class` weights (or
+  :attr:`~repro.config.ServiceConfig.max_queries_per_drain` set), the drain
+  picks submissions by deficit-weighted round robin
+  (:func:`plan_weighted_admission`) instead of plain canonical order: a
+  priority-``w`` tenant drains roughly ``w`` queries per contended slot for
+  every priority-1 query, and an aging bound guarantees every submission
+  drains within :attr:`~repro.config.ServiceConfig.starvation_limit`
+  eligible drains regardless of weights.
+* **Overlapped drain pipeline** — with
+  :attr:`~repro.config.ServiceConfig.overlap_phases`, chunks run through
+  the engine's phased API (:meth:`~repro.core.system.FederatedAQPSystem.
+  begin_batch`): the dispatcher worker runs only the provider-facing
+  summary/allocation and answer phases, while the combination math and
+  settlement of chunk ``i`` run on the draining thread as the dispatcher
+  already begins chunk ``i+1``'s summary phase.  (Ignored under SMC
+  combination, whose aggregator-side RNG draws and network sends must stay
+  on one thread.)
+
 Determinism: every query's provider noise streams are keyed by
 ``(tenant, tenant-local sequence)`` (see
 :meth:`~repro.service.tenants.Tenant.next_seed_token`), and coalescing order
@@ -50,7 +85,9 @@ sublinear in tenant count on overlapping workloads.)
 
 from __future__ import annotations
 
+import math
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -59,15 +96,25 @@ from typing import Sequence
 from ..config import ServiceConfig
 from ..core.accounting import query_spend, split_query_budget
 from ..core.result import BatchResult, QueryResult
-from ..core.system import FederatedAQPSystem
+from ..core.system import FederatedAQPSystem, PhasedExecution
 from ..errors import AdmissionError, ServiceError, ServiceOverloadedError
+from ..federation.partitioning import work_balanced_chunks
 from ..ingest.delta import IngestReceipt, validate_rows
 from ..query.batch import QueryBatch
 from ..query.model import RangeQuery
 from ..storage.table import Table
+from .costmodel import CostModel
 from .tenants import Tenant, TenantRegistry
 
-__all__ = ["SubmissionReceipt", "TenantAnswer", "ServiceStats", "SessionScheduler"]
+__all__ = [
+    "SubmissionReceipt",
+    "TenantAnswer",
+    "LatencyHistogram",
+    "ServiceStats",
+    "AdmissionCandidate",
+    "plan_weighted_admission",
+    "SessionScheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +142,11 @@ class TenantAnswer:
     actuals after reuse, never more than the bound reserved at admission
     (barring the documented LRU-eviction corner, where the ledger still
     records the true spend).
+
+    ``latency_seconds`` is the submission's settlement latency within its
+    drain: seconds from the drain's start until this answer was charged and
+    routed.  It is what the priority classes and the time budget shape —
+    the answer values themselves are latency-independent.
     """
 
     tenant_id: str
@@ -102,6 +154,7 @@ class TenantAnswer:
     results: tuple[QueryResult, ...]
     epsilon_charged: float
     delta_charged: float
+    latency_seconds: float = 0.0
 
     @property
     def num_queries(self) -> int:
@@ -129,12 +182,82 @@ class TenantAnswer:
 
 
 @dataclass
+class LatencyHistogram:
+    """Recorded latency samples with percentile accessors.
+
+    Samples are kept exactly (serving runs are bounded, and the benchmarks
+    want true percentiles, not bucketed approximations).  Percentiles use
+    linear interpolation between order statistics, matching
+    ``numpy.percentile``'s default.
+    """
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Add one sample (negative values are clamped to zero)."""
+        self.samples.append(max(0.0, float(seconds)))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (zero when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``0 <= q <= 100``; zero when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ServiceError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency (the SLO gate's usual subject)."""
+        return self.percentile(99.0)
+
+
+@dataclass
 class ServiceStats:
-    """Cumulative serving-layer counters (monotone; read anytime)."""
+    """Cumulative serving-layer counters (monotone; read anytime).
+
+    The latency block feeds SLO monitoring: ``drain_latency`` is per-drain
+    wall-clock, ``submission_latency`` per-submission settlement latency
+    within its drain (what :attr:`TenantAnswer.latency_seconds` carries),
+    ``chunk_latency`` per-chunk execution seconds.  With a drain time
+    budget set, ``chunk_predicted_seconds`` / ``chunk_actual_seconds``
+    record the cost model's per-chunk prediction against the measurement
+    (aligned pairs, dispatch order) and ``cost_prediction_error`` mirrors
+    the model's relative-error EWMA.
+    """
 
     submissions_accepted: int = 0
     submissions_rejected: int = 0
     submissions_deferred: int = 0
+    submissions_force_admitted: int = 0
     queries_accepted: int = 0
     batches_dispatched: int = 0
     queries_dispatched: int = 0
@@ -149,6 +272,12 @@ class ServiceStats:
     epsilon_by_tenant: dict[str, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
     max_pending_seen: int = 0
+    cost_prediction_error: float = 0.0
+    chunk_predicted_seconds: list[float] = field(default_factory=list)
+    chunk_actual_seconds: list[float] = field(default_factory=list)
+    drain_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    submission_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    chunk_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def _note_charge(self, tenant_id: str, epsilon: float, delta: float) -> None:
         self.epsilon_charged += epsilon
@@ -160,7 +289,14 @@ class ServiceStats:
 
 @dataclass
 class _Submission:
-    """Internal bookkeeping of one accepted or deferred submission."""
+    """Internal bookkeeping of one accepted or deferred submission.
+
+    ``query_costs`` caches the cost model's per-query unit estimates, valid
+    only under ``cost_signature`` (the layout signature they were computed
+    against); ``drains_skipped`` counts eligible drains that left the
+    submission behind under a query cap — the aging input of the
+    weighted-fair planner.
+    """
 
     submission_id: int
     tenant: Tenant
@@ -170,6 +306,134 @@ class _Submission:
     bound_epsilon: float = 0.0
     bound_delta: float = 0.0
     reserved: bool = False
+    query_costs: tuple[float, ...] | None = None
+    cost_signature: tuple[tuple[int, int], ...] | None = None
+    drains_skipped: int = 0
+
+
+@dataclass(frozen=True)
+class AdmissionCandidate:
+    """One pending submission as :func:`plan_weighted_admission` sees it."""
+
+    tenant_id: str
+    order: int
+    num_queries: int
+    priority_class: int = 1
+    drains_skipped: int = 0
+
+
+def plan_weighted_admission(
+    candidates: Sequence[AdmissionCandidate],
+    deficits: dict[str, float] | None = None,
+    *,
+    max_queries: int | None = None,
+    starvation_limit: int = 8,
+) -> tuple[list[int], list[int], dict[str, float]]:
+    """Deficit-weighted fair pick order over pending submissions (pure).
+
+    The scheduler's admission planner, separated from its locking and
+    wallet plumbing so fairness properties can be tested directly.  Two
+    stages:
+
+    1. **Aging** — every candidate already skipped ``starvation_limit - 1``
+       eligible drains is admitted unconditionally, in canonical
+       ``(tenant_id, order)`` order, *before* the query cap is considered.
+       This is the starvation bound: a submission drains at latest on its
+       ``starvation_limit``-th eligible drain, whatever the weights.
+    2. **Deficit round robin** — each backlogged tenant holds a deficit
+       balance (carried in ``deficits`` across drains).  Per pick, every
+       backlogged tenant earns its ``priority_class``; the tenant with the
+       highest balance (ties to the smallest ``tenant_id``) admits its
+       oldest pending submission and pays the submission's query count.  A
+       priority-``w`` tenant therefore drains ``w`` queries per contended
+       pick for every priority-1 query.  Picking stops once ``max_queries``
+       total queries are admitted; the pick that crosses the cap is the
+       drain's last (submissions are atomic, never split).
+
+    Within a tenant, submissions always admit oldest-first — weights
+    reorder tenants against each other, never a tenant against itself.
+
+    Parameters
+    ----------
+    candidates:
+        The pending submissions.  Candidates of the same tenant must share
+        a ``priority_class`` (the scheduler guarantees this; the planner
+        reads the weight from the tenant's oldest candidate).
+    deficits:
+        Balances carried from the previous drain (missing tenants start at
+        zero).  Not mutated.
+    max_queries:
+        Cap on the drain's total admitted queries; ``None`` admits
+        everything (the planner then only determines pick *order*).
+    starvation_limit:
+        The aging bound ``K`` (>= 1); ``K = 1`` admits everything in
+        canonical order.
+
+    Returns
+    -------
+    (picked, forced, carried)
+        ``picked``: candidate indices in pick order (the drain's coalescing
+        order).  ``forced``: the subset admitted by aging.  ``carried``:
+        deficit balances to carry into the next drain — only tenants that
+        still have pending candidates keep a balance (a drained tenant's
+        deficit resets, the standard DRR idle rule).
+    """
+    if max_queries is not None and max_queries < 1:
+        raise ServiceError(f"max_queries must be >= 1, got {max_queries}")
+    if starvation_limit < 1:
+        raise ServiceError(f"starvation_limit must be >= 1, got {starvation_limit}")
+    for candidate in candidates:
+        if candidate.num_queries < 1:
+            raise ServiceError("candidates must contain at least one query")
+        if candidate.priority_class < 1:
+            raise ServiceError(
+                f"priority_class must be >= 1, got {candidate.priority_class}"
+            )
+    canonical = sorted(
+        range(len(candidates)),
+        key=lambda i: (candidates[i].tenant_id, candidates[i].order),
+    )
+    queues: dict[str, deque[int]] = {}
+    priority: dict[str, int] = {}
+    for index in canonical:
+        candidate = candidates[index]
+        queues.setdefault(candidate.tenant_id, deque()).append(index)
+        priority.setdefault(candidate.tenant_id, candidate.priority_class)
+    balance = {
+        tenant_id: (deficits or {}).get(tenant_id, 0.0) for tenant_id in queues
+    }
+    picked: list[int] = []
+    forced: list[int] = []
+    admitted_queries = 0
+
+    def admit(index: int) -> None:
+        nonlocal admitted_queries
+        candidate = candidates[index]
+        queues[candidate.tenant_id].remove(index)
+        picked.append(index)
+        balance[candidate.tenant_id] -= candidate.num_queries
+        admitted_queries += candidate.num_queries
+
+    for index in canonical:
+        if candidates[index].drains_skipped >= starvation_limit - 1:
+            forced.append(index)
+            admit(index)
+
+    while any(queues.values()):
+        if max_queries is not None and admitted_queries >= max_queries:
+            break
+        active = sorted(tenant_id for tenant_id, queue in queues.items() if queue)
+        for tenant_id in active:
+            balance[tenant_id] += priority[tenant_id]
+        best = min(active, key=lambda tenant_id: (-balance[tenant_id], tenant_id))
+        admit(queues[best][0])
+
+    carried = {
+        tenant_id: balance[tenant_id]
+        for tenant_id, queue in queues.items()
+        if queue
+    }
+    return picked, forced, carried
 
 
 class SessionScheduler:
@@ -203,6 +467,7 @@ class SessionScheduler:
         self.registry = registry
         self.config = config or system.config.service
         self.stats = ServiceStats()
+        self.cost_model = CostModel(system)
         # ``_lock`` guards the queues, the wallets (reserve / charge /
         # release), and the stats; ``_drain_lock`` serialises whole drains —
         # the federation's providers hold mutable protocol state, so two
@@ -214,6 +479,8 @@ class SessionScheduler:
         self._pending_ingest: list[tuple[Table, int | None, Tenant | None]] = []
         self._next_submission_id = 0
         self._query_budget = split_query_budget(system.config.privacy)
+        # Weighted-fair deficit balances carried across drains, per tenant.
+        self._deficits: dict[str, float] = {}
 
     # -- admission --------------------------------------------------------------
 
@@ -285,6 +552,17 @@ class SessionScheduler:
         # design (see the planner's documented eviction corner); the
         # affordability check is re-taken under the lock before reserving.
         bound_epsilon, bound_delta = self._price(range_queries)
+        # Cost estimation rides the same off-lock slot.  The estimate is a
+        # packing hint, not a correctness input: if a compaction lands
+        # between here and the drain, the recorded signature no longer
+        # matches and the drain re-estimates against the fresh layout.
+        query_costs: tuple[float, ...] | None = None
+        cost_signature: tuple[tuple[int, int], ...] | None = None
+        if self.config.drain_time_budget_ms is not None:
+            cost_signature = self.cost_model.layout_signature()
+            query_costs = tuple(
+                estimate.units for estimate in self.cost_model.estimate(range_queries)
+            )
         with self._lock:
             affordable = tenant.budget.can_admit(bound_epsilon, bound_delta)
             defer = (
@@ -320,6 +598,8 @@ class SessionScheduler:
                 seed_tokens=tuple(tenant.next_seed_token() for _ in range_queries),
                 bound_epsilon=bound_epsilon,
                 bound_delta=bound_delta,
+                query_costs=query_costs,
+                cost_signature=cost_signature,
             )
             self._next_submission_id += 1
             if affordable:
@@ -470,12 +750,19 @@ class SessionScheduler:
         Returns
         -------
         list of TenantAnswer
-            One answer per completed submission, in canonical
-            ``(tenant_id, submission order)`` order.  Deferred submissions
-            that still cannot fit stay parked and are not in the list.
+            One answer per completed submission, in the drain's coalescing
+            order — canonical ``(tenant_id, submission order)`` under
+            uniform priorities (the default), weighted-fair pick order
+            otherwise (within a tenant always oldest-first, so per-tenant
+            answer order is canonical regardless).  Deferred submissions
+            that still cannot fit stay parked; with
+            ``max_queries_per_drain`` set, admitted work beyond the cap
+            stays pending for the next drain.  Neither is in the list.
         """
         with self._drain_lock:
             admitted = self._admit_for_drain()
+            if self.config.drain_time_budget_ms is not None:
+                self._refresh_costs(admitted)
             with self._lock:
                 ingests = self._pending_ingest
                 self._pending_ingest = []
@@ -484,7 +771,7 @@ class SessionScheduler:
             return self._run_pipeline(admitted, ingests)
 
     def _admit_for_drain(self) -> list[_Submission]:
-        """Re-price the deferred park and collect the admitted set (locked)."""
+        """Re-price the deferred park and pick the admitted set (locked)."""
         with self._lock:
             still_deferred: list[_Submission] = []
             for submission in sorted(
@@ -502,51 +789,155 @@ class SessionScheduler:
                 else:
                     still_deferred.append(submission)
             self._deferred = still_deferred
-            admitted = sorted(
-                self._pending, key=lambda s: (s.tenant.tenant_id, s.order)
-            )
+            pending = self._pending
             self._pending = []
-            return admitted
+            if not pending:
+                return []
+            uniform = len({s.tenant.priority_class for s in pending}) == 1
+            if (
+                self.config.max_queries_per_drain is None
+                and uniform
+                and not self._deficits
+                and all(s.drains_skipped == 0 for s in pending)
+            ):
+                # No cap, no weights in play, nothing carried over: plain
+                # canonical coalescing, exactly the uncontended baseline.
+                return sorted(pending, key=lambda s: (s.tenant.tenant_id, s.order))
+            candidates = [
+                AdmissionCandidate(
+                    tenant_id=s.tenant.tenant_id,
+                    order=s.order,
+                    num_queries=len(s.queries),
+                    priority_class=s.tenant.priority_class,
+                    drains_skipped=s.drains_skipped,
+                )
+                for s in pending
+            ]
+            picked, forced, carried = plan_weighted_admission(
+                candidates,
+                self._deficits,
+                max_queries=self.config.max_queries_per_drain,
+                starvation_limit=self.config.starvation_limit,
+            )
+            self._deficits = carried
+            self.stats.submissions_force_admitted += len(forced)
+            chosen = set(picked)
+            for index, submission in enumerate(pending):
+                if index not in chosen:
+                    # Left behind under the cap: reservation stays held,
+                    # age advances (the planner's starvation bound input).
+                    submission.drains_skipped += 1
+                    self._pending.append(submission)
+            return [pending[index] for index in picked]
+
+    def _refresh_costs(self, admitted: Sequence[_Submission]) -> None:
+        """Re-estimate stale query costs against the current layout.
+
+        A submission's cached estimate is only valid under the layout
+        signature it was computed with: a compaction between submit (or
+        deferral) and drain rewrites zone maps and occupancy, and an ingest
+        changes the delta volume every query scans.  Runs under the drain
+        lock, where provider state is quiescent.
+        """
+        signature = self.cost_model.layout_signature()
+        stale = [s for s in admitted if s.cost_signature != signature]
+        if not stale:
+            return
+        estimates = self.cost_model.estimate(
+            [query for submission in stale for query in submission.queries]
+        )
+        position = 0
+        for submission in stale:
+            count = len(submission.queries)
+            submission.query_costs = tuple(
+                estimate.units
+                for estimate in estimates[position : position + count]
+            )
+            submission.cost_signature = signature
+            position += count
 
     def _run_pipeline(
         self,
         admitted: Sequence[_Submission],
         ingests: Sequence[tuple[Table, int | None, Tenant | None]] = (),
     ) -> list[TenantAnswer]:
-        """Flatten canonically, chunk, execute FIFO, settle as batches land.
+        """Flatten in pick order, chunk, execute FIFO, settle as chunks land.
 
         One dispatcher worker keeps provider state and FIFO order sound;
         up to ``max_in_flight_batches`` work items queue ahead of it, so
-        the main thread settles (charges wallets, routes answers) for
-        batch ``i`` while the dispatcher executes batch ``i+1``.  Ingest
-        requests are work items on the same dispatcher, queued after every
-        batch of the drain — no provider session is open there (a
-        triggered compaction is safe), and no batch executes against data
-        newer than what its submissions were priced on.
+        the drain thread settles batch ``i`` while the dispatcher executes
+        batch ``i+1``.  With ``overlap_phases`` (non-SMC only) the chunks
+        run through the phased engine API: the dispatcher runs just the
+        provider-facing summary/allocation and answer phases, and the
+        combination math moves into this thread's settlement — the
+        dispatcher begins chunk ``i+1``'s summary while chunk ``i``
+        combines and settles here.  Ingest requests are work items on the
+        same dispatcher, queued after every batch of the drain — no
+        provider session is open there (a triggered compaction is safe),
+        and no batch executes against data newer than what its submissions
+        were priced on.
+
+        With ``drain_time_budget_ms`` set, chunk boundaries come from
+        :func:`~repro.federation.partitioning.work_balanced_chunks` over
+        the cost model's per-query unit estimates (``max_batch_size``
+        stays a hard cap), and every executed chunk's measurement is fed
+        back into the model's calibration.
         """
+        drain_started = time.perf_counter()
+        budget_ms = self.config.drain_time_budget_ms
         flat_queries: list[RangeQuery] = []
         flat_tokens: list[tuple[int, ...]] = []
         flat_tenants: list[str] = []
+        flat_costs: list[float] = []
         offsets = [0]
         for submission in admitted:
             flat_queries.extend(submission.queries)
             flat_tokens.extend(submission.seed_tokens)
             flat_tenants.extend([submission.tenant.tenant_id] * len(submission.queries))
+            if budget_ms is not None and submission.query_costs is not None:
+                flat_costs.extend(submission.query_costs)
             offsets.append(offsets[-1] + len(submission.queries))
-        chunks: list[tuple[QueryBatch, list[tuple[int, ...]], set[str]]] = []
+        # Chunk boundaries as (start, stop) index ranges over the flattened
+        # workload: count-chunking by default, work packing under a time
+        # budget (boundaries only ever move, order never changes).
+        boundaries: list[tuple[int, int]] = []
         if flat_queries:
-            combined = QueryBatch(tuple(flat_queries))
-            start = 0
-            for chunk in combined.chunked(self.config.max_batch_size):
-                stop = start + len(chunk)
-                chunks.append(
-                    (chunk, flat_tokens[start:stop], set(flat_tenants[start:stop]))
+            if budget_ms is not None and len(flat_costs) == len(flat_queries):
+                budget_units = (budget_ms / 1000.0) / self.cost_model.seconds_per_unit
+                groups = work_balanced_chunks(
+                    list(range(len(flat_queries))),
+                    flat_costs,
+                    budget_units,
+                    max_size=self.config.max_batch_size,
                 )
-                start = stop
+                boundaries = [(group[0], group[-1] + 1) for group in groups]
+            else:
+                size = self.config.max_batch_size
+                boundaries = [
+                    (start, min(start + size, len(flat_queries)))
+                    for start in range(0, len(flat_queries), size)
+                ]
+        chunks: list[
+            tuple[QueryBatch, list[tuple[int, ...]], set[str], float | None]
+        ] = []
+        for start, stop in boundaries:
+            predicted = sum(flat_costs[start:stop]) if flat_costs else None
+            chunks.append(
+                (
+                    QueryBatch(tuple(flat_queries[start:stop])),
+                    flat_tokens[start:stop],
+                    set(flat_tenants[start:stop]),
+                    predicted,
+                )
+            )
         # Batches first, then the queued ingests (FIFO): a drain with no
         # query work just applies the ingests.
         work: list[tuple[str, tuple]] = [("batch", entry) for entry in chunks]
         work.extend(("ingest", entry) for entry in ingests)
+        # Phase overlap is unavailable under SMC combination: the secure
+        # exchange draws from the aggregator's RNG and sends on the shared
+        # network, both of which must stay on the dispatcher thread.
+        overlap = self.config.overlap_phases and not self.system.config.use_smc_for_result
 
         def run(chunk: QueryBatch, tokens: list[tuple[int, ...]]) -> BatchResult:
             return self.system.execute_batch(
@@ -555,6 +946,24 @@ class SessionScheduler:
                 seed_tokens=tokens,
             )
 
+        def run_phased(
+            chunk: QueryBatch, tokens: list[tuple[int, ...]]
+        ) -> PhasedExecution:
+            phased = self.system.begin_batch(
+                chunk.queries,
+                compute_exact=self.config.compute_exact,
+                seed_tokens=tokens,
+            )
+            try:
+                phased.collect()
+            except BaseException:
+                # collect() already released the sessions on its own
+                # failure paths; abandon() is idempotent and covers any
+                # gap between begin and collect.
+                phased.abandon()
+                raise
+            return phased
+
         def run_ingest(
             rows: Table, provider_index: int | None, tenant: Tenant | None
         ) -> tuple[list[IngestReceipt | None], Tenant | None]:
@@ -562,19 +971,30 @@ class SessionScheduler:
 
         results_flat: list[QueryResult] = []
         answers: list[TenantAnswer] = []
-        settled = 0  # submissions fully settled (canonical prefix)
+        settled = 0  # submissions fully settled (pick-order prefix)
 
-        def absorb_batch(batch_result: BatchResult) -> None:
+        def absorb_batch(batch_result: BatchResult, predicted: float | None) -> None:
             nonlocal settled
             results_flat.extend(batch_result.results)
             with self._lock:
                 self.stats.wall_seconds += batch_result.wall_seconds
+                self.stats.chunk_latency.record(batch_result.wall_seconds)
+                if predicted is not None:
+                    # Error is judged against the pre-update scale — what
+                    # the packing actually predicted at dispatch.
+                    self.stats.chunk_predicted_seconds.append(
+                        self.cost_model.predicted_seconds(predicted)
+                    )
+                    self.stats.chunk_actual_seconds.append(batch_result.wall_seconds)
+                    self.cost_model.observe(predicted, batch_result.wall_seconds)
+                    self.stats.cost_prediction_error = self.cost_model.prediction_error
                 while settled < len(admitted) and len(results_flat) >= offsets[settled + 1]:
                     submission = admitted[settled]
                     answers.append(
                         self._settle_submission(
                             submission,
                             tuple(results_flat[offsets[settled] : offsets[settled + 1]]),
+                            latency_seconds=time.perf_counter() - drain_started,
                         )
                     )
                     settled += 1
@@ -595,13 +1015,19 @@ class SessionScheduler:
                     if receipt.compacted:
                         self.stats.compactions += 1
 
-        def absorb(kind: str, future: Future) -> None:
+        def absorb(kind: str, future: Future, predicted: float | None) -> None:
             if kind == "batch":
-                absorb_batch(future.result())
+                outcome = future.result()
+                if overlap:
+                    # The combination phase runs here, on the drain thread,
+                    # while the dispatcher is already deep in the next
+                    # chunk's provider phases.
+                    outcome = outcome.settle()
+                absorb_batch(outcome, predicted)
             else:
                 absorb_ingest(future.result())
 
-        in_flight: deque[tuple[str, Future]] = deque()
+        in_flight: deque[tuple[str, Future, float | None]] = deque()
         try:
             with ThreadPoolExecutor(max_workers=1) as dispatcher:
                 try:
@@ -609,9 +1035,14 @@ class SessionScheduler:
                         while len(in_flight) >= self.config.max_in_flight_batches:
                             absorb(*in_flight.popleft())
                         if kind == "batch":
-                            chunk, tokens, tenants = payload
+                            chunk, tokens, tenants, predicted = payload
+                            runner = run_phased if overlap else run
                             in_flight.append(
-                                ("batch", dispatcher.submit(run, chunk, tokens))
+                                (
+                                    "batch",
+                                    dispatcher.submit(runner, chunk, tokens),
+                                    predicted,
+                                )
                             )
                             self.stats.batches_dispatched += 1
                             self.stats.queries_dispatched += len(chunk)
@@ -625,6 +1056,7 @@ class SessionScheduler:
                                     dispatcher.submit(
                                         run_ingest, rows, provider_index, tenant
                                     ),
+                                    None,
                                 )
                             )
                     while in_flight:
@@ -634,22 +1066,27 @@ class SessionScheduler:
                     # may already be running on the dispatcher — if it
                     # completes, its releases (or appended rows) happened
                     # too and must be absorbed before the accounting below.
-                    for _, future in in_flight:
+                    for _, future, _ in in_flight:
                         future.cancel()
-                    for kind, future in in_flight:
+                    for kind, future, predicted in in_flight:
                         if not future.cancelled():
                             try:
-                                absorb(kind, future)
+                                absorb(kind, future, predicted)
                             except BaseException:
                                 pass
                     raise
         except BaseException:
             self._abort(admitted, offsets, results_flat, settled)
             raise
+        with self._lock:
+            self.stats.drain_latency.record(time.perf_counter() - drain_started)
         return answers
 
     def _settle_submission(
-        self, submission: _Submission, results: tuple[QueryResult, ...]
+        self,
+        submission: _Submission,
+        results: tuple[QueryResult, ...],
+        latency_seconds: float = 0.0,
     ) -> TenantAnswer:
         """Charge one completed submission's actuals (caller holds the lock)."""
         tenant = submission.tenant
@@ -678,12 +1115,14 @@ class SessionScheduler:
             # releases — but they are counted so operators can see them.
             self.stats.degraded_queries += degraded
             tenant.degraded_queries += degraded
+        self.stats.submission_latency.record(latency_seconds)
         return TenantAnswer(
             tenant_id=tenant.tenant_id,
             submission_id=submission.submission_id,
             results=results,
             epsilon_charged=total.epsilon,
             delta_charged=total.delta,
+            latency_seconds=max(0.0, latency_seconds),
         )
 
     def _abort(

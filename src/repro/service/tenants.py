@@ -36,10 +36,18 @@ class Tenant:
     a partial federation (providers missing after a degraded drain); the
     epsilon charged for them is still exact — only the delivered releases
     were priced.
+
+    ``priority_class`` is the tenant's weight in the scheduler's
+    weighted-fair admission (see
+    :func:`~repro.service.scheduler.plan_weighted_admission`): a tenant of
+    priority ``w`` is served roughly ``w`` queries for every one query a
+    priority-1 tenant gets when both are backlogged.  Priorities shape
+    *latency* only — answers and charges are priority-independent.
     """
 
     tenant_id: str
     budget: EndUserBudget
+    priority_class: int = 1
     sequence: int = 0
     rows_ingested: int = 0
     degraded_queries: int = 0
@@ -81,23 +89,35 @@ class TenantRegistry:
     _tenants: dict[str, Tenant] = field(default_factory=dict)
 
     def register(
-        self, tenant_id: str, *, total_epsilon: float, total_delta: float = 1.0
+        self,
+        tenant_id: str,
+        *,
+        total_epsilon: float,
+        total_delta: float = 1.0,
+        priority_class: int = 1,
     ) -> Tenant:
         """Register a new tenant with budget ``(total_epsilon, total_delta)``.
+
+        ``priority_class`` is the tenant's weighted-fair admission weight
+        (``>= 1``; higher drains sooner under contention).
 
         Raises
         ------
         ServiceError
             When the id is empty or already registered (re-registration
-            would silently reset a wallet).
+            would silently reset a wallet), or ``priority_class`` is below
+            one.
         """
         if not tenant_id:
             raise ServiceError("tenant_id must be a non-empty string")
         if tenant_id in self._tenants:
             raise ServiceError(f"tenant {tenant_id!r} is already registered")
+        if priority_class < 1:
+            raise ServiceError(f"priority_class must be >= 1, got {priority_class}")
         tenant = Tenant(
             tenant_id=tenant_id,
             budget=EndUserBudget.create(total_epsilon, total_delta),
+            priority_class=priority_class,
         )
         self._tenants[tenant_id] = tenant
         return tenant

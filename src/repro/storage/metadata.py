@@ -32,9 +32,34 @@ __all__ = [
     "ClusterMetadata",
     "GlobalClusterEntry",
     "MetadataStore",
+    "QueryCostStats",
     "build_metadata",
     "patch_metadata",
 ]
+
+
+@dataclass(frozen=True)
+class QueryCostStats:
+    """Pre-execution work statistics of one query against one layout.
+
+    Everything here is derived from the zone maps (per-cluster ``[v_min,
+    v_max]`` bounds) and the occupancy vector — the same metadata the
+    covering-set pass of Equation 2 reads — so estimating a query's cost
+    touches no rows.  A cluster whose zone box lies fully inside the query
+    box is *covered* (its contribution is known from metadata proportions
+    alone); an overlapping-but-not-covered cluster is a *straddler*, whose
+    rows are the ones a pruned executor actually has to inspect.
+    """
+
+    clusters_touched: int
+    clusters_covered: int
+    straddler_rows: int
+    covered_rows: int
+
+    @property
+    def clusters_straddling(self) -> int:
+        """Overlapping clusters whose zone box crosses the query boundary."""
+        return self.clusters_touched - self.clusters_covered
 
 
 
@@ -309,6 +334,75 @@ class MetadataStore:
         self, ranges: Mapping[str, tuple[int, int]]
     ) -> list[int]:
         return [entry.cluster_id for entry in self.global_entries if entry.overlaps(ranges)]
+
+    def cost_stats_batch(
+        self, ranges_list: Sequence[Mapping[str, tuple[int, int]]]
+    ) -> list["QueryCostStats"]:
+        """Covered-vs-straddler work statistics for every query of a workload.
+
+        The covering sets come from :meth:`covering_positions_batch`; a
+        covering cluster counts as *covered* when its zone box lies fully
+        inside the query box on every queried dimension (an unqueried
+        dimension constrains nothing), as a *straddler* otherwise.  Row
+        volumes are occupancy sums, so the whole pass stays row-free — this
+        is the cost-model input of the serving layer's time-budgeted
+        scheduler.
+        """
+        if not ranges_list:
+            return []
+        positions_list = self.covering_positions_batch(ranges_list)
+        num_clusters = len(self.cluster_ids)
+        dense = self.dense_index is not None and all(
+            name in self.dense_index for ranges in ranges_list for name in ranges
+        )
+        if dense and num_clusters:
+            num_queries = len(ranges_list)
+            covered = np.ones((num_queries, num_clusters), dtype=bool)
+            for name in self._union_dimensions(ranges_list):
+                index = self.dense_index[name]
+                constrained = np.zeros(num_queries, dtype=bool)
+                lows = np.zeros(num_queries, dtype=np.int64)
+                highs = np.zeros(num_queries, dtype=np.int64)
+                for position, ranges in enumerate(ranges_list):
+                    if name in ranges:
+                        lows[position], highs[position] = ranges[name]
+                        constrained[position] = True
+                inside = (index.v_min[None, :] >= lows[:, None]) & (
+                    index.v_max[None, :] <= highs[:, None]
+                )
+                # Queries that do not constrain this dimension keep every
+                # cluster covered on it.
+                covered &= inside | ~constrained[:, None]
+            covered_rows_list = [
+                covered[query_index, positions]
+                for query_index, positions in enumerate(positions_list)
+            ]
+        else:
+            covered_rows_list = []
+            for positions, ranges in zip(positions_list, ranges_list):
+                flags = np.zeros(len(positions), dtype=bool)
+                for slot, position in enumerate(positions):
+                    bounds = self.global_entries[int(position)].bounds
+                    flags[slot] = all(
+                        name not in bounds
+                        or (bounds[name][0] >= low and bounds[name][1] <= high)
+                        for name, (low, high) in ranges.items()
+                    )
+                covered_rows_list.append(flags)
+        stats: list[QueryCostStats] = []
+        for positions, covered_mask in zip(positions_list, covered_rows_list):
+            rows = self.occupancy[positions]
+            covered_rows = int(rows[covered_mask].sum()) if len(positions) else 0
+            total_rows = int(rows.sum()) if len(positions) else 0
+            stats.append(
+                QueryCostStats(
+                    clusters_touched=int(len(positions)),
+                    clusters_covered=int(covered_mask.sum()),
+                    straddler_rows=total_rows - covered_rows,
+                    covered_rows=covered_rows,
+                )
+            )
+        return stats
 
     def proportions(
         self, cluster_ids: Sequence[int], ranges: Mapping[str, tuple[int, int]]

@@ -1,0 +1,220 @@
+"""Cost model and work packing: estimation fidelity, calibration, chunking.
+
+Three layers under test:
+
+* :meth:`~repro.storage.metadata.MetadataStore.cost_stats_batch` — the
+  zone-map-derived covered-vs-straddler statistics, checked against a
+  brute-force pass over the global metadata entries (dense and scalar
+  paths must agree with it and with each other).
+* :class:`~repro.service.costmodel.CostModel` — unit totals respect the
+  execution backend (a pruning executor pays straddler rows only, a
+  non-pruning one every covering row) and the EWMA calibration converges
+  toward observed chunk timings while recording prediction error.
+* :func:`~repro.federation.partitioning.work_balanced_chunks` — greedy
+  order-preserving packing: budget respected, nothing dropped or
+  reordered, oversized items isolated, equal costs degenerate to count
+  chunking exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ExecutionConfig, SystemConfig
+from repro.core.system import FederatedAQPSystem
+from repro.errors import FederationError
+from repro.federation.partitioning import work_balanced_chunks
+from repro.query.model import RangeQuery
+from repro.service.costmodel import (
+    DEFAULT_SECONDS_PER_UNIT,
+    UNITS_PER_CLUSTER,
+    UNITS_PER_QUERY,
+    UNITS_PER_ROW,
+    CostModel,
+)
+from repro.storage.schema import Dimension, Schema
+from repro.storage.table import Table
+
+WORKLOAD = [
+    {"age": (10, 60)},
+    {"hours": (5, 30)},
+    {"age": (0, 99)},  # whole domain on one dimension
+    {"age": (20, 80), "hours": (0, 20)},
+    {"dept": (3, 3)},
+]
+
+
+def _brute_force_stats(metadata, ranges):
+    """Covered/straddler split straight from the global entries."""
+    touched = covered = straddler_rows = covered_rows = 0
+    for entry in metadata.global_entries:
+        if entry.num_rows == 0 or not entry.overlaps(ranges):
+            continue
+        touched += 1
+        inside = all(
+            name not in entry.bounds
+            or (entry.bounds[name][0] >= low and entry.bounds[name][1] <= high)
+            for name, (low, high) in ranges.items()
+        )
+        if inside:
+            covered += 1
+            covered_rows += entry.num_rows
+        else:
+            straddler_rows += entry.num_rows
+    return touched, covered, straddler_rows, covered_rows
+
+
+def test_cost_stats_batch_matches_brute_force(metadata):
+    stats = metadata.cost_stats_batch(WORKLOAD)
+    assert len(stats) == len(WORKLOAD)
+    for ranges, stat in zip(WORKLOAD, stats):
+        touched, covered, straddler_rows, covered_rows = _brute_force_stats(
+            metadata, ranges
+        )
+        assert stat.clusters_touched == touched
+        assert stat.clusters_covered == covered
+        assert stat.clusters_straddling == touched - covered
+        assert stat.straddler_rows == straddler_rows
+        assert stat.covered_rows == covered_rows
+
+
+def test_cost_stats_scalar_path_agrees_with_dense(metadata):
+    dense = metadata.cost_stats_batch(WORKLOAD)
+    object.__setattr__(metadata, "dense_index", None)
+    scalar = metadata.cost_stats_batch(WORKLOAD)
+    assert scalar == dense
+
+
+def test_cost_stats_empty_workload(metadata):
+    assert metadata.cost_stats_batch([]) == []
+
+
+def _small_system(execution: ExecutionConfig | None = None) -> FederatedAQPSystem:
+    rng = np.random.default_rng(42)
+    schema = Schema((Dimension("age", 0, 99), Dimension("hours", 0, 49)))
+    table = Table(
+        schema,
+        {"age": rng.integers(0, 100, 1600), "hours": rng.integers(0, 50, 1600)},
+    )
+    config = SystemConfig(cluster_size=100, num_providers=2, seed=3)
+    if execution is not None:
+        config = config.with_execution(execution)
+    return FederatedAQPSystem.from_table(table, config=config)
+
+
+def test_cost_model_units_follow_structural_stats():
+    system = _small_system()
+    model = CostModel(system)
+    query = RangeQuery.count({"age": (10, 60)})
+    (estimate,) = model.estimate([query])
+    expected = 0.0
+    for provider in system.providers:
+        (stats,) = provider.cost_stats_batch([query])
+        expected += (
+            UNITS_PER_QUERY
+            + UNITS_PER_CLUSTER * stats.clusters_touched
+            + UNITS_PER_ROW * (stats.straddler_rows + provider.delta_rows)
+        )
+    assert estimate.units == pytest.approx(expected)
+    assert estimate.clusters_touched > 0
+
+
+def test_cost_model_backend_changes_row_volume():
+    # A non-pruning executor scans covered clusters row by row: its
+    # estimate must charge covered rows too, not just straddlers.
+    pruned = CostModel(_small_system())
+    full = CostModel(_small_system(ExecutionConfig.dense()))
+    query = RangeQuery.count({"age": (0, 99)})  # wide: many covered clusters
+    (cheap,) = pruned.estimate([query])
+    (expensive,) = full.estimate([query])
+    assert cheap.clusters_covered > 0
+    assert expensive.units > cheap.units
+
+
+def test_cost_model_layout_signature_tracks_ingest_and_compaction():
+    system = _small_system()
+    model = CostModel(system)
+    before = model.layout_signature()
+    rng = np.random.default_rng(9)
+    rows = Table(
+        system.providers[0].table.schema,
+        {"age": rng.integers(0, 100, 64), "hours": rng.integers(0, 50, 64)},
+    )
+    system.ingest(rows)
+    after_ingest = model.layout_signature()
+    assert after_ingest != before
+    system.compact()
+    assert model.layout_signature() != after_ingest
+
+
+def test_cost_model_calibration_converges_and_tracks_error():
+    model = CostModel(_small_system())
+    assert model.seconds_per_unit == DEFAULT_SECONDS_PER_UNIT
+    assert model.prediction_error == 0.0 and model.observations == 0
+    true_scale = 5e-6  # machine is 25x slower than the prior
+    for _ in range(40):
+        model.observe(1000.0, 1000.0 * true_scale)
+    assert model.observations == 40
+    assert model.seconds_per_unit == pytest.approx(true_scale, rel=1e-3)
+    # Once calibrated, predictions are near-exact and the error EWMA decays.
+    assert model.prediction_error < 0.1
+    assert model.predicted_seconds(2000.0) == pytest.approx(
+        2000.0 * model.seconds_per_unit
+    )
+
+
+def test_cost_model_observe_ignores_degenerate_samples():
+    model = CostModel(_small_system())
+    model.observe(0.0, 1.0)
+    model.observe(-5.0, 1.0)
+    model.observe(100.0, -1.0)
+    assert model.observations == 0
+    assert model.seconds_per_unit == DEFAULT_SECONDS_PER_UNIT
+
+
+# -- work packing -----------------------------------------------------------------
+
+
+def test_work_balanced_chunks_respects_budget_and_order():
+    items = list("abcdefg")
+    costs = [3.0, 4.0, 2.0, 6.0, 1.0, 1.0, 5.0]
+    chunks = work_balanced_chunks(items, costs, 7.0)
+    assert [item for chunk in chunks for item in chunk] == items  # nothing lost
+    position = 0
+    for chunk in chunks:
+        chunk_cost = sum(costs[position : position + len(chunk)])
+        assert chunk_cost <= 7.0 or len(chunk) == 1
+        position += len(chunk)
+    assert chunks == [["a", "b"], ["c"], ["d", "e"], ["f", "g"]]
+
+
+def test_work_balanced_chunks_oversized_item_gets_own_chunk():
+    chunks = work_balanced_chunks(["x", "y", "z"], [1.0, 50.0, 1.0], 10.0)
+    assert chunks == [["x"], ["y"], ["z"]]
+
+
+def test_work_balanced_chunks_equal_costs_degenerate_to_count_chunking():
+    items = list(range(23))
+    for size in (1, 4, 7, 23, 30):
+        budget = size * 2.5
+        chunks = work_balanced_chunks(items, [2.5] * len(items), budget)
+        expected = [items[i : i + size] for i in range(0, len(items), size)]
+        assert chunks == expected
+
+
+def test_work_balanced_chunks_max_size_caps_cheap_runs():
+    chunks = work_balanced_chunks(list(range(10)), [0.0] * 10, 100.0, max_size=4)
+    assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+
+
+def test_work_balanced_chunks_validation():
+    with pytest.raises(FederationError):
+        work_balanced_chunks(["a"], [1.0, 2.0], 5.0)  # misaligned
+    with pytest.raises(FederationError):
+        work_balanced_chunks(["a"], [1.0], 0.0)  # non-positive budget
+    with pytest.raises(FederationError):
+        work_balanced_chunks(["a"], [-1.0], 5.0)  # negative cost
+    with pytest.raises(FederationError):
+        work_balanced_chunks(["a"], [1.0], 5.0, max_size=0)
+    assert work_balanced_chunks([], [], 5.0) == []

@@ -593,3 +593,135 @@ def test_budget_conserved_under_chaos_on_parallel_backends(backend):
         assert tenant.budget.reserved_delta == 0.0
         ledger = scheduler.stats.epsilon_by_tenant.get(tenant.tenant_id, 0.0)
         assert tenant.remaining_epsilon == pytest.approx(80.0 - ledger)
+
+
+# -- weighted-fair admission and work packing -------------------------------------
+
+from repro.federation.partitioning import work_balanced_chunks
+from repro.service.scheduler import AdmissionCandidate, plan_weighted_admission
+
+
+@st.composite
+def admission_backlogs(draw):
+    """A random multi-tenant backlog: per-tenant priorities and submissions."""
+    num_tenants = draw(st.integers(min_value=1, max_value=5))
+    backlog = []
+    for tenant_index in range(num_tenants):
+        tenant_id = f"tenant-{tenant_index}"
+        priority = draw(st.integers(min_value=1, max_value=16))
+        num_submissions = draw(st.integers(min_value=0, max_value=4))
+        for order in range(num_submissions):
+            backlog.append(
+                AdmissionCandidate(
+                    tenant_id=tenant_id,
+                    order=order,
+                    num_queries=draw(st.integers(min_value=1, max_value=8)),
+                    priority_class=priority,
+                )
+            )
+    return backlog
+
+
+@given(
+    backlog=admission_backlogs(),
+    max_queries=st.integers(min_value=1, max_value=6),
+    starvation_limit=st.integers(min_value=1, max_value=5),
+)
+def test_weighted_fair_admission_never_starves_beyond_the_limit(
+    backlog, max_queries, starvation_limit
+):
+    """Every submission drains within ``starvation_limit`` eligible drains,
+    whatever the priorities, costs, and the per-drain query cap."""
+    pending = [(candidate, 0) for candidate in backlog]  # (candidate, age)
+    deficits: dict[str, float] = {}
+    drained: list[AdmissionCandidate] = []
+    rounds = 0
+    while pending:
+        rounds += 1
+        assert rounds <= len(backlog) * starvation_limit + 1, "planner stopped making progress"
+        candidates = [
+            AdmissionCandidate(
+                tenant_id=c.tenant_id,
+                order=c.order,
+                num_queries=c.num_queries,
+                priority_class=c.priority_class,
+                drains_skipped=age,
+            )
+            for c, age in pending
+        ]
+        picked, forced, deficits = plan_weighted_admission(
+            candidates,
+            deficits,
+            max_queries=max_queries,
+            starvation_limit=starvation_limit,
+        )
+        assert picked, "a non-empty backlog always admits at least one submission"
+        assert sorted(set(picked)) == sorted(picked), "no submission admitted twice"
+        for index in picked:
+            # The starvation bound itself: nothing ever waits K full drains.
+            assert candidates[index].drains_skipped <= starvation_limit - 1
+            drained.append(pending[index][0])
+        chosen = set(picked)
+        pending = [
+            (candidate, age + 1)
+            for index, (candidate, age) in enumerate(pending)
+            if index not in chosen
+        ]
+    # Conservation: everything drained exactly once.
+    assert sorted(drained, key=lambda c: (c.tenant_id, c.order)) == sorted(
+        backlog, key=lambda c: (c.tenant_id, c.order)
+    )
+
+
+@given(backlog=admission_backlogs())
+def test_weighted_fair_admission_is_canonical_within_a_tenant(backlog):
+    """Weights reorder tenants against each other, never a tenant against
+    itself: each tenant's submissions are always picked oldest-first."""
+    candidates = [
+        AdmissionCandidate(
+            tenant_id=c.tenant_id,
+            order=c.order,
+            num_queries=c.num_queries,
+            priority_class=c.priority_class,
+        )
+        for c in backlog
+    ]
+    picked, _forced, carried = plan_weighted_admission(candidates)
+    assert len(picked) == len(backlog)
+    seen_order: dict[str, int] = {}
+    for index in picked:
+        candidate = candidates[index]
+        assert seen_order.get(candidate.tenant_id, -1) < candidate.order
+        seen_order[candidate.tenant_id] = candidate.order
+    # Without a cap nothing is left behind, so no deficit carries over.
+    assert carried == {}
+
+
+@given(
+    num_items=st.integers(min_value=0, max_value=60),
+    cost=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    chunk_size=st.integers(min_value=1, max_value=12),
+)
+def test_equal_cost_packing_equals_count_chunking(num_items, cost, chunk_size):
+    """With uniform per-item cost and budget = k * cost, the work packer is
+    exactly count-chunking with chunk size k."""
+    items = list(range(num_items))
+    chunks = work_balanced_chunks(items, [cost] * num_items, chunk_size * cost)
+    expected = [items[i : i + chunk_size] for i in range(0, num_items, chunk_size)]
+    assert chunks == expected
+
+
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=40
+    ),
+    budget=st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+)
+def test_work_packing_conserves_items_and_respects_budget(costs, budget):
+    items = list(range(len(costs)))
+    chunks = work_balanced_chunks(items, costs, budget)
+    assert [item for chunk in chunks for item in chunk] == items
+    for chunk in chunks:
+        chunk_cost = sum(costs[item] for item in chunk)
+        # A chunk either fits the budget or is a single unsplittable item.
+        assert chunk_cost <= budget * (1 + 1e-9) or len(chunk) == 1
