@@ -33,6 +33,7 @@ __all__ = [
     "CacheConfig",
     "ServiceConfig",
     "IngestConfig",
+    "TransportConfig",
     "SystemConfig",
     "DEFAULT_PRIVACY",
     "DEFAULT_SAMPLING",
@@ -44,6 +45,7 @@ __all__ = [
     "DEFAULT_CACHE",
     "DEFAULT_SERVICE",
     "DEFAULT_INGEST",
+    "DEFAULT_TRANSPORT",
     "DEFAULT_SYSTEM",
 ]
 
@@ -682,6 +684,65 @@ class IngestConfig:
 
 
 @dataclass(frozen=True)
+class TransportConfig:
+    """How protocol messages travel between the aggregator and providers.
+
+    Attributes
+    ----------
+    kind:
+        ``"inprocess"`` (direct calls, the default), ``"loopback"`` (full
+        serialize/frame/deserialize round trip without sockets), or
+        ``"socket"`` (asyncio TCP on localhost with length-prefixed
+        framing).  All three are bit-identical under a fixed seed; see
+        :mod:`repro.federation.transport`.
+    shard_workers:
+        Target number of shards each logical provider's table is split
+        into (:class:`~repro.federation.shard.ShardedProvider`); ``1``
+        keeps the plain unsharded provider.  Sharded answers are
+        bit-identical to unsharded ones for any value.
+    max_frame_bytes:
+        Per-frame size ceiling for the serializing transports; a frame
+        announcing a larger payload is rejected with a typed
+        :class:`~repro.errors.TransportError` instead of being buffered.
+    connect_timeout_seconds:
+        Socket-transport connection/startup timeout.  (Per-call timeouts
+        come from :attr:`ResilienceConfig.provider_timeout_seconds`.)
+    """
+
+    kind: str = "inprocess"
+    shard_workers: int = 1
+    max_frame_bytes: int = 8 * 2**20
+    connect_timeout_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("inprocess", "loopback", "socket"),
+            f"transport kind must be 'inprocess', 'loopback', or 'socket', "
+            f"got {self.kind!r}",
+        )
+        _require(
+            self.shard_workers >= 1,
+            f"shard_workers must be >= 1, got {self.shard_workers}",
+        )
+        _require(
+            self.max_frame_bytes >= 1024,
+            f"max_frame_bytes must be >= 1024, got {self.max_frame_bytes}",
+        )
+        _require(
+            self.connect_timeout_seconds > 0,
+            f"connect_timeout_seconds must be > 0, got {self.connect_timeout_seconds}",
+        )
+
+    def with_kind(self, kind: str) -> "TransportConfig":
+        """Return a copy using a different transport implementation."""
+        return replace(self, kind=kind)
+
+    def with_shard_workers(self, shard_workers: int) -> "TransportConfig":
+        """Return a copy with a different per-provider shard target."""
+        return replace(self, shard_workers=shard_workers)
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration of the federated AQP system."""
 
@@ -697,6 +758,7 @@ class SystemConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
     ingest: IngestConfig = field(default_factory=IngestConfig)
+    transport: TransportConfig = field(default_factory=TransportConfig)
     use_smc_for_result: bool = False
     seed: int | None = None
 
@@ -705,6 +767,12 @@ class SystemConfig:
         _require(self.num_providers >= 1, f"num_providers must be >= 1, got {self.num_providers}")
         if self.seed is not None:
             _require(self.seed >= 0, f"seed must be >= 0, got {self.seed}")
+        _require(
+            self.transport.kind == "inprocess"
+            or not (self.parallelism.enabled and self.parallelism.backend == "process"),
+            "a serializing transport cannot be combined with the process "
+            "parallelism backend: the workers already hold the providers",
+        )
 
     def with_privacy(self, privacy: PrivacyConfig) -> "SystemConfig":
         """Return a copy with a different privacy configuration."""
@@ -738,6 +806,10 @@ class SystemConfig:
         """Return a copy with a different streaming-ingestion policy."""
         return replace(self, ingest=ingest)
 
+    def with_transport(self, transport: TransportConfig) -> "SystemConfig":
+        """Return a copy with a different provider-boundary transport."""
+        return replace(self, transport=transport)
+
 
 DEFAULT_PRIVACY = PrivacyConfig()
 DEFAULT_SAMPLING = SamplingConfig()
@@ -749,4 +821,5 @@ DENSE_EXECUTION = ExecutionConfig.dense()
 DEFAULT_CACHE = CacheConfig()
 DEFAULT_SERVICE = ServiceConfig()
 DEFAULT_INGEST = IngestConfig()
+DEFAULT_TRANSPORT = TransportConfig()
 DEFAULT_SYSTEM = SystemConfig()

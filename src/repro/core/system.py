@@ -32,6 +32,7 @@ from ..federation.aggregator import Aggregator, PhasedBatch
 from ..federation.network import SimulatedNetwork
 from ..federation.partitioning import partition_equal
 from ..federation.provider import DataProvider
+from ..federation.shard import ShardedProvider
 from ..query.model import RangeQuery
 from ..query.parser import parse_query
 from ..storage.table import Table
@@ -115,8 +116,16 @@ class FederatedAQPSystem:
         """
         cfg = config or SystemConfig()
         threshold = cfg.sampling.min_clusters_for_approximation if n_min is None else n_min
+        extra: dict[str, object] = {}
+        provider_cls: type[DataProvider] = DataProvider
+        if cfg.transport.shard_workers > 1:
+            # Sharded providers split their data passes across K contiguous
+            # shards of the clustered layout; answers stay bit-identical
+            # (see repro.federation.shard for the determinism argument).
+            provider_cls = ShardedProvider
+            extra = {"shard_workers": cfg.transport.shard_workers}
         providers = [
-            DataProvider(
+            provider_cls(
                 provider_id=f"provider-{index}",
                 table=partition,
                 cluster_size=cfg.cluster_size,
@@ -128,6 +137,7 @@ class FederatedAQPSystem:
                 execution_config=cfg.execution,
                 ingest_config=cfg.ingest,
                 rng=derive_rng(cfg.seed, "provider", index),
+                **extra,
             )
             for index, partition in enumerate(partitions)
         ]
@@ -538,6 +548,15 @@ class FederatedAQPSystem:
     def cache_stats(self) -> CacheStats:
         """Merged release-cache statistics across every provider."""
         return CacheStats.merged(provider.cache.stats for provider in self.providers)
+
+    def transport_stats(self):
+        """Real framed wire traffic of the configured transport.
+
+        All zeros for the default in-process transport (there is no wire);
+        for the loopback and socket transports the counters reflect actual
+        serialized frames, unlike the simulated network's cost model.
+        """
+        return self.aggregator.transport_stats
 
     def invalidate_caches(self) -> None:
         """Drop every cached release federation-wide (stats are preserved)."""

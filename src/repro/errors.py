@@ -24,6 +24,8 @@ __all__ = [
     "FederationError",
     "ProtocolError",
     "InjectedFaultError",
+    "TransportError",
+    "TransportTimeoutError",
     "SMCError",
     "DatasetError",
     "WorkloadError",
@@ -94,6 +96,15 @@ class ProtocolError(FederationError):
 class InjectedFaultError(ProtocolError):
     """A scripted fault from a :class:`~repro.testing.faults.FaultSchedule`
     fired during a provider phase call (chaos testing only)."""
+
+
+class TransportError(FederationError):
+    """A transport-level failure: a malformed or oversized frame, a lost
+    connection, or an undeliverable protocol message."""
+
+
+class TransportTimeoutError(TransportError):
+    """A transport call did not complete within its configured timeout."""
 
 
 class SMCError(FederationError):

@@ -56,7 +56,12 @@ from ..core.accounting import QueryBudget
 from ..core.allocation import AllocationProblem, solve_allocation
 from ..core.result import ExecutionTrace, ProviderReport
 from ..dp.mechanisms import LaplaceMechanism
-from ..errors import InjectedFaultError, ProtocolError
+from ..errors import (
+    InjectedFaultError,
+    ProtocolError,
+    TransportError,
+    TransportTimeoutError,
+)
 from ..ingest.delta import IngestReceipt, validate_rows
 from ..query.model import RangeQuery
 from ..storage.table import Table
@@ -71,10 +76,11 @@ from .messages import (
     QueryRequest,
     SummaryMessage,
 )
-from .network import SimulatedNetwork
+from .network import NetworkStats, SimulatedNetwork
 from .procpool import ProviderProcessPool
 from .provider import DataProvider, LocalAnswer
 from .smc import SMCSimulator
+from .transport import Transport, create_transport
 
 __all__ = ["Aggregator", "FederatedAnswer", "ResilienceStats"]
 
@@ -210,6 +216,13 @@ class Aggregator:
             # The network consults the same injector for message faults, so
             # one schedule drives one deterministic chaos run end to end.
             self.network.fault_injector = self._fault_injector
+        # Every provider-phase call goes through the configured transport —
+        # direct calls by default, a serializing wire otherwise.  The same
+        # injector supplies the transport's scripted faults.
+        self._transport: Transport = create_transport(
+            self.config.transport, self.providers, resilience=self.config.resilience
+        )
+        self._transport.fault_injector = self._fault_injector
         self._consecutive_failures: dict[int, int] = {}
         self._quarantined: dict[int, str] = {}
         self._degraded_batches = 0
@@ -238,6 +251,7 @@ class Aggregator:
         if self._process_pool is not None:
             self._process_pool.close()
             self._process_pool = None
+        self._transport.close()
 
     def __enter__(self) -> "Aggregator":
         return self
@@ -309,6 +323,37 @@ class Aggregator:
     def fault_injector(self) -> FaultInjector | None:
         """The runtime injector for this aggregator's fault schedule, if any."""
         return self._fault_injector
+
+    @property
+    def transport(self) -> Transport:
+        """The transport carrying this federation's provider-phase calls."""
+        return self._transport
+
+    def _ensure_transport(self) -> Transport:
+        if self._transport.closed:
+            # A previous batch died mid-protocol and the abnormal-exit path
+            # closed the aggregator to reclaim its resources (workers, shared
+            # blocks, sockets).  Handing the dead wire out again would wedge
+            # every later batch, so rebuild it — carrying the accumulated
+            # wire counters forward so traffic accounting stays cumulative.
+            stats = self._transport.snapshot_stats()
+            self._transport = create_transport(
+                self.config.transport, self.providers, resilience=self.config.resilience
+            )
+            self._transport.stats = stats
+            self._transport.fault_injector = self._fault_injector
+        return self._transport
+
+    @property
+    def transport_stats(self) -> NetworkStats:
+        """Real framed wire traffic of the transport (all zeros in-process).
+
+        Unlike :attr:`network`'s simulated cost model, these counters
+        reflect actual serialized frames: ``messages`` counts frames,
+        ``bytes_sent`` counts framed bytes on the (loopback or socket)
+        wire, and ``frames_duplicated`` counts discarded duplicate replies.
+        """
+        return self._transport.snapshot_stats()
 
     # -- public API -------------------------------------------------------------
 
@@ -399,6 +444,7 @@ class Aggregator:
         if self._fault_injector is not None:
             self._fault_injector.begin_batch(self._batch_counter)
         self._batch_counter += 1
+        self._ensure_transport()
         degrade = self.config.resilience.enabled
         # Per-batch failure ledger: provider index -> reason.  Quarantined
         # providers enter it pre-failed and are never contacted.
@@ -505,8 +551,14 @@ class Aggregator:
             return
         phased.sessions_released = True
         query_ids = [request.query_id for request in phased.requests]
-        for provider in self.providers:
-            provider.forget_batch(query_ids)
+        for index, provider in enumerate(self.providers):
+            try:
+                self._transport.forget_batch(index, query_ids)
+            except TransportError:
+                # A broken wire must never leak sessions: the providers
+                # live in this process, so release them directly (the
+                # forget is idempotent either way).
+                provider.forget_batch(query_ids)
         if self._process_pool is not None:
             try:
                 self._process_pool.forget_batch(query_ids)
@@ -753,7 +805,7 @@ class Aggregator:
         self,
         phase: str,
         indices: Sequence[int],
-        task: Callable[[int, DataProvider], _T],
+        task: Callable[[int, DataProvider, int], _T],
         failed: dict[int, str],
     ) -> dict[int, _T]:
         """Serial/thread fan-out with scripted-fault handling and retry.
@@ -764,6 +816,13 @@ class Aggregator:
         a fired fault raises :class:`~repro.errors.InjectedFaultError`;
         with it, failures retry up to ``max_retries`` times and then land
         in ``failed``.
+
+        ``task`` receives the attempt number as its third argument — the
+        transports key their scripted wire faults on it — and a
+        :class:`~repro.errors.TransportError` it raises is treated exactly
+        like a failed provider: retried with backoff, then degraded out.
+        Transport faults fire *before* the provider consumes randomness,
+        so a retried attempt is bit-identical to a never-faulted call.
         """
         resilience = self.config.resilience
         degrade = resilience.enabled
@@ -794,7 +853,31 @@ class Aggregator:
                     failed_now[index] = f"injected {fault.kind} (simulated timeout)"
                 else:
                     failed_now[index] = f"injected {fault.kind}"
-            results.update(zip(runnable, self._map_indices(runnable, task)))
+
+            def guarded(
+                index: int, provider: DataProvider, _attempt: int = attempt
+            ) -> tuple[str, object]:
+                try:
+                    return "ok", task(index, provider, _attempt)
+                except TransportTimeoutError as error:
+                    if not degrade:
+                        raise
+                    return "timeout", str(error)
+                except TransportError as error:
+                    if not degrade:
+                        raise
+                    return "transport", str(error)
+
+            for index, (outcome, value) in zip(
+                runnable, self._map_indices(runnable, guarded)
+            ):
+                if outcome == "ok":
+                    results[index] = value  # type: ignore[assignment]
+                elif outcome == "timeout":
+                    self._worker_timeouts += 1
+                    failed_now[index] = f"transport timeout: {value}"
+                else:
+                    failed_now[index] = f"transport failure: {value}"
             pending = sorted(failed_now)
             if not pending:
                 break
@@ -905,12 +988,12 @@ class Aggregator:
         for index, request in enumerate(requests):
             self._send(request.payload_bytes(), accounting[index], copies=len(active))
 
-        def collect(_: int, provider: DataProvider) -> tuple[list[SummaryMessage], list[bool]]:
-            reuse: list[bool] = []
-            messages = provider.prepare_summary_batch(
-                requests, budget.epsilon_allocation, reuse_out=reuse
+        def collect(
+            index: int, _provider: DataProvider, attempt: int = 1
+        ) -> tuple[list[SummaryMessage], list[bool]]:
+            return self._transport.summary_batch(
+                index, requests, budget.epsilon_allocation, attempt=attempt
             )
-            return messages, reuse
 
         if self._use_process_backend:
             outcomes, pool_failures = self._ensure_process_pool().summary_batch(
@@ -1000,12 +1083,12 @@ class Aggregator:
 
         active = sorted(allocations)
 
-        def collect(index: int, provider: DataProvider) -> tuple[list[LocalAnswer], list[bool]]:
-            reuse: list[bool] = []
-            local_answers = provider.answer_batch(
-                allocations[index], budget, use_smc=use_smc, reuse_out=reuse
+        def collect(
+            index: int, _provider: DataProvider, attempt: int = 1
+        ) -> tuple[list[LocalAnswer], list[bool]]:
+            return self._transport.answer_batch(
+                index, allocations[index], budget, use_smc, attempt=attempt
             )
-            return local_answers, reuse
 
         if self._use_process_backend:
             full = [

@@ -20,6 +20,7 @@ __all__ = [
     "EstimateMessage",
     "IngestRequest",
     "IngestAck",
+    "ALL_MESSAGE_TYPES",
 ]
 
 _SCALAR_BYTES = 8
@@ -138,3 +139,18 @@ class IngestAck:
     def payload_bytes(self) -> int:
         """Two scalars, one flag, and a header."""
         return _HEADER_BYTES + 2 * _SCALAR_BYTES + 1
+
+
+ALL_MESSAGE_TYPES = (
+    QueryRequest,
+    SummaryMessage,
+    AllocationMessage,
+    EstimateMessage,
+    IngestRequest,
+    IngestAck,
+)
+"""Every protocol message class, in protocol order.
+
+The wire codec (:mod:`repro.federation.transport`) must round-trip each of
+these losslessly; the transport test suite iterates this tuple so a new
+message class cannot be added without a round-trip property test."""

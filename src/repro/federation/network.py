@@ -49,6 +49,12 @@ class NetworkStats:
     and their retransmissions (zero outside chaos runs).  A dropped copy
     and its retry are *both* included in ``messages`` — they both crossed
     the wire — so totals stay consistent with the per-send costs.
+
+    The serializing transports (:mod:`repro.federation.transport`) account
+    their *real* framed wire traffic with this same class: there,
+    ``messages``/``bytes_sent`` count frames and framed bytes, and
+    ``frames_duplicated`` counts reply frames delivered more than once and
+    discarded by the receiver's sequence check.
     """
 
     messages: int = 0
@@ -56,6 +62,7 @@ class NetworkStats:
     simulated_seconds: float = 0.0
     messages_dropped: int = 0
     messages_retried: int = 0
+    frames_duplicated: int = 0
     ingest_messages: int = 0
     ingest_bytes_sent: int = 0
     ingest_simulated_seconds: float = 0.0
@@ -95,6 +102,7 @@ class NetworkStats:
             simulated_seconds=self.simulated_seconds + other.simulated_seconds,
             messages_dropped=self.messages_dropped + other.messages_dropped,
             messages_retried=self.messages_retried + other.messages_retried,
+            frames_duplicated=self.frames_duplicated + other.frames_duplicated,
             ingest_messages=self.ingest_messages + other.ingest_messages,
             ingest_bytes_sent=self.ingest_bytes_sent + other.ingest_bytes_sent,
             ingest_simulated_seconds=self.ingest_simulated_seconds
@@ -113,6 +121,7 @@ class NetworkStats:
             "simulated_seconds": self.simulated_seconds,
             "messages_dropped": self.messages_dropped,
             "messages_retried": self.messages_retried,
+            "frames_duplicated": self.frames_duplicated,
             "query_messages": self.query_messages,
             "query_bytes_sent": self.query_bytes_sent,
             "query_simulated_seconds": self.query_simulated_seconds,
@@ -197,6 +206,7 @@ class SimulatedNetwork:
             simulated_seconds=self.stats.simulated_seconds,
             messages_dropped=self.stats.messages_dropped,
             messages_retried=self.stats.messages_retried,
+            frames_duplicated=self.stats.frames_duplicated,
             ingest_messages=self.stats.ingest_messages,
             ingest_bytes_sent=self.stats.ingest_bytes_sent,
             ingest_simulated_seconds=self.stats.ingest_simulated_seconds,

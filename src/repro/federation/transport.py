@@ -1,0 +1,837 @@
+"""Pluggable transports: the provider boundary as a (potential) wire boundary.
+
+The federated protocol is message-shaped — a query request, two noisy
+scalars, one integer allocation, one noisy estimate per provider — so the
+aggregator/provider boundary can become a real wire without touching DP
+semantics.  This module supplies three interchangeable transports:
+
+``InProcessTransport``
+    Today's direct method calls.  The default; zero overhead, no wire.
+
+``LoopbackTransport``
+    Every protocol message makes the full serialize → frame → deframe →
+    deserialize round trip in-process, with no sockets.  This is the
+    cheapest way to prove the wire codec is lossless: a federation on the
+    loopback transport must produce bit-identical answers to the in-process
+    one, or the codec dropped information.
+
+``SocketTransport``
+    Asyncio TCP on localhost with length-prefixed framing.  One background
+    server thread hosts every provider; the aggregator keeps one blocking
+    client connection per provider.  Call timeouts come from
+    :attr:`~repro.config.ResilienceConfig.provider_timeout_seconds`, and a
+    timeout or lost connection surfaces as
+    :class:`~repro.errors.TransportError` /
+    :class:`~repro.errors.TransportTimeoutError`, which the aggregator's
+    retry/degrade/quarantine path treats exactly like a failed provider.
+
+Unlike the :class:`~repro.federation.network.SimulatedNetwork` — which
+models the *paper's* cost accounting and stays authoritative for traces —
+the serializing transports account their **real** framed traffic in their
+own :class:`~repro.federation.network.NetworkStats`: ``messages`` counts
+frames, ``bytes_sent`` counts framed bytes, and ``frames_duplicated``
+counts reply frames delivered more than once and discarded by the
+receiver's sequence check.
+
+**Determinism.**  The wire codec round-trips every value exactly: integers
+stay integers, floats serialise via ``repr`` (which round-trips IEEE-754
+doubles bit-for-bit), tuples and numpy arrays are tagged so their types
+survive.  Provider-side randomness is keyed by ``seed_material`` and
+request order, both of which the codec preserves — so loopback, socket,
+and in-process federations are bit-identical under a fixed seed.
+
+**Fault points.**  When the owning aggregator installs a
+:class:`~repro.testing.faults.FaultInjector`, the serializing transports
+consult it once per phase call: ``drop_frame`` loses the request frame
+before the provider ever runs, ``disconnect`` tears the connection down
+mid-phase, ``delay_frame`` stalls the call for
+:attr:`~repro.testing.faults.FaultSpec.delay_seconds`, and
+``duplicate_frame`` delivers the reply twice (the duplicate is discarded
+by sequence number and counted).  Drops and disconnects raise
+:class:`~repro.errors.TransportError` *before* the provider consumes any
+randomness, so a retried attempt is bit-identical to a never-faulted one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import dataclasses
+import json
+import socket as socket_module
+import struct
+import threading
+import time
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .. import errors as _errors
+from ..core.accounting import QueryBudget
+from ..core.result import ProviderReport
+from ..errors import ReproError, TransportError, TransportTimeoutError
+from ..query.model import Aggregation, Interval, RangeQuery
+from .messages import (
+    AllocationMessage,
+    EstimateMessage,
+    IngestAck,
+    IngestRequest,
+    QueryRequest,
+    SummaryMessage,
+)
+from .network import NetworkStats
+from .provider import DataProvider, LocalAnswer
+
+__all__ = [
+    "Transport",
+    "InProcessTransport",
+    "LoopbackTransport",
+    "SocketTransport",
+    "create_transport",
+    "serialize",
+    "deserialize",
+    "encode_frame",
+    "FrameDecoder",
+    "WIRE_MAGIC",
+    "DEFAULT_MAX_FRAME_BYTES",
+]
+
+
+# -- wire codec -----------------------------------------------------------------
+
+_TAG_DATACLASS = "__dc__"
+_TAG_FIELDS = "__f__"
+_TAG_TUPLE = "__tu__"
+_TAG_NDARRAY = "__nd__"
+_TAG_ENUM = "__en__"
+_RESERVED_KEYS = frozenset({_TAG_DATACLASS, _TAG_FIELDS, _TAG_TUPLE, _TAG_NDARRAY, _TAG_ENUM})
+
+_WIRE_DATACLASSES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        QueryRequest,
+        SummaryMessage,
+        AllocationMessage,
+        EstimateMessage,
+        IngestRequest,
+        IngestAck,
+        Interval,
+        RangeQuery,
+        QueryBudget,
+        ProviderReport,
+        LocalAnswer,
+    )
+}
+"""Types the codec reconstructs by name: every protocol message plus the
+value types they carry (queries, budgets, reports, local answers)."""
+
+
+def _to_wire(value: Any) -> Any:
+    """Lower a protocol value to JSON-representable form, losslessly."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, Aggregation):
+        return {_TAG_ENUM: value.value}
+    if isinstance(value, np.ndarray):
+        data = base64.b64encode(np.ascontiguousarray(value).tobytes()).decode("ascii")
+        return {_TAG_NDARRAY: [str(value.dtype), list(value.shape), data]}
+    cls = type(value)
+    if cls.__name__ in _WIRE_DATACLASSES and cls is _WIRE_DATACLASSES[cls.__name__]:
+        fields = {
+            field.name: _to_wire(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {_TAG_DATACLASS: cls.__name__, _TAG_FIELDS: fields}
+    if isinstance(value, tuple):
+        return {_TAG_TUPLE: [_to_wire(item) for item in value]}
+    if isinstance(value, list):
+        return [_to_wire(item) for item in value]
+    if isinstance(value, Mapping):
+        encoded: dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, str) or key in _RESERVED_KEYS:
+                raise TransportError(
+                    f"cannot serialise mapping key {key!r}: keys must be "
+                    f"non-reserved strings"
+                )
+            encoded[key] = _to_wire(item)
+        return encoded
+    raise TransportError(f"cannot serialise {cls.__name__!r} for the wire")
+
+
+def _from_wire(value: Any) -> Any:
+    """Inverse of :func:`_to_wire`."""
+    if isinstance(value, list):
+        return [_from_wire(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    if _TAG_ENUM in value:
+        return Aggregation(value[_TAG_ENUM])
+    if _TAG_TUPLE in value:
+        return tuple(_from_wire(item) for item in value[_TAG_TUPLE])
+    if _TAG_NDARRAY in value:
+        dtype, shape, data = value[_TAG_NDARRAY]
+        array = np.frombuffer(base64.b64decode(data), dtype=np.dtype(dtype))
+        return array.reshape(tuple(shape)).copy()
+    if _TAG_DATACLASS in value:
+        name = value[_TAG_DATACLASS]
+        cls = _WIRE_DATACLASSES.get(name)
+        if cls is None:
+            raise TransportError(f"unknown wire type {name!r}")
+        fields = {key: _from_wire(item) for key, item in value[_TAG_FIELDS].items()}
+        return cls(**fields)
+    return {key: _from_wire(item) for key, item in value.items()}
+
+
+def serialize(value: Any) -> bytes:
+    """Encode a protocol value (message, batch, envelope) to wire bytes."""
+    return json.dumps(_to_wire(value), separators=(",", ":")).encode("utf-8")
+
+
+def deserialize(data: bytes) -> Any:
+    """Decode wire bytes back to the original protocol value.
+
+    Raises :class:`~repro.errors.TransportError` on malformed payloads.
+    """
+    try:
+        return _from_wire(json.loads(data.decode("utf-8")))
+    except (ValueError, TypeError, KeyError) as error:
+        raise TransportError(f"malformed wire payload: {error}") from error
+
+
+# -- framing --------------------------------------------------------------------
+
+WIRE_MAGIC = b"RAQP"
+"""Frame preamble; a stream that does not start with it is garbage."""
+
+DEFAULT_MAX_FRAME_BYTES = 8 * 2**20
+"""Default per-frame ceiling (8 MiB); protocol messages are tiny."""
+
+_FRAME_HEADER = struct.Struct("!4sI")
+
+
+def encode_frame(payload: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Wrap a payload in the length-prefixed frame format."""
+    if len(payload) > max_frame_bytes:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte ceiling"
+        )
+    return _FRAME_HEADER.pack(WIRE_MAGIC, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder for length-prefixed frames.
+
+    Feed arbitrary byte chunks (including partial frames — common on TCP);
+    complete frames come back in order, partial input stays buffered for
+    the next :meth:`feed`.  A bad magic or an oversized length raises a
+    typed :class:`~repro.errors.TransportError` immediately — a framer
+    must never hang on garbage, and never allocate unbounded buffers for a
+    hostile length prefix.  After an error the decoder is poisoned: the
+    stream has lost sync and must be torn down.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._corrupt: TransportError | None = None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Consume a chunk and return every frame it completed (maybe none)."""
+        if self._corrupt is not None:
+            raise self._corrupt
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while len(self._buffer) >= _FRAME_HEADER.size:
+            magic, length = _FRAME_HEADER.unpack_from(self._buffer)
+            if magic != WIRE_MAGIC:
+                self._corrupt = TransportError(
+                    f"bad frame magic {bytes(magic)!r}: stream is corrupt or "
+                    f"not a transport stream"
+                )
+                raise self._corrupt
+            if length > self.max_frame_bytes:
+                self._corrupt = TransportError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte ceiling"
+                )
+                raise self._corrupt
+            if len(self._buffer) < _FRAME_HEADER.size + length:
+                break
+            start = _FRAME_HEADER.size
+            frames.append(bytes(self._buffer[start : start + length]))
+            del self._buffer[: start + length]
+        return frames
+
+
+# -- transports -----------------------------------------------------------------
+
+
+def _execute_op(provider: DataProvider, op: str, payload: dict[str, Any]) -> Any:
+    """Run one protocol op against a provider (the server side of the wire)."""
+    if op == "summary":
+        reuse: list[bool] = []
+        messages = provider.prepare_summary_batch(
+            list(payload["requests"]), payload["epsilon"], reuse_out=reuse
+        )
+        return {"messages": messages, "reuse": reuse}
+    if op == "answer":
+        reuse = []
+        answers = provider.answer_batch(
+            list(payload["allocations"]),
+            payload["budget"],
+            use_smc=payload["use_smc"],
+            reuse_out=reuse,
+        )
+        return {"answers": answers, "reuse": reuse}
+    if op == "forget":
+        provider.forget_batch(list(payload["query_ids"]))
+        return True
+    if op == "ping":
+        return "pong"
+    raise TransportError(f"unknown transport op {op!r}")
+
+
+class Transport:
+    """Carries the per-provider protocol phases of one federation.
+
+    Subclasses implement :meth:`summary_batch`, :meth:`answer_batch`, and
+    :meth:`forget_batch`; the aggregator calls them instead of touching the
+    providers directly, so swapping the transport never changes protocol
+    logic.  ``stats`` accounts the transport's real framed traffic (all
+    zeros for the in-process transport, which has no wire); an installed
+    ``fault_injector`` supplies scripted transport faults for chaos runs.
+    """
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        providers: Sequence[DataProvider],
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.providers = list(providers)
+        self.max_frame_bytes = max_frame_bytes
+        self.stats = NetworkStats()
+        self.fault_injector: Any | None = None
+        self.closed = False
+        self._stats_lock = threading.Lock()
+
+    # Phase calls ---------------------------------------------------------------
+
+    def summary_batch(
+        self,
+        index: int,
+        requests: Sequence[QueryRequest],
+        epsilon_allocation: float,
+        *,
+        attempt: int = 1,
+    ) -> tuple[list[SummaryMessage], list[bool]]:
+        """Run the summary phase on provider ``index``; returns (messages, reuse)."""
+        raise NotImplementedError
+
+    def answer_batch(
+        self,
+        index: int,
+        allocations: Sequence[AllocationMessage],
+        budget: QueryBudget,
+        use_smc: bool,
+        *,
+        attempt: int = 1,
+    ) -> tuple[list[LocalAnswer], list[bool]]:
+        """Run the answer phase on provider ``index``; returns (answers, reuse)."""
+        raise NotImplementedError
+
+    def forget_batch(self, index: int, query_ids: Sequence[int]) -> None:
+        """Release provider ``index``'s sessions for the given query ids."""
+        raise NotImplementedError
+
+    # Lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release transport resources (idempotent).
+
+        Closing is final for this instance; the aggregator checks ``closed``
+        and builds a fresh transport when a torn-down one would otherwise be
+        reused (a failed batch closes the aggregator to reclaim resources,
+        and the dead wire must not wedge every later batch).
+        """
+        self.closed = True
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def snapshot_stats(self) -> NetworkStats:
+        """A copy of the real-wire counters accumulated so far."""
+        with self._stats_lock:
+            return NetworkStats(**dataclasses.asdict(self.stats))
+
+    # Shared helpers ------------------------------------------------------------
+
+    def _count_frame(self, num_bytes: int) -> None:
+        with self._stats_lock:
+            self.stats.messages += 1
+            self.stats.bytes_sent += num_bytes
+
+    def _take_fault(self, phase: str | None, index: int, attempt: int):
+        """Consume a scripted transport fault for this call, if one matches.
+
+        ``delay_frame`` is applied here (the call stalls, then proceeds);
+        a consumed ``duplicate_frame`` is signalled to the caller; the
+        destructive kinds (``drop_frame``, ``disconnect``) are returned
+        for the subclass to act on *before* the provider runs.
+        """
+        if phase is None or self.fault_injector is None:
+            return None, False
+        fault = self.fault_injector.take_transport_fault(phase, index, attempt)
+        if fault is None:
+            return None, False
+        if fault.kind == "delay_frame":
+            time.sleep(fault.delay_seconds)
+            return None, False
+        if fault.kind == "duplicate_frame":
+            return None, True
+        return fault, False
+
+
+class InProcessTransport(Transport):
+    """Direct method calls — the provider boundary stays a function call."""
+
+    kind = "inprocess"
+
+    def summary_batch(self, index, requests, epsilon_allocation, *, attempt=1):
+        reuse: list[bool] = []
+        messages = self.providers[index].prepare_summary_batch(
+            requests, epsilon_allocation, reuse_out=reuse
+        )
+        return messages, reuse
+
+    def answer_batch(self, index, allocations, budget, use_smc, *, attempt=1):
+        reuse: list[bool] = []
+        answers = self.providers[index].answer_batch(
+            allocations, budget, use_smc=use_smc, reuse_out=reuse
+        )
+        return answers, reuse
+
+    def forget_batch(self, index, query_ids):
+        self.providers[index].forget_batch(query_ids)
+
+
+class _SerializingTransport(Transport):
+    """Shared machinery for transports that put every message on a wire."""
+
+    def __init__(self, providers, *, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+        super().__init__(providers, max_frame_bytes=max_frame_bytes)
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+    def _serve_request(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        """Execute one decoded request envelope; exceptions become replies."""
+        try:
+            provider = self.providers[envelope["provider"]]
+            result = _execute_op(provider, envelope["op"], envelope["payload"])
+            return {"seq": envelope["seq"], "ok": result}
+        except Exception as error:  # noqa: BLE001 - the wire carries it home
+            return {
+                "seq": envelope["seq"],
+                "err": [type(error).__name__, str(error)],
+            }
+
+    def _unwrap(self, envelope: dict[str, Any], index: int) -> Any:
+        if "err" in envelope:
+            name, message = envelope["err"]
+            cls = getattr(_errors, name, None)
+            if isinstance(cls, type) and issubclass(cls, ReproError):
+                raise cls(message)
+            raise TransportError(
+                f"provider {self.providers[index].provider_id!r} failed: "
+                f"{name}: {message}"
+            )
+        return envelope["ok"]
+
+    def _call(
+        self,
+        index: int,
+        op: str,
+        payload: dict[str, Any],
+        *,
+        phase: str | None = None,
+        attempt: int = 1,
+    ) -> Any:
+        fault, duplicate = self._take_fault(phase, index, attempt)
+        envelope = self._roundtrip(index, op, payload, fault=fault, duplicate=duplicate)
+        return self._unwrap(envelope, index)
+
+    def _roundtrip(self, index, op, payload, *, fault, duplicate):
+        raise NotImplementedError
+
+    # Phase calls ---------------------------------------------------------------
+
+    def summary_batch(self, index, requests, epsilon_allocation, *, attempt=1):
+        reply = self._call(
+            index,
+            "summary",
+            {"requests": list(requests), "epsilon": float(epsilon_allocation)},
+            phase="summary",
+            attempt=attempt,
+        )
+        return list(reply["messages"]), [bool(flag) for flag in reply["reuse"]]
+
+    def answer_batch(self, index, allocations, budget, use_smc, *, attempt=1):
+        reply = self._call(
+            index,
+            "answer",
+            {
+                "allocations": list(allocations),
+                "budget": budget,
+                "use_smc": bool(use_smc),
+            },
+            phase="answer",
+            attempt=attempt,
+        )
+        return list(reply["answers"]), [bool(flag) for flag in reply["reuse"]]
+
+    def forget_batch(self, index, query_ids):
+        self._call(index, "forget", {"query_ids": [int(qid) for qid in query_ids]})
+
+
+class LoopbackTransport(_SerializingTransport):
+    """Full wire round trip — serialize, frame, deframe, deserialize — with
+    no sockets.  Proves codec losslessness at near-in-process speed."""
+
+    kind = "loopback"
+
+    def __init__(self, providers, *, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
+        super().__init__(providers, max_frame_bytes=max_frame_bytes)
+        self._server_decoders = [FrameDecoder(max_frame_bytes) for _ in self.providers]
+        self._client_decoders = [FrameDecoder(max_frame_bytes) for _ in self.providers]
+
+    def _roundtrip(self, index, op, payload, *, fault, duplicate):
+        provider_id = self.providers[index].provider_id
+        seq = self._next_seq()
+        request = serialize({"seq": seq, "op": op, "provider": index, "payload": payload})
+        frame = encode_frame(request, self.max_frame_bytes)
+        self._count_frame(len(frame))
+        if fault is not None:
+            if fault.kind == "drop_frame":
+                with self._stats_lock:
+                    self.stats.messages_dropped += 1
+                raise TransportError(
+                    f"request frame lost on its way to provider {provider_id!r} "
+                    f"during {op}"
+                )
+            raise TransportError(
+                f"connection to provider {provider_id!r} dropped during {op}"
+            )
+        reply_frames: list[bytes] = []
+        for request_frame in self._server_decoders[index].feed(frame):
+            reply = self._serve_request(deserialize(request_frame))
+            reply_frame = encode_frame(serialize(reply), self.max_frame_bytes)
+            reply_frames.extend([reply_frame] * (2 if duplicate else 1))
+        matched: dict[str, Any] | None = None
+        for reply_frame in reply_frames:
+            self._count_frame(len(reply_frame))
+            for complete in self._client_decoders[index].feed(reply_frame):
+                envelope = deserialize(complete)
+                if matched is None and envelope.get("seq") == seq:
+                    matched = envelope
+                else:
+                    with self._stats_lock:
+                        self.stats.frames_duplicated += 1
+        if matched is None:
+            raise TransportError(f"no reply from provider {provider_id!r} for {op}")
+        return matched
+
+
+class _SocketConnection:
+    """One blocking client connection plus its receive-side decoder."""
+
+    def __init__(self, sock: socket_module.socket, max_frame_bytes: int) -> None:
+        self.sock = sock
+        self.decoder = FrameDecoder(max_frame_bytes)
+        self.frames: list[bytes] = []
+        self.lock = threading.Lock()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class SocketTransport(_SerializingTransport):
+    """Asyncio TCP on localhost with length-prefixed framing.
+
+    One background event-loop thread hosts every provider behind a single
+    listening socket; the aggregator side keeps one blocking connection
+    per provider (opened lazily, reopened after a disconnect).  Replies
+    are matched to requests by sequence number; a reply frame whose
+    sequence was already consumed is discarded and counted in
+    ``stats.frames_duplicated``.  Receive timeouts come from
+    :attr:`~repro.config.ResilienceConfig.provider_timeout_seconds` and
+    raise :class:`~repro.errors.TransportTimeoutError`.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        providers,
+        *,
+        resilience=None,
+        max_frame_bytes=DEFAULT_MAX_FRAME_BYTES,
+        connect_timeout_seconds: float = 5.0,
+    ):
+        super().__init__(providers, max_frame_bytes=max_frame_bytes)
+        self._call_timeout = (
+            resilience.provider_timeout_seconds if resilience is not None else 30.0
+        )
+        self._connect_timeout = connect_timeout_seconds
+        self._connections: dict[int, _SocketConnection] = {}
+        self._connections_lock = threading.Lock()
+        self._closed = False
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._serve_forever, name="repro-transport-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=self._connect_timeout):
+            self.close()
+            raise TransportError("transport server failed to start in time")
+        if self._startup_error is not None:
+            self.close()
+            raise TransportError(
+                f"transport server failed to start: {self._startup_error}"
+            ) from self._startup_error
+
+    # Server side ---------------------------------------------------------------
+
+    def _serve_forever(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def boot() -> None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, "127.0.0.1", 0
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+        try:
+            self._loop.run_until_complete(boot())
+        except BaseException as error:  # noqa: BLE001 - reported to the creator
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            if self._server is not None:
+                self._server.close()
+            self._loop.close()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except TransportError:
+                    # Garbage on the wire: the stream has lost sync, so the
+                    # only safe response is to drop the connection.
+                    break
+                for frame in frames:
+                    envelope = deserialize(frame)
+                    reply = await self._loop.run_in_executor(
+                        None, self._serve_request, envelope
+                    )
+                    reply_frame = encode_frame(serialize(reply), self.max_frame_bytes)
+                    copies = 2 if envelope.get("dup") else 1
+                    for _ in range(copies):
+                        # Count before the write: the moment the bytes hit
+                        # the wire the client may wake up and snapshot the
+                        # stats, and the counters must already include them.
+                        self._count_frame(len(reply_frame))
+                        writer.write(reply_frame)
+                    await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+
+    # Client side ---------------------------------------------------------------
+
+    def _connection(self, index: int) -> _SocketConnection:
+        with self._connections_lock:
+            connection = self._connections.get(index)
+            if connection is not None:
+                return connection
+            if self._closed or self.port is None:
+                raise TransportError("transport is closed")
+            try:
+                sock = socket_module.create_connection(
+                    ("127.0.0.1", self.port), timeout=self._connect_timeout
+                )
+            except OSError as error:
+                raise TransportError(
+                    f"cannot connect to provider host: {error}"
+                ) from error
+            sock.settimeout(self._call_timeout)
+            connection = _SocketConnection(sock, self.max_frame_bytes)
+            self._connections[index] = connection
+            return connection
+
+    def _drop_connection(self, index: int) -> None:
+        with self._connections_lock:
+            connection = self._connections.pop(index, None)
+        if connection is not None:
+            connection.close()
+
+    def _roundtrip(self, index, op, payload, *, fault, duplicate):
+        provider_id = self.providers[index].provider_id
+        seq = self._next_seq()
+        request: dict[str, Any] = {
+            "seq": seq,
+            "op": op,
+            "provider": index,
+            "payload": payload,
+        }
+        if duplicate:
+            request["dup"] = True
+        frame = encode_frame(serialize(request), self.max_frame_bytes)
+        self._count_frame(len(frame))
+        if fault is not None:
+            if fault.kind == "drop_frame":
+                with self._stats_lock:
+                    self.stats.messages_dropped += 1
+                raise TransportError(
+                    f"request frame lost on its way to provider {provider_id!r} "
+                    f"during {op}"
+                )
+            self._drop_connection(index)
+            raise TransportError(
+                f"connection to provider {provider_id!r} dropped during {op}"
+            )
+        connection = self._connection(index)
+        with connection.lock:
+            try:
+                connection.sock.sendall(frame)
+                return self._read_reply(connection, seq, expect_duplicate=duplicate)
+            except socket_module.timeout as error:
+                self._drop_connection(index)
+                raise TransportTimeoutError(
+                    f"provider {provider_id!r} did not answer {op} within "
+                    f"{self._call_timeout}s"
+                ) from error
+            except OSError as error:
+                self._drop_connection(index)
+                raise TransportError(
+                    f"connection to provider {provider_id!r} failed during {op}: "
+                    f"{error}"
+                ) from error
+
+    def _read_reply(
+        self, connection: _SocketConnection, seq: int, *, expect_duplicate: bool
+    ) -> dict[str, Any]:
+        matched: dict[str, Any] | None = None
+        duplicate_seen = False
+        while True:
+            while connection.frames:
+                envelope = deserialize(connection.frames.pop(0))
+                if matched is None and envelope.get("seq") == seq:
+                    matched = envelope
+                else:
+                    duplicate_seen = duplicate_seen or envelope.get("seq") == seq
+                    with self._stats_lock:
+                        self.stats.frames_duplicated += 1
+            if matched is not None and (duplicate_seen or not expect_duplicate):
+                return matched
+            data = connection.sock.recv(65536)
+            if not data:
+                raise TransportError("provider host closed the connection")
+            connection.frames.extend(connection.decoder.feed(data))
+
+    # Lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.closed = True
+        with self._connections_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+        if self._loop.is_running():
+
+            async def shutdown() -> None:
+                if self._server is not None:
+                    self._server.close()
+                current = asyncio.current_task()
+                handlers = [
+                    task for task in asyncio.all_tasks() if task is not current
+                ]
+                for task in handlers:
+                    task.cancel()
+                await asyncio.gather(*handlers, return_exceptions=True)
+
+            try:
+                asyncio.run_coroutine_threadsafe(shutdown(), self._loop).result(
+                    timeout=5.0
+                )
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+
+def create_transport(config, providers, *, resilience=None) -> Transport:
+    """Build the transport selected by a :class:`~repro.config.TransportConfig`.
+
+    ``None`` (or kind ``"inprocess"``) keeps today's direct calls.
+    """
+    kind = "inprocess" if config is None else config.kind
+    if kind == "inprocess":
+        return InProcessTransport(providers)
+    if kind == "loopback":
+        return LoopbackTransport(providers, max_frame_bytes=config.max_frame_bytes)
+    if kind == "socket":
+        return SocketTransport(
+            providers,
+            resilience=resilience,
+            max_frame_bytes=config.max_frame_bytes,
+            connect_timeout_seconds=config.connect_timeout_seconds,
+        )
+    raise TransportError(f"unknown transport kind {kind!r}")

@@ -702,6 +702,17 @@ class SessionScheduler:
         with self._lock:
             return len(self._deferred)
 
+    def transport_stats(self):
+        """Real framed wire traffic the drains have put on the transport.
+
+        Drains run over whatever transport the system was configured with
+        (:class:`~repro.config.TransportConfig`); answers and epsilon
+        charges are bit-identical across transports, so only these
+        counters — and wall-clock — change when a deployment moves from
+        in-process to loopback or sockets.
+        """
+        return self.system.transport_stats()
+
     def discard_deferred(self, tenant_id: str | None = None) -> int:
         """Drop parked submissions (all of them, or one tenant's).
 

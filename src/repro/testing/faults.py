@@ -48,6 +48,7 @@ __all__ = [
     "FAULT_KINDS",
     "PROVIDER_FAULT_KINDS",
     "MESSAGE_FAULT_KINDS",
+    "TRANSPORT_FAULT_KINDS",
     "PROTOCOL_PHASES",
     "FaultSpec",
     "FaultSchedule",
@@ -66,7 +67,22 @@ PROVIDER_FAULT_KINDS = (
 MESSAGE_FAULT_KINDS = ("delay_message", "drop_message")
 """Faults applied to one :class:`~repro.federation.network.SimulatedNetwork` send."""
 
-FAULT_KINDS = PROVIDER_FAULT_KINDS + MESSAGE_FAULT_KINDS
+TRANSPORT_FAULT_KINDS = (
+    "drop_frame",
+    "delay_frame",
+    "disconnect",
+    "duplicate_frame",
+)
+"""Faults applied at the wire boundary of a serializing transport
+(:mod:`repro.federation.transport`), keyed by (batch, phase, provider) like
+the provider faults.  ``drop_frame`` loses the request frame before it
+reaches the provider and ``disconnect`` severs the connection mid-phase —
+both surface as :class:`~repro.errors.TransportError` and enter the
+resilience retry/degrade path; ``delay_frame`` stalls the frame (a slow
+link); ``duplicate_frame`` delivers the reply twice, exercising the
+receiver's sequence-based duplicate discard."""
+
+FAULT_KINDS = PROVIDER_FAULT_KINDS + MESSAGE_FAULT_KINDS + TRANSPORT_FAULT_KINDS
 
 PROTOCOL_PHASES = ("summary", "answer")
 """The two provider-facing phases of the batched protocol."""
@@ -141,6 +157,15 @@ class FaultSpec:
         """Whether this spec arms for one provider phase call."""
         return (
             self.kind in PROVIDER_FAULT_KINDS
+            and (self.batch is None or self.batch == batch)
+            and self.phase == phase
+            and self.provider_index == provider_index
+        )
+
+    def matches_transport(self, batch: int, phase: str, provider_index: int) -> bool:
+        """Whether this spec arms for one transport-level provider call."""
+        return (
+            self.kind in TRANSPORT_FAULT_KINDS
             and (self.batch is None or self.batch == batch)
             and self.phase == phase
             and self.provider_index == provider_index
@@ -278,6 +303,34 @@ class FaultInjector:
                 if self._remaining[index] <= 0:
                     continue
                 if spec.matches_call(self._batch, phase, provider_index):
+                    self._remaining[index] -= 1
+                    self.trace.append(
+                        FiredFault(
+                            kind=spec.kind,
+                            batch=self._batch,
+                            attempt=attempt,
+                            phase=phase,
+                            provider_index=provider_index,
+                        )
+                    )
+                    return spec
+            return None
+
+    def take_transport_fault(
+        self, phase: str, provider_index: int, attempt: int
+    ) -> FaultSpec | None:
+        """Consume (and record) the armed transport fault for one call, if any.
+
+        Consulted by the serializing transports
+        (:mod:`repro.federation.transport`) before each provider phase call
+        crosses the wire; each retry is a new attempt, mirroring
+        :meth:`take_call_fault`.
+        """
+        with self._lock:
+            for index, spec in enumerate(self.schedule.faults):
+                if self._remaining[index] <= 0:
+                    continue
+                if spec.matches_transport(self._batch, phase, provider_index):
                     self._remaining[index] -= 1
                     self.trace.append(
                         FiredFault(

@@ -17,7 +17,12 @@ bit-replayable from the (system seed, fault seed) pair:
   (the satellite regression for the abnormal-exit path) and never wedges
   the aggregator: the next batch rebuilds the pool and answers;
 * **accounting** — a degraded multi-tenant drain settles partial answers
-  with exact per-tenant epsilon actuals and fully returned reservations.
+  with exact per-tenant epsilon actuals and fully returned reservations;
+* **transport faults** — severed connections, slow frames, and duplicate
+  deliveries on a real wire (loopback and socket transports) degrade or
+  heal exactly like provider faults: retries replay bit-identically,
+  duplicates are discarded by sequence number, and a degraded drain over
+  sockets still returns every reservation.
 
 Set ``REPRO_CHAOS_TRACE_DIR`` to a directory to get each failing test's
 fault schedule + failure trace as a JSON artifact (the CI chaos-smoke job
@@ -38,6 +43,7 @@ from repro.config import (
     ResilienceConfig,
     SamplingConfig,
     SystemConfig,
+    TransportConfig,
 )
 from repro.core.system import FederatedAQPSystem
 from repro.errors import ConfigurationError, InjectedFaultError, ProtocolError
@@ -507,6 +513,186 @@ def test_close_unlinks_every_shared_block():
 
 
 # -- acceptance: degraded multi-tenant drain ------------------------------------
+
+
+def _wire_system(
+    kind: str,
+    schedule: FaultSchedule | None = None,
+    resilience: ResilienceConfig | None = None,
+    *,
+    num_providers: int = 3,
+    seed: int = 7,
+) -> FederatedAQPSystem:
+    """A serial-backend system whose phase calls cross a real transport."""
+    config = SystemConfig(
+        num_providers=num_providers,
+        seed=seed,
+        privacy=PrivacyConfig(epsilon=1.0, delta=1e-3),
+        sampling=SamplingConfig(sampling_rate=0.2),
+        transport=TransportConfig(kind=kind),
+        parallelism=ParallelismConfig(enabled=False, injected_faults=schedule),
+        resilience=resilience or ResilienceConfig(),
+    )
+    return FederatedAQPSystem.from_table(_table(), config=config)
+
+
+@pytest.mark.parametrize("kind", ["loopback", "socket"])
+def test_transport_disconnect_mid_answer_degrades_with_exact_actuals(kind, chaos_trace):
+    baseline = _wire_system(kind).execute_batch(QUERIES, compute_exact=False)
+    schedule = FaultSchedule.of(
+        FaultSpec(kind="disconnect", provider_index=1, phase="answer", repeat=2)
+    )
+    system = _wire_system(
+        kind, schedule, ResilienceConfig(enabled=True, max_retries=1, min_providers=1)
+    )
+    degraded = system.execute_batch(QUERIES, compute_exact=False)
+    chaos_trace(system.aggregator.fault_injector)
+    assert degraded.degraded and degraded.providers_missing == ("provider-1",)
+    baseline_values = {
+        (index, report.provider_id): report.released_value
+        for index, result in enumerate(baseline.results)
+        for report in result.provider_reports
+    }
+    for index, result in enumerate(degraded.results):
+        for report in result.provider_reports:
+            # The disconnect fires on the aggregator side, before the
+            # provider consumes any randomness: survivors' released answers
+            # are bit-identical to the no-fault run over the same wire.
+            assert report.released_value == baseline_values[(index, report.provider_id)]
+        # Honest charging under degradation: the survivors delivered both
+        # phases, so the max-composed actual is the full per-query price.
+        assert result.epsilon_spent == pytest.approx(1.0)
+        assert result.delta_spent == pytest.approx(1e-3)
+    assert system.aggregator.resilience_stats.degraded_batches == 1
+
+
+@pytest.mark.parametrize("kind", ["loopback", "socket"])
+def test_transport_disconnect_heals_on_retry_bit_identical(kind, chaos_trace):
+    baseline = _wire_system(kind).execute_batch(QUERIES, compute_exact=False)
+    schedule = FaultSchedule.of(
+        FaultSpec(kind="disconnect", provider_index=1, phase="answer", repeat=1)
+    )
+    system = _wire_system(
+        kind, schedule, ResilienceConfig(enabled=True, max_retries=1)
+    )
+    result = system.execute_batch(QUERIES, compute_exact=False)
+    chaos_trace(system.aggregator.fault_injector)
+    # One severed connection, one retry over a fresh connection.  The fault
+    # fires before the provider runs, so the retried call replays the exact
+    # same draws: the whole batch is bit-identical to the healthy run.
+    assert not result.degraded
+    assert result.values == baseline.values
+    assert system.aggregator.fault_injector.fired == 1
+
+
+def test_transport_slow_frame_changes_nothing_but_latency(chaos_trace):
+    baseline = _wire_system("socket").execute_batch(QUERIES, compute_exact=False)
+    schedule = FaultSchedule.of(
+        FaultSpec(
+            kind="delay_frame", provider_index=0, phase="summary",
+            repeat=1, delay_seconds=0.2,
+        )
+    )
+    system = _wire_system("socket", schedule)
+    result = system.execute_batch(QUERIES, compute_exact=False)
+    chaos_trace(system.aggregator.fault_injector)
+    assert result.values == baseline.values and not result.degraded
+    assert system.aggregator.fault_injector.fired == 1
+    # A slow frame is not a lost frame: nothing dropped, nothing duplicated.
+    stats = system.transport_stats()
+    assert stats.messages_dropped == 0 and stats.frames_duplicated == 0
+
+
+@pytest.mark.parametrize("kind", ["loopback", "socket"])
+def test_transport_duplicate_delivery_is_discarded_by_seq(kind, chaos_trace):
+    baseline = _wire_system(kind).execute_batch(QUERIES, compute_exact=False)
+    schedule = FaultSchedule.of(
+        FaultSpec(kind="duplicate_frame", provider_index=2, phase="answer", repeat=1)
+    )
+    system = _wire_system(kind, schedule)
+    result = system.execute_batch(QUERIES, compute_exact=False)
+    chaos_trace(system.aggregator.fault_injector)
+    # At-least-once delivery must not become at-least-once execution: the
+    # duplicated reply is matched by sequence number and discarded, counted.
+    assert result.values == baseline.values and not result.degraded
+    assert system.transport_stats().frames_duplicated == 1
+
+
+def test_transport_fault_without_resilience_is_fatal():
+    from repro.errors import TransportError
+
+    schedule = FaultSchedule.of(
+        FaultSpec(kind="drop_frame", provider_index=0, phase="summary")
+    )
+    system = _wire_system("loopback", schedule)  # resilience disabled
+    with pytest.raises(TransportError):
+        system.execute_batch(QUERIES, compute_exact=False)
+    assert system.transport_stats().messages_dropped == 1
+
+
+@pytest.mark.parametrize("kind", ["loopback", "socket"])
+def test_fatal_transport_failure_does_not_wedge_later_batches(kind):
+    from repro.errors import TransportError
+
+    schedule = FaultSchedule.of(
+        FaultSpec(kind="disconnect", provider_index=1, phase="answer", batch=0)
+    )
+    with _wire_system(kind, schedule) as system:  # no resilience: batch 0 dies
+        with pytest.raises(TransportError):
+            system.execute_batch(QUERIES, compute_exact=False)
+        messages_at_failure = system.transport_stats().messages
+        for provider in system.providers:
+            assert provider.num_open_sessions == 0
+        # The abnormal-exit path tore the wire down with the rest of the
+        # aggregator's resources; the next batch must rebuild the transport
+        # (the wedge regression, transport edition) and answer normally,
+        # with the wire counters carried forward cumulatively.  (Bit-identity
+        # of healed answers belongs to the retry test above: a *fatal* batch
+        # already consumed its summary-phase draws.)
+        result = system.execute_batch(QUERIES, compute_exact=False)
+        assert len(result.results) == len(QUERIES)
+        assert not result.degraded
+        stats = system.transport_stats()
+        assert stats.messages > messages_at_failure
+        assert stats.messages_dropped == 0  # disconnects sever, they don't drop
+
+
+def test_degraded_drain_over_socket_leaks_no_reservations(chaos_trace):
+    schedule = FaultSchedule.of(
+        FaultSpec(
+            kind="disconnect", provider_index=2, phase="answer",
+            batch=None, repeat=50,
+        )
+    )
+    system = _wire_system(
+        "socket",
+        schedule,
+        ResilienceConfig(enabled=True, max_retries=1, min_providers=1),
+    )
+    registry = TenantRegistry()
+    for tenant_id in ("alice", "bob"):
+        registry.register(tenant_id, total_epsilon=50.0, total_delta=0.5)
+    scheduler = SessionScheduler(system, registry)
+    try:
+        scheduler.submit("alice", list(QUERIES))
+        scheduler.submit("bob", list(QUERIES[:2]))
+        answers = scheduler.drain()
+        chaos_trace(system.aggregator.fault_injector)
+    finally:
+        system.close()
+    assert {answer.tenant_id for answer in answers} == {"alice", "bob"}
+    for answer in answers:
+        assert answer.degraded
+        assert answer.providers_missing == ("provider-2",)
+        tenant = registry.get(answer.tenant_id)
+        # PR 7's settlement guarantee holds over a real wire: reservations
+        # fully returned, wallets debited the exact delivered actuals.
+        assert tenant.budget.reserved_epsilon == 0.0
+        assert tenant.budget.reserved_delta == 0.0
+        charged = sum(result.epsilon_spent for result in answer.results)
+        assert answer.epsilon_charged == pytest.approx(charged)
+        assert tenant.remaining_epsilon == pytest.approx(50.0 - charged)
+    assert scheduler.stats.degraded_queries == 5
 
 
 def test_degraded_drain_settles_exact_actuals_and_returns_reservations(chaos_trace):

@@ -24,6 +24,7 @@ DOCTESTED_PAGES = [
     REPO_ROOT / "docs" / "serving.md",
     REPO_ROOT / "docs" / "ingestion.md",
     REPO_ROOT / "docs" / "robustness.md",
+    REPO_ROOT / "docs" / "distribution.md",
 ]
 
 

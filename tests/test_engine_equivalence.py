@@ -19,6 +19,7 @@ from repro.config import (
     ParallelismConfig,
     SamplingConfig,
     SystemConfig,
+    TransportConfig,
 )
 from repro.core.system import FederatedAQPSystem
 from repro.query.batch import QueryBatch
@@ -427,3 +428,101 @@ def test_system_process_backend_smc_and_shared_workers():
     with _system(table, process_config) as system:
         values = system.execute_batch(queries, compute_exact=False).values
     assert values == reference.values
+
+
+# -- transport / sharding equivalence matrix ------------------------------------
+
+
+def _batch_fingerprint(batch) -> list[tuple]:
+    """Everything a transport could plausibly corrupt, per query."""
+    return [
+        (result.value, result.epsilon_spent, result.delta_spent, result.noise_injected)
+        for result in batch
+    ]
+
+
+def test_transport_matrix_bit_identical():
+    """Same workload, same seed: every transport and shard count must produce
+    bit-identical answers AND epsilon charges — sharded(K>=2)-over-sockets
+    included, which is the acceptance bar for the distributed path."""
+    rng = np.random.default_rng(11)
+    table = _random_table(rng, 6000)
+    base = SystemConfig(
+        cluster_size=150,
+        num_providers=3,
+        sampling=SamplingConfig(sampling_rate=0.2, min_clusters_for_approximation=3),
+        seed=23,
+    )
+    queries = _random_workload(rng, 9)
+    with _system(table, base) as reference_system:
+        reference = _batch_fingerprint(
+            reference_system.execute_batch(queries, compute_exact=False)
+        )
+    matrix = {
+        "loopback": TransportConfig(kind="loopback"),
+        "socket": TransportConfig(kind="socket"),
+        "sharded-k1": TransportConfig(shard_workers=1),
+        "sharded-k2": TransportConfig(shard_workers=2),
+        "sharded-k3": TransportConfig(shard_workers=3),
+        "sharded-k2-loopback": TransportConfig(kind="loopback", shard_workers=2),
+        "sharded-k3-socket": TransportConfig(kind="socket", shard_workers=3),
+    }
+    for mode, transport in matrix.items():
+        with _system(table, base.with_transport(transport)) as system:
+            batch = system.execute_batch(queries, compute_exact=False)
+            assert _batch_fingerprint(batch) == reference, mode
+            stats = system.transport_stats()
+            if transport.kind == "inprocess":
+                assert stats.messages == 0, mode
+            else:
+                # Real framed traffic: a request and a reply frame per
+                # provider phase call (summary, answer, forget).
+                assert stats.messages == 6 * len(system.providers), mode
+                assert stats.bytes_sent > 0, mode
+                assert stats.frames_duplicated == 0, mode
+
+
+def test_transport_wire_traffic_is_deterministic():
+    """Loopback and socket put byte-identical framed traffic on the wire."""
+    rng = np.random.default_rng(17)
+    table = _random_table(rng, 3000)
+    base = SystemConfig(
+        cluster_size=150,
+        num_providers=2,
+        sampling=SamplingConfig(sampling_rate=0.2, min_clusters_for_approximation=3),
+        seed=29,
+    )
+    queries = _random_workload(rng, 5)
+    snapshots = {}
+    for kind in ("loopback", "socket"):
+        with _system(table, base.with_transport(TransportConfig(kind=kind))) as system:
+            system.execute_batch(queries, compute_exact=False)
+            stats = system.transport_stats()
+            snapshots[kind] = (stats.messages, stats.bytes_sent)
+    assert snapshots["loopback"] == snapshots["socket"]
+
+
+def test_sharded_provider_matches_unsharded_across_rebuild_and_thread_fanout():
+    """Sharding survives re-clustering (shards rebuild on the epoch bump) and
+    composes with the thread fan-out without changing a single bit."""
+    rng = np.random.default_rng(31)
+    table = _random_table(rng, 4000)
+    base = SystemConfig(
+        cluster_size=150,
+        num_providers=2,
+        sampling=SamplingConfig(sampling_rate=0.2, min_clusters_for_approximation=3),
+        seed=37,
+    )
+    queries = _random_workload(rng, 5)
+    reference = _system(table, base)
+    reference.execute_batch(queries, compute_exact=False)
+    reference.providers[0].rebuild_layout(clustering_policy="sorted")
+    expected = reference.execute_batch(queries, compute_exact=False).values
+    sharded_config = base.with_transport(
+        TransportConfig(shard_workers=3)
+    ).with_parallelism(ParallelismConfig(enabled=True))
+    with _system(table, sharded_config) as system:
+        assert all(provider.shard_count >= 2 for provider in system.providers)
+        system.execute_batch(queries, compute_exact=False)
+        system.providers[0].rebuild_layout(clustering_policy="sorted")
+        assert system.execute_batch(queries, compute_exact=False).values == expected
