@@ -48,6 +48,37 @@ def machine_info() -> dict[str, Any]:
     }
 
 
+def stats_metrics(
+    stats: Any,
+    *,
+    prefix: str = "",
+    suffix: str = "",
+    keys: tuple[str, ...] | None = None,
+    scale: float = 1.0,
+    round_to: int | None = None,
+) -> dict[str, Any]:
+    """Flatten a stats object's ``as_dict()`` view into bench metrics.
+
+    Every stats dataclass in the tree exposes the same ``as_dict()``
+    surface (the one the metrics registry snapshots), so benchmarks record
+    through this helper instead of hand-extracting attributes.  ``keys``
+    selects a subset, ``prefix``/``suffix`` namespace the result, and
+    ``scale``/``round_to`` apply unit conversion to numeric values.
+    """
+    values = stats.as_dict()
+    if keys is not None:
+        values = {key: values[key] for key in keys}
+    out: dict[str, Any] = {}
+    for key, value in values.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if scale != 1.0:
+                value = value * scale
+            if round_to is not None:
+                value = round(value, round_to)
+        out[f"{prefix}{key}{suffix}"] = value
+    return out
+
+
 def record_bench(
     name: str,
     *,

@@ -29,7 +29,7 @@ import time
 
 import numpy as np
 
-from _harness import record_bench
+from _harness import record_bench, stats_metrics
 
 from repro.config import IngestConfig, ServiceConfig, SystemConfig
 from repro.core.system import FederatedAQPSystem
@@ -145,10 +145,12 @@ def test_sustained_ingest_under_live_query_traffic():
             "live_p50_seconds": round(live_p50, 4),
             "latency_slowdown": round(slowdown, 3),
             "ingest_rows_per_sec": round(ingest_rows_per_sec, 1),
-            "rows_ingested": rows_ingested,
-            "compactions": compactions,
-            "ingest_messages": network.ingest_messages,
-            "ingest_bytes_sent": network.ingest_bytes_sent,
+            **stats_metrics(
+                live_scheduler.stats, keys=("rows_ingested", "compactions")
+            ),
+            **stats_metrics(
+                network, keys=("ingest_messages", "ingest_bytes_sent")
+            ),
         },
     )
     print(

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import os
 
-from _harness import record_bench
+from _harness import record_bench, stats_metrics
 
 from repro.config import ServiceConfig
 from repro.experiments.scenarios import adult_scenario
@@ -192,11 +192,23 @@ def test_cost_model_scheduling_cuts_dashboard_tail_latency():
             "reps": REPS,
         },
         metrics={
-            "fifo_p50_ms": round(fifo_hist.p50 * 1e3, 3),
-            "fifo_p95_ms": round(fifo_hist.p95 * 1e3, 3),
+            **stats_metrics(
+                fifo_hist,
+                prefix="fifo_",
+                suffix="_ms",
+                keys=("p50", "p95"),
+                scale=1e3,
+                round_to=3,
+            ),
             "fifo_p99_ms": round(p99_fifo * 1e3, 3),
-            "slo_p50_ms": round(slo_hist.p50 * 1e3, 3),
-            "slo_p95_ms": round(slo_hist.p95 * 1e3, 3),
+            **stats_metrics(
+                slo_hist,
+                prefix="slo_",
+                suffix="_ms",
+                keys=("p50", "p95"),
+                scale=1e3,
+                round_to=3,
+            ),
             "slo_p99_ms": round(p99_slo * 1e3, 3),
             "p99_gain": round(gain, 2),
         },

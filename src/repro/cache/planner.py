@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from ..core.allocation import AllocationProblem, solve_allocation
+from ..obs.trace import ambient_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.accounting import QueryBudget
@@ -162,6 +163,19 @@ class ReusePlanner:
         ReusePlan
             Per-query previews plus batch-level upper bounds.
         """
+        with ambient_span("cache.plan_reuse", queries=len(queries)):
+            return self._preview_impl(
+                queries, budget, sampling_rate, use_smc=use_smc
+            )
+
+    def _preview_impl(
+        self,
+        queries: Sequence[RangeQuery],
+        budget: QueryBudget,
+        sampling_rate: float,
+        *,
+        use_smc: bool = False,
+    ) -> ReusePlan:
         previews: list[QueryReusePreview] = []
         full_epsilon = budget.epsilon_total
         if all(len(provider.cache) == 0 for provider in self.providers):

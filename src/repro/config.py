@@ -34,6 +34,7 @@ __all__ = [
     "ServiceConfig",
     "IngestConfig",
     "TransportConfig",
+    "ObservabilityConfig",
     "SystemConfig",
     "DEFAULT_PRIVACY",
     "DEFAULT_SAMPLING",
@@ -46,6 +47,7 @@ __all__ = [
     "DEFAULT_SERVICE",
     "DEFAULT_INGEST",
     "DEFAULT_TRANSPORT",
+    "DEFAULT_OBSERVABILITY",
     "DEFAULT_SYSTEM",
 ]
 
@@ -743,6 +745,52 @@ class TransportConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing / metrics / budget-audit policy (see :mod:`repro.obs`).
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Disabled (the default), the system carries no
+        tracer and no audit ledger — every instrumentation hook
+        short-circuits on one ``is None`` check, keeping answers, charges,
+        and wire bytes bit-identical to the uninstrumented system.  The
+        pull-based metrics registry exists either way (it reads existing
+        stats objects only at snapshot time).
+    trace_sample_rate:
+        Fraction of traces kept, decided at trace start by a deterministic
+        counter hash — **never** an RNG draw, so sampling can never shift
+        a noise stream.  Descendant spans of an unsampled trace are
+        skipped wholesale.
+    ring_capacity:
+        Maximum finished spans retained in the in-memory ring buffer;
+        older spans fall off.
+    """
+
+    enabled: bool = False
+    trace_sample_rate: float = 1.0
+    ring_capacity: int = 65536
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 <= self.trace_sample_rate <= 1.0,
+            f"trace_sample_rate must be in [0, 1], got {self.trace_sample_rate}",
+        )
+        _require(
+            self.ring_capacity >= 1,
+            f"ring_capacity must be >= 1, got {self.ring_capacity}",
+        )
+
+    def with_enabled(self, enabled: bool = True) -> "ObservabilityConfig":
+        """Return a copy with observability switched on or off."""
+        return replace(self, enabled=enabled)
+
+    def with_sample_rate(self, trace_sample_rate: float) -> "ObservabilityConfig":
+        """Return a copy with a different head-sampling rate."""
+        return replace(self, trace_sample_rate=trace_sample_rate)
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration of the federated AQP system."""
 
@@ -759,6 +807,7 @@ class SystemConfig:
     service: ServiceConfig = field(default_factory=ServiceConfig)
     ingest: IngestConfig = field(default_factory=IngestConfig)
     transport: TransportConfig = field(default_factory=TransportConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     use_smc_for_result: bool = False
     seed: int | None = None
 
@@ -810,6 +859,12 @@ class SystemConfig:
         """Return a copy with a different provider-boundary transport."""
         return replace(self, transport=transport)
 
+    def with_observability(
+        self, observability: ObservabilityConfig
+    ) -> "SystemConfig":
+        """Return a copy with a different observability policy."""
+        return replace(self, observability=observability)
+
 
 DEFAULT_PRIVACY = PrivacyConfig()
 DEFAULT_SAMPLING = SamplingConfig()
@@ -822,4 +877,5 @@ DEFAULT_CACHE = CacheConfig()
 DEFAULT_SERVICE = ServiceConfig()
 DEFAULT_INGEST = IngestConfig()
 DEFAULT_TRANSPORT = TransportConfig()
+DEFAULT_OBSERVABILITY = ObservabilityConfig()
 DEFAULT_SYSTEM = SystemConfig()

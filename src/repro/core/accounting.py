@@ -121,12 +121,25 @@ class EndUserBudget:
     of spends and earlier reservations), :meth:`release` returns it once the
     actual charge has been recorded, and :meth:`can_admit` is the
     reservation-aware affordability check.  Reservations never enter the
-    ledger — only actual charges do.
+    accountant's ledger — only actual charges do.
+
+    Auditing
+    --------
+    When ``audit`` is set to a
+    :class:`~repro.obs.ledger.BudgetAuditLedger` (done by an
+    observability-enabled system/scheduler, never by default), every
+    successful reserve, release, and charge is mirrored as one ledger
+    event under ``audit_owner``, with the exact floats the wallet applied
+    — releases record the clamped actual deltas — so the event stream
+    replays to the wallet's state bit-for-bit.  Events are records only:
+    they never change what is charged.
     """
 
     accountant: PrivacyAccountant
     reserved_epsilon: float = field(default=0.0, init=False)
     reserved_delta: float = field(default=0.0, init=False)
+    audit: object | None = field(default=None, repr=False, compare=False)
+    audit_owner: str = field(default="", compare=False)
 
     @classmethod
     def create(cls, xi: float, psi: float) -> "EndUserBudget":
@@ -139,7 +152,11 @@ class EndUserBudget:
         return self.accountant.charge(spend.epsilon, spend.delta, label=label)
 
     def charge_spends(
-        self, charges: "list[tuple[float, float, str]]", *, enforce: bool = True
+        self,
+        charges: "list[tuple[float, float, str]]",
+        *,
+        enforce: bool = True,
+        degraded: "list[bool] | None" = None,
     ) -> PrivacySpend:
         """Atomically charge one batch's per-query ``(epsilon, delta, label)`` actuals.
 
@@ -155,8 +172,24 @@ class EndUserBudget:
         protocol ran — those releases already happened, so the true spend
         is recorded even if it overdraws the wallet (admission of the next
         batch will then be refused).  Returns the group total.
+
+        ``degraded`` optionally flags, per charge, that the query settled
+        from a degraded (partial-answer) drain; the flag is audit metadata
+        only and never changes the amounts.
         """
-        return self.accountant.charge_many(charges, enforce=enforce)
+        total = self.accountant.charge_many(charges, enforce=enforce)
+        if self.audit is not None:
+            for position, (epsilon, delta, label) in enumerate(charges):
+                self.audit.record(
+                    self.audit_owner,
+                    "charge",
+                    epsilon,
+                    delta,
+                    label=label,
+                    cache_reuse=(epsilon == 0.0 and delta == 0.0),
+                    degraded=bool(degraded[position]) if degraded else False,
+                )
+        return total
 
     def can_afford_spend(self, epsilon: float, delta: float) -> bool:
         """True when charging ``(epsilon, delta)`` would not overdraw."""
@@ -191,11 +224,20 @@ class EndUserBudget:
             )
         self.reserved_epsilon += epsilon
         self.reserved_delta += delta
+        if self.audit is not None:
+            self.audit.record(self.audit_owner, "reserve", epsilon, delta)
 
     def release(self, epsilon: float, delta: float) -> None:
         """Return a reservation taken with :meth:`reserve` (clamped at zero)."""
+        # Audit the *clamped actual* deltas the wallet applies, not the
+        # requested amounts, so replaying the event stream reproduces the
+        # held-reservation state exactly even across over-releases.
+        epsilon_applied = self.reserved_epsilon - max(0.0, self.reserved_epsilon - epsilon)
+        delta_applied = self.reserved_delta - max(0.0, self.reserved_delta - delta)
         self.reserved_epsilon = max(0.0, self.reserved_epsilon - epsilon)
         self.reserved_delta = max(0.0, self.reserved_delta - delta)
+        if self.audit is not None:
+            self.audit.record(self.audit_owner, "release", epsilon_applied, delta_applied)
 
     def can_afford_queries(
         self, budget: QueryBudget, num_providers: int, count: int

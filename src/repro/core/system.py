@@ -33,6 +33,7 @@ from ..federation.network import SimulatedNetwork
 from ..federation.partitioning import partition_equal
 from ..federation.provider import DataProvider
 from ..federation.shard import ShardedProvider
+from ..obs import Observability
 from ..query.model import RangeQuery
 from ..query.parser import parse_query
 from ..storage.table import Table
@@ -63,17 +64,69 @@ class FederatedAQPSystem:
     end_user_budget: EndUserBudget | None = None
     rng: RngLike = None
     aggregator: Aggregator = field(init=False, repr=False)
+    obs: Observability = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.providers:
             raise ProtocolError("a system needs at least one provider")
+        self.obs = Observability.from_config(self.config.observability)
         network = SimulatedNetwork(config=self.config.network)
         self.aggregator = Aggregator(
             providers=list(self.providers),
             config=self.config,
             network=network,
             rng=derive_rng(self.rng if self.rng is not None else self.config.seed, "aggregator"),
+            obs=self.obs,
         )
+        if self.end_user_budget is not None and self.obs.ledger is not None:
+            # Mirror every wallet mutation into the audit ledger.  Owner
+            # "system" marks the facade's own budget; the multi-tenant
+            # scheduler attaches per-tenant owners instead.
+            self.end_user_budget.audit = self.obs.ledger
+            if not self.end_user_budget.audit_owner:
+                self.end_user_budget.audit_owner = "system"
+        self._register_metric_groups()
+
+    def _register_metric_groups(self) -> None:
+        """Wire every scattered stats object into the pull-based registry.
+
+        Suppliers are lambdas over live objects — :meth:`observability`
+        reads them at snapshot time, so registration costs nothing on the
+        query path.
+        """
+        registry = self.obs.metrics
+        registry.register_group(
+            "network", lambda: self.aggregator.network.stats.as_dict()
+        )
+        registry.register_group(
+            "transport", lambda: self.aggregator.transport_stats.as_dict()
+        )
+        registry.register_group("cache", lambda: self.cache_stats().as_dict())
+        registry.register_group(
+            "resilience", lambda: self.aggregator.resilience_stats.as_dict()
+        )
+
+        def pool_stats() -> dict:
+            pool = self.aggregator._process_pool
+            return pool.stats.as_dict() if pool is not None else {}
+
+        def kernel_telemetry() -> dict:
+            pool = self.aggregator._process_pool
+            return pool.kernel_telemetry.as_dict() if pool is not None else {}
+
+        registry.register_group("procpool", pool_stats)
+        registry.register_group("kernel", kernel_telemetry)
+
+    def observability(self) -> dict:
+        """One unified snapshot over every layer's metrics, traces, and ledger.
+
+        Always available; with :class:`~repro.config.ObservabilityConfig`
+        disabled the snapshot carries the metric groups only (there is no
+        tracer or ledger to report).  See
+        :meth:`repro.obs.MetricsRegistry.render_prometheus` for the text
+        exposition format of the same data.
+        """
+        return self.obs.snapshot()
 
     # -- constructors --------------------------------------------------------
 
@@ -307,6 +360,7 @@ class FederatedAQPSystem:
                     for range_query, answer in zip(range_queries, answers)
                 ],
                 enforce=False,
+                degraded=[answer.degraded for answer in answers],
             )
         exact_values: list[int | None] = [None] * len(range_queries)
         if compute_exact:
@@ -634,6 +688,7 @@ class PhasedExecution:
                     for query, answer in zip(self.queries, answers)
                 ],
                 enforce=False,
+                degraded=[answer.degraded for answer in answers],
             )
         results = tuple(
             QueryResult(

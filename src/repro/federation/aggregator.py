@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
@@ -145,6 +146,10 @@ class ResilienceStats:
     workers_respawned: int = 0
     worker_timeouts: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for metric registries and benchmark harnesses."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
 
 @dataclass
 class _QueryAccounting:
@@ -192,6 +197,8 @@ class PhasedBatch:
     providers_missing: tuple[str, ...] = ()
     sessions_released: bool = False
     collected: bool = False
+    trace_ctx: tuple[str, str] | None = None
+    owns_trace: bool = False
 
 
 @dataclass
@@ -202,11 +209,13 @@ class Aggregator:
     config: SystemConfig
     network: SimulatedNetwork = field(default_factory=SimulatedNetwork)
     rng: RngLike = None
+    obs: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.providers:
             raise ProtocolError("an aggregator needs at least one provider")
         self._rng = derive_rng(self.rng, "aggregator")
+        self._tracer = getattr(self.obs, "tracer", None)
         self._next_query_id = 0
         self._process_pool: ProviderProcessPool | None = None
         self._batch_counter = 0
@@ -220,7 +229,10 @@ class Aggregator:
         # direct calls by default, a serializing wire otherwise.  The same
         # injector supplies the transport's scripted faults.
         self._transport: Transport = create_transport(
-            self.config.transport, self.providers, resilience=self.config.resilience
+            self.config.transport,
+            self.providers,
+            resilience=self.config.resilience,
+            tracer=self._tracer,
         )
         self._transport.fault_injector = self._fault_injector
         self._consecutive_failures: dict[int, int] = {}
@@ -279,7 +291,7 @@ class Aggregator:
             self._process_pool = None
         if self._process_pool is None:
             self._process_pool = ProviderProcessPool(
-                self.providers, self.config.parallelism
+                self.providers, self.config.parallelism, tracer=self._tracer
             )
         return self._process_pool
 
@@ -338,7 +350,10 @@ class Aggregator:
             # wire counters forward so traffic accounting stays cumulative.
             stats = self._transport.snapshot_stats()
             self._transport = create_transport(
-                self.config.transport, self.providers, resilience=self.config.resilience
+                self.config.transport,
+                self.providers,
+                resilience=self.config.resilience,
+                tracer=self._tracer,
             )
             self._transport.stats = stats
             self._transport.fault_injector = self._fault_injector
@@ -453,6 +468,20 @@ class Aggregator:
             for index, reason in sorted(self._quarantined.items()):
                 failed[index] = f"quarantined: {reason}"
 
+        # Trace root: nest under the caller's active span when there is one
+        # (the scheduler's per-chunk span), otherwise open a batch-level
+        # root trace here.  With tracing disabled ``trace_ctx`` stays None
+        # and the requests below are constructed exactly as before.
+        trace_ctx = None
+        owns_trace = False
+        if self._tracer is not None:
+            trace_ctx = self._tracer.context()
+            if trace_ctx is None:
+                trace_ctx = self._tracer.begin_trace(
+                    "batch", num_queries=len(queries)
+                )
+                owns_trace = trace_ctx is not None
+
         first_id = self._next_query_id
         self._next_query_id += len(queries)
         requests = [
@@ -461,6 +490,7 @@ class Aggregator:
                 query=query,
                 sampling_rate=rate,
                 seed_material=None if seed_tokens is None else seed_tokens[index],
+                trace_context=trace_ctx,
             )
             for index, query in enumerate(queries)
         ]
@@ -473,23 +503,40 @@ class Aggregator:
             failed=failed,
             accounting=[_QueryAccounting() for _ in requests],
             stopwatch=Stopwatch(),
+            trace_ctx=trace_ctx,
+            owns_trace=owns_trace,
         )
         try:
-            with phased.stopwatch.measure("allocation"):
-                summaries, summary_reuse = self._collect_summaries(
-                    requests, budget, phased.accounting, failed
-                )
-                self._check_survivors(summaries, failed, "summary")
-                allocations = self._allocate(
-                    requests, summaries, rate, phased.accounting
-                )
+            with self._phase_span("batch.allocation", phased):
+                with phased.stopwatch.measure("allocation"):
+                    summaries, summary_reuse = self._collect_summaries(
+                        requests, budget, phased.accounting, failed
+                    )
+                    self._check_survivors(summaries, failed, "summary")
+                    allocations = self._allocate(
+                        requests, summaries, rate, phased.accounting
+                    )
         except BaseException:
             self._release_sessions(phased)
+            if owns_trace:
+                self._tracer.end_span(trace_ctx, error="batch failed")
             raise
         phased.summaries = summaries
         phased.summary_reuse = summary_reuse
         phased.allocations = allocations
         return phased
+
+    def _phase_span(self, name: str, phased: PhasedBatch):
+        """Span for one protocol phase, pinned under the batch's trace root.
+
+        Explicit parenting (instead of contextvar inheritance) because the
+        overlapped drain pipeline runs begin/collect/settle on different
+        threads.  A cheap ``nullcontext`` when tracing is off or the trace
+        was not sampled.
+        """
+        if self._tracer is None or phased.trace_ctx is None:
+            return nullcontext()
+        return self._tracer.span(name, parent=phased.trace_ctx)
 
     def collect_batch(self, phased: PhasedBatch) -> None:
         """Run the answer phase of a begun batch and release its sessions.
@@ -501,15 +548,16 @@ class Aggregator:
         whatever happens during combination).
         """
         try:
-            with phased.stopwatch.measure("local_answering"):
-                answers, answer_reuse = self._collect_answers(
-                    phased.allocations,
-                    phased.budget,
-                    phased.smc,
-                    phased.accounting,
-                    phased.failed,
-                )
-                self._check_survivors(answers, phased.failed, "answer")
+            with self._phase_span("batch.local_answering", phased):
+                with phased.stopwatch.measure("local_answering"):
+                    answers, answer_reuse = self._collect_answers(
+                        phased.allocations,
+                        phased.budget,
+                        phased.smc,
+                        phased.accounting,
+                        phased.failed,
+                    )
+                    self._check_survivors(answers, phased.failed, "answer")
         finally:
             # Providers must never accumulate per-query state, even when a
             # phase fails between summary and answer.  With the process
@@ -582,16 +630,17 @@ class Aggregator:
         budget = phased.budget
         answers = phased.answers
         survivors = phased.survivors
-        with phased.stopwatch.measure("combination"):
-            combined = [
-                self._combine(
-                    [answers[provider_index][index] for provider_index in survivors],
-                    budget,
-                    phased.smc,
-                    phased.accounting[index],
-                )
-                for index in range(num_queries)
-            ]
+        with self._phase_span("batch.combination", phased):
+            with phased.stopwatch.measure("combination"):
+                combined = [
+                    self._combine(
+                        [answers[provider_index][index] for provider_index in survivors],
+                        budget,
+                        phased.smc,
+                        phased.accounting[index],
+                    )
+                    for index in range(num_queries)
+                ]
 
         phase_seconds = phased.stopwatch.as_dict()
         summary_survivors = sorted(phased.summaries)
@@ -649,6 +698,12 @@ class Aggregator:
                     degraded=bool(phased.failed),
                     providers_missing=phased.providers_missing,
                 )
+            )
+        if phased.owns_trace:
+            self._tracer.end_span(
+                phased.trace_ctx,
+                degraded=bool(phased.failed),
+                providers_missing=len(phased.failed),
             )
         return results
 
@@ -827,6 +882,23 @@ class Aggregator:
         resilience = self.config.resilience
         degrade = resilience.enabled
         max_attempts = 1 + (resilience.max_retries if degrade else 0)
+        # The fan-out runs tasks on pool threads, which do not inherit this
+        # thread's contextvar — capture the phase span here and parent each
+        # per-provider attempt span explicitly.  A failed attempt's span is
+        # tagged with the error type, so retries are visible in the trace.
+        trace_parent = self._tracer.context() if self._tracer is not None else None
+
+        def traced(index: int, provider: DataProvider, attempt: int):
+            if trace_parent is None:
+                return task(index, provider, attempt)
+            with self._tracer.span(
+                f"attempt.{phase}",
+                parent=trace_parent,
+                provider=provider.provider_id,
+                attempt=attempt,
+            ):
+                return task(index, provider, attempt)
+
         results: dict[int, _T] = {}
         pending = list(indices)
         attempt = 0
@@ -858,7 +930,7 @@ class Aggregator:
                 index: int, provider: DataProvider, _attempt: int = attempt
             ) -> tuple[str, object]:
                 try:
-                    return "ok", task(index, provider, _attempt)
+                    return "ok", traced(index, provider, _attempt)
                 except TransportTimeoutError as error:
                     if not degrade:
                         raise
@@ -1107,6 +1179,7 @@ class Aggregator:
                 skip=skip,
                 injector=self._fault_injector,
                 resilience=self.config.resilience,
+                trace_ctx=self._tracer.context() if self._tracer is not None else None,
             )
             failed.update(pool_failures)
         else:

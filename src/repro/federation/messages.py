@@ -37,12 +37,21 @@ class QueryRequest:
     The serving layer (:mod:`repro.service`) uses it to key each query's
     randomness by ``(tenant, tenant-local sequence)`` so answers do not depend
     on how tenants' submissions were coalesced into batches.
+
+    ``trace_context`` carries the submitting span's ``(trace_id, span_id)``
+    when tracing is enabled (see :mod:`repro.obs.trace`), so provider-side
+    spans — behind a socket transport or inside a process-pool worker —
+    land in the same trace as the aggregator's.  It is observability
+    metadata, not protocol payload: it stays ``None`` with tracing off and
+    is excluded from :meth:`payload_bytes`, so the simulated communication
+    accounting is identical with and without tracing.
     """
 
     query_id: int
     query: RangeQuery
     sampling_rate: float
     seed_material: tuple[int, ...] | None = None
+    trace_context: tuple[str, str] | None = None
 
     def payload_bytes(self) -> int:
         """Approximate serialised size: header + one interval per dimension.

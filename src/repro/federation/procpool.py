@@ -72,6 +72,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ProtocolError
+from ..storage.layout import KernelTelemetry, merge_active_telemetry, telemetry_active
 
 __all__ = ["ProviderProcessPool", "ProcPoolStats"]
 
@@ -119,6 +120,10 @@ class ProcPoolStats:
     worker_timeouts: int = 0
     provider_retries: int = 0
     provider_failures: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form (for metric snapshots and benchmark records)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
 
 def _charge_pickled_rows(stats: ProcPoolStats, command: tuple) -> None:
@@ -299,6 +304,42 @@ class _WorkerDeltaView:
         )
 
 
+def _observed_call(obs: dict, provider, phase: str, call):
+    """Run one provider phase under worker-side telemetry/span collection.
+
+    ``obs`` is the parent's observability directive: ``"telemetry"`` asks
+    for a :class:`~repro.storage.layout.KernelTelemetry` count dict (the
+    parent has a live collector), ``"trace"`` carries the propagated span
+    context to parent worker spans under.  Returns ``(extra, result)``
+    where ``extra`` is the reply-payload observation dict (or ``None``).
+    Collection never touches the provider's draws — results are
+    bit-identical with and without it.
+    """
+    from ..obs.trace import SpanRecorder
+    from ..storage.layout import collect_kernel_telemetry
+
+    recorder = SpanRecorder(provider.provider_id)
+    telemetry = None
+    with recorder.span(
+        f"provider.{phase}",
+        obs.get("trace"),
+        provider=provider.provider_id,
+        worker_pid=os.getpid(),
+    ):
+        if obs.get("telemetry"):
+            with collect_kernel_telemetry() as collector:
+                result = call()
+            telemetry = collector.as_dict()
+        else:
+            result = call()
+    extra: dict = {}
+    if telemetry is not None:
+        extra["telemetry"] = telemetry
+    if recorder.records:
+        extra["spans"] = recorder.records
+    return (extra or None), result
+
+
 def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
     """Worker loop: host the assigned providers, serve phase calls over the pipe."""
     from .provider import DataProvider
@@ -359,23 +400,48 @@ def _worker_main(conn, provider_specs: Sequence[_ProviderSpec]) -> None:
             try:
                 provider = providers[command[1]]
                 if method == "summary":
-                    _, _, requests, epsilon = command
+                    requests, epsilon = command[2], command[3]
+                    obs = command[4] if len(command) > 4 else None
                     reuse: list[bool] = []
-                    messages = provider.prepare_summary_batch(
-                        requests, epsilon, reuse_out=reuse
-                    )
-                    conn.send(
-                        ("ok", (messages, reuse, provider._rng.bit_generator.state))
-                    )
+                    extra = None
+                    if obs:
+                        extra, messages = _observed_call(
+                            obs,
+                            provider,
+                            "summary",
+                            lambda: provider.prepare_summary_batch(
+                                requests, epsilon, reuse_out=reuse
+                            ),
+                        )
+                    else:
+                        messages = provider.prepare_summary_batch(
+                            requests, epsilon, reuse_out=reuse
+                        )
+                    payload = (messages, reuse, provider._rng.bit_generator.state)
+                    # The base 3-tuple reply is the stable protocol; worker
+                    # observations ride behind it only when requested, so the
+                    # default path ships byte-identical replies.
+                    conn.send(("ok", payload + (extra,) if extra else payload))
                 elif method == "answer":
-                    _, _, allocations, budget, use_smc = command
+                    allocations, budget, use_smc = command[2], command[3], command[4]
+                    obs = command[5] if len(command) > 5 else None
                     reuse = []
-                    answers = provider.answer_batch(
-                        allocations, budget, use_smc=use_smc, reuse_out=reuse
-                    )
-                    conn.send(
-                        ("ok", (answers, reuse, provider._rng.bit_generator.state))
-                    )
+                    extra = None
+                    if obs:
+                        extra, answers = _observed_call(
+                            obs,
+                            provider,
+                            "answer",
+                            lambda: provider.answer_batch(
+                                allocations, budget, use_smc=use_smc, reuse_out=reuse
+                            ),
+                        )
+                    else:
+                        answers = provider.answer_batch(
+                            allocations, budget, use_smc=use_smc, reuse_out=reuse
+                        )
+                    payload = (answers, reuse, provider._rng.bit_generator.state)
+                    conn.send(("ok", payload + (extra,) if extra else payload))
                 elif method == "ingest":
                     # Append-only: the worker mirrors the parent's buffer so
                     # later phases pin identical watermarks.  The command
@@ -411,7 +477,7 @@ class ProviderProcessPool:
     provider order; replies on a shared worker pipe arrive in send order.
     """
 
-    def __init__(self, providers: Sequence, parallelism) -> None:
+    def __init__(self, providers: Sequence, parallelism, *, tracer=None) -> None:
         self._providers = list(providers)
         self._blocks: list[shared_memory.SharedMemory] = []
         self._delta_buffers: list[_SharedDeltaBuffer] = []
@@ -419,6 +485,12 @@ class ProviderProcessPool:
         self._processes = []
         self._closed = False
         self.stats = ProcPoolStats()
+        # Observability: worker span records are absorbed into this tracer
+        # (None with observability disabled) and the workers' kernel
+        # telemetry accumulates here for the pool's lifetime on top of being
+        # folded into any live collect_kernel_telemetry() collector.
+        self._tracer = tracer
+        self.kernel_telemetry = KernelTelemetry()
         # Respawn state: the per-provider column specs (the shared blocks
         # are parent-owned and outlive any worker), the RNG checkpoints
         # taken at the last summary phase's entry, and that phase's command
@@ -557,8 +629,11 @@ class ProviderProcessPool:
             ):
                 if self._conns[worker] is None:
                     self._respawn_worker(worker)
+        obs = self._obs_directive(
+            next((request.trace_context for request in requests if request.trace_context), None)
+        )
         entries = [
-            (index, ("summary", provider.provider_id, requests, epsilon_allocation))
+            (index, ("summary", provider.provider_id, requests, epsilon_allocation) + obs)
             for index, provider in enumerate(self._providers)
             if index not in skip
         ]
@@ -575,13 +650,17 @@ class ProviderProcessPool:
         skip: frozenset[int] = frozenset(),
         injector=None,
         resilience=None,
+        trace_ctx=None,
     ):
         """Run ``answer_batch`` on every non-skipped provider's worker.
 
         Same ``(results, failures)`` contract as :meth:`summary_batch`.
+        ``trace_ctx`` carries the answer phase's span context (allocation
+        messages have no trace field of their own).
         """
         if self._closed:
             raise ProtocolError("provider process pool is closed")
+        obs = self._obs_directive(trace_ctx)
         entries = [
             (
                 index,
@@ -591,7 +670,8 @@ class ProviderProcessPool:
                     allocations_per_provider[index],
                     budget,
                     use_smc,
-                ),
+                )
+                + obs,
             )
             for index in range(len(self._providers))
             if index not in skip
@@ -759,6 +839,8 @@ class ProviderProcessPool:
                         # attempt, whose workers already consumed their draws.
                         self._providers[index]._rng.bit_generator.state = payload[2]
                         results[index] = (payload[0], payload[1])
+                        if len(payload) > 3 and payload[3]:
+                            self._absorb_observations(payload[3])
                     else:
                         results[index] = payload
             pending = sorted(failed_now)
@@ -796,6 +878,30 @@ class ProviderProcessPool:
                     if self._conns[worker] is None:
                         self._respawn_worker(worker, replay_for=replay)
         return results, failures
+
+    # -- observability -----------------------------------------------------
+
+    def _obs_directive(self, trace_ctx) -> tuple:
+        """Extra command element asking workers to observe, or empty.
+
+        Empty whenever neither tracing nor a live telemetry collector
+        wants the data — the commands (and replies) then stay exactly the
+        seed shapes.
+        """
+        telemetry = telemetry_active()
+        if trace_ctx is None and not telemetry:
+            return ()
+        return ({"trace": trace_ctx, "telemetry": telemetry},)
+
+    def _absorb_observations(self, extra: dict) -> None:
+        """Fold one worker reply's telemetry/spans into parent collectors."""
+        counts = extra.get("telemetry")
+        if counts:
+            merge_active_telemetry(counts)
+            self.kernel_telemetry.merge_counts(counts)
+        spans = extra.get("spans")
+        if spans and self._tracer is not None:
+            self._tracer.absorb(spans)
 
     # -- worker lifecycle --------------------------------------------------
 

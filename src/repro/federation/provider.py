@@ -74,6 +74,7 @@ from ..ingest.compaction import (
     incremental_eligible,
 )
 from ..ingest.delta import DeltaStore, IngestReceipt
+from ..obs.trace import ambient_span
 from ..query.batch import QueryBatch
 from ..query.executor import ExactExecution, ExactExecutor
 from ..query.model import RangeQuery
@@ -392,13 +393,18 @@ class DataProvider:
             the append triggered a compaction.
         """
         config = self.ingest_config or DEFAULT_INGEST
-        self.delta.append(rows)
-        compacted = False
-        should = config.auto_compact if auto_compact is None else auto_compact
-        if should and not self._sessions:
-            if self._compaction_policy.due(self.delta.watermark, self.clustered.num_rows):
-                self.compact()
-                compacted = True
+        with ambient_span(
+            "provider.ingest", provider=self.provider_id, rows=rows.num_rows
+        ):
+            self.delta.append(rows)
+            compacted = False
+            should = config.auto_compact if auto_compact is None else auto_compact
+            if should and not self._sessions:
+                if self._compaction_policy.due(
+                    self.delta.watermark, self.clustered.num_rows
+                ):
+                    self.compact()
+                    compacted = True
         return IngestReceipt(
             provider_id=self.provider_id,
             rows=rows.num_rows,
@@ -622,6 +628,22 @@ class DataProvider:
             cache hit re-serves the original release's noisy scalars
             byte-for-byte; only metadata work is the fresh queries'.
         """
+        with ambient_span(
+            "provider.summary_batch",
+            provider=self.provider_id,
+            queries=len(requests),
+        ):
+            return self._prepare_summary_batch_impl(
+                requests, epsilon_allocation, reuse_out=reuse_out
+            )
+
+    def _prepare_summary_batch_impl(
+        self,
+        requests: Sequence[QueryRequest],
+        epsilon_allocation: float,
+        *,
+        reuse_out: list[bool] | None = None,
+    ) -> list[SummaryMessage]:
         if not requests:
             return []
         schema = self.clustered.schema
@@ -813,6 +835,23 @@ class DataProvider:
             A cache hit re-serves the original estimate message and report
             byte-for-byte (only the transport ``query_id`` is rewritten).
         """
+        with ambient_span(
+            "provider.answer_batch",
+            provider=self.provider_id,
+            queries=len(allocations),
+        ):
+            return self._answer_batch_impl(
+                allocations, budget, use_smc=use_smc, reuse_out=reuse_out
+            )
+
+    def _answer_batch_impl(
+        self,
+        allocations: Sequence[AllocationMessage],
+        budget: QueryBudget,
+        *,
+        use_smc: bool = False,
+        reuse_out: list[bool] | None = None,
+    ) -> list[LocalAnswer]:
         if not allocations:
             return []
         cache = self.cache

@@ -39,6 +39,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ProtocolError
+from ..obs.trace import ambient_span
 from ..query.batch import QueryBatch
 from ..storage.cluster import Cluster
 from ..storage.clustered_table import ClusteredTable
@@ -133,14 +134,20 @@ class ShardedProvider(DataProvider):
         ranges_list = [session.query.range_tuples() for session in lazy]
         per_shard_positions = []
         per_shard_proportions = []
-        for shard in shards:
-            positions_list = shard.metadata.covering_positions_batch(ranges_list)
-            per_shard_positions.append(positions_list)
-            per_shard_proportions.append(
-                shard.metadata.proportions_at_positions_batch(
-                    positions_list, ranges_list
+        for shard_index, shard in enumerate(shards):
+            with ambient_span(
+                "shard.metadata_pass",
+                provider=self.provider_id,
+                shard=shard_index,
+                queries=len(lazy),
+            ):
+                positions_list = shard.metadata.covering_positions_batch(ranges_list)
+                per_shard_positions.append(positions_list)
+                per_shard_proportions.append(
+                    shard.metadata.proportions_at_positions_batch(
+                        positions_list, ranges_list
+                    )
                 )
-            )
         for query_index, session in enumerate(lazy):
             # Shards are contiguous ranges in layout order, so offsetting each
             # shard's (ascending) local positions and concatenating in shard
@@ -184,9 +191,15 @@ class ShardedProvider(DataProvider):
                 local_positions.append(positions[low:high] - shard.start)
             if not any(positions.size for positions in local_positions):
                 continue
-            shard_values = shard.clustered.layout().query_cluster_values(
-                batch, local_positions, execution=self.execution_config
-            )
+            with ambient_span(
+                "shard.scan",
+                provider=self.provider_id,
+                shard=shard_index,
+                clusters=int(sum(p.size for p in local_positions)),
+            ):
+                shard_values = shard.clustered.layout().query_cluster_values(
+                    batch, local_positions, execution=self.execution_config
+                )
             for query_index, values in enumerate(shard_values):
                 if values.size:
                     gathered[query_index].append(values)

@@ -62,6 +62,7 @@ import socket as socket_module
 import struct
 import threading
 import time
+from contextlib import nullcontext
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -322,11 +323,13 @@ class Transport:
         providers: Sequence[DataProvider],
         *,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        tracer: Any | None = None,
     ) -> None:
         self.providers = list(providers)
         self.max_frame_bytes = max_frame_bytes
         self.stats = NetworkStats()
         self.fault_injector: Any | None = None
+        self.tracer = tracer
         self.closed = False
         self._stats_lock = threading.Lock()
 
@@ -436,8 +439,8 @@ class InProcessTransport(Transport):
 class _SerializingTransport(Transport):
     """Shared machinery for transports that put every message on a wire."""
 
-    def __init__(self, providers, *, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
-        super().__init__(providers, max_frame_bytes=max_frame_bytes)
+    def __init__(self, providers, *, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES, tracer=None):
+        super().__init__(providers, max_frame_bytes=max_frame_bytes, tracer=tracer)
         self._seq = 0
         self._seq_lock = threading.Lock()
 
@@ -450,7 +453,20 @@ class _SerializingTransport(Transport):
         """Execute one decoded request envelope; exceptions become replies."""
         try:
             provider = self.providers[envelope["provider"]]
-            result = _execute_op(provider, envelope["op"], envelope["payload"])
+            op = envelope["op"]
+            payload = envelope["payload"]
+            trace_parent = payload.pop("trace", None) if isinstance(payload, dict) else None
+            if trace_parent is not None and self.tracer is not None:
+                with self.tracer.span(
+                    f"provider.{op}",
+                    parent=tuple(trace_parent),
+                    provider=provider.provider_id,
+                    side="server",
+                    transport=self.kind,
+                ):
+                    result = _execute_op(provider, op, payload)
+            else:
+                result = _execute_op(provider, op, payload)
             return {"seq": envelope["seq"], "ok": result}
         except Exception as error:  # noqa: BLE001 - the wire carries it home
             return {
@@ -479,9 +495,29 @@ class _SerializingTransport(Transport):
         phase: str | None = None,
         attempt: int = 1,
     ) -> Any:
-        fault, duplicate = self._take_fault(phase, index, attempt)
-        envelope = self._roundtrip(index, op, payload, fault=fault, duplicate=duplicate)
-        return self._unwrap(envelope, index)
+        # When a sampled span is active on this thread, wrap the round trip
+        # in a client-side rpc span and ship its context in the payload so
+        # the server side parents its provider span under it.  With tracing
+        # off (or the trace unsampled) the payload — and therefore the wire
+        # bytes — is exactly what it was before observability existed.
+        active = self.tracer.context() if self.tracer is not None else None
+        if active is not None:
+            span = self.tracer.span(
+                f"rpc.{op}",
+                provider=self.providers[index].provider_id,
+                attempt=attempt,
+                transport=self.kind,
+            )
+        else:
+            span = nullcontext()
+        with span as context:
+            if context is not None:
+                payload = {**payload, "trace": context}
+            fault, duplicate = self._take_fault(phase, index, attempt)
+            envelope = self._roundtrip(
+                index, op, payload, fault=fault, duplicate=duplicate
+            )
+            return self._unwrap(envelope, index)
 
     def _roundtrip(self, index, op, payload, *, fault, duplicate):
         raise NotImplementedError
@@ -522,8 +558,8 @@ class LoopbackTransport(_SerializingTransport):
 
     kind = "loopback"
 
-    def __init__(self, providers, *, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES):
-        super().__init__(providers, max_frame_bytes=max_frame_bytes)
+    def __init__(self, providers, *, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES, tracer=None):
+        super().__init__(providers, max_frame_bytes=max_frame_bytes, tracer=tracer)
         self._server_decoders = [FrameDecoder(max_frame_bytes) for _ in self.providers]
         self._client_decoders = [FrameDecoder(max_frame_bytes) for _ in self.providers]
 
@@ -602,8 +638,9 @@ class SocketTransport(_SerializingTransport):
         resilience=None,
         max_frame_bytes=DEFAULT_MAX_FRAME_BYTES,
         connect_timeout_seconds: float = 5.0,
+        tracer=None,
     ):
-        super().__init__(providers, max_frame_bytes=max_frame_bytes)
+        super().__init__(providers, max_frame_bytes=max_frame_bytes, tracer=tracer)
         self._call_timeout = (
             resilience.provider_timeout_seconds if resilience is not None else 30.0
         )
@@ -817,21 +854,26 @@ class SocketTransport(_SerializingTransport):
             self._thread.join(timeout=5.0)
 
 
-def create_transport(config, providers, *, resilience=None) -> Transport:
+def create_transport(config, providers, *, resilience=None, tracer=None) -> Transport:
     """Build the transport selected by a :class:`~repro.config.TransportConfig`.
 
-    ``None`` (or kind ``"inprocess"``) keeps today's direct calls.
+    ``None`` (or kind ``"inprocess"``) keeps today's direct calls.  An
+    optional ``tracer`` makes the serializing transports record client-side
+    ``rpc.*`` and server-side ``provider.*`` spans per call.
     """
     kind = "inprocess" if config is None else config.kind
     if kind == "inprocess":
-        return InProcessTransport(providers)
+        return InProcessTransport(providers, tracer=tracer)
     if kind == "loopback":
-        return LoopbackTransport(providers, max_frame_bytes=config.max_frame_bytes)
+        return LoopbackTransport(
+            providers, max_frame_bytes=config.max_frame_bytes, tracer=tracer
+        )
     if kind == "socket":
         return SocketTransport(
             providers,
             resilience=resilience,
             max_frame_bytes=config.max_frame_bytes,
             connect_timeout_seconds=config.connect_timeout_seconds,
+            tracer=tracer,
         )
     raise TransportError(f"unknown transport kind {kind!r}")

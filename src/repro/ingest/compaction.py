@@ -39,6 +39,7 @@ import numpy as np
 
 from ..config import IngestConfig
 from ..errors import IngestError
+from ..obs.trace import ambient_span
 from ..storage.cluster import Cluster
 from ..storage.clustered_table import ClusteredTable
 from ..storage.layout import ClusterLayout
@@ -129,6 +130,19 @@ class CompactionReport:
     incremental: bool
     cache_entries_purged: int = 0
     cache_entries_retained: int = 0
+
+    def as_dict(self) -> dict:
+        """Flat numeric/flag view for the metrics registry and bench harness."""
+        return {
+            "rows_folded": self.rows_folded,
+            "first_affected_position": self.first_affected_position,
+            "clusters_before": self.clusters_before,
+            "clusters_after": self.clusters_after,
+            "layout_epoch": self.layout_epoch,
+            "incremental": int(self.incremental),
+            "cache_entries_purged": self.cache_entries_purged,
+            "cache_entries_retained": self.cache_entries_retained,
+        }
 
 
 def incremental_eligible(
@@ -242,4 +256,9 @@ class Compactor:
         """Compact ``provider`` if the policy says so and no sessions are open."""
         if not self.due(provider) or provider.num_open_sessions:
             return None
-        return provider.compact()
+        with ambient_span(
+            "ingest.compaction",
+            provider=provider.provider_id,
+            delta_rows=provider.delta_rows,
+        ):
+            return provider.compact()

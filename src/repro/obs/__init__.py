@@ -1,0 +1,111 @@
+"""Unified observability: tracing, metrics, and the DP budget audit ledger.
+
+The package bundles three independently usable pieces behind one
+:class:`Observability` handle owned by
+:class:`~repro.core.system.FederatedAQPSystem`:
+
+* :mod:`repro.obs.trace` — per-submission distributed traces.  Spans cover
+  admission, pricing, chunking, every protocol phase per provider (and per
+  retry attempt), transport frames, and settlement; span context propagates
+  through :class:`~repro.federation.messages.QueryRequest` envelopes and the
+  serializing transports' payloads, so work executed behind a socket
+  transport or inside a process-pool worker lands in the same trace.  Spans
+  collect into an in-memory ring buffer exportable as JSON-lines.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry that
+  *pulls* the existing per-layer stats objects (``NetworkStats``,
+  ``CacheStats``, ``ServiceStats``, ``ResilienceStats``, ``ProcPoolStats``,
+  ``KernelTelemetry``) through their uniform ``as_dict()`` instead of
+  copying them, with a Prometheus text exporter.
+* :mod:`repro.obs.ledger` — an append-only stream of every budget
+  reservation, charge, and release (cache-reuse zero-charges and
+  degraded-drain partial charges flagged), reconcilable bit-for-bit against
+  :class:`~repro.core.accounting.EndUserBudget` / accountant state.
+
+Everything is **disabled by default** (:class:`~repro.config.ObservabilityConfig`):
+a disabled system carries ``tracer is None`` / ``ledger is None`` and every
+hook short-circuits on that check, keeping answers, charges, and message
+bytes bit-identical to the uninstrumented system.  Tracing draws no
+randomness — trace sampling is a deterministic hash of a trace counter —
+so enabling it never shifts a noise stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ObservabilityConfig
+from .ledger import BudgetAuditLedger, LedgerEvent, ReconciliationReport
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span, SpanRecorder, Tracer, ambient_span, ambient_tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "SpanRecorder",
+    "ambient_span",
+    "ambient_tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "BudgetAuditLedger",
+    "LedgerEvent",
+    "ReconciliationReport",
+]
+
+
+@dataclass
+class Observability:
+    """One system's observability surface: tracer + metrics + audit ledger.
+
+    Built from an :class:`~repro.config.ObservabilityConfig` via
+    :meth:`from_config`.  The metrics registry always exists (it is
+    pull-based, so registering suppliers costs nothing on the hot path);
+    the tracer and the budget audit ledger exist only when the config is
+    enabled, which is what lets every instrumentation site gate on a single
+    ``is None`` check.
+    """
+
+    config: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    ledger: BudgetAuditLedger | None = None
+
+    @classmethod
+    def from_config(cls, config: ObservabilityConfig) -> "Observability":
+        """Build the bundle; enabled configs get a live tracer and ledger."""
+        tracer = None
+        ledger = None
+        if config.enabled:
+            tracer = Tracer(
+                sample_rate=config.trace_sample_rate,
+                ring_capacity=config.ring_capacity,
+            )
+            tracer.activate_ambient()
+            ledger = BudgetAuditLedger()
+        return cls(config=config, tracer=tracer, metrics=MetricsRegistry(), ledger=ledger)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether tracing and ledger auditing are live."""
+        return self.tracer is not None
+
+    def snapshot(self) -> dict:
+        """One JSON-able dict over every registered metric, trace, and event."""
+        out = {
+            "enabled": self.enabled,
+            "metrics": self.metrics.snapshot(),
+        }
+        if self.tracer is not None:
+            out["traces"] = {
+                "started": self.tracer.traces_started,
+                "sampled": self.tracer.traces_sampled,
+                "spans": len(self.tracer.spans()),
+            }
+        if self.ledger is not None:
+            out["ledger"] = {
+                "events": len(self.ledger),
+                "owners": sorted(self.ledger.owners()),
+            }
+        return out

@@ -1,0 +1,223 @@
+"""Append-only DP budget audit ledger, reconcilable bit-for-bit.
+
+Every movement of privacy budget through an audited
+:class:`~repro.core.accounting.EndUserBudget` lands here as one
+:class:`LedgerEvent`:
+
+* ``"reserve"`` — an admission-time hold (the priced upper bound),
+* ``"release"`` — a hold coming off (settlement or abort); the recorded
+  amounts are the **clamped actual deltas** the wallet applied, so replay
+  matches the wallet's ``max(0, …)`` arithmetic exactly,
+* ``"charge"`` — an accountant charge.  ``cache_reuse`` flags zero-cost
+  charges (the query was served entirely from released artifacts);
+  ``degraded`` flags charges settled by a degraded (partial-answer) drain.
+
+Reconciliation is deliberately *bit-for-bit*, not approximate: charge
+events replay through the exact
+:meth:`~repro.dp.composition.PrivacySpend.__add__` left-fold the
+:class:`~repro.dp.accountant.PrivacyAccountant` uses, and reservation
+events replay the wallet's ``+=`` / ``max(0, -)`` ops in recorded order.
+Because audit events are emitted at the same call sites, in the same
+order, with the same floats as the state they mirror, any drift — a
+missed event, a double charge, a leaked reservation — shows up as exact
+inequality.
+
+>>> from repro.core.accounting import EndUserBudget
+>>> ledger = BudgetAuditLedger()
+>>> wallet = EndUserBudget.create(total_epsilon=10.0, total_delta=1e-2)
+>>> wallet.audit, wallet.audit_owner = ledger, "alice"
+>>> wallet.reserve(2.0, 1e-3)
+>>> wallet.charge_spends([(0.5, 1e-4, "q1")], enforce=False).epsilon
+0.5
+>>> wallet.release(2.0, 1e-3)
+>>> [event.kind for event in ledger.events("alice")]
+['reserve', 'charge', 'release']
+>>> ledger.reconcile("alice", wallet).exact
+True
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..dp.composition import PrivacySpend
+
+__all__ = ["LedgerEvent", "BudgetAuditLedger", "ReconciliationReport"]
+
+EVENT_KINDS = ("reserve", "release", "charge")
+"""Every event kind the ledger accepts, in lifecycle order."""
+
+
+@dataclass(frozen=True)
+class LedgerEvent:
+    """One budget movement: who, what kind, and exactly how much."""
+
+    seq: int
+    owner: str
+    kind: str
+    epsilon: float
+    delta: float
+    label: str = ""
+    cache_reuse: bool = False
+    degraded: bool = False
+
+    def as_dict(self) -> dict:
+        """JSON-able form (for exports and trace artifacts)."""
+        return {
+            "seq": self.seq,
+            "owner": self.owner,
+            "kind": self.kind,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "label": self.label,
+            "cache_reuse": self.cache_reuse,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass(frozen=True)
+class ReconciliationReport:
+    """Outcome of replaying one owner's events against wallet state."""
+
+    owner: str
+    charged: PrivacySpend
+    accountant_spent: PrivacySpend
+    reserved_epsilon: float
+    reserved_delta: float
+    wallet_reserved_epsilon: float
+    wallet_reserved_delta: float
+    events: int
+
+    @property
+    def charges_exact(self) -> bool:
+        """Replayed charges equal the accountant's running total exactly."""
+        return (
+            self.charged.epsilon == self.accountant_spent.epsilon
+            and self.charged.delta == self.accountant_spent.delta
+        )
+
+    @property
+    def reservations_exact(self) -> bool:
+        """Replayed reservations equal the wallet's live holds exactly."""
+        return (
+            self.reserved_epsilon == self.wallet_reserved_epsilon
+            and self.reserved_delta == self.wallet_reserved_delta
+        )
+
+    @property
+    def exact(self) -> bool:
+        """Bit-for-bit agreement on both charges and reservations."""
+        return self.charges_exact and self.reservations_exact
+
+
+class BudgetAuditLedger:
+    """Thread-safe append-only stream of :class:`LedgerEvent` records."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[LedgerEvent] = []
+
+    def record(
+        self,
+        owner: str,
+        kind: str,
+        epsilon: float,
+        delta: float,
+        *,
+        label: str = "",
+        cache_reuse: bool = False,
+        degraded: bool = False,
+    ) -> LedgerEvent:
+        """Append one event and return it."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"kind must be one of {EVENT_KINDS}, got {kind!r}")
+        with self._lock:
+            event = LedgerEvent(
+                seq=len(self._events),
+                owner=owner,
+                kind=kind,
+                epsilon=float(epsilon),
+                delta=float(delta),
+                label=label,
+                cache_reuse=cache_reuse,
+                degraded=degraded,
+            )
+            self._events.append(event)
+        return event
+
+    def events(self, owner: str | None = None) -> tuple[LedgerEvent, ...]:
+        """Every recorded event (optionally one owner's), in append order."""
+        with self._lock:
+            events = tuple(self._events)
+        if owner is None:
+            return events
+        return tuple(event for event in events if event.owner == owner)
+
+    def owners(self) -> tuple[str, ...]:
+        """Distinct owners in first-appearance order."""
+        seen: dict[str, None] = {}
+        for event in self.events():
+            seen.setdefault(event.owner, None)
+        return tuple(seen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def export_jsonl(self, path=None) -> str:
+        """Every event as one JSON object per line (optionally to a file)."""
+        lines = "\n".join(json.dumps(event.as_dict()) for event in self.events())
+        if lines:
+            lines += "\n"
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(lines)
+        return lines
+
+    # -- reconciliation ----------------------------------------------------
+
+    def replay_charges(self, events: Iterable[LedgerEvent]) -> PrivacySpend:
+        """Left-fold charge events exactly as the accountant folds entries."""
+        total = PrivacySpend.zero()
+        for event in events:
+            if event.kind == "charge":
+                total = total + PrivacySpend(event.epsilon, event.delta)
+        return total
+
+    def replay_reservations(
+        self, events: Iterable[LedgerEvent]
+    ) -> tuple[float, float]:
+        """Replay reserve/release ops with the wallet's exact arithmetic."""
+        epsilon = delta = 0.0
+        for event in events:
+            if event.kind == "reserve":
+                epsilon += event.epsilon
+                delta += event.delta
+            elif event.kind == "release":
+                epsilon = max(0.0, epsilon - event.epsilon)
+                delta = max(0.0, delta - event.delta)
+        return epsilon, delta
+
+    def reconcile(self, owner: str, wallet) -> ReconciliationReport:
+        """Replay ``owner``'s events against an audited wallet's live state.
+
+        ``wallet`` is an :class:`~repro.core.accounting.EndUserBudget`.
+        The report's :attr:`~ReconciliationReport.exact` is the bit-for-bit
+        verdict; the individual totals are kept for diagnostics.
+        """
+        events = self.events(owner)
+        charged = self.replay_charges(events)
+        reserved_epsilon, reserved_delta = self.replay_reservations(events)
+        return ReconciliationReport(
+            owner=owner,
+            charged=charged,
+            accountant_spent=wallet.accountant.spent,
+            reserved_epsilon=reserved_epsilon,
+            reserved_delta=reserved_delta,
+            wallet_reserved_epsilon=wallet.reserved_epsilon,
+            wallet_reserved_delta=wallet.reserved_delta,
+            events=len(events),
+        )

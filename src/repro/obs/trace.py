@@ -1,0 +1,347 @@
+"""Per-query distributed tracing with a deterministic, RNG-free sampler.
+
+A :class:`Tracer` collects :class:`Span` records into a bounded in-memory
+ring buffer.  Spans form trees under a per-submission (or per-batch) trace
+id; the ``(trace_id, span_id)`` pair is the **span context** that crosses
+component and process boundaries:
+
+* the scheduler opens a root span per submission and stores its context on
+  the submission;
+* the aggregator stamps the context into every
+  :class:`~repro.federation.messages.QueryRequest` (a plain tuple field, so
+  the ``RAQP`` wire codec round-trips it untouched) and into the
+  serializing transports' payloads, so the provider side of a socket
+  transport parents its spans correctly;
+* process-pool workers carry no tracer — they record finished spans with a
+  :class:`SpanRecorder` and ship the plain dicts back in the reply payload,
+  which the parent folds into its ring via :meth:`Tracer.absorb`.
+
+Two properties keep tracing safe to enable on a DP system:
+
+* **no randomness** — the head-based sampling decision is a multiplicative
+  hash of a trace counter, never an RNG draw, so enabling tracing cannot
+  shift any noise stream;
+* **no hot-path work when disabled** — a disabled system has no tracer at
+  all; every call site guards on ``tracer is None`` (or the module-level
+  :func:`ambient_span`, a single global read) and the protocol messages
+  carry ``trace_context=None``, leaving wire bytes bit-identical.
+
+Wall-clock timestamps use ``time.time()`` (not ``perf_counter``) so spans
+recorded in worker *processes* share the parent's clock and the waterfall
+rendered by ``tools/trace_report.py`` lines up across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "Tracer",
+    "ambient_span",
+    "ambient_tracer",
+]
+
+SpanContext = tuple[str, str]
+"""``(trace_id, span_id)`` — the only state that crosses boundaries."""
+
+_NOT_SAMPLED: SpanContext = ("", "")
+"""Sentinel context marking an active-but-unsampled trace: descendants see
+it and skip span creation instead of starting spurious new traces."""
+
+_CURRENT: ContextVar[SpanContext | None] = ContextVar("repro_obs_span", default=None)
+
+_AMBIENT: "Tracer | None" = None
+
+
+def ambient_tracer() -> "Tracer | None":
+    """The process-wide tracer installed by the most recent enabled system."""
+    return _AMBIENT
+
+
+@contextmanager
+def ambient_span(name: str, **tags) -> Iterator[SpanContext | None]:
+    """Span on the ambient tracer; a cheap no-op when tracing is disabled.
+
+    Used by layers that have no handle on the owning system (providers,
+    the reuse planner) — one module-global read decides everything.
+    """
+    tracer = _AMBIENT
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **tags) as ctx:
+        yield ctx
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) timed operation in a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    end: float = 0.0
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> dict:
+        """JSON-line form used by :meth:`Tracer.export_jsonl`."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "tags": dict(self.tags),
+        }
+
+
+def _hash_sampled(sequence: int, rate: float) -> bool:
+    """Deterministic head-sampling decision for trace number ``sequence``.
+
+    Knuth multiplicative hash mapped into [0, 1) — uniform enough for
+    sampling, needs no RNG state, and replays identically run to run.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return ((sequence * 2654435761) & 0xFFFFFFFF) / 2**32 < rate
+
+
+class Tracer:
+    """Thread-safe span collector with a bounded ring buffer.
+
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of traces kept, decided at trace start (head sampling);
+        descendants of an unsampled trace are skipped wholesale.
+    ring_capacity:
+        Maximum finished spans retained; older spans fall off the ring.
+    """
+
+    def __init__(self, *, sample_rate: float = 1.0, ring_capacity: int = 65536) -> None:
+        self._sample_rate = float(sample_rate)
+        self._ring: deque[Span] = deque(maxlen=int(ring_capacity))
+        self._open: dict[str, Span] = {}
+        self._lock = threading.Lock()
+        self._trace_seq = 0
+        self._span_seq = 0
+        self.traces_started = 0
+        self.traces_sampled = 0
+
+    # -- identifiers -------------------------------------------------------
+
+    def _next_trace(self) -> tuple[str | None, bool]:
+        with self._lock:
+            self._trace_seq += 1
+            sequence = self._trace_seq
+            self.traces_started += 1
+            sampled = _hash_sampled(sequence, self._sample_rate)
+            if sampled:
+                self.traces_sampled += 1
+        return (f"t{sequence:06d}" if sampled else None, sampled)
+
+    def _next_span_id(self) -> str:
+        with self._lock:
+            self._span_seq += 1
+            return f"s{self._span_seq:06d}"
+
+    # -- context -----------------------------------------------------------
+
+    def context(self) -> SpanContext | None:
+        """The current span context of this thread/task (``None`` outside)."""
+        current = _CURRENT.get()
+        if current is None or current == _NOT_SAMPLED:
+            return None
+        return current
+
+    def activate_ambient(self) -> None:
+        """Install this tracer as the process-wide ambient tracer."""
+        global _AMBIENT
+        _AMBIENT = self
+
+    # -- span creation -----------------------------------------------------
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        parent: SpanContext | None | str = "inherit",
+        **tags,
+    ) -> Iterator[SpanContext | None]:
+        """Record one timed span; children inherit via contextvar or ``parent``.
+
+        ``parent="inherit"`` (default) uses the calling context's span.
+        An explicit ``parent=ctx`` pins the span under a context captured
+        on another thread.  No active/sampled parent starts a **new
+        trace** — the head-sampling decision happens here.
+        """
+        if parent == "inherit":
+            parent = _CURRENT.get()
+        if parent == _NOT_SAMPLED:
+            yield None
+            return
+        if parent is None:
+            trace_id, sampled = self._next_trace()
+            if not sampled:
+                token = _CURRENT.set(_NOT_SAMPLED)
+                try:
+                    yield None
+                finally:
+                    _CURRENT.reset(token)
+                return
+            parent_id = None
+        else:
+            trace_id, parent_id = parent
+        span_id = self._next_span_id()
+        context = (trace_id, span_id)
+        record = Span(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            start=time.time(),
+            tags=dict(tags),
+        )
+        token = _CURRENT.set(context)
+        try:
+            yield context
+        except BaseException as error:
+            record.tags.setdefault("error", type(error).__name__)
+            raise
+        finally:
+            _CURRENT.reset(token)
+            record.end = time.time()
+            with self._lock:
+                self._ring.append(record)
+
+    def begin_trace(self, name: str, **tags) -> SpanContext | None:
+        """Open a long-lived root span (e.g. one submission's lifetime).
+
+        Returns its context for explicit parenting, or ``None`` when the
+        trace was not sampled.  Close with :meth:`end_span`; an unfinished
+        root is still exported (with ``end == 0``) so abandoned
+        submissions remain visible in trace dumps.
+        """
+        trace_id, sampled = self._next_trace()
+        if not sampled:
+            return None
+        span_id = self._next_span_id()
+        record = Span(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=None,
+            name=name,
+            start=time.time(),
+            tags=dict(tags),
+        )
+        with self._lock:
+            self._open[span_id] = record
+        return (trace_id, span_id)
+
+    def end_span(self, context: SpanContext | None, **tags) -> None:
+        """Finish a span opened with :meth:`begin_trace` (idempotent)."""
+        if context is None or context == _NOT_SAMPLED:
+            return
+        with self._lock:
+            record = self._open.pop(context[1], None)
+            if record is None:
+                return
+            record.end = time.time()
+            record.tags.update(tags)
+            self._ring.append(record)
+
+    def absorb(self, records: Iterable[Mapping]) -> None:
+        """Fold finished span dicts from a worker/remote into the ring."""
+        spans = [
+            Span(
+                trace_id=str(record["trace_id"]),
+                span_id=str(record["span_id"]),
+                parent_id=record.get("parent_id"),
+                name=str(record["name"]),
+                start=float(record["start"]),
+                end=float(record["end"]),
+                tags=dict(record.get("tags") or {}),
+            )
+            for record in records
+        ]
+        with self._lock:
+            self._ring.extend(spans)
+
+    # -- export ------------------------------------------------------------
+
+    def spans(self) -> tuple[Span, ...]:
+        """Finished spans followed by still-open roots, in recording order."""
+        with self._lock:
+            return tuple(self._ring) + tuple(self._open.values())
+
+    def export_jsonl(self, path=None) -> str:
+        """Render every span as one JSON object per line (optionally to a file)."""
+        lines = "\n".join(json.dumps(span.as_dict()) for span in self.spans())
+        if lines:
+            lines += "\n"
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(lines)
+        return lines
+
+
+class SpanRecorder:
+    """Tracer stand-in for processes that cannot own the ring buffer.
+
+    Process-pool workers record finished spans as plain dicts under a
+    propagated parent context; the dicts travel back in the reply payload
+    and the parent calls :meth:`Tracer.absorb`.  ``prefix`` keeps worker
+    span ids globally unique (e.g. the provider id).
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._counter = 0
+        self.records: list[dict] = []
+
+    @contextmanager
+    def span(
+        self, name: str, parent: SpanContext | None, **tags
+    ) -> Iterator[SpanContext | None]:
+        """Record one span under ``parent``; no-op when ``parent`` is None."""
+        if not parent or parent == _NOT_SAMPLED:
+            yield None
+            return
+        self._counter += 1
+        span_id = f"{self._prefix}:{self._counter}"
+        start = time.time()
+        try:
+            yield (parent[0], span_id)
+        finally:
+            self.records.append(
+                {
+                    "trace_id": parent[0],
+                    "span_id": span_id,
+                    "parent_id": parent[1],
+                    "name": name,
+                    "start": start,
+                    "end": time.time(),
+                    "tags": dict(tags),
+                }
+            )

@@ -89,6 +89,7 @@ import math
 import threading
 import time
 from collections import deque
+from contextlib import nullcontext
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -239,6 +240,16 @@ class LatencyHistogram:
         """99th-percentile latency (the SLO gate's usual subject)."""
         return self.percentile(99.0)
 
+    def as_dict(self) -> dict[str, float]:
+        """Summary statistics (count/mean/percentiles), not the raw samples."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
 
 @dataclass
 class ServiceStats:
@@ -286,6 +297,22 @@ class ServiceStats:
             self.epsilon_by_tenant.get(tenant_id, 0.0) + epsilon
         )
 
+    def as_dict(self) -> dict[str, float]:
+        """Flat numeric view: scalar counters plus ``<histogram>_<stat>`` keys.
+
+        Per-tenant and per-chunk collections are omitted — they are
+        unbounded in cardinality; read them from the attributes directly.
+        """
+        out: dict[str, float] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if isinstance(value, LatencyHistogram):
+                for stat, number in value.as_dict().items():
+                    out[f"{name}_{stat}"] = number
+            elif isinstance(value, (int, float)):
+                out[name] = value
+        return out
+
 
 @dataclass
 class _Submission:
@@ -309,6 +336,7 @@ class _Submission:
     query_costs: tuple[float, ...] | None = None
     cost_signature: tuple[tuple[int, int], ...] | None = None
     drains_skipped: int = 0
+    trace_ctx: tuple[str, str] | None = None
 
 
 @dataclass(frozen=True)
@@ -481,6 +509,13 @@ class SessionScheduler:
         self._query_budget = split_query_budget(system.config.privacy)
         # Weighted-fair deficit balances carried across drains, per tenant.
         self._deficits: dict[str, float] = {}
+        self._tracer = system.obs.tracer
+        system.obs.metrics.register_group("service", lambda: self.stats.as_dict())
+
+    def _end_trace(self, trace_ctx, **tags) -> None:
+        """Close a ``begin_trace`` root if tracing is on (idempotent)."""
+        if trace_ctx is not None and self._tracer is not None:
+            self._tracer.end_span(trace_ctx, **tags)
 
     # -- admission --------------------------------------------------------------
 
@@ -534,6 +569,13 @@ class SessionScheduler:
         if not queries:
             raise ServiceError("a submission must contain at least one query")
         tenant = self.registry.get(tenant_id)
+        trace_ctx = (
+            self._tracer.begin_trace(
+                "submission", tenant=tenant_id, queries=len(queries)
+            )
+            if self._tracer is not None
+            else None
+        )
         with self._lock:
             # Cheap shed before any pricing work: when both queues are full
             # no submission can be accepted whatever it prices at.
@@ -541,6 +583,7 @@ class SessionScheduler:
                 len(self._pending) >= self.config.max_pending
                 and len(self._deferred) >= self.config.max_pending
             ):
+                self._end_trace(trace_ctx, status="overloaded")
                 raise ServiceOverloadedError(
                     f"pending queue and deferred park are both full "
                     f"({self.config.max_pending} submissions each); drain first"
@@ -551,7 +594,12 @@ class SessionScheduler:
         # blocked behind it.  The bound tolerates cache-state races by
         # design (see the planner's documented eviction corner); the
         # affordability check is re-taken under the lock before reserving.
-        bound_epsilon, bound_delta = self._price(range_queries)
+        with (
+            self._tracer.span("submission.pricing", parent=trace_ctx)
+            if trace_ctx is not None
+            else nullcontext()
+        ):
+            bound_epsilon, bound_delta = self._price(range_queries)
         # Cost estimation rides the same off-lock slot.  The estimate is a
         # packing hint, not a correctness input: if a compaction lands
         # between here and the drain, the recorded signature no longer
@@ -564,6 +612,10 @@ class SessionScheduler:
                 estimate.units for estimate in self.cost_model.estimate(range_queries)
             )
         with self._lock:
+            ledger = self.system.obs.ledger
+            if ledger is not None and tenant.budget.audit is None:
+                tenant.budget.audit = ledger
+                tenant.budget.audit_owner = tenant_id
             affordable = tenant.budget.can_admit(bound_epsilon, bound_delta)
             defer = (
                 not affordable
@@ -572,6 +624,7 @@ class SessionScheduler:
             )
             if not affordable and not defer:
                 self.stats.submissions_rejected += 1
+                self._end_trace(trace_ctx, status="rejected")
                 raise AdmissionError(
                     f"tenant {tenant_id!r}: bound ({bound_epsilon}, {bound_delta}) "
                     f"exceeds remaining budget "
@@ -581,11 +634,13 @@ class SessionScheduler:
             # never-affordable work can fill the deferred park, but it cannot
             # starve other tenants' admissible submissions.
             if affordable and len(self._pending) >= self.config.max_pending:
+                self._end_trace(trace_ctx, status="overloaded")
                 raise ServiceOverloadedError(
                     f"pending queue is full ({self.config.max_pending} submissions); "
                     "drain before submitting more"
                 )
             if defer and len(self._deferred) >= self.config.max_pending:
+                self._end_trace(trace_ctx, status="overloaded")
                 raise ServiceOverloadedError(
                     f"deferred park is full ({self.config.max_pending} submissions); "
                     "drain (after budgets or caches changed) or discard_deferred()"
@@ -600,6 +655,7 @@ class SessionScheduler:
                 bound_delta=bound_delta,
                 query_costs=query_costs,
                 cost_signature=cost_signature,
+                trace_ctx=trace_ctx,
             )
             self._next_submission_id += 1
             if affordable:
@@ -771,15 +827,29 @@ class SessionScheduler:
             stays pending for the next drain.  Neither is in the list.
         """
         with self._drain_lock:
-            admitted = self._admit_for_drain()
-            if self.config.drain_time_budget_ms is not None:
-                self._refresh_costs(admitted)
-            with self._lock:
-                ingests = self._pending_ingest
-                self._pending_ingest = []
-            if not admitted and not ingests:
-                return []
-            return self._run_pipeline(admitted, ingests)
+            drain_ctx = (
+                self._tracer.begin_trace("drain")
+                if self._tracer is not None
+                else None
+            )
+            admitted: list[_Submission] = []
+            try:
+                with (
+                    self._tracer.span("drain.admission", parent=drain_ctx)
+                    if drain_ctx is not None
+                    else nullcontext()
+                ):
+                    admitted = self._admit_for_drain()
+                    if self.config.drain_time_budget_ms is not None:
+                        self._refresh_costs(admitted)
+                with self._lock:
+                    ingests = self._pending_ingest
+                    self._pending_ingest = []
+                if not admitted and not ingests:
+                    return []
+                return self._run_pipeline(admitted, ingests, drain_ctx=drain_ctx)
+            finally:
+                self._end_trace(drain_ctx, submissions=len(admitted))
 
     def _admit_for_drain(self) -> list[_Submission]:
         """Re-price the deferred park and pick the admitted set (locked)."""
@@ -871,6 +941,8 @@ class SessionScheduler:
         self,
         admitted: Sequence[_Submission],
         ingests: Sequence[tuple[Table, int | None, Tenant | None]] = (),
+        *,
+        drain_ctx: tuple[str, str] | None = None,
     ) -> list[TenantAnswer]:
         """Flatten in pick order, chunk, execute FIFO, settle as chunks land.
 
@@ -912,22 +984,31 @@ class SessionScheduler:
         # workload: count-chunking by default, work packing under a time
         # budget (boundaries only ever move, order never changes).
         boundaries: list[tuple[int, int]] = []
-        if flat_queries:
-            if budget_ms is not None and len(flat_costs) == len(flat_queries):
-                budget_units = (budget_ms / 1000.0) / self.cost_model.seconds_per_unit
-                groups = work_balanced_chunks(
-                    list(range(len(flat_queries))),
-                    flat_costs,
-                    budget_units,
-                    max_size=self.config.max_batch_size,
-                )
-                boundaries = [(group[0], group[-1] + 1) for group in groups]
-            else:
-                size = self.config.max_batch_size
-                boundaries = [
-                    (start, min(start + size, len(flat_queries)))
-                    for start in range(0, len(flat_queries), size)
-                ]
+        with (
+            self._tracer.span(
+                "drain.chunking", parent=drain_ctx, queries=len(flat_queries)
+            )
+            if drain_ctx is not None
+            else nullcontext()
+        ):
+            if flat_queries:
+                if budget_ms is not None and len(flat_costs) == len(flat_queries):
+                    budget_units = (
+                        budget_ms / 1000.0
+                    ) / self.cost_model.seconds_per_unit
+                    groups = work_balanced_chunks(
+                        list(range(len(flat_queries))),
+                        flat_costs,
+                        budget_units,
+                        max_size=self.config.max_batch_size,
+                    )
+                    boundaries = [(group[0], group[-1] + 1) for group in groups]
+                else:
+                    size = self.config.max_batch_size
+                    boundaries = [
+                        (start, min(start + size, len(flat_queries)))
+                        for start in range(0, len(flat_queries), size)
+                    ]
         chunks: list[
             tuple[QueryBatch, list[tuple[int, ...]], set[str], float | None]
         ] = []
@@ -950,35 +1031,47 @@ class SessionScheduler:
         # network, both of which must stay on the dispatcher thread.
         overlap = self.config.overlap_phases and not self.system.config.use_smc_for_result
 
+        def chunk_span(name: str, **tags):
+            # Opened on the dispatcher thread: parenting under the drain
+            # root sets that thread's span context, so the engine's batch
+            # phase spans (and everything below them) land in the drain's
+            # trace rather than starting traces of their own.
+            if drain_ctx is None:
+                return nullcontext()
+            return self._tracer.span(name, parent=drain_ctx, **tags)
+
         def run(chunk: QueryBatch, tokens: list[tuple[int, ...]]) -> BatchResult:
-            return self.system.execute_batch(
-                chunk.queries,
-                compute_exact=self.config.compute_exact,
-                seed_tokens=tokens,
-            )
+            with chunk_span("drain.chunk", queries=len(chunk)):
+                return self.system.execute_batch(
+                    chunk.queries,
+                    compute_exact=self.config.compute_exact,
+                    seed_tokens=tokens,
+                )
 
         def run_phased(
             chunk: QueryBatch, tokens: list[tuple[int, ...]]
         ) -> PhasedExecution:
-            phased = self.system.begin_batch(
-                chunk.queries,
-                compute_exact=self.config.compute_exact,
-                seed_tokens=tokens,
-            )
-            try:
-                phased.collect()
-            except BaseException:
-                # collect() already released the sessions on its own
-                # failure paths; abandon() is idempotent and covers any
-                # gap between begin and collect.
-                phased.abandon()
-                raise
-            return phased
+            with chunk_span("drain.chunk", queries=len(chunk), overlapped=True):
+                phased = self.system.begin_batch(
+                    chunk.queries,
+                    compute_exact=self.config.compute_exact,
+                    seed_tokens=tokens,
+                )
+                try:
+                    phased.collect()
+                except BaseException:
+                    # collect() already released the sessions on its own
+                    # failure paths; abandon() is idempotent and covers any
+                    # gap between begin and collect.
+                    phased.abandon()
+                    raise
+                return phased
 
         def run_ingest(
             rows: Table, provider_index: int | None, tenant: Tenant | None
         ) -> tuple[list[IngestReceipt | None], Tenant | None]:
-            return self.system.ingest(rows, provider_index=provider_index), tenant
+            with chunk_span("drain.ingest", rows=rows.num_rows):
+                return self.system.ingest(rows, provider_index=provider_index), tenant
 
         results_flat: list[QueryResult] = []
         answers: list[TenantAnswer] = []
@@ -1113,8 +1206,21 @@ class SessionScheduler:
         # The noisy releases already happened; record the true actuals
         # unconditionally (same rationale as the system facade) and only
         # then hand the admission reservation back.
-        total = tenant.budget.charge_spends(charges, enforce=False)
-        tenant.budget.release(submission.bound_epsilon, submission.bound_delta)
+        with (
+            self._tracer.span(
+                "submission.settle",
+                parent=submission.trace_ctx,
+                tenant=tenant.tenant_id,
+            )
+            if submission.trace_ctx is not None and self._tracer is not None
+            else nullcontext()
+        ):
+            total = tenant.budget.charge_spends(
+                charges,
+                enforce=False,
+                degraded=[result.degraded for result in results],
+            )
+            tenant.budget.release(submission.bound_epsilon, submission.bound_delta)
         submission.reserved = False
         self.stats._note_charge(tenant.tenant_id, total.epsilon, total.delta)
         self.stats.answers_delivered += 1
@@ -1127,6 +1233,13 @@ class SessionScheduler:
             self.stats.degraded_queries += degraded
             tenant.degraded_queries += degraded
         self.stats.submission_latency.record(latency_seconds)
+        self._end_trace(
+            submission.trace_ctx,
+            status="settled",
+            epsilon=total.epsilon,
+            delta=total.delta,
+            degraded=degraded,
+        )
         return TenantAnswer(
             tenant_id=tenant.tenant_id,
             submission_id=submission.submission_id,
@@ -1167,7 +1280,11 @@ class SessionScheduler:
                         )
                         for result in answered
                     ]
-                    total = tenant.budget.charge_spends(charges, enforce=False)
+                    total = tenant.budget.charge_spends(
+                        charges,
+                        enforce=False,
+                        degraded=[result.degraded for result in answered],
+                    )
                     self.stats._note_charge(
                         tenant.tenant_id, total.epsilon, total.delta
                     )
@@ -1176,6 +1293,7 @@ class SessionScheduler:
                         submission.bound_epsilon, submission.bound_delta
                     )
                     submission.reserved = False
+                self._end_trace(submission.trace_ctx, status="aborted")
 
     # -- convenience ------------------------------------------------------------
 

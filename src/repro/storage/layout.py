@@ -47,6 +47,8 @@ __all__ = [
     "ClusterLayout",
     "KernelTelemetry",
     "collect_kernel_telemetry",
+    "telemetry_active",
+    "merge_active_telemetry",
     "OPEN_LOW",
     "OPEN_HIGH",
 ]
@@ -116,6 +118,28 @@ class KernelTelemetry:
         for name, spec in self.__dataclass_fields__.items():
             setattr(self, name, spec.default)
 
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form (for metric snapshots and benchmark records)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def merge_counts(self, counts: "Mapping[str, object]") -> None:
+        """Fold another collector's ``as_dict()`` into this one.
+
+        Numeric counters add; the string fields (``backend``,
+        ``fallback_reason``) adopt the incoming value when set — the use
+        case is folding process-pool workers' telemetry into the parent's
+        collector, where the last worker to report wins the label exactly
+        as the last in-process kernel call would.
+        """
+        for name, value in counts.items():
+            if name not in self.__dataclass_fields__:
+                continue
+            if isinstance(value, str):
+                if value:
+                    setattr(self, name, value)
+            else:
+                setattr(self, name, getattr(self, name) + value)
+
     def _note_backend(self, backend: "KernelBackend") -> None:
         """Record which backend served a kernel call (and why, on fallback)."""
         self.backend = backend.name
@@ -139,6 +163,26 @@ def collect_kernel_telemetry() -> Iterator[KernelTelemetry]:
         yield _telemetry
     finally:
         _telemetry = previous
+
+
+def telemetry_active() -> bool:
+    """Whether a :func:`collect_kernel_telemetry` collector is live.
+
+    The process pool checks this before a phase call so workers only pay
+    for telemetry collection when the parent is actually collecting.
+    """
+    return _telemetry is not None
+
+
+def merge_active_telemetry(counts: "Mapping[str, object]") -> None:
+    """Fold remote counters into the live collector (no-op when inactive).
+
+    This is how process-pool workers' kernel work — invisible to the
+    parent's context-var collector — lands in the same
+    :class:`KernelTelemetry` an in-process run would have filled.
+    """
+    if _telemetry is not None:
+        _telemetry.merge_counts(counts)
 
 
 def _bounds_as(column: np.ndarray, lows: np.ndarray, highs: np.ndarray):

@@ -25,6 +25,7 @@ DOCTESTED_PAGES = [
     REPO_ROOT / "docs" / "ingestion.md",
     REPO_ROOT / "docs" / "robustness.md",
     REPO_ROOT / "docs" / "distribution.md",
+    REPO_ROOT / "docs" / "observability.md",
 ]
 
 

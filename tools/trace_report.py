@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Render a drain waterfall from a trace dump.
+
+Reads the JSON-lines format written by ``Tracer.export_jsonl`` (one span
+object per line) and prints, per trace, an indented tree of spans with
+time-aligned duration bars — the classic distributed-tracing waterfall,
+in a terminal:
+
+    $ python tools/trace_report.py trace.jsonl
+    trace t000003 — 11 spans, 12.4 ms
+      drain                                12.4ms |##############################|
+        drain.admission                     1.1ms |##                            |
+        drain.chunk                         9.8ms |    ######################    |
+          batch.allocation                  2.0ms |    #####                     |
+          ...
+
+Spans absorbed from workers/remotes keep their recorded parent IDs, so a
+socket-transported, sharded drain renders as one tree.  Orphans (spans
+whose parent never reached the ring, e.g. a crashed worker) are rendered
+as extra roots and flagged.  Open roots (``end == 0``: an abandoned
+submission) are marked ``open``.
+
+Usage:
+    python tools/trace_report.py DUMP.jsonl [--trace TRACE_ID] [--width N]
+    ... | python tools/trace_report.py -          # read stdin
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, Mapping
+
+
+def load_spans(lines: Iterable[str]) -> list[dict]:
+    """Parse JSONL span records, skipping blank lines."""
+    spans = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans
+
+
+def _format_ms(seconds: float) -> str:
+    millis = seconds * 1000.0
+    if millis >= 1000.0:
+        return f"{millis / 1000.0:.2f}s"
+    return f"{millis:.1f}ms"
+
+
+def _format_tags(tags: Mapping) -> str:
+    if not tags:
+        return ""
+    inner = " ".join(f"{key}={value}" for key, value in sorted(tags.items()))
+    return f"  [{inner}]"
+
+
+def render_trace(trace_id: str, spans: list[dict], width: int = 30) -> str:
+    """Render one trace's spans as an indented, time-aligned waterfall."""
+    by_id = {span["span_id"]: span for span in spans}
+    children: dict[str | None, list[dict]] = {}
+    roots: list[tuple[bool, dict]] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is None:
+            roots.append((False, span))
+        elif parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append((True, span))  # orphan: parent never landed
+    for group in children.values():
+        group.sort(key=lambda span: (span["start"], span["span_id"]))
+    roots.sort(key=lambda pair: (pair[1]["start"], pair[1]["span_id"]))
+
+    starts = [span["start"] for span in spans]
+    ends = [span["end"] for span in spans if span["end"]]
+    origin = min(starts) if starts else 0.0
+    horizon = max(ends) if ends else origin
+    extent = max(horizon - origin, 1e-9)
+
+    name_width = max(
+        (len(span["name"]) + 2 * _depth(span, by_id) for span in spans), default=0
+    )
+    lines = [f"trace {trace_id} — {len(spans)} spans, {_format_ms(extent)}"]
+
+    def emit(span: dict, depth: int, orphan: bool) -> None:
+        start, end = span["start"], span["end"]
+        open_span = not end
+        duration = (end - start) if not open_span else (horizon - start)
+        left = int(round((start - origin) / extent * width))
+        span_cells = max(1, int(round(duration / extent * width)))
+        bar = " " * left + "#" * min(span_cells, width - left)
+        label = "  " * depth + span["name"]
+        suffix = " open" if open_span else ""
+        suffix += " (orphan)" if orphan else ""
+        lines.append(
+            f"  {label:<{name_width}} {_format_ms(duration):>8} "
+            f"|{bar:<{width}}|{suffix}{_format_tags(span.get('tags') or {})}"
+        )
+        for child in children.get(span["span_id"], ()):
+            emit(child, depth + 1, False)
+
+    for orphan, root in roots:
+        emit(root, 0, orphan)
+    return "\n".join(lines)
+
+
+def _depth(span: dict, by_id: Mapping[str, dict]) -> int:
+    depth = 0
+    seen = {span["span_id"]}
+    parent = span.get("parent_id")
+    while parent in by_id and parent not in seen:
+        seen.add(parent)
+        depth += 1
+        parent = by_id[parent].get("parent_id")
+    return depth
+
+
+def render_report(
+    spans: list[dict], *, trace_id: str | None = None, width: int = 30
+) -> str:
+    """Group spans by trace and render every (or one selected) waterfall."""
+    traces: dict[str, list[dict]] = {}
+    for span in spans:
+        traces.setdefault(span["trace_id"], []).append(span)
+    if trace_id is not None:
+        if trace_id not in traces:
+            known = ", ".join(sorted(traces)) or "<none>"
+            raise SystemExit(f"trace {trace_id!r} not in dump (have: {known})")
+        traces = {trace_id: traces[trace_id]}
+    return "\n\n".join(
+        render_trace(tid, trace_spans, width=width)
+        for tid, trace_spans in sorted(traces.items())
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", help="trace JSONL file, or '-' for stdin")
+    parser.add_argument("--trace", help="render only this trace ID")
+    parser.add_argument(
+        "--width", type=int, default=30, help="waterfall bar width in cells"
+    )
+    options = parser.parse_args(argv)
+    if options.dump == "-":
+        spans = load_spans(sys.stdin)
+    else:
+        with open(options.dump, encoding="utf-8") as handle:
+            spans = load_spans(handle)
+    if not spans:
+        print("no spans in dump")
+        return 0
+    try:
+        print(render_report(spans, trace_id=options.trace, width=options.width))
+    except BrokenPipeError:  # downstream pager/head closed the pipe: not an error
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
